@@ -1,0 +1,109 @@
+"""Benchmarks regenerating the ablation and extension studies."""
+
+from repro.experiments import (
+    ablation_adder_width,
+    ablation_consistency,
+    ablation_mab_size,
+    ablation_policies,
+    extension_baselines,
+    extension_line_buffer,
+    render,
+)
+
+
+def test_ablation_consistency(benchmark):
+    result = benchmark.pedantic(
+        ablation_consistency.run, rounds=1, iterations=1
+    )
+    print()
+    print(render(result))
+    paper_rows = [r for r in result.rows if r["mode"] == "paper"]
+    assert all(r["stale_hits"] == 0 for r in paper_rows)
+
+
+def test_ablation_adder_width(benchmark):
+    result = benchmark.pedantic(
+        ablation_adder_width.run, rounds=1, iterations=1
+    )
+    print()
+    print(render(result))
+    assert all(row["w14_pct"] < 1.0 for row in result.rows)
+
+
+def test_ablation_policies(benchmark):
+    result = benchmark.pedantic(
+        ablation_policies.run, rounds=1, iterations=1
+    )
+    print()
+    print(render(result))
+    lru_rows = [r for r in result.rows if r["policy"] == "lru"]
+    assert all(r["total_stale_hits"] == 0 for r in lru_rows)
+
+
+def test_ablation_mab_size(benchmark):
+    result = benchmark.pedantic(
+        ablation_mab_size.run, rounds=1, iterations=1
+    )
+    print()
+    print(render(result))
+    assert any(row["optimal"] for row in result.rows)
+
+
+def test_extension_line_buffer(benchmark):
+    result = benchmark.pedantic(
+        extension_line_buffer.run, rounds=1, iterations=1
+    )
+    print()
+    print(render(result))
+
+
+def test_extension_baselines(benchmark):
+    result = benchmark.pedantic(
+        extension_baselines.run, rounds=1, iterations=1
+    )
+    print()
+    print(render(result))
+    memo_rows = [
+        r for r in result.rows if r["architecture"].startswith("way-memo")
+    ]
+    assert all(r["avg_slowdown_pct"] == 0.0 for r in memo_rows)
+
+
+def test_extension_associativity(benchmark):
+    from repro.experiments import extension_associativity
+    result = benchmark.pedantic(
+        extension_associativity.run, rounds=1, iterations=1
+    )
+    print()
+    print(render(result))
+    met = [r for r in result.rows if r["condition_met"]]
+    assert all(r["stale_hits"] == 0 for r in met)
+
+
+def test_ablation_stack_traffic(benchmark):
+    from repro.experiments import ablation_stack_traffic
+    result = benchmark.pedantic(
+        ablation_stack_traffic.run, rounds=1, iterations=1
+    )
+    print()
+    print(render(result))
+    reductions = result.column("tag_reduction_pct")
+    assert reductions == sorted(reductions)
+
+
+def test_ablation_fetch_width(benchmark):
+    from repro.experiments import ablation_fetch_width
+    result = benchmark.pedantic(
+        ablation_fetch_width.run, rounds=1, iterations=1
+    )
+    print()
+    print(render(result))
+
+
+def test_ablation_energy_model(benchmark):
+    from repro.experiments import ablation_energy_model
+    result = benchmark.pedantic(
+        ablation_energy_model.run, rounds=1, iterations=1
+    )
+    print()
+    print(render(result))

@@ -1,0 +1,99 @@
+"""Microbenchmarks of the simulation substrate itself.
+
+These time the building blocks (MAB lookup, cache access, controller
+throughput, ISS execution, assembly) with proper pytest-benchmark
+statistics — useful when optimising the simulator.
+"""
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.config import FRV_DCACHE
+from repro.core import MAB, MABConfig, WayMemoDCache, WayMemoICache
+from repro.isa import assemble
+from repro.sim import run_program
+from repro.workloads import (
+    load_workload,
+    synthetic_data_trace,
+    synthetic_fetch_stream,
+)
+
+
+def test_mab_lookup_throughput(benchmark):
+    mab = MAB(MABConfig(2, 8), FRV_DCACHE)
+    lk = mab.lookup(0x40000, 8)
+    mab.install(lk, 0)
+
+    def lookups():
+        for disp in (8, 16, 24, 8, 16, 24, 8, 16):
+            mab.lookup(0x40000, disp)
+
+    benchmark(lookups)
+
+
+def test_cache_access_throughput(benchmark):
+    cache = SetAssociativeCache(FRV_DCACHE)
+    addrs = [0x40000 + 32 * i for i in range(64)]
+    for addr in addrs:
+        cache.access(addr)
+
+    def accesses():
+        for addr in addrs:
+            cache.access(addr)
+
+    benchmark(accesses)
+
+
+def test_dcache_controller_throughput(benchmark):
+    trace = synthetic_data_trace(num_accesses=20_000, seed=1)
+
+    def process():
+        return WayMemoDCache().process(trace)
+
+    counters = benchmark.pedantic(process, rounds=3, iterations=1)
+    assert counters.accesses == 20_000
+
+
+def test_icache_controller_throughput(benchmark):
+    fs = synthetic_fetch_stream(num_blocks=3_000, seed=1)
+
+    def process():
+        return WayMemoICache().process(fs)
+
+    counters = benchmark.pedantic(process, rounds=3, iterations=1)
+    assert counters.accesses == len(fs)
+
+
+def test_iss_execution_speed(benchmark):
+    source = """
+main:
+    li t0, 0
+    li t1, 20000
+loop:
+    addi t0, t0, 1
+    blt t0, t1, loop
+    halt
+"""
+    program = assemble(source)
+
+    def run():
+        return run_program(program)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.halted
+
+
+def test_assembler_speed(benchmark):
+    from repro.workloads import dct
+
+    program = benchmark.pedantic(dct.build, rounds=3, iterations=1)
+    assert program.num_instructions > 0
+
+
+def test_full_workload_cache_study(benchmark):
+    """End-to-end: one benchmark trace through the way-memo D-cache."""
+    workload = load_workload("fft")
+
+    def study():
+        return WayMemoDCache().process(workload.trace.data)
+
+    counters = benchmark.pedantic(study, rounds=3, iterations=1)
+    assert counters.accesses == len(workload.trace.data)

@@ -1,0 +1,32 @@
+"""Benchmarks regenerating the paper's Tables 1-3.
+
+The MAB hardware model is analytic, so these run in microseconds;
+the printed tables are the reproduced artefacts.
+"""
+
+from repro.experiments import render
+from repro.experiments import table1_area, table2_delay, table3_power
+
+
+def test_table1_area(benchmark):
+    result = benchmark(table1_area.run)
+    print()
+    print(render(result))
+    # 2x8 must stay the "around 3%" configuration the paper quotes.
+    row = result.row_for(tag_entries=2, index_entries=8)
+    assert 2.0 < row["overhead_pct"] < 4.0
+
+
+def test_table2_delay(benchmark):
+    result = benchmark(table2_delay.run)
+    print()
+    print(render(result))
+    assert all(result.column("fits_400mhz"))
+
+
+def test_table3_power(benchmark):
+    result = benchmark(table3_power.run)
+    print()
+    print(render(result))
+    for row in result.rows:
+        assert row["sleep_mw"] < 0.5 * row["active_mw"]

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""ASIP design-space exploration: size the MAB for *your* application.
+
+The paper's title says "Application Specific Integrated Processors":
+the promise is that a designer tunes the MAB geometry to the target
+application.  This example does exactly that — it sweeps tag/index
+entry counts for a chosen benchmark, prices every point (cache power
++ MAB power + area), and prints a Pareto view.
+
+Run:  python examples/mab_design_space.py [benchmark]
+"""
+
+import sys
+
+from repro.cache.config import FRV_DCACHE
+from repro.core import MABConfig, WayMemoDCache
+from repro.energy import CachePowerModel, MABHardwareModel
+from repro.experiments.reporting import bar_chart
+from repro.workloads import BENCHMARK_NAMES, load_workload
+
+TAG_ENTRIES = (1, 2, 4)
+INDEX_ENTRIES = (4, 8, 16, 32)
+
+
+def evaluate(benchmark: str):
+    workload = load_workload(benchmark)
+    model = CachePowerModel(FRV_DCACHE)
+    points = []
+    for nt in TAG_ENTRIES:
+        for ns in INDEX_ENTRIES:
+            controller = WayMemoDCache(mab_config=MABConfig(nt, ns))
+            counters = controller.process(workload.trace.data)
+            hw = MABHardwareModel(nt, ns)
+            power = model.power(
+                counters, workload.cycles, label=f"{nt}x{ns}",
+                mab_model=hw,
+            )
+            points.append({
+                "label": f"{nt}x{ns}",
+                "hit_rate": counters.mab_hit_rate,
+                "power_mw": power.total_mw,
+                "area_mm2": hw.area_mm2(),
+            })
+    return points
+
+
+def pareto(points):
+    """Points not dominated in (power, area)."""
+    frontier = []
+    for p in points:
+        if not any(
+            q["power_mw"] <= p["power_mw"] and q["area_mm2"] < p["area_mm2"]
+            or q["power_mw"] < p["power_mw"]
+            and q["area_mm2"] <= p["area_mm2"]
+            for q in points
+        ):
+            frontier.append(p)
+    return frontier
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "jpeg_enc"
+    if benchmark not in BENCHMARK_NAMES:
+        raise SystemExit(
+            f"unknown benchmark {benchmark!r}; pick from {BENCHMARK_NAMES}"
+        )
+    print(f"D-cache MAB design space for '{benchmark}'\n")
+    points = evaluate(benchmark)
+
+    print(f"{'MAB':6s} {'hit rate':>9s} {'power':>9s} {'area':>9s}")
+    for p in points:
+        print(f"{p['label']:6s} {p['hit_rate']:>8.1%} "
+              f"{p['power_mw']:>7.2f}mW {p['area_mm2']:>6.3f}mm2")
+
+    print("\npower by configuration:")
+    print(bar_chart(
+        [p["label"] for p in points],
+        [p["power_mw"] for p in points],
+        unit="mW",
+    ))
+
+    frontier = sorted(pareto(points), key=lambda p: p["power_mw"])
+    print("\nPareto frontier (power vs area):")
+    for p in frontier:
+        print(f"  {p['label']:6s} {p['power_mw']:.2f} mW, "
+              f"{p['area_mm2']:.3f} mm2")
+    best = frontier[0]
+    print(f"\nrecommended for '{benchmark}': {best['label']} "
+          f"(paper default for D-caches: 2x8)")
+
+
+if __name__ == "__main__":
+    main()

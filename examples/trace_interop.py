@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Trace interop: export, inspect and re-analyse traces offline.
+
+Real evaluations often separate trace *collection* (slow, once) from
+architecture *studies* (fast, many).  This example shows that split:
+
+1. run a benchmark once and export its traces to ``.npz``,
+2. reload them in a fresh analysis (as an external tool would),
+3. profile the trace to choose a MAB size,
+4. run the chosen way-memoization configuration on the loaded trace.
+
+Run:  python examples/trace_interop.py
+"""
+
+import os
+import tempfile
+
+from repro.core import MABConfig, WayMemoDCache
+from repro.sim import load_traces, profile_trace, recommend_mab, save_traces
+from repro.workloads import load_workload
+
+
+def main() -> None:
+    # 1: collect once.
+    workload = load_workload("jpeg_enc")
+    path = os.path.join(tempfile.gettempdir(), "jpeg_enc_trace.npz")
+    save_traces(path, workload.trace, workload.fetch)
+    size_kb = os.path.getsize(path) / 1024
+    print(f"exported {path} ({size_kb:.0f} KiB): "
+          f"{len(workload.trace.data)} data accesses, "
+          f"{len(workload.fetch)} fetch packets")
+
+    # 2: reload in a "fresh" analysis.
+    trace, fetch = load_traces(path)
+    assert fetch is not None
+
+    # 3: profile and pick a MAB.
+    profile = profile_trace(trace)
+    print()
+    print(profile.report(top=5))
+    nt, ns = recommend_mab(profile)
+    print(f"\nprofile-suggested D-MAB: {nt}x{ns}")
+
+    # 4: study the suggested configuration on the loaded trace.
+    controller = WayMemoDCache(mab_config=MABConfig(nt, ns))
+    counters = controller.process(trace.data)
+    print(f"way-memo {nt}x{ns} on the reloaded trace: "
+          f"{counters.tags_per_access:.3f} tags/access, "
+          f"{counters.mab_hit_rate:.1%} MAB hit rate, "
+          f"{counters.stale_hits} stale hits")
+
+    os.remove(path)
+
+
+if __name__ == "__main__":
+    main()

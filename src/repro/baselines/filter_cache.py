@@ -1,0 +1,104 @@
+"""Kin, Gupta & Mangione-Smith [6]: the filter cache (L0).
+
+A tiny cache sits between the core and L1.  L0 hits are cheap; L0
+misses pay one extra cycle plus a full L1 access.  This is the classic
+energy/performance trade the paper's zero-penalty technique is set
+against.  The L0 is modelled as a small fully-associative cache of L1
+line-size lines.
+"""
+
+from __future__ import annotations
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.config import CacheConfig, FRV_DCACHE, FRV_ICACHE
+from repro.cache.replacement import make_policy
+from repro.cache.stats import AccessCounters
+from repro.sim.fetch import FetchStream
+from repro.sim.trace import DataTrace
+
+#: Default filter cache size: 256 B of 32 B lines, fully associative.
+DEFAULT_L0_LINES = 8
+
+
+class _FilterCache:
+    """Shared L0 + L1 machinery."""
+
+    def __init__(self, cache_config: CacheConfig, l0_lines: int,
+                 policy: str):
+        if l0_lines < 1:
+            raise ValueError("filter cache needs at least one line")
+        self.cache_config = cache_config
+        self.l0_lines = l0_lines
+        self.cache = SetAssociativeCache(
+            cache_config,
+            make_policy(policy, cache_config.sets, cache_config.ways),
+        )
+        self._l0: list = []  # line addresses, MRU at back
+
+    def _access(self, counters: AccessCounters, addr: int,
+                write: bool = False) -> None:
+        cfg = self.cache_config
+        line = cfg.line_addr(addr)
+        counters.aux_accesses += 1  # L0 probe (cheap)
+        if line in self._l0:
+            self._l0.remove(line)
+            self._l0.append(line)
+            counters.cache_hits += 1
+            if write:
+                # Write-through to L1 state so dirtiness is tracked.
+                self.cache.access(addr, write=True)
+            return
+
+        # L0 miss: one stall cycle, then the full L1 access.
+        counters.extra_cycles += 1
+        result = self.cache.access(addr, write=write)
+        counters.tag_accesses += cfg.ways
+        if result.hit:
+            counters.cache_hits += 1
+            counters.way_accesses += 1 if write else cfg.ways
+        else:
+            counters.cache_misses += 1
+            counters.way_accesses += (1 if write else cfg.ways) + 1
+        self._l0.append(line)
+        if len(self._l0) > self.l0_lines:
+            self._l0.pop(0)
+
+
+class FilterCacheDCache(_FilterCache):
+    """Filter cache in front of the D-cache."""
+
+    name = "filter-cache"
+
+    def __init__(self, cache_config: CacheConfig = FRV_DCACHE,
+                 l0_lines: int = DEFAULT_L0_LINES, policy: str = "lru"):
+        super().__init__(cache_config, l0_lines, policy)
+
+    def process(self, trace: DataTrace) -> AccessCounters:
+        counters = AccessCounters()
+        for base, disp, is_store in zip(
+            trace.base.tolist(), trace.disp.tolist(), trace.store.tolist()
+        ):
+            counters.accesses += 1
+            if is_store:
+                counters.stores += 1
+            else:
+                counters.loads += 1
+            self._access(counters, (base + disp) & 0xFFFFFFFF, is_store)
+        return counters
+
+
+class FilterCacheICache(_FilterCache):
+    """Filter cache in front of the I-cache."""
+
+    name = "filter-cache"
+
+    def __init__(self, cache_config: CacheConfig = FRV_ICACHE,
+                 l0_lines: int = DEFAULT_L0_LINES, policy: str = "lru"):
+        super().__init__(cache_config, l0_lines, policy)
+
+    def process(self, fetch: FetchStream) -> AccessCounters:
+        counters = AccessCounters()
+        for addr in fetch.addr.tolist():
+            counters.accesses += 1
+            self._access(counters, addr)
+        return counters

@@ -1,0 +1,148 @@
+"""Ma, Zhang & Asanovic [11]: link-based way memoization.
+
+The closest prior art to the paper's MAB: each I-cache line is
+augmented with a *sequential link* (valid bit + way of the line
+holding the next sequential address) and a *branch link* (valid bit +
+way of the last taken-branch target from this line).  A valid link
+skips the tag search entirely; invalid links fall back to a full
+access and are learned.
+
+The paper's two criticisms, both visible in this model:
+
+* the links add storage to every cache line and their bits are read
+  on every access (``aux_accesses`` charges that energy);
+* a replacement must invalidate every link *pointing at* the evicted
+  line, which needs extra machinery — modelled here with an exact
+  reverse index standing in for their invalidation hardware (this is
+  generous to [11]: sloppier hardware would lose more links).
+
+Links live at line granularity (one sequential + one branch link per
+line); lines containing several distinct taken branches thrash their
+branch link, which is the structural disadvantage relative to the
+MAB's decoupled address table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.config import CacheConfig, FRV_ICACHE
+from repro.cache.replacement import make_policy
+from repro.cache.stats import AccessCounters
+from repro.sim.fetch import FetchKind, FetchStream
+
+#: Link kinds.
+_SEQ, _BRANCH = 0, 1
+
+
+class MaLinksICache:
+    """I-cache with per-line sequential and branch way links."""
+
+    name = "ma-links"
+
+    def __init__(
+        self,
+        cache_config: CacheConfig = FRV_ICACHE,
+        policy: str = "lru",
+    ):
+        self.cache_config = cache_config
+        self.cache = SetAssociativeCache(
+            cache_config,
+            make_policy(policy, cache_config.sets, cache_config.ways),
+        )
+        # (line_addr, kind) -> (target_line_addr, target_way)
+        self._links: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        # target_line_addr -> set of link keys pointing at it
+        self._reverse: Dict[int, Set[Tuple[int, int]]] = {}
+        self.cache.add_eviction_listener(self._on_evict)
+
+    # ------------------------------------------------------------------
+
+    def _on_evict(self, tag: int, set_index: int) -> None:
+        """Invalidate links pointing at (and owned by) the dead line."""
+        line = self.cache_config.join(tag, set_index)
+        for key in self._reverse.pop(line, set()):
+            self._links.pop(key, None)
+        # Links stored WITH the line die with it too.
+        for kind in (_SEQ, _BRANCH):
+            target = self._links.pop((line, kind), None)
+            if target is not None:
+                keys = self._reverse.get(target[0])
+                if keys is not None:
+                    keys.discard((line, kind))
+
+    def _set_link(self, source_line: int, kind: int,
+                  target_line: int, way: int) -> None:
+        old = self._links.get((source_line, kind))
+        if old is not None:
+            keys = self._reverse.get(old[0])
+            if keys is not None:
+                keys.discard((source_line, kind))
+        self._links[(source_line, kind)] = (target_line, way)
+        self._reverse.setdefault(target_line, set()).add(
+            (source_line, kind)
+        )
+
+    # ------------------------------------------------------------------
+
+    def process(self, fetch: FetchStream) -> AccessCounters:
+        counters = AccessCounters()
+        cfg = self.cache_config
+        cache = self.cache
+        line_mask = ~(cfg.line_bytes - 1) & 0xFFFFFFFF
+        seq = int(FetchKind.SEQ)
+        branch = int(FetchKind.BRANCH)
+
+        last_line: Optional[int] = None
+
+        for addr, kind in zip(fetch.addr.tolist(), fetch.kind.tolist()):
+            counters.accesses += 1
+            counters.aux_accesses += 1  # link bits read with the line
+            line = addr & line_mask
+
+            if kind == seq and line == last_line:
+                # Intra-line sequential: way known, free ([3, 4, 10],
+                # which [11] also builds upon).
+                counters.intra_line_hits += 1
+                result = cache.access(addr)
+                counters.cache_hits += 1
+                counters.way_accesses += 1
+                last_line = line
+                continue
+
+            link_kind = _SEQ if kind == seq else _BRANCH
+            consults_link = last_line is not None and kind in (seq, branch)
+            if consults_link:
+                counters.mab_lookups += 1  # link consult (for hit rate)
+            link = (
+                self._links.get((last_line, link_kind))
+                if consults_link else None
+            )
+            if link is not None and link[0] == line:
+                # Valid link: skip the tag search.
+                way = link[1]
+                actual = cache.probe(addr)
+                if actual == way:
+                    counters.mab_hits += 1  # link hit (reuses counter)
+                    cache.access(addr)
+                    counters.cache_hits += 1
+                    counters.way_accesses += 1
+                    last_line = line
+                    continue
+                counters.stale_hits += 1  # should never happen
+
+            # Full access, then learn the link.
+            result = cache.access(addr)
+            counters.tag_accesses += cfg.ways
+            if result.hit:
+                counters.cache_hits += 1
+                counters.way_accesses += cfg.ways
+            else:
+                counters.cache_misses += 1
+                counters.way_accesses += cfg.ways + 1
+            if last_line is not None and kind in (seq, branch):
+                self._set_link(last_line, link_kind, line, result.way)
+            last_line = line
+
+        return counters

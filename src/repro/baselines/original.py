@@ -1,0 +1,93 @@
+"""The unmodified ("original") cache architecture.
+
+Every access compares all ways' tags in parallel.  Loads and
+instruction fetches also read all data ways in parallel (way selection
+happens after tag compare); stores resolve the way first through the
+write-back buffer and write a single way (paper Section 4, which is why
+the original D-cache's ways-per-access is below 2 in Figure 4).
+"""
+
+from __future__ import annotations
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.config import CacheConfig, FRV_DCACHE, FRV_ICACHE
+from repro.cache.replacement import make_policy
+from repro.cache.stats import AccessCounters
+from repro.cache.write_buffer import WriteBuffer
+from repro.sim.fetch import FetchStream
+from repro.sim.trace import DataTrace
+
+
+class OriginalDCache:
+    """Baseline D-cache: parallel tag + data access, single-way stores."""
+
+    name = "original"
+
+    def __init__(
+        self,
+        cache_config: CacheConfig = FRV_DCACHE,
+        policy: str = "lru",
+    ):
+        self.cache_config = cache_config
+        self.cache = SetAssociativeCache(
+            cache_config,
+            make_policy(policy, cache_config.sets, cache_config.ways),
+        )
+        self.write_buffer = WriteBuffer(cache_config)
+
+    def process(self, trace: DataTrace) -> AccessCounters:
+        counters = AccessCounters()
+        cfg = self.cache_config
+        cache = self.cache
+        for base, disp, is_store in zip(
+            trace.base.tolist(), trace.disp.tolist(), trace.store.tolist()
+        ):
+            counters.accesses += 1
+            if is_store:
+                counters.stores += 1
+                self.write_buffer.push((base + disp) & 0xFFFFFFFF)
+            else:
+                counters.loads += 1
+            addr = (base + disp) & 0xFFFFFFFF
+            result = cache.access(addr, write=is_store)
+            counters.tag_accesses += cfg.ways
+            if result.hit:
+                counters.cache_hits += 1
+                counters.way_accesses += 1 if is_store else cfg.ways
+            else:
+                counters.cache_misses += 1
+                counters.way_accesses += (1 if is_store else cfg.ways) + 1
+        return counters
+
+
+class OriginalICache:
+    """Baseline I-cache: every fetch reads all tags and all ways."""
+
+    name = "original"
+
+    def __init__(
+        self,
+        cache_config: CacheConfig = FRV_ICACHE,
+        policy: str = "lru",
+    ):
+        self.cache_config = cache_config
+        self.cache = SetAssociativeCache(
+            cache_config,
+            make_policy(policy, cache_config.sets, cache_config.ways),
+        )
+
+    def process(self, fetch: FetchStream) -> AccessCounters:
+        counters = AccessCounters()
+        cfg = self.cache_config
+        cache = self.cache
+        for addr in fetch.addr.tolist():
+            counters.accesses += 1
+            result = cache.access(addr)
+            counters.tag_accesses += cfg.ways
+            if result.hit:
+                counters.cache_hits += 1
+                counters.way_accesses += cfg.ways
+            else:
+                counters.cache_misses += 1
+                counters.way_accesses += cfg.ways + 1
+        return counters

@@ -1,0 +1,63 @@
+"""Panwar & Rennels [4]: intra-line sequential-flow tag elision.
+
+For instruction fetches that stay within the current cache line and
+arrive sequentially, the way is known from the previous access, so no
+tag compare is needed and only that way is read.  All other flows —
+inter-line sequential, taken branches, returns — pay the full parallel
+access.  This is the left-most bar of the paper's Figure 6 and the
+I-cache baseline in Figure 8 ("original + approach [4]").
+"""
+
+from __future__ import annotations
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.config import CacheConfig, FRV_ICACHE
+from repro.cache.replacement import make_policy
+from repro.cache.stats import AccessCounters
+from repro.sim.fetch import FetchKind, FetchStream
+
+
+class PanwarICache:
+    """I-cache with intra-cache-line sequential-flow optimisation only."""
+
+    name = "panwar"
+
+    def __init__(
+        self,
+        cache_config: CacheConfig = FRV_ICACHE,
+        policy: str = "lru",
+    ):
+        self.cache_config = cache_config
+        self.cache = SetAssociativeCache(
+            cache_config,
+            make_policy(policy, cache_config.sets, cache_config.ways),
+        )
+
+    def process(self, fetch: FetchStream) -> AccessCounters:
+        counters = AccessCounters()
+        cfg = self.cache_config
+        cache = self.cache
+        line_mask = ~(cfg.line_bytes - 1) & 0xFFFFFFFF
+        seq = int(FetchKind.SEQ)
+        last_line = None
+
+        for addr, kind in zip(fetch.addr.tolist(), fetch.kind.tolist()):
+            counters.accesses += 1
+            line = addr & line_mask
+            if kind == seq and line == last_line:
+                counters.intra_line_hits += 1
+                result = cache.access(addr)
+                assert result.hit, "intra-line fetch must hit"
+                counters.cache_hits += 1
+                counters.way_accesses += 1
+            else:
+                result = cache.access(addr)
+                counters.tag_accesses += cfg.ways
+                if result.hit:
+                    counters.cache_hits += 1
+                    counters.way_accesses += cfg.ways
+                else:
+                    counters.cache_misses += 1
+                    counters.way_accesses += cfg.ways + 1
+            last_line = line
+        return counters

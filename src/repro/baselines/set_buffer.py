@@ -1,0 +1,129 @@
+"""Yang, Yu & Zhang [14]: lightweight set buffer for data caches.
+
+The set buffer keeps, for a handful of recently touched *sets*, a copy
+of that set's tags.  When an access finds its set buffered, the tag
+comparison happens against the cheap buffer copy instead of the cache
+tag array, and only the resolved way is accessed — with no cycle
+penalty on a buffer miss (unlike line/filter buffers).  The paper notes
+the technique "cannot exploit inter-cache-line access locality" at the
+*address* level: it memoizes per-set tag state, so it keeps paying the
+buffer lookup and cannot skip way resolution the way the MAB does.
+
+Accounting (Figure 4's "approach [14]" bars):
+
+* buffer hit + tag match: 0 cache tag reads, 1 way; one buffer probe.
+* buffer hit + tag mismatch: the access is a cache miss — full miss
+  handling, buffered tag copy updated.
+* buffer miss: full parallel access (all tags, all ways for loads) and
+  the set's tags are copied into the buffer (LRU replacement).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.config import CacheConfig, FRV_DCACHE
+from repro.cache.replacement import make_policy
+from repro.cache.stats import AccessCounters
+from repro.cache.write_buffer import WriteBuffer
+from repro.sim.trace import DataTrace
+
+
+class SetBufferDCache:
+    """D-cache fronted by an N-entry set buffer.
+
+    The default of two buffered sets reflects the "lightweight"
+    sizing of [14] (the technique targets streaming multimedia code
+    whose set-wise locality is shallow).
+    """
+
+    name = "set-buffer"
+
+    def __init__(
+        self,
+        cache_config: CacheConfig = FRV_DCACHE,
+        entries: int = 2,
+        policy: str = "lru",
+    ):
+        if entries < 1:
+            raise ValueError("set buffer needs at least one entry")
+        self.cache_config = cache_config
+        self.entries = entries
+        self.cache = SetAssociativeCache(
+            cache_config,
+            make_policy(policy, cache_config.sets, cache_config.ways),
+        )
+        self.write_buffer = WriteBuffer(cache_config)
+        # set_index -> copy of that set's tags (way -> Optional[tag]).
+        self._buffer: Dict[int, List[Optional[int]]] = {}
+        self._lru: List[int] = []  # set indices, LRU first
+
+    # ------------------------------------------------------------------
+
+    def _snapshot_set(self, set_index: int) -> List[Optional[int]]:
+        tags: List[Optional[int]] = []
+        for way in range(self.cache_config.ways):
+            line = self.cache.line_state(set_index, way)
+            tags.append(line.tag if line.valid else None)
+        return tags
+
+    def _touch(self, set_index: int) -> None:
+        if set_index in self._lru:
+            self._lru.remove(set_index)
+        self._lru.append(set_index)
+
+    def _allocate(self, set_index: int) -> None:
+        if set_index not in self._buffer and len(self._buffer) >= self.entries:
+            victim = self._lru.pop(0)
+            del self._buffer[victim]
+        self._buffer[set_index] = self._snapshot_set(set_index)
+        self._touch(set_index)
+
+    # ------------------------------------------------------------------
+
+    def process(self, trace: DataTrace) -> AccessCounters:
+        counters = AccessCounters()
+        cfg = self.cache_config
+        cache = self.cache
+
+        for base, disp, is_store in zip(
+            trace.base.tolist(), trace.disp.tolist(), trace.store.tolist()
+        ):
+            counters.accesses += 1
+            if is_store:
+                counters.stores += 1
+            else:
+                counters.loads += 1
+            addr = (base + disp) & 0xFFFFFFFF
+            tag, set_index, _ = cfg.split(addr)
+            counters.aux_accesses += 1  # the buffer is probed every access
+            if is_store:
+                self.write_buffer.push(addr)
+
+            buffered = self._buffer.get(set_index)
+            if buffered is not None and tag in buffered:
+                # Buffer hit with matching tag: single-way access, no
+                # cache tag reads.
+                result = cache.access(addr, write=is_store)
+                assert result.hit, "buffered tag must be cache-resident"
+                counters.cache_hits += 1
+                counters.way_accesses += 1
+                self._touch(set_index)
+                continue
+
+            # Either the set is not buffered, or the buffered tags do
+            # not contain this address (which implies a cache miss,
+            # since the buffer mirrors the set's tags exactly).
+            result = cache.access(addr, write=is_store)
+            counters.tag_accesses += cfg.ways
+            if result.hit:
+                counters.cache_hits += 1
+                counters.way_accesses += 1 if is_store else cfg.ways
+            else:
+                counters.cache_misses += 1
+                counters.way_accesses += (1 if is_store else cfg.ways) + 1
+            self._allocate(set_index)
+
+        counters.notes["set_buffer_entries"] = self.entries
+        return counters

@@ -1,0 +1,40 @@
+"""Set-associative cache substrate.
+
+A behavioural model of the FR-V's split L1 caches: 32 kB, 2-way
+set-associative, 512 sets of 32-byte lines (paper Section 4), with
+pluggable replacement policies, an eviction callback used by the MAB
+consistency machinery, a line buffer (for the paper's future-work
+combination) and a coalescing write-back buffer.
+"""
+
+from repro.cache.config import CacheConfig, FRV_DCACHE, FRV_ICACHE
+from repro.cache.cache import AccessResult, CacheLineState, SetAssociativeCache
+from repro.cache.line_buffer import LineBuffer
+from repro.cache.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    PseudoLRUPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    make_policy,
+)
+from repro.cache.stats import AccessCounters
+from repro.cache.write_buffer import WriteBuffer
+
+__all__ = [
+    "AccessCounters",
+    "AccessResult",
+    "CacheConfig",
+    "CacheLineState",
+    "FIFOPolicy",
+    "FRV_DCACHE",
+    "FRV_ICACHE",
+    "LRUPolicy",
+    "LineBuffer",
+    "PseudoLRUPolicy",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "SetAssociativeCache",
+    "WriteBuffer",
+    "make_policy",
+]

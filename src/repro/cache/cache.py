@@ -1,0 +1,162 @@
+"""Behavioural set-associative cache model.
+
+Tracks tags/valid/dirty per line and replacement state; does not store
+data bytes (the ISS provides functional memory, the cache studies only
+need hit/way/eviction behaviour).  Eviction listeners let the
+way-memoization machinery implement its ``evict_hook`` consistency
+mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.cache.config import CacheConfig
+from repro.cache.replacement import LRUPolicy, ReplacementPolicy
+
+
+@dataclass
+class CacheLineState:
+    """Tag state of one cache line."""
+
+    valid: bool = False
+    dirty: bool = False
+    tag: int = 0
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one cache access.
+
+    Attributes
+    ----------
+    hit:
+        Whether the access hit.
+    way:
+        The way holding the line after the access (fill way on miss).
+    evicted_tag:
+        Tag of the line evicted by a miss fill, or None.
+    writeback:
+        True when the evicted line was dirty (write-back traffic).
+    """
+
+    hit: bool
+    way: int
+    evicted_tag: Optional[int] = None
+    writeback: bool = False
+
+
+#: Signature of eviction listeners: (tag, set_index) of the line removed.
+EvictionListener = Callable[[int, int], None]
+
+
+class SetAssociativeCache:
+    """A write-back, write-allocate set-associative cache model."""
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        policy: Optional[ReplacementPolicy] = None,
+    ):
+        self.config = config
+        self.policy = policy or LRUPolicy(config.sets, config.ways)
+        if (self.policy.sets, self.policy.ways) != (config.sets, config.ways):
+            raise ValueError("replacement policy geometry mismatch")
+        self._lines: List[List[CacheLineState]] = [
+            [CacheLineState() for _ in range(config.ways)]
+            for _ in range(config.sets)
+        ]
+        self._eviction_listeners: List[EvictionListener] = []
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    # ------------------------------------------------------------------
+
+    def add_eviction_listener(self, listener: EvictionListener) -> None:
+        """Call ``listener(tag, set_index)`` whenever a line is evicted."""
+        self._eviction_listeners.append(listener)
+
+    def probe(self, addr: int) -> Optional[int]:
+        """Return the way holding ``addr`` without touching any state."""
+        tag, set_index, _ = self.config.split(addr)
+        for way, line in enumerate(self._lines[set_index]):
+            if line.valid and line.tag == tag:
+                return way
+        return None
+
+    def line_state(self, set_index: int, way: int) -> CacheLineState:
+        return self._lines[set_index][way]
+
+    def resident_tags(self, set_index: int) -> List[int]:
+        """Valid tags currently stored in ``set_index`` (tests/invariants)."""
+        return [
+            line.tag for line in self._lines[set_index] if line.valid
+        ]
+
+    # ------------------------------------------------------------------
+
+    def access(self, addr: int, write: bool = False) -> AccessResult:
+        """Perform a load/store access, filling on a miss."""
+        tag, set_index, _ = self.config.split(addr)
+        lines = self._lines[set_index]
+        for way, line in enumerate(lines):
+            if line.valid and line.tag == tag:
+                self.hits += 1
+                self.policy.touch(set_index, way)
+                if write:
+                    line.dirty = True
+                return AccessResult(hit=True, way=way)
+
+        # Miss: choose a victim, evict, fill.
+        self.misses += 1
+        way = self.policy.victim(set_index)
+        line = lines[way]
+        evicted_tag = None
+        writeback = False
+        if line.valid:
+            evicted_tag = line.tag
+            writeback = line.dirty
+            self.evictions += 1
+            if writeback:
+                self.writebacks += 1
+            for listener in self._eviction_listeners:
+                listener(evicted_tag, set_index)
+        line.valid = True
+        line.tag = tag
+        line.dirty = write
+        self.policy.touch(set_index, way)
+        return AccessResult(
+            hit=False, way=way, evicted_tag=evicted_tag, writeback=writeback
+        )
+
+    def invalidate_all(self) -> None:
+        """Flush the cache (notifies eviction listeners)."""
+        for set_index, lines in enumerate(self._lines):
+            for line in lines:
+                if line.valid:
+                    for listener in self._eviction_listeners:
+                        listener(line.tag, set_index)
+                line.valid = False
+                line.dirty = False
+
+    # ------------------------------------------------------------------
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def check_invariants(self) -> None:
+        """Assert internal consistency (used by property tests)."""
+        for set_index, lines in enumerate(self._lines):
+            tags = [line.tag for line in lines if line.valid]
+            if len(tags) != len(set(tags)):
+                raise AssertionError(
+                    f"duplicate tag in set {set_index}: {tags}"
+                )

@@ -1,0 +1,63 @@
+"""Single/multiple line buffer model.
+
+A line buffer holds the most recently accessed cache line(s) so repeat
+accesses to the same line skip the cache arrays entirely.  The paper's
+conclusion names combining way memoization with a line buffer as future
+work; :mod:`repro.core.line_buffer_memo` builds that combination on top
+of this model.  It also underpins the Su & Despain [13] style baseline.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cache.config import CacheConfig
+
+
+class LineBuffer:
+    """An ``entries``-deep fully-associative buffer of line addresses.
+
+    Only line addresses are modelled (no data), which is all the access
+    counting needs.  Replacement is LRU.
+    """
+
+    def __init__(self, config: CacheConfig, entries: int = 1):
+        if entries < 1:
+            raise ValueError("line buffer needs at least one entry")
+        self.config = config
+        self.entries = entries
+        # MRU at the back.
+        self._lines: List[int] = []
+        self.hits = 0
+        self.misses = 0
+
+    def probe(self, addr: int) -> bool:
+        """True when ``addr`` is buffered; no state change."""
+        return self.config.line_addr(addr) in self._lines
+
+    def access(self, addr: int) -> bool:
+        """Look up ``addr``; allocate its line on a miss. Returns hit."""
+        line = self.config.line_addr(addr)
+        if line in self._lines:
+            self._lines.remove(line)
+            self._lines.append(line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._lines.append(line)
+        if len(self._lines) > self.entries:
+            self._lines.pop(0)
+        return False
+
+    def invalidate_line(self, line_addr: int) -> None:
+        """Drop a line (keeps the buffer coherent with the cache)."""
+        if line_addr in self._lines:
+            self._lines.remove(line_addr)
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0

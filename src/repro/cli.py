@@ -1,0 +1,182 @@
+"""Command-line front-end: ``python -m repro`` / the ``repro`` script.
+
+Subcommands
+-----------
+``repro list``
+    Show available experiments and benchmarks.
+``repro run <experiment> [...]``
+    Run one or more experiments (or ``all``) and print their tables.
+``repro bench <benchmark>``
+    Execute one benchmark on the ISS, verify it against its golden
+    model and print trace statistics.
+``repro disasm <benchmark>``
+    Print the benchmark's assembled text segment.
+``repro profile <benchmark>``
+    Print a hot-block / working-set profile and a MAB size suggestion.
+``repro trace <benchmark> -o out.npz``
+    Export the benchmark's traces for external tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import List, Optional
+
+from repro.experiments import EXPERIMENTS, render
+from repro.workloads import BENCHMARK_NAMES, get_benchmark, run_benchmark
+
+
+def _run_experiments(names: List[str]) -> int:
+    if names == ["all"]:
+        names = list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for pos, name in enumerate(names):
+        module = importlib.import_module(f"repro.experiments.{name}")
+        print(render(module.run()))
+        if pos + 1 != len(names):
+            print()
+    return 0
+
+
+def _run_bench(name: str) -> int:
+    if name not in BENCHMARK_NAMES:
+        print(f"unknown benchmark {name!r}; available: "
+              f"{', '.join(BENCHMARK_NAMES)}", file=sys.stderr)
+        return 2
+    benchmark = get_benchmark(name)
+    result = run_benchmark(name)
+    benchmark.check(result)
+    print(result.trace.summary())
+    print("golden-model check: OK")
+    mix = sorted(result.trace.mix.items(), key=lambda kv: -kv[1])[:8]
+    rendered = ", ".join(f"{m}:{c}" for m, c in mix)
+    print(f"top instructions: {rendered}")
+    return 0
+
+
+def _disasm(name: str) -> int:
+    if name not in BENCHMARK_NAMES:
+        print(f"unknown benchmark {name!r}", file=sys.stderr)
+        return 2
+    print(get_benchmark(name).build().disassemble())
+    return 0
+
+
+def _profile(name: str) -> int:
+    if name not in BENCHMARK_NAMES:
+        print(f"unknown benchmark {name!r}", file=sys.stderr)
+        return 2
+    from repro.sim import profile_trace, recommend_mab
+    from repro.workloads import load_workload
+
+    workload = load_workload(name)
+    profile = profile_trace(workload.trace)
+    print(profile.report())
+    nt, ns = recommend_mab(profile)
+    print(f"  suggested D-cache MAB: {nt}x{ns} "
+          "(verify with examples/mab_design_space.py)")
+    return 0
+
+
+def _export_trace(name: str, output: str) -> int:
+    if name not in BENCHMARK_NAMES:
+        print(f"unknown benchmark {name!r}", file=sys.stderr)
+        return 2
+    from repro.sim import save_traces
+    from repro.workloads import load_workload
+
+    workload = load_workload(name)
+    save_traces(output, workload.trace, workload.fetch)
+    print(f"wrote {output}: {len(workload.trace.data)} data accesses, "
+          f"{len(workload.fetch)} fetch accesses")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Way memoization for low-power caches "
+            "(Ishihara & Fallah, DATE 2005) - reproduction harness"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("list", help="list experiments and benchmarks")
+
+    run_parser = sub.add_parser("run", help="run experiments")
+    run_parser.add_argument(
+        "experiments", nargs="+",
+        help="experiment names, or 'all'",
+    )
+
+    bench_parser = sub.add_parser(
+        "bench", help="execute and verify one benchmark"
+    )
+    bench_parser.add_argument("benchmark")
+
+    disasm_parser = sub.add_parser(
+        "disasm", help="disassemble a benchmark"
+    )
+    disasm_parser.add_argument("benchmark")
+
+    profile_parser = sub.add_parser(
+        "profile", help="profile a benchmark's execution"
+    )
+    profile_parser.add_argument("benchmark")
+
+    trace_parser = sub.add_parser(
+        "trace", help="export a benchmark's traces to .npz"
+    )
+    trace_parser.add_argument("benchmark")
+    trace_parser.add_argument(
+        "-o", "--output", default=None,
+        help="output path (default: <benchmark>.npz)",
+    )
+
+    report_parser = sub.add_parser(
+        "report", help="run every experiment into a markdown report"
+    )
+    report_parser.add_argument(
+        "-o", "--output", default=None,
+        help="write to a file instead of stdout",
+    )
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        print("experiments:")
+        for name in EXPERIMENTS:
+            print(f"  {name}")
+        print("benchmarks:")
+        for name in BENCHMARK_NAMES:
+            print(f"  {name}")
+        return 0
+    if args.command == "run":
+        return _run_experiments(args.experiments)
+    if args.command == "bench":
+        return _run_bench(args.benchmark)
+    if args.command == "disasm":
+        return _disasm(args.benchmark)
+    if args.command == "profile":
+        return _profile(args.benchmark)
+    if args.command == "trace":
+        output = args.output or f"{args.benchmark}.npz"
+        return _export_trace(args.benchmark, output)
+    if args.command == "report":
+        from repro.experiments import report
+
+        report.main(output=args.output)
+        return 0
+    parser.print_help()
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,124 @@
+"""Partial address arithmetic for the MAB datapath (paper Figure 3).
+
+The memory-address generation unit computes ``base + displacement``
+with a full 32-bit adder on the critical path.  The MAB instead runs a
+narrow adder over only the low ``low_bits`` bits (14 for the FR-V's
+32 kB caches: 5 offset + 9 index bits) concurrently with the wide
+adder.  Its outputs are:
+
+* the exact low 14 bits of the sum — the set-index and line offset are
+  therefore always exact, regardless of displacement size;
+* the carry-out ``c`` of the narrow adder;
+* the *sign class* of the displacement: whether its upper
+  ``32 - low_bits`` bits are all zero, all one, or mixed.
+
+When the sign class is not ``OTHER`` the target tag is computable
+without the wide adder::
+
+    tag(base + disp) = (tag(base) + c - sign) mod 2**tag_bits
+
+which is why the MAB can match tags one full adder earlier than the
+address is available.  ``OTHER`` (|disp| >= 2**(low_bits - 1)) forces a
+MAB bypass; the paper measures this at under 1 % of accesses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+_M32 = 0xFFFFFFFF
+
+
+class SignClass(enum.IntEnum):
+    """Classification of a displacement's upper bits (Figure 3's 0/1/*)."""
+
+    ZERO = 0   #: upper bits all zero (0 <= disp < 2**(low_bits-1))
+    ONE = 1    #: upper bits all one (-2**(low_bits-1) <= disp < 0)
+    OTHER = 2  #: anything else — MAB cannot be used
+
+
+@dataclass(frozen=True)
+class PartialSum:
+    """Result of the narrow-adder datapath for one (base, disp) pair.
+
+    Attributes
+    ----------
+    low:
+        The exact low ``low_bits`` bits of ``base + disp``.
+    carry:
+        Carry-out of the narrow adder (0 or 1).
+    sign:
+        :class:`SignClass` of the displacement.
+    base_tag:
+        Upper ``32 - low_bits`` bits of the *base* address (what the
+        MAB tag comparators see).
+    low_bits:
+        Width of the narrow adder.
+    """
+
+    low: int
+    carry: int
+    sign: SignClass
+    base_tag: int
+    low_bits: int
+
+    @property
+    def usable(self) -> bool:
+        """False when the displacement is too large for the MAB."""
+        return self.sign is not SignClass.OTHER
+
+    @property
+    def cflag(self) -> int:
+        """The stored 2-bit flag: (carry << 1) | sign bit."""
+        return (self.carry << 1) | int(self.sign)
+
+    def target_tag(self, tag_bits: int) -> int:
+        """Tag of ``base + disp`` reconstructed without the wide adder.
+
+        Only meaningful when :attr:`usable` is True.
+        """
+        if not self.usable:
+            raise ValueError("target tag undefined for OTHER sign class")
+        adjust = self.carry - (1 if self.sign is SignClass.ONE else 0)
+        return (self.base_tag + adjust) & ((1 << tag_bits) - 1)
+
+    def set_index(self, offset_bits: int, index_bits: int) -> int:
+        """Set-index field of the sum (always exact)."""
+        return (self.low >> offset_bits) & ((1 << index_bits) - 1)
+
+
+def displacement_sign_class(disp: int, low_bits: int = 14) -> SignClass:
+    """Classify the upper ``32 - low_bits`` bits of a displacement.
+
+    ``disp`` is interpreted as a 32-bit two's complement value.
+    """
+    upper = ((disp & _M32) >> low_bits) & ((1 << (32 - low_bits)) - 1)
+    if upper == 0:
+        return SignClass.ZERO
+    if upper == (1 << (32 - low_bits)) - 1:
+        return SignClass.ONE
+    return SignClass.OTHER
+
+
+def partial_add(base: int, disp: int, low_bits: int = 14) -> PartialSum:
+    """Run the narrow-adder datapath on ``(base, disp)``.
+
+    >>> ps = partial_add(0x0004_1000, 16)
+    >>> ps.carry, ps.sign
+    (0, <SignClass.ZERO: 0>)
+    >>> ps.target_tag(18) == (0x0004_1000 + 16) >> 14
+    True
+    """
+    if not 1 <= low_bits <= 31:
+        raise ValueError("low_bits must be in [1, 31]")
+    mask = (1 << low_bits) - 1
+    base &= _M32
+    raw = (base & mask) + ((disp & _M32) & mask)
+    return PartialSum(
+        low=raw & mask,
+        carry=raw >> low_bits,
+        sign=displacement_sign_class(disp, low_bits),
+        base_tag=base >> low_bits,
+        low_bits=low_bits,
+    )

@@ -1,0 +1,137 @@
+"""Way-memoizing D-cache controller (paper Section 3.1, Figure 1).
+
+Replays a :class:`~repro.sim.trace.DataTrace` through a set-associative
+cache fronted by a MAB and counts tag/way accesses:
+
+* **MAB hit** — no tag reads, exactly one data way accessed (the
+  memoized way).
+* **MAB miss / bypass** — a normal access: all ways' tags are compared;
+  loads read all data ways in parallel, stores write only the single
+  resolved way (the write-back buffer makes single-way stores possible
+  on the baseline FR-V too, Section 4).  The resolved way is then
+  installed in the MAB.
+* A cache **miss** additionally writes the refill into one way.
+
+Every MAB hit is verified against the actual cache content; a mismatch
+is a *stale hit* and is counted (``AccessCounters.stale_hits``).  The
+paper's consistency argument predicts zero.
+"""
+
+from __future__ import annotations
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.config import CacheConfig, FRV_DCACHE
+from repro.cache.replacement import make_policy
+from repro.cache.stats import AccessCounters
+from repro.cache.write_buffer import WriteBuffer
+from repro.core.mab import MAB, MABConfig
+from repro.sim.trace import DataTrace
+
+
+class WayMemoDCache:
+    """D-cache with the paper's way-memoization MAB in front.
+
+    Parameters
+    ----------
+    cache_config:
+        Cache geometry; defaults to the FR-V 32 kB 2-way D-cache.
+    mab_config:
+        MAB size/consistency; the paper found 2x8 optimal for D-caches.
+    policy:
+        Cache replacement policy name (default ``lru``).
+    """
+
+    name = "way-memo"
+
+    def __init__(
+        self,
+        cache_config: CacheConfig = FRV_DCACHE,
+        mab_config: MABConfig = MABConfig(2, 8),
+        policy: str = "lru",
+    ):
+        self.cache_config = cache_config
+        self.mab_config = mab_config
+        self.cache = SetAssociativeCache(
+            cache_config,
+            make_policy(policy, cache_config.sets, cache_config.ways),
+        )
+        self.mab = MAB(mab_config, cache_config)
+        self.write_buffer = WriteBuffer(cache_config)
+        if mab_config.consistency == "evict_hook":
+            self.cache.add_eviction_listener(self.mab.invalidate_line)
+
+    # ------------------------------------------------------------------
+
+    def process(self, trace: DataTrace) -> AccessCounters:
+        """Replay ``trace`` and return the access counters."""
+        counters = AccessCounters()
+        cfg = self.cache_config
+        nways = cfg.ways
+        cache = self.cache
+        mab = self.mab
+        wbuf = self.write_buffer
+
+        bases = trace.base.tolist()
+        disps = trace.disp.tolist()
+        stores = trace.store.tolist()
+
+        for base, disp, is_store in zip(bases, disps, stores):
+            counters.accesses += 1
+            if is_store:
+                counters.stores += 1
+            else:
+                counters.loads += 1
+            counters.mab_lookups += 1
+
+            lookup = mab.lookup(base, disp)
+            addr = (base + disp) & 0xFFFFFFFF
+
+            if lookup.bypass:
+                counters.mab_bypasses += 1
+                mab.on_bypass(lookup.set_index)
+                self._full_access(
+                    counters, addr, is_store, install=None
+                )
+                continue
+
+            if lookup.hit:
+                actual = cache.probe(addr)
+                if actual is not None and actual == lookup.way:
+                    counters.mab_hits += 1
+                    if is_store:
+                        wbuf.push(addr)
+                    result = cache.access(addr, write=is_store)
+                    counters.cache_hits += 1
+                    counters.way_accesses += 1  # memoized way only
+                    assert result.hit, "MAB hit must be a cache hit"
+                    continue
+                # Stale memoization: functionally this would return the
+                # wrong line.  Count it and repair with a full access.
+                counters.stale_hits += 1
+
+            self._full_access(counters, addr, is_store, install=lookup)
+
+        counters.notes["mab_label"] = self.mab_config.label
+        counters.notes["write_buffer_coalesced"] = self.write_buffer.coalesced
+        return counters
+
+    # ------------------------------------------------------------------
+
+    def _full_access(self, counters, addr, is_store, install) -> None:
+        """Normal cache access (all tags compared), then MAB install."""
+        cfg = self.cache_config
+        if is_store:
+            self.write_buffer.push(addr)
+        result = self.cache.access(addr, write=is_store)
+        counters.tag_accesses += cfg.ways
+        if result.hit:
+            counters.cache_hits += 1
+            # Loads read all data ways in parallel with the tag
+            # compare; the write-back buffer lets stores touch only
+            # the resolved way.
+            counters.way_accesses += 1 if is_store else cfg.ways
+        else:
+            counters.cache_misses += 1
+            counters.way_accesses += (1 if is_store else cfg.ways) + 1
+        if install is not None:
+            self.mab.install(install, result.way)

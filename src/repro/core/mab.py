@@ -1,0 +1,302 @@
+"""The Memory Address Buffer (paper Section 3.3, Figure 3).
+
+The MAB is a cross-product cache over addresses: ``Nt`` tag-side
+entries, each holding an 18-bit base tag plus the 2-bit ``cflag``
+(narrow-adder carry, displacement sign), and ``Ns`` set-index-side
+entries of 9 bits each.  A ``vflag[i][j]`` bit validates the pair
+(tag entry *i*, index entry *j*), and each valid pair memoizes the
+cache way that holds the line — so ``Nt + Ns`` stored values can cover
+``Nt * Ns`` distinct addresses.  Both sides are managed LRU.
+
+Update rules on a MAB miss (the four cases of Section 3.3):
+
+1. tag hit *i*, index hit *j* (pair was merely invalid):
+   set ``vflag[i][j]``;
+2. tag miss, index hit *j*: evict LRU tag entry *i*, clear row
+   ``vflag[i][*]``, set ``vflag[i][j]``;
+3. tag hit *i*, index miss: evict LRU index entry *j*, clear column
+   ``vflag[*][j]``, set ``vflag[i][j]``;
+4. both miss: evict both LRU entries, clear the row and the column,
+   set ``vflag[i][j]``.
+
+Consistency with the cache ("a valid MAB pair always resides in the
+cache") is maintained by two mechanisms selectable via
+``MABConfig.consistency``:
+
+* ``"paper"`` — only the paper's rules: the row/column clears above
+  plus clearing the column of any large-displacement (bypassing)
+  access.  The paper argues this suffices while the number of tag
+  entries does not exceed the cache associativity.
+* ``"evict_hook"`` — additionally invalidate any pair matching a line
+  the cache evicts (a conservative guarantee).  The
+  ``ablation_consistency`` experiment measures whether the paper mode
+  ever yields a stale hit on our workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.cache.config import CacheConfig
+from repro.core.address import PartialSum, partial_add
+
+CONSISTENCY_MODES = ("paper", "evict_hook")
+
+
+@dataclass(frozen=True)
+class MABConfig:
+    """Size and behaviour of one MAB instance.
+
+    ``tag_entries`` × ``index_entries`` is written "Nt x Ns" in the
+    paper (e.g. the 2x8-entry MAB used for the D-cache).
+    """
+
+    tag_entries: int = 2
+    index_entries: int = 8
+    consistency: str = "paper"
+
+    def __post_init__(self):
+        if self.tag_entries < 1 or self.index_entries < 1:
+            raise ValueError("MAB needs at least one entry per side")
+        if self.consistency not in CONSISTENCY_MODES:
+            raise ValueError(
+                f"consistency must be one of {CONSISTENCY_MODES}"
+            )
+
+    @property
+    def label(self) -> str:
+        return f"{self.tag_entries}x{self.index_entries}"
+
+
+@dataclass(frozen=True)
+class MABLookup:
+    """Outcome of one MAB lookup.
+
+    ``tag`` and ``set_index`` are the *cache* tag/set of the target
+    address (tag reconstructed via the cflag rule); they are valid
+    whenever ``bypass`` is False.
+    """
+
+    hit: bool
+    bypass: bool
+    way: Optional[int]
+    tag: Optional[int]
+    set_index: int
+    tag_entry: Optional[int]
+    index_entry: Optional[int]
+    partial: PartialSum = field(repr=False, default=None)
+
+
+class MAB:
+    """A Memory Address Buffer bound to a cache geometry."""
+
+    def __init__(self, config: MABConfig, cache_config: CacheConfig):
+        self.config = config
+        self.cache_config = cache_config
+        self.low_bits = cache_config.offset_bits + cache_config.index_bits
+        self.tag_bits = 32 - self.low_bits
+        nt, ns = config.tag_entries, config.index_entries
+        # Tag side: (base_tag, cflag) or None per slot.
+        self._tags: List[Optional[Tuple[int, int]]] = [None] * nt
+        # Index side: 9-bit set-index or None per slot.
+        self._indices: List[Optional[int]] = [None] * ns
+        # LRU order per side: slot numbers, LRU first.
+        self._tag_lru: List[int] = list(range(nt))
+        self._index_lru: List[int] = list(range(ns))
+        self._vflag: List[List[bool]] = [[False] * ns for _ in range(nt)]
+        self._way: List[List[int]] = [[0] * ns for _ in range(nt)]
+        # Statistics.
+        self.lookups = 0
+        self.hits = 0
+        self.bypasses = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+
+    def lookup(self, base: int, disp: int) -> MABLookup:
+        """Probe the MAB with address-generation inputs.
+
+        A hit touches both sides' LRU state (the paper updates MAB
+        entries with an LRU policy on every use).
+        """
+        self.lookups += 1
+        partial = partial_add(base, disp, self.low_bits)
+        set_index = partial.set_index(
+            self.cache_config.offset_bits, self.cache_config.index_bits
+        )
+        if not partial.usable:
+            self.bypasses += 1
+            return MABLookup(
+                hit=False, bypass=True, way=None, tag=None,
+                set_index=set_index, tag_entry=None, index_entry=None,
+                partial=partial,
+            )
+
+        key = (partial.base_tag, partial.cflag)
+        tag_entry = self._find_tag(key)
+        index_entry = self._find_index(set_index)
+        target_tag = partial.target_tag(self.tag_bits)
+
+        hit = (
+            tag_entry is not None
+            and index_entry is not None
+            and self._vflag[tag_entry][index_entry]
+        )
+        way = self._way[tag_entry][index_entry] if hit else None
+        if hit:
+            self.hits += 1
+            self._touch_tag(tag_entry)
+            self._touch_index(index_entry)
+        return MABLookup(
+            hit=hit, bypass=False, way=way, tag=target_tag,
+            set_index=set_index, tag_entry=tag_entry,
+            index_entry=index_entry, partial=partial,
+        )
+
+    # ------------------------------------------------------------------
+    # update (called by controllers after a MAB miss resolves)
+    # ------------------------------------------------------------------
+
+    def install(self, lookup: MABLookup, way: int) -> None:
+        """Memoize the resolved ``way`` for the missed address.
+
+        Implements the four hit/miss cases of Section 3.3, including
+        the row/column ``vflag`` clearing on entry replacement.
+        """
+        if lookup.bypass:
+            raise ValueError("cannot install a bypassed lookup")
+        partial = lookup.partial
+        key = (partial.base_tag, partial.cflag)
+        i = lookup.tag_entry
+        j = lookup.index_entry
+        if i is None:
+            i = self._tag_lru[0]
+            self._tags[i] = key
+            self._clear_row(i)
+        if j is None:
+            j = self._index_lru[0]
+            self._indices[j] = lookup.set_index
+            self._clear_column(j)
+        self._vflag[i][j] = True
+        self._way[i][j] = way
+        self._touch_tag(i)
+        self._touch_index(j)
+
+    def on_bypass(self, set_index: int) -> None:
+        """Apply the paper's large-displacement consistency rule.
+
+        A bypassing access still reaches the cache and may replace a
+        line in ``set_index``; since the MAB was not consulted, any
+        memoized pair for that set could go stale.  The set-index of
+        the sum is exact even for large displacements (it only needs
+        the narrow adder), so the matching column is cleared.
+        """
+        j = self._find_index(set_index)
+        if j is not None:
+            self._clear_column(j)
+
+    def invalidate_line(self, tag: int, set_index: int) -> None:
+        """Drop every pair matching an evicted cache line.
+
+        Only used in ``evict_hook`` consistency mode.  Matching is on
+        the *reconstructed* cache tag, since several (base_tag, cflag)
+        keys can denote the same line.
+        """
+        j = self._find_index(set_index)
+        if j is None:
+            return
+        for i, key in enumerate(self._tags):
+            if key is None or not self._vflag[i][j]:
+                continue
+            base_tag, cflag = key
+            carry, sign = cflag >> 1, cflag & 1
+            final = (base_tag + carry - sign) & ((1 << self.tag_bits) - 1)
+            if final == tag:
+                self._vflag[i][j] = False
+                self.invalidations += 1
+
+    def flush(self) -> None:
+        """Invalidate all pairs (e.g. on context switch)."""
+        for row in self._vflag:
+            for j in range(len(row)):
+                row[j] = False
+
+    # ------------------------------------------------------------------
+    # invariants / introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def addresses_covered(self) -> int:
+        """Number of currently valid (tag, index) pairs."""
+        return sum(sum(row) for row in self._vflag)
+
+    def valid_pairs(self) -> List[Tuple[int, int, int]]:
+        """Return valid pairs as (cache_tag, set_index, way) triples."""
+        pairs = []
+        mask = (1 << self.tag_bits) - 1
+        for i, key in enumerate(self._tags):
+            if key is None:
+                continue
+            base_tag, cflag = key
+            final = (base_tag + (cflag >> 1) - (cflag & 1)) & mask
+            for j, index in enumerate(self._indices):
+                if index is not None and self._vflag[i][j]:
+                    pairs.append((final, index, self._way[i][j]))
+        return pairs
+
+    def check_invariants(self) -> None:
+        """Assert structural invariants (used by property tests)."""
+        if sorted(self._tag_lru) != list(range(self.config.tag_entries)):
+            raise AssertionError("tag LRU order corrupted")
+        if sorted(self._index_lru) != list(
+            range(self.config.index_entries)
+        ):
+            raise AssertionError("index LRU order corrupted")
+        for i, key in enumerate(self._tags):
+            if key is None and any(self._vflag[i]):
+                raise AssertionError(f"vflag set on empty tag row {i}")
+        for j, index in enumerate(self._indices):
+            if index is None and any(row[j] for row in self._vflag):
+                raise AssertionError(f"vflag set on empty index column {j}")
+        live_keys = [k for k in self._tags if k is not None]
+        if len(live_keys) != len(set(live_keys)):
+            raise AssertionError("duplicate tag-side keys")
+        live_idx = [s for s in self._indices if s is not None]
+        if len(live_idx) != len(set(live_idx)):
+            raise AssertionError("duplicate index-side entries")
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _find_tag(self, key: Tuple[int, int]) -> Optional[int]:
+        for i, stored in enumerate(self._tags):
+            if stored == key:
+                return i
+        return None
+
+    def _find_index(self, set_index: int) -> Optional[int]:
+        for j, stored in enumerate(self._indices):
+            if stored == set_index:
+                return j
+        return None
+
+    def _touch_tag(self, i: int) -> None:
+        self._tag_lru.remove(i)
+        self._tag_lru.append(i)
+
+    def _touch_index(self, j: int) -> None:
+        self._index_lru.remove(j)
+        self._index_lru.append(j)
+
+    def _clear_row(self, i: int) -> None:
+        row = self._vflag[i]
+        for j in range(len(row)):
+            row[j] = False
+
+    def _clear_column(self, j: int) -> None:
+        for row in self._vflag:
+            row[j] = False

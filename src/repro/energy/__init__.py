@@ -1,0 +1,41 @@
+"""Energy, power, area and delay models.
+
+Substitutes for the paper's proprietary estimation flow:
+
+* :mod:`repro.energy.technology` — 0.13 µm / 1.3 V process constants
+  (the FR-V's process, paper Section 4).
+* :mod:`repro.energy.sram` — CACTI-style analytical per-access energy
+  of SRAM arrays, from which the cache's E_way and E_tag derive
+  (NanoSim/SPICE substitute).
+* :mod:`repro.energy.mab_model` — structural area/delay/power model of
+  the MAB with coefficients calibrated against the paper's synthesis
+  results (Tables 1-3; Design-Compiler substitute).
+* :mod:`repro.energy.power` — the paper's Equation (1)
+  ``P = E_way*N_way + E_tag*N_tag + P_MAB`` evaluated from access
+  counters, with per-component breakdowns for Figures 5, 7 and 8.
+"""
+
+from repro.energy.mab_model import (
+    MABHardwareModel,
+    PAPER_TABLE1_AREA_MM2,
+    PAPER_TABLE2_DELAY_NS,
+    PAPER_TABLE3_POWER_ACTIVE_MW,
+    PAPER_TABLE3_POWER_SLEEP_MW,
+)
+from repro.energy.power import CachePowerModel, PowerBreakdown
+from repro.energy.sram import SRAMArray, cache_energy_per_access
+from repro.energy.technology import FRV_TECH, TechnologyParameters
+
+__all__ = [
+    "CachePowerModel",
+    "FRV_TECH",
+    "MABHardwareModel",
+    "PAPER_TABLE1_AREA_MM2",
+    "PAPER_TABLE2_DELAY_NS",
+    "PAPER_TABLE3_POWER_ACTIVE_MW",
+    "PAPER_TABLE3_POWER_SLEEP_MW",
+    "PowerBreakdown",
+    "SRAMArray",
+    "TechnologyParameters",
+    "cache_energy_per_access",
+]

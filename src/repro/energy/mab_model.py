@@ -1,0 +1,199 @@
+"""Structural area/delay/power model of the MAB (paper Tables 1-3).
+
+The paper synthesised the MAB in Verilog with Design-Compiler and
+characterised it with NanoSim.  We replace that flow with a structural
+model: each quantity is a linear combination of the MAB's structural
+element counts —
+
+* a constant part (the 14-bit adder, control),
+* per tag entry (20 flip-flops + an 18-bit and a 2-bit comparator),
+* per set-index entry (9 flip-flops + a 9-bit comparator),
+* per cross-point (vflag + way bits, the valid/way mux),
+* for area, an ``Ns^2``-ish routing/mux-tree term that captures the
+  superlinear growth visible between the 16- and 32-entry columns —
+
+with coefficients calibrated by non-negative least squares against the
+paper's own tables (embedded below as ``PAPER_TABLE*``).  The fit
+residuals are small (delay <= 3 %, power <= 9 %, area <= 32 % at the
+smallest corner) and :func:`fit_coefficients` reproduces the stored
+coefficients from the embedded data, so the calibration is auditable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+#: (tag_entries, index_entries) grid reported by the paper.
+PAPER_GRID: Tuple[Tuple[int, int], ...] = tuple(
+    (nt, ns) for nt in (1, 2) for ns in (4, 8, 16, 32)
+)
+
+#: Table 1 — MAB area (mm^2) in 0.13 um.
+PAPER_TABLE1_AREA_MM2: Dict[Tuple[int, int], float] = {
+    (1, 4): 0.016, (1, 8): 0.027, (1, 16): 0.065, (1, 32): 0.307,
+    (2, 4): 0.019, (2, 8): 0.033, (2, 16): 0.085, (2, 32): 0.311,
+}
+
+#: Table 2 — MAB critical-path delay (ns).
+PAPER_TABLE2_DELAY_NS: Dict[Tuple[int, int], float] = {
+    (1, 4): 1.00, (1, 8): 1.00, (1, 16): 1.08, (1, 32): 1.14,
+    (2, 4): 1.02, (2, 8): 1.02, (2, 16): 1.08, (2, 32): 1.16,
+}
+
+#: Table 3 — MAB power, clock running and MAB in use (mW).
+PAPER_TABLE3_POWER_ACTIVE_MW: Dict[Tuple[int, int], float] = {
+    (1, 4): 1.95, (1, 8): 2.37, (1, 16): 3.39, (1, 32): 6.25,
+    (2, 4): 2.34, (2, 8): 3.07, (2, 16): 4.56, (2, 32): 7.93,
+}
+
+#: Table 3 — MAB power when clock-gated (mW).
+PAPER_TABLE3_POWER_SLEEP_MW: Dict[Tuple[int, int], float] = {
+    (1, 4): 0.24, (1, 8): 0.40, (1, 16): 0.76, (1, 32): 1.37,
+    (2, 4): 0.40, (2, 8): 0.68, (2, 16): 1.28, (2, 32): 2.26,
+}
+
+#: Reference area of one 32 kB 2-way cache macro in 0.13 um (mm^2); the
+#: paper quotes the 2x8 MAB at "around 3 %" of the D-cache, and 2x16 /
+#: 2x32 at 7.5 % / 27.5 % of the I-cache, which pins the macro at
+#: roughly 1.1 mm^2.
+CACHE_MACRO_AREA_MM2 = 1.13
+
+# Calibrated coefficients (non-negative least squares over PAPER_GRID;
+# see fit_coefficients).  Term order is documented per quantity.
+_AREA_TERMS = ("const", "nt", "ns", "nt*ns", "ns^2")
+_AREA_COEFFS = (0.0, 0.00626631, 0.0, 0.0, 0.000290606)
+_DELAY_TERMS = ("const", "log2(ns)", "nt")
+_DELAY_COEFFS = (0.8685, 0.049, 0.015)
+_POWER_TERMS = ("const", "nt", "ns", "nt*ns")
+_ACTIVE_COEFFS = (0.84, 0.315217, 0.111, 0.0446522)
+_SLEEP_COEFFS = (0.0121739, 0.0734783, 0.0145217, 0.0259348)
+
+
+def _area_features(nt: int, ns: int) -> Tuple[float, ...]:
+    return (1.0, float(nt), float(ns), float(nt * ns), float(ns * ns))
+
+
+def _delay_features(nt: int, ns: int) -> Tuple[float, ...]:
+    return (1.0, math.log2(ns), float(nt))
+
+
+def _power_features(nt: int, ns: int) -> Tuple[float, ...]:
+    return (1.0, float(nt), float(ns), float(nt * ns))
+
+
+def _dot(coeffs, feats) -> float:
+    return sum(c * f for c, f in zip(coeffs, feats))
+
+
+@dataclass(frozen=True)
+class MABHardwareModel:
+    """Area/delay/power estimates for an ``nt`` x ``ns`` MAB.
+
+    ``ways`` and the cache geometry enter only through the storage-bit
+    count (used for reporting); the calibrated coefficients absorb the
+    paper's fixed 2-way, 18-bit-tag configuration.
+    """
+
+    tag_entries: int
+    index_entries: int
+    tag_bits: int = 18
+    index_bits: int = 9
+    ways: int = 2
+
+    def __post_init__(self):
+        if self.tag_entries < 1 or self.index_entries < 1:
+            raise ValueError("MAB needs at least one entry per side")
+
+    # -- structure -------------------------------------------------------
+
+    @property
+    def storage_bits(self) -> int:
+        """Flip-flop bits: tags + cflags, indices, vflag + way matrix."""
+        way_bits = max((self.ways - 1).bit_length(), 1)
+        return (
+            self.tag_entries * (self.tag_bits + 2)
+            + self.index_entries * self.index_bits
+            + self.tag_entries * self.index_entries * (1 + way_bits)
+        )
+
+    # -- calibrated quantities -------------------------------------------
+
+    def area_mm2(self) -> float:
+        """Silicon area (Table 1)."""
+        return _dot(
+            _AREA_COEFFS,
+            _area_features(self.tag_entries, self.index_entries),
+        )
+
+    def area_overhead(
+        self, cache_area_mm2: float = CACHE_MACRO_AREA_MM2
+    ) -> float:
+        """Area as a fraction of the cache macro (paper: ~3 % for 2x8)."""
+        return self.area_mm2() / cache_area_mm2
+
+    def delay_ns(self) -> float:
+        """Critical path: 14-bit adder + 9-bit comparator (Table 2)."""
+        return _dot(
+            _DELAY_COEFFS,
+            _delay_features(self.tag_entries, self.index_entries),
+        )
+
+    def power_active_mw(self) -> float:
+        """Power while the MAB is being used (Table 3 'active')."""
+        return _dot(
+            _ACTIVE_COEFFS,
+            _power_features(self.tag_entries, self.index_entries),
+        )
+
+    def power_sleep_mw(self) -> float:
+        """Clock-gated power (Table 3 'sleep')."""
+        return _dot(
+            _SLEEP_COEFFS,
+            _power_features(self.tag_entries, self.index_entries),
+        )
+
+    def effective_power_mw(self, duty: float) -> float:
+        """Average power at a given activity duty cycle.
+
+        The paper's circuits are clock gated: cycles that do not use
+        the MAB cost only the sleep power.
+        """
+        if not 0.0 <= duty <= 1.0:
+            raise ValueError("duty must be in [0, 1]")
+        return duty * self.power_active_mw() \
+            + (1.0 - duty) * self.power_sleep_mw()
+
+    def fits_cycle(self, cycle_time_ns: float) -> bool:
+        """Whether the MAB meets timing at the given cycle time.
+
+        The paper's processor runs at 360-400 MHz (2.5 ns), far above
+        the ~1.1 ns MAB critical path.
+        """
+        return self.delay_ns() <= cycle_time_ns
+
+
+def fit_coefficients():
+    """Re-derive the calibrated coefficients from the embedded tables.
+
+    Returns a dict of quantity -> coefficient tuple; a regression test
+    asserts these match the stored module constants, keeping the
+    calibration reproducible.  Uses non-negative least squares so every
+    coefficient remains physically interpretable.
+    """
+    import numpy as np
+    from scipy.optimize import nnls
+
+    def solve(table, feature_fn):
+        a = np.array([feature_fn(nt, ns) for nt, ns in PAPER_GRID])
+        b = np.array([table[key] for key in PAPER_GRID])
+        coeffs, _ = nnls(a, b)
+        return tuple(coeffs)
+
+    return {
+        "area": solve(PAPER_TABLE1_AREA_MM2, _area_features),
+        "delay": solve(PAPER_TABLE2_DELAY_NS, _delay_features),
+        "active": solve(PAPER_TABLE3_POWER_ACTIVE_MW, _power_features),
+        "sleep": solve(PAPER_TABLE3_POWER_SLEEP_MW, _power_features),
+    }

@@ -1,0 +1,127 @@
+"""Cache power from access counts — the paper's Equation (1).
+
+::
+
+    P_cache = E_way * N_way + E_tag * N_tag + P_MAB           (1)
+
+where ``N_way``/``N_tag`` are way/tag accesses *per second* and
+``P_MAB`` is the (clock-gated) power of the auxiliary structure.  The
+same formula prices every architecture: for the set-buffer, filter
+cache and way-prediction baselines the auxiliary term charges their
+buffer/table instead of a MAB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cache.config import CacheConfig
+from repro.cache.stats import AccessCounters
+from repro.energy.mab_model import MABHardwareModel
+from repro.energy.sram import SRAMArray, cache_energy_per_access
+from repro.energy.technology import FRV_TECH, TechnologyParameters
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Per-component cache power (mW) — the stacks of Figures 5/7/8."""
+
+    label: str
+    data_mw: float
+    tag_mw: float
+    aux_mw: float
+    leakage_mw: float
+
+    @property
+    def total_mw(self) -> float:
+        return self.data_mw + self.tag_mw + self.aux_mw + self.leakage_mw
+
+    def scaled(self, factor: float) -> "PowerBreakdown":
+        return PowerBreakdown(
+            label=self.label,
+            data_mw=self.data_mw * factor,
+            tag_mw=self.tag_mw * factor,
+            aux_mw=self.aux_mw * factor,
+            leakage_mw=self.leakage_mw * factor,
+        )
+
+    def __add__(self, other: "PowerBreakdown") -> "PowerBreakdown":
+        return PowerBreakdown(
+            label=f"{self.label}+{other.label}",
+            data_mw=self.data_mw + other.data_mw,
+            tag_mw=self.tag_mw + other.tag_mw,
+            aux_mw=self.aux_mw + other.aux_mw,
+            leakage_mw=self.leakage_mw + other.leakage_mw,
+        )
+
+
+class CachePowerModel:
+    """Evaluates Equation (1) for one cache geometry."""
+
+    def __init__(
+        self,
+        cache_config: CacheConfig,
+        tech: TechnologyParameters = FRV_TECH,
+    ):
+        self.cache_config = cache_config
+        self.tech = tech
+        self.energy = cache_energy_per_access(cache_config, tech)
+
+    # ------------------------------------------------------------------
+
+    def power(
+        self,
+        counters: AccessCounters,
+        cycles: int,
+        label: str = "",
+        mab_model: Optional[MABHardwareModel] = None,
+        aux_bits: Optional[int] = None,
+    ) -> PowerBreakdown:
+        """Price an architecture's access counts over a program run.
+
+        Parameters
+        ----------
+        counters:
+            Tag/way/auxiliary access counts from a controller.
+        cycles:
+            Program execution cycles (sets the time base; the paper's
+            technique never adds cycles, penalty baselines add
+            ``counters.extra_cycles``).
+        mab_model:
+            When given, charges the MAB at its clock-gated duty cycle
+            (active on lookup cycles, sleeping otherwise).
+        aux_bits:
+            For non-MAB auxiliary structures (set buffer, L0 filter,
+            prediction table): the structure's storage bit count; each
+            ``counters.aux_accesses`` is charged as a read of a small
+            SRAM of that many bits, plus its leakage.
+        """
+        if cycles <= 0:
+            raise ValueError("cycles must be positive")
+        total_cycles = cycles + counters.extra_cycles
+        seconds = total_cycles * self.tech.cycle_time_s
+
+        data_w = counters.way_accesses * self.energy.e_way_read_j / seconds
+        tag_w = counters.tag_accesses * self.energy.e_tag_read_j / seconds
+
+        aux_w = 0.0
+        if mab_model is not None:
+            duty = min(counters.mab_lookups / total_cycles, 1.0)
+            aux_w = mab_model.effective_power_mw(duty) * 1e-3
+        elif aux_bits:
+            aux_array = SRAMArray(
+                rows=max(aux_bits // 32, 1), cols=32, tech=self.tech
+            )
+            aux_w = (
+                counters.aux_accesses * aux_array.read_energy_j() / seconds
+                + aux_array.leakage_w()
+            )
+
+        return PowerBreakdown(
+            label=label,
+            data_mw=data_w * 1e3,
+            tag_mw=tag_w * 1e3,
+            aux_mw=aux_w * 1e3,
+            leakage_mw=self.energy.leakage_w * 1e3,
+        )

@@ -1,0 +1,54 @@
+"""Process technology constants.
+
+The paper's FR-V is a 0.13 µm CMOS design at 1.3 V and 360 MHz
+(maximum 400 MHz).  The capacitance figures below are typical textbook
+values for a 0.13 µm SRAM macro; they set the *scale* of all energy
+numbers.  The paper's headline results are relative savings, which
+depend only on access counts and on the E_tag/E_way ratio — both of
+which survive any reasonable choice of constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TechnologyParameters:
+    """Electrical constants of the target process."""
+
+    name: str
+    #: Supply voltage (V).
+    vdd: float
+    #: Core clock frequency used in the evaluation (Hz).
+    frequency_hz: float
+    #: Bitline capacitance contributed by one cell (F).
+    c_bitcell_f: float
+    #: Wordline capacitance per cell gate (F).
+    c_wordline_per_cell_f: float
+    #: Sense-amp + column mux energy per bit sensed (J).
+    e_sense_per_bit_j: float
+    #: Decoder energy per row-address bit (J).
+    e_decode_per_bit_j: float
+    #: Read bitline voltage swing as a fraction of VDD.
+    bitline_swing: float
+    #: Leakage power per SRAM bit (W).
+    p_leak_per_bit_w: float
+
+    @property
+    def cycle_time_s(self) -> float:
+        return 1.0 / self.frequency_hz
+
+
+#: The paper's target: Fujitsu FR-V, 0.13 um, 1.3 V, 360 MHz.
+FRV_TECH = TechnologyParameters(
+    name="frv-0.13um",
+    vdd=1.3,
+    frequency_hz=360e6,
+    c_bitcell_f=1.8e-15,
+    c_wordline_per_cell_f=0.9e-15,
+    e_sense_per_bit_j=0.045e-12,
+    e_decode_per_bit_j=0.30e-12,
+    bitline_swing=0.18,
+    p_leak_per_bit_w=18e-12,
+)

@@ -1,0 +1,59 @@
+"""Experiment harness: one module per paper table / figure + ablations.
+
+Every module exposes ``run()`` returning an
+:class:`~repro.experiments.reporting.ExperimentResult` and ``main()``
+that prints it; ``python -m repro <experiment>`` dispatches here.
+
+Paper artefacts
+---------------
+========================== ========================================
+module                      reproduces
+========================== ========================================
+``table1_area``             Table 1 — MAB area (mm^2)
+``table2_delay``            Table 2 — MAB critical-path delay (ns)
+``table3_power``            Table 3 — MAB active/sleep power (mW)
+``figure4_dcache_accesses`` Figure 4 — D-cache tag/way accesses
+``figure5_dcache_power``    Figure 5 — D-cache power breakdown
+``figure6_icache_accesses`` Figure 6 — I-cache tag/way accesses
+``figure7_icache_power``    Figure 7 — I-cache power
+``figure8_total_power``     Figure 8 — total I+D power
+========================== ========================================
+
+Ablations / extensions (beyond the paper's artefacts)
+-----------------------------------------------------
+``ablation_consistency``    paper vs evict-hook MAB consistency
+``ablation_mab_size``       full (Nt, Ns) design-space sweep
+``ablation_adder_width``    narrow-adder width vs bypass rate
+``ablation_policies``       cache replacement policy sensitivity
+``ablation_stack_traffic``  compiled-code stack traffic vs MAB hit rate
+``ablation_fetch_width``    fetch-packet width sensitivity
+``ablation_energy_model``   tag/way energy-ratio sensitivity
+``extension_line_buffer``   the conclusion's line-buffer combination
+``extension_baselines``     filter cache / way prediction / two-phase
+``extension_associativity`` way-count sweep + the Nt<=ways condition
+"""
+
+from repro.experiments.reporting import ExperimentResult, render
+
+EXPERIMENTS = (
+    "table1_area",
+    "table2_delay",
+    "table3_power",
+    "figure4_dcache_accesses",
+    "figure5_dcache_power",
+    "figure6_icache_accesses",
+    "figure7_icache_power",
+    "figure8_total_power",
+    "ablation_consistency",
+    "ablation_mab_size",
+    "ablation_adder_width",
+    "ablation_policies",
+    "ablation_stack_traffic",
+    "ablation_fetch_width",
+    "ablation_energy_model",
+    "extension_line_buffer",
+    "extension_baselines",
+    "extension_associativity",
+)
+
+__all__ = ["EXPERIMENTS", "ExperimentResult", "render"]

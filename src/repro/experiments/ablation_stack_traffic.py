@@ -1,0 +1,74 @@
+"""Ablation: how much of the paper's 90 % tag cut is stack traffic?
+
+The largest deviation of this reproduction from the paper is Figure
+4's average D-cache tag reduction (78 % here vs ~90 % in the paper).
+Our benchmarks are hand-written assembly with almost no stack
+traffic, while the paper's compiled binaries constantly save/restore
+registers sp-relative — accesses that are near-perfect MAB hits
+(constant base register, tiny displacements).
+
+This ablation injects compiler-style sp-relative accesses into the
+real benchmark traces at increasing rates and re-measures the 2x8
+MAB.  If the hypothesis is right, the tag reduction approaches the
+paper's number as the stack share approaches the 30-50 % typical of
+compiled embedded code.
+"""
+
+from __future__ import annotations
+
+from repro.core import MABConfig, WayMemoDCache
+from repro.experiments.reporting import ExperimentResult, render
+from repro.experiments.runner import average
+from repro.workloads import BENCHMARK_NAMES, load_workload
+from repro.workloads.synthetic import inject_stack_traffic
+
+FRACTIONS = (0.0, 0.2, 0.4)
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        name="ablation_stack_traffic",
+        title=(
+            "Ablation: injected stack traffic vs MAB effectiveness "
+            "(D-cache, 2x8 MAB)"
+        ),
+        columns=(
+            "stack_fraction", "avg_mab_hit_rate", "avg_tags_per_access",
+            "tag_reduction_pct",
+        ),
+        paper_reference=(
+            "paper reports ~90% tag reduction on compiled binaries; "
+            "our stack-free kernels reach 78%"
+        ),
+    )
+    for fraction in FRACTIONS:
+        hits, tags = [], []
+        for benchmark in BENCHMARK_NAMES:
+            trace = load_workload(benchmark).trace.data
+            trace = inject_stack_traffic(trace, fraction)
+            c = WayMemoDCache(mab_config=MABConfig(2, 8)).process(trace)
+            hits.append(c.mab_hit_rate)
+            tags.append(c.tags_per_access)
+        avg_tags = average(tags)
+        result.add_row(
+            stack_fraction=fraction,
+            avg_mab_hit_rate=average(hits),
+            avg_tags_per_access=avg_tags,
+            tag_reduction_pct=100.0 * (1 - avg_tags / 2.0),
+        )
+    first, last = result.rows[0], result.rows[-1]
+    result.notes.append(
+        f"tag reduction {first['tag_reduction_pct']:.1f}% (no stack) -> "
+        f"{last['tag_reduction_pct']:.1f}% at "
+        f"{int(100 * last['stack_fraction'])}% stack share "
+        "(paper: ~90% on compiled code)"
+    )
+    return result
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Extension: the related-work techniques the paper argues against.
+
+Section 2 dismisses three families for their performance cost: the
+filter cache [6] (extra cycle on L0 misses), way prediction [9]
+(extra cycle on mispredictions) and the two-phase cache [8] (extra
+cycle on every access).  This experiment runs all of them next to way
+memoization and reports both power and the cycle overhead — showing
+the paper's key selling point: comparable or better power at *zero*
+performance penalty.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import ExperimentResult, render
+from repro.experiments.runner import (
+    average,
+    dcache_counters,
+    dcache_power,
+    icache_counters,
+    icache_power,
+)
+from repro.workloads import BENCHMARK_NAMES, load_workload
+
+D_ARCHS = ("original", "filter-cache", "way-prediction", "two-phase",
+           "way-memo-2x8")
+I_ARCHS = ("original", "ma-links", "filter-cache", "way-prediction",
+           "two-phase", "way-memo-2x16")
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        name="extension_baselines",
+        title=(
+            "Extension: penalty-laden alternatives vs way memoization "
+            "(averages over the suite)"
+        ),
+        columns=(
+            "cache", "architecture", "avg_power_mw",
+            "avg_slowdown_pct", "avg_tags_per_access",
+        ),
+        paper_reference=(
+            "filter cache / way prediction / two-phase save energy "
+            "but add cycles; way memoization adds none"
+        ),
+    )
+    for cache_name, archs, counters_fn, power_fn in (
+        ("dcache", D_ARCHS, dcache_counters, dcache_power),
+        ("icache", I_ARCHS, icache_counters, icache_power),
+    ):
+        for arch in archs:
+            powers, slowdowns, tag_rates = [], [], []
+            for benchmark in BENCHMARK_NAMES:
+                workload = load_workload(benchmark)
+                c = counters_fn(benchmark, arch)
+                p = power_fn(benchmark, arch)
+                powers.append(p.total_mw)
+                slowdowns.append(100.0 * c.extra_cycles / workload.cycles)
+                tag_rates.append(c.tags_per_access)
+            result.add_row(
+                cache=cache_name,
+                architecture=arch,
+                avg_power_mw=average(powers),
+                avg_slowdown_pct=average(slowdowns),
+                avg_tags_per_access=average(tag_rates),
+            )
+    result.notes.append(
+        "slowdown = extra cycles / baseline cycles; way memoization "
+        "is the only technique at exactly 0"
+    )
+    return result
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Extension: way memoization combined with a line buffer.
+
+The paper's conclusion: "We are currently extending our approach by
+combining it with the line buffer technique to achieve more saving."
+This experiment implements that future work
+(:class:`repro.core.line_buffer_memo.LineBufferWayMemoDCache`) and
+quantifies the additional D-cache saving over plain way memoization.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import ExperimentResult, render
+from repro.experiments.runner import (
+    average,
+    dcache_counters,
+    dcache_power,
+    savings,
+)
+from repro.workloads import BENCHMARK_NAMES
+
+ARCHS = ("original", "way-memo-2x8", "way-memo+line-buffer")
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        name="extension_line_buffer",
+        title="Extension: way memoization + line buffer (D-cache)",
+        columns=(
+            "benchmark", "architecture", "ways_per_access",
+            "total_mw", "saving_pct",
+        ),
+        paper_reference=(
+            "the paper's stated future work; expected to add savings "
+            "on top of plain way memoization"
+        ),
+    )
+    for benchmark in BENCHMARK_NAMES:
+        baseline = dcache_power(benchmark, "original").total_mw
+        for arch in ARCHS:
+            c = dcache_counters(benchmark, arch)
+            p = dcache_power(benchmark, arch)
+            result.add_row(
+                benchmark=benchmark,
+                architecture=arch,
+                ways_per_access=c.ways_per_access,
+                total_mw=p.total_mw,
+                saving_pct=100.0 * savings(baseline, p.total_mw),
+            )
+    plain = average(
+        row["saving_pct"] for row in result.rows
+        if row["architecture"] == "way-memo-2x8"
+    )
+    combined = average(
+        row["saving_pct"] for row in result.rows
+        if row["architecture"] == "way-memo+line-buffer"
+    )
+    result.notes.append(
+        f"average saving: way-memo {plain:.1f}% -> +line-buffer "
+        f"{combined:.1f}% ({combined - plain:+.1f} points)"
+    )
+    return result
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Figure 7: I-cache power (mW) — [4] vs way memoization.
+
+The paper plots [4] against our approach with 2x8, 2x16 and 2x32
+MABs and picks 2x16 for the processor (best power across programs,
+given the 2x32's area).  Expected shape: ~25% average saving for the
+2x16 MAB relative to [4].
+"""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import ExperimentResult, render
+from repro.experiments.runner import average, icache_power, savings
+from repro.workloads import BENCHMARK_NAMES
+
+ARCHS = ("panwar", "way-memo-2x8", "way-memo-2x16", "way-memo-2x32")
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        name="figure7_icache_power",
+        title="Figure 7: I-cache power consumption (mW)",
+        columns=(
+            "benchmark", "architecture", "data_mw", "tag_mw",
+            "aux_mw", "leak_mw", "total_mw", "saving_vs_panwar_pct",
+        ),
+        paper_reference="2x16 MAB saves ~25% on average vs [4]",
+    )
+    for benchmark in BENCHMARK_NAMES:
+        baseline = icache_power(benchmark, "panwar").total_mw
+        for arch in ARCHS:
+            p = icache_power(benchmark, arch)
+            result.add_row(
+                benchmark=benchmark,
+                architecture=arch,
+                data_mw=p.data_mw,
+                tag_mw=p.tag_mw,
+                aux_mw=p.aux_mw,
+                leak_mw=p.leakage_mw,
+                total_mw=p.total_mw,
+                saving_vs_panwar_pct=100.0 * savings(baseline, p.total_mw),
+            )
+    avg16 = average(
+        row["saving_vs_panwar_pct"] for row in result.rows
+        if row["architecture"] == "way-memo-2x16"
+    )
+    result.notes.append(
+        f"average 2x16 saving vs [4]: {avg16:.1f}% (paper: ~25%)"
+    )
+    return result
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

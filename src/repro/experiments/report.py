@@ -1,0 +1,81 @@
+"""Full reproduction report generator.
+
+``repro report [-o FILE]`` runs every registered experiment and
+renders one self-contained markdown document: the reproduced tables
+and figures, each with its paper reference and notes.  This is the
+artefact to diff across code changes — if an optimisation or fix
+shifts any reproduced number, the report shows where.
+"""
+
+from __future__ import annotations
+
+import importlib
+import time
+from typing import List, Optional
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.reporting import ExperimentResult
+
+
+def _to_markdown(result: ExperimentResult) -> str:
+    lines = [f"## {result.title}", ""]
+    if result.paper_reference:
+        lines += [f"*Paper:* {result.paper_reference}", ""]
+    header = list(result.columns)
+    lines.append("| " + " | ".join(header) + " |")
+    lines.append("|" + "|".join("---" for _ in header) + "|")
+    for row in result.rows:
+        cells = []
+        for col in header:
+            value = row.get(col, "")
+            cells.append(
+                f"{value:.3f}" if isinstance(value, float) else str(value)
+            )
+        lines.append("| " + " | ".join(cells) + " |")
+    for note in result.notes:
+        lines += ["", f"> {note}"]
+    lines.append("")
+    return "\n".join(lines)
+
+
+def generate(
+    experiments: Optional[List[str]] = None,
+    progress: bool = False,
+) -> str:
+    """Run ``experiments`` (default: all) and return the markdown."""
+    names = list(experiments or EXPERIMENTS)
+    sections = [
+        "# Reproduction report",
+        "",
+        "Ishihara & Fallah, *A Way Memoization Technique for Reducing "
+        "Power Consumption of Caches in Application Specific Integrated "
+        "Processors*, DATE 2005.",
+        "",
+        f"Experiments: {', '.join(names)}",
+        "",
+    ]
+    for name in names:
+        if progress:
+            print(f"  running {name} ...", flush=True)
+        started = time.perf_counter()
+        module = importlib.import_module(f"repro.experiments.{name}")
+        result = module.run()
+        elapsed = time.perf_counter() - started
+        sections.append(_to_markdown(result))
+        sections.append(f"*(regenerated in {elapsed:.1f} s)*")
+        sections.append("")
+    return "\n".join(sections)
+
+
+def main(output: Optional[str] = None) -> None:
+    markdown = generate(progress=True)
+    if output:
+        with open(output, "w") as handle:
+            handle.write(markdown)
+        print(f"wrote {output}")
+    else:
+        print(markdown)
+
+
+if __name__ == "__main__":
+    main()

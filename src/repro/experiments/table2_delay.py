@@ -1,0 +1,51 @@
+"""Table 2: MAB critical-path delay (ns) and cycle-time headroom."""
+
+from __future__ import annotations
+
+from repro.energy.mab_model import (
+    MABHardwareModel,
+    PAPER_GRID,
+    PAPER_TABLE2_DELAY_NS,
+)
+from repro.energy.technology import FRV_TECH
+from repro.experiments.reporting import ExperimentResult, render
+
+#: The FR-V's maximum clock is 400 MHz -> 2.5 ns cycle (paper Sec. 4).
+CYCLE_TIME_NS = 2.5
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        name="table2_delay",
+        title="Table 2: delay of the added MAB circuit (ns)",
+        columns=(
+            "tag_entries", "index_entries", "delay_ns", "paper_ns",
+            "fits_400mhz",
+        ),
+        paper_reference=(
+            "all configurations well under the 2.5 ns cycle -> "
+            "zero performance penalty"
+        ),
+    )
+    for nt, ns in PAPER_GRID:
+        model = MABHardwareModel(nt, ns)
+        result.add_row(
+            tag_entries=nt,
+            index_entries=ns,
+            delay_ns=model.delay_ns(),
+            paper_ns=PAPER_TABLE2_DELAY_NS[(nt, ns)],
+            fits_400mhz=model.fits_cycle(CYCLE_TIME_NS),
+        )
+    result.notes.append(
+        f"CPU cycle at 360 MHz: {1e9 / FRV_TECH.frequency_hz:.2f} ns; "
+        f"at the 400 MHz maximum: {CYCLE_TIME_NS:.2f} ns"
+    )
+    return result
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

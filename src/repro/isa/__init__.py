@@ -1,0 +1,79 @@
+"""Instruction-set architecture for the FRL-32 soft core.
+
+This package defines the 32-bit RISC instruction set used by the
+reproduction as a stand-in for the Fujitsu FR-V VLIW processor of the
+paper.  The way-memoization technique only observes *address streams*
+(base + displacement pairs for data accesses, program-counter flow for
+instruction fetches), so any RISC ISA with real control flow and
+base+displacement addressing reproduces the phenomena the paper
+exploits.  FRL-32 is a MIPS/RISC-V-flavoured load/store architecture:
+
+* 32 general-purpose registers with RISC-V ABI names (``zero``, ``ra``,
+  ``sp``, ``a0`` .. ``a7``, ``s0`` .. ``s11``, ``t0`` .. ``t6``),
+* 16-bit signed immediates and displacements,
+* PC-relative conditional branches, ``jal``/``jalr`` call/return,
+* a fixed 4-byte instruction word with a documented binary encoding.
+
+Public API
+----------
+:class:`~repro.isa.instructions.Instruction`
+    A decoded instruction (mnemonic + operand fields).
+:func:`~repro.isa.encoding.encode` / :func:`~repro.isa.encoding.decode`
+    Binary <-> object conversion for instruction words.
+:class:`~repro.isa.assembler.Assembler` / :func:`~repro.isa.assembler.assemble`
+    Two-pass assembler with labels, ``.data`` directives and the usual
+    pseudo-instructions (``li``, ``la``, ``mv``, ``j``, ``call``,
+    ``ret`` ...).
+:class:`~repro.isa.program.Program`
+    An assembled program: text segment, data segment and symbol table.
+"""
+
+from repro.isa.assembler import Assembler, AssemblyError, assemble
+from repro.isa.encoding import DecodeError, EncodeError, decode, encode
+from repro.isa.instructions import (
+    ALU_IMM_OPS,
+    ALU_REG_OPS,
+    BRANCH_OPS,
+    LOAD_OPS,
+    STORE_OPS,
+    Format,
+    Instruction,
+    OPCODES,
+)
+from repro.isa.program import Program, Segment
+from repro.isa.registers import (
+    NUM_REGS,
+    REG_ABI_NAMES,
+    REG_RA,
+    REG_SP,
+    REG_ZERO,
+    reg_name,
+    reg_number,
+)
+
+__all__ = [
+    "ALU_IMM_OPS",
+    "ALU_REG_OPS",
+    "Assembler",
+    "AssemblyError",
+    "BRANCH_OPS",
+    "DecodeError",
+    "EncodeError",
+    "Format",
+    "Instruction",
+    "LOAD_OPS",
+    "NUM_REGS",
+    "OPCODES",
+    "Program",
+    "REG_ABI_NAMES",
+    "REG_RA",
+    "REG_SP",
+    "REG_ZERO",
+    "STORE_OPS",
+    "Segment",
+    "assemble",
+    "decode",
+    "encode",
+    "reg_name",
+    "reg_number",
+]

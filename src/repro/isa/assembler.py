@@ -1,0 +1,482 @@
+"""Two-pass assembler for FRL-32.
+
+Supports the full architectural instruction set plus the usual
+convenience layer:
+
+* labels (``loop:``), ``#`` / ``;`` comments,
+* segment directives ``.text`` / ``.data``,
+* data directives ``.word``, ``.half``, ``.byte``, ``.space``,
+  ``.ascii``, ``.asciiz``, ``.align``,
+* pseudo-instructions: ``nop``, ``li``, ``la``, ``mv``, ``not``,
+  ``neg``, ``seqz``, ``snez``, ``j``, ``jr``, ``call``, ``ret``,
+  ``beqz``, ``bnez``, ``bltz``, ``bgez``, ``blez``, ``bgtz``,
+  ``bgt``, ``ble``, ``bgtu``, ``bleu``,
+* ``%hi(sym)`` / ``%lo(sym)`` relocations for building 32-bit addresses.
+
+Pass 1 assigns addresses to every label (pseudo-instruction expansion
+sizes are value-independent so sizing is exact); pass 2 emits encoded
+words and resolves symbols.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.encoding import encode
+from repro.isa.instructions import (
+    Format,
+    IMM16_MAX,
+    IMM16_MIN,
+    INSTRUCTION_BYTES,
+    Instruction,
+    OPCODES,
+)
+from repro.isa.program import DATA_BASE, Program, Segment, TEXT_BASE
+from repro.isa.registers import REG_RA, REG_ZERO, reg_number
+
+
+class AssemblyError(ValueError):
+    """Raised on any assembly problem, with a line number in the message."""
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):")
+_HI_LO_RE = re.compile(r"^%(hi|lo)\(([A-Za-z_.$][\w.$]*)\)$")
+
+
+def _hi_lo_parts(address: int) -> Tuple[int, int]:
+    """Split a 32-bit value for a ``lui`` + ``addi`` pair.
+
+    ``addi`` sign-extends its 16-bit immediate, so when the low half
+    has bit 15 set the high half is incremented to compensate:
+    ``(hi << 16) + sext(lo) == address (mod 2**32)``.
+    """
+    address &= 0xFFFFFFFF
+    lo = address & 0xFFFF
+    if lo >= 0x8000:
+        lo -= 0x10000
+    hi = ((address - lo) >> 16) & 0xFFFF
+    if hi >= 0x8000:
+        hi -= 0x10000
+    return hi, lo
+
+
+def _strip_comment(line: str) -> str:
+    for marker in ("#", ";"):
+        pos = line.find(marker)
+        if pos >= 0:
+            line = line[:pos]
+    return line.strip()
+
+
+def _split_operands(text: str) -> List[str]:
+    return [part.strip() for part in text.split(",")] if text else []
+
+
+class Assembler:
+    """Assemble FRL-32 source text into a :class:`Program`.
+
+    Parameters
+    ----------
+    text_base, data_base:
+        Segment load addresses; defaults match
+        :mod:`repro.isa.program`'s memory map.
+    """
+
+    def __init__(self, text_base: int = TEXT_BASE, data_base: int = DATA_BASE):
+        self.text_base = text_base
+        self.data_base = data_base
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def assemble(self, source: str, name: str = "program") -> Program:
+        """Assemble ``source`` and return the resulting :class:`Program`."""
+        statements = self._parse(source)
+        symbols = self._layout(statements)
+        text_words, data_bytes = self._emit(statements, symbols)
+        text = b"".join(
+            word.to_bytes(4, "little") for word in text_words
+        )
+        entry = symbols.get("main", self.text_base)
+        return Program(
+            name=name,
+            text=Segment(self.text_base, text),
+            data=Segment(self.data_base, bytes(data_bytes)),
+            symbols=symbols,
+            entry=entry,
+        )
+
+    # ------------------------------------------------------------------
+    # pass 0: parsing
+    # ------------------------------------------------------------------
+
+    def _parse(self, source: str) -> List[Tuple[int, str, Optional[str], List[str]]]:
+        """Split source into (lineno, kind, head, operands) statements.
+
+        kind is ``"label"``, ``"directive"`` or ``"insn"``.
+        """
+        statements = []
+        for lineno, raw in enumerate(source.splitlines(), start=1):
+            line = _strip_comment(raw)
+            while line:
+                match = _LABEL_RE.match(line)
+                if match:
+                    statements.append((lineno, "label", match.group(1), []))
+                    line = line[match.end():].strip()
+                    continue
+                parts = line.split(None, 1)
+                head = parts[0].lower()
+                rest = parts[1] if len(parts) > 1 else ""
+                if head.startswith("."):
+                    if head in (".ascii", ".asciiz"):
+                        operands = [rest.strip()]
+                    else:
+                        operands = _split_operands(rest)
+                    statements.append((lineno, "directive", head, operands))
+                else:
+                    statements.append(
+                        (lineno, "insn", head, _split_operands(rest))
+                    )
+                line = ""
+        return statements
+
+    # ------------------------------------------------------------------
+    # pass 1: label layout
+    # ------------------------------------------------------------------
+
+    def _layout(self, statements) -> Dict[str, int]:
+        symbols: Dict[str, int] = {}
+        text_pc = self.text_base
+        data_pc = self.data_base
+        segment = "text"
+        for lineno, kind, head, operands in statements:
+            if kind == "label":
+                if head in symbols:
+                    raise AssemblyError(
+                        f"line {lineno}: duplicate label {head!r}"
+                    )
+                symbols[head] = text_pc if segment == "text" else data_pc
+            elif kind == "directive":
+                if head == ".text":
+                    segment = "text"
+                elif head == ".data":
+                    segment = "data"
+                else:
+                    if segment != "data":
+                        raise AssemblyError(
+                            f"line {lineno}: {head} outside .data segment"
+                        )
+                    data_pc += self._directive_size(
+                        lineno, head, operands, data_pc
+                    )
+            else:
+                if segment != "text":
+                    raise AssemblyError(
+                        f"line {lineno}: instruction in .data segment"
+                    )
+                text_pc += INSTRUCTION_BYTES * self._insn_words(
+                    lineno, head, operands
+                )
+        return symbols
+
+    def _directive_size(
+        self, lineno: int, head: str, operands: List[str], pc: int
+    ) -> int:
+        if head == ".word":
+            return 4 * len(operands)
+        if head == ".half":
+            return 2 * len(operands)
+        if head == ".byte":
+            return len(operands)
+        if head == ".space":
+            return self._parse_int(lineno, operands[0])
+        if head in (".ascii", ".asciiz"):
+            value = self._parse_string(lineno, operands[0])
+            return len(value) + (1 if head == ".asciiz" else 0)
+        if head == ".align":
+            align = 1 << self._parse_int(lineno, operands[0])
+            return (-pc) % align
+        raise AssemblyError(f"line {lineno}: unknown directive {head}")
+
+    def _insn_words(self, lineno: int, head: str, operands: List[str]) -> int:
+        """Number of architectural words ``head`` expands to."""
+        if head in OPCODES:
+            return 1
+        expansion_sizes = {
+            "nop": 1, "mv": 1, "not": 1, "neg": 1, "seqz": 1, "snez": 1,
+            "j": 1, "jr": 1, "call": 1, "ret": 1,
+            "beqz": 1, "bnez": 1, "bltz": 1, "bgez": 1, "blez": 1,
+            "bgtz": 1, "bgt": 1, "ble": 1, "bgtu": 1, "bleu": 1,
+            "la": 2,
+        }
+        if head in expansion_sizes:
+            return expansion_sizes[head]
+        if head == "li":
+            # li takes a literal (never a label), so its exact expansion
+            # size is known in pass 1.
+            if len(operands) != 2:
+                raise AssemblyError(
+                    f"line {lineno}: li expects 2 operands"
+                )
+            value = self._parse_int(lineno, operands[1])
+            return len(self._expand_li(0, value))
+        raise AssemblyError(f"line {lineno}: unknown instruction {head!r}")
+
+    # ------------------------------------------------------------------
+    # pass 2: emission
+    # ------------------------------------------------------------------
+
+    def _emit(self, statements, symbols) -> Tuple[List[int], bytearray]:
+        words: List[int] = []
+        data = bytearray()
+        segment = "text"
+        for lineno, kind, head, operands in statements:
+            if kind == "label":
+                continue
+            if kind == "directive":
+                if head == ".text":
+                    segment = "text"
+                elif head == ".data":
+                    segment = "data"
+                else:
+                    self._emit_data(lineno, head, operands, data, symbols)
+                continue
+            pc = self.text_base + INSTRUCTION_BYTES * len(words)
+            for insn in self._expand(lineno, head, operands, pc, symbols):
+                try:
+                    words.append(encode(insn))
+                except ValueError as exc:
+                    raise AssemblyError(f"line {lineno}: {exc}") from exc
+        return words, data
+
+    def _emit_data(self, lineno, head, operands, data, symbols) -> None:
+        if head == ".word":
+            for op in operands:
+                value = self._parse_value(lineno, op, symbols)
+                data.extend((value & 0xFFFFFFFF).to_bytes(4, "little"))
+        elif head == ".half":
+            for op in operands:
+                value = self._parse_value(lineno, op, symbols)
+                data.extend((value & 0xFFFF).to_bytes(2, "little"))
+        elif head == ".byte":
+            for op in operands:
+                value = self._parse_value(lineno, op, symbols)
+                data.append(value & 0xFF)
+        elif head == ".space":
+            data.extend(b"\x00" * self._parse_int(lineno, operands[0]))
+        elif head in (".ascii", ".asciiz"):
+            data.extend(self._parse_string(lineno, operands[0]).encode())
+            if head == ".asciiz":
+                data.append(0)
+        elif head == ".align":
+            align = 1 << self._parse_int(lineno, operands[0])
+            pad = (-(self.data_base + len(data))) % align
+            data.extend(b"\x00" * pad)
+        else:  # pragma: no cover - caught in pass 1
+            raise AssemblyError(f"line {lineno}: unknown directive {head}")
+
+    # ------------------------------------------------------------------
+    # instruction expansion
+    # ------------------------------------------------------------------
+
+    def _expand(
+        self, lineno, head, operands, pc, symbols
+    ) -> List[Instruction]:
+        reg = lambda i: self._parse_reg(lineno, operands[i])  # noqa: E731
+        imm = lambda i: self._parse_value(lineno, operands[i], symbols)  # noqa: E731
+
+        def branch_offset(index: int) -> int:
+            target = self._parse_value(lineno, operands[index], symbols)
+            return target - pc
+
+        def expect(count: int) -> None:
+            if len(operands) != count:
+                raise AssemblyError(
+                    f"line {lineno}: {head} expects {count} operands, "
+                    f"got {len(operands)}"
+                )
+
+        if head in OPCODES:
+            fmt = OPCODES[head].format
+            if fmt is Format.R:
+                expect(3)
+                return [Instruction(head, rd=reg(0), rs1=reg(1), rs2=reg(2))]
+            if fmt is Format.I:
+                expect(3)
+                return [Instruction(head, rd=reg(0), rs1=reg(1), imm=imm(2))]
+            if fmt in (Format.LOAD, Format.STORE):
+                expect(2)
+                disp, base = self._parse_mem_operand(lineno, operands[1])
+                if fmt is Format.LOAD:
+                    return [Instruction(head, rd=reg(0), rs1=base, imm=disp)]
+                return [Instruction(head, rs2=reg(0), rs1=base, imm=disp)]
+            if fmt is Format.BRANCH:
+                expect(3)
+                return [
+                    Instruction(
+                        head, rs1=reg(0), rs2=reg(1), imm=branch_offset(2)
+                    )
+                ]
+            if fmt is Format.U:
+                expect(2)
+                return [Instruction(head, rd=reg(0), imm=imm(1))]
+            if fmt is Format.J:
+                expect(2)
+                return [Instruction(head, rd=reg(0), imm=branch_offset(1))]
+            if fmt is Format.JR:
+                expect(3)
+                return [Instruction(head, rd=reg(0), rs1=reg(1), imm=imm(2))]
+            expect(0)
+            return [Instruction(head)]
+
+        # -- pseudo-instructions ------------------------------------------
+        if head == "nop":
+            return [Instruction("addi", rd=REG_ZERO, rs1=REG_ZERO, imm=0)]
+        if head == "mv":
+            expect(2)
+            return [Instruction("addi", rd=reg(0), rs1=reg(1), imm=0)]
+        if head == "not":
+            expect(2)
+            return [Instruction("xori", rd=reg(0), rs1=reg(1), imm=-1)]
+        if head == "neg":
+            expect(2)
+            return [Instruction("sub", rd=reg(0), rs1=REG_ZERO, rs2=reg(1))]
+        if head == "seqz":
+            expect(2)
+            return [Instruction("sltiu", rd=reg(0), rs1=reg(1), imm=1)]
+        if head == "snez":
+            expect(2)
+            return [Instruction("sltu", rd=reg(0), rs1=REG_ZERO, rs2=reg(1))]
+        if head == "li":
+            expect(2)
+            return self._expand_li(reg(0), imm(1))
+        if head == "la":
+            expect(2)
+            address = self._parse_value(lineno, operands[1], symbols)
+            return self._expand_la(reg(0), address)
+        if head == "j":
+            expect(1)
+            return [Instruction("jal", rd=REG_ZERO, imm=branch_offset(0))]
+        if head == "jr":
+            expect(1)
+            return [Instruction("jalr", rd=REG_ZERO, rs1=reg(0), imm=0)]
+        if head == "call":
+            expect(1)
+            return [Instruction("jal", rd=REG_RA, imm=branch_offset(0))]
+        if head == "ret":
+            expect(0)
+            return [Instruction("jalr", rd=REG_ZERO, rs1=REG_RA, imm=0)]
+        if head in ("beqz", "bnez", "bltz", "bgez", "blez", "bgtz"):
+            expect(2)
+            offset = branch_offset(1)
+            r = reg(0)
+            table = {
+                "beqz": ("beq", r, REG_ZERO),
+                "bnez": ("bne", r, REG_ZERO),
+                "bltz": ("blt", r, REG_ZERO),
+                "bgez": ("bge", r, REG_ZERO),
+                "blez": ("bge", REG_ZERO, r),
+                "bgtz": ("blt", REG_ZERO, r),
+            }
+            real, rs1, rs2 = table[head]
+            return [Instruction(real, rs1=rs1, rs2=rs2, imm=offset)]
+        if head in ("bgt", "ble", "bgtu", "bleu"):
+            expect(3)
+            offset = branch_offset(2)
+            real = {
+                "bgt": "blt", "ble": "bge", "bgtu": "bltu", "bleu": "bgeu"
+            }[head]
+            return [Instruction(real, rs1=reg(1), rs2=reg(0), imm=offset)]
+        raise AssemblyError(  # pragma: no cover - caught in pass 1
+            f"line {lineno}: unknown instruction {head!r}"
+        )
+
+    def _expand_li(self, rd: int, value: int) -> List[Instruction]:
+        """Expand ``li rd, value`` to one or two architectural words."""
+        value &= 0xFFFFFFFF
+        signed = value - 0x1_0000_0000 if value >= 0x8000_0000 else value
+        if IMM16_MIN <= signed <= IMM16_MAX:
+            return [Instruction("addi", rd=rd, rs1=REG_ZERO, imm=signed)]
+        return self._expand_la(rd, value)
+
+    def _expand_la(self, rd: int, address: int) -> List[Instruction]:
+        # lui + addi with the usual %hi/%lo sign adjustment: addi
+        # sign-extends its immediate, so the high part compensates.
+        hi, lo = _hi_lo_parts(address)
+        return [
+            Instruction("lui", rd=rd, imm=hi),
+            Instruction("addi", rd=rd, rs1=rd, imm=lo),
+        ]
+
+    # ------------------------------------------------------------------
+    # operand parsing helpers
+    # ------------------------------------------------------------------
+
+    def _parse_reg(self, lineno: int, text: str) -> int:
+        try:
+            return reg_number(text)
+        except ValueError as exc:
+            raise AssemblyError(f"line {lineno}: {exc}") from exc
+
+    def _parse_int(self, lineno: int, text: str) -> int:
+        text = text.strip()
+        try:
+            if len(text) == 3 and text[0] == text[2] == "'":
+                return ord(text[1])
+            return int(text, 0)
+        except ValueError as exc:
+            raise AssemblyError(
+                f"line {lineno}: bad integer literal {text!r}"
+            ) from exc
+
+    def _parse_value(self, lineno: int, text: str, symbols) -> int:
+        """Integer literal, %hi/%lo relocation, or label address."""
+        text = text.strip()
+        match = _HI_LO_RE.match(text)
+        if match:
+            which, sym = match.groups()
+            if sym not in symbols:
+                raise AssemblyError(f"line {lineno}: undefined label {sym!r}")
+            hi, lo = _hi_lo_parts(symbols[sym])
+            return hi if which == "hi" else lo
+        if text in symbols:
+            return symbols[text]
+        try:
+            return self._parse_int(lineno, text)
+        except AssemblyError:
+            raise AssemblyError(
+                f"line {lineno}: undefined label or bad literal {text!r}"
+            ) from None
+
+    def _parse_mem_operand(self, lineno: int, text: str) -> Tuple[int, int]:
+        """Parse ``disp(reg)`` into (displacement, base register)."""
+        match = re.match(r"^(-?\w*)\((\w+)\)$", text.strip())
+        if not match:
+            raise AssemblyError(
+                f"line {lineno}: bad memory operand {text!r}, "
+                "expected disp(reg)"
+            )
+        disp_text, reg_text = match.groups()
+        disp = self._parse_int(lineno, disp_text) if disp_text else 0
+        return disp, self._parse_reg(lineno, reg_text)
+
+    def _parse_string(self, lineno: int, text: str) -> str:
+        text = text.strip()
+        if len(text) < 2 or text[0] != '"' or text[-1] != '"':
+            raise AssemblyError(
+                f"line {lineno}: bad string literal {text!r}"
+            )
+        body = text[1:-1]
+        return (
+            body.replace("\\n", "\n")
+            .replace("\\t", "\t")
+            .replace("\\0", "\0")
+            .replace('\\"', '"')
+        )
+
+
+def assemble(source: str, name: str = "program") -> Program:
+    """Module-level convenience wrapper around :class:`Assembler`."""
+    return Assembler().assemble(source, name=name)

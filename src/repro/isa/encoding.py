@@ -1,0 +1,115 @@
+"""Binary encoding and decoding of FRL-32 instruction words.
+
+The encoding exists so that programs occupy real bytes in simulated
+memory (instruction fetch addresses are what the I-cache sees) and so
+the assembler/disassembler pair can be round-trip tested.  Layouts are
+documented in :mod:`repro.isa.instructions`.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import (
+    Format,
+    Instruction,
+    OPCODE_BY_NUMBER,
+    OPCODES,
+)
+
+_MASK16 = 0xFFFF
+_MASK21 = 0x1FFFFF
+_MASK32 = 0xFFFFFFFF
+
+
+class EncodeError(ValueError):
+    """Raised when an instruction cannot be encoded."""
+
+
+class DecodeError(ValueError):
+    """Raised when a 32-bit word is not a valid instruction."""
+
+
+def _sext(value: int, bits: int) -> int:
+    """Sign-extend the low ``bits`` bits of ``value``."""
+    sign = 1 << (bits - 1)
+    value &= (1 << bits) - 1
+    return (value ^ sign) - sign
+
+
+def encode(insn: Instruction) -> int:
+    """Encode ``insn`` into a 32-bit instruction word.
+
+    >>> hex(encode(Instruction("addi", rd=5, rs1=0, imm=1)))
+    '0x50a00001'
+    """
+    try:
+        insn.validate()
+    except ValueError as exc:
+        raise EncodeError(str(exc)) from exc
+    op = OPCODES[insn.mnemonic].opcode
+    fmt = insn.format
+    word = op << 26
+    if fmt is Format.R:
+        word |= (insn.rd << 21) | (insn.rs1 << 16) | (insn.rs2 << 11)
+    elif fmt in (Format.I, Format.LOAD, Format.JR):
+        word |= (insn.rd << 21) | (insn.rs1 << 16) | (insn.imm & _MASK16)
+    elif fmt is Format.STORE:
+        word |= (insn.rs2 << 21) | (insn.rs1 << 16) | (insn.imm & _MASK16)
+    elif fmt is Format.BRANCH:
+        word |= (insn.rs1 << 21) | (insn.rs2 << 16) | (insn.imm & _MASK16)
+    elif fmt is Format.U:
+        word |= (insn.rd << 21) | ((insn.imm & _MASK16) << 5)
+    elif fmt is Format.J:
+        word |= (insn.rd << 21) | (insn.imm & _MASK21)
+    elif fmt is Format.SYS:
+        pass
+    else:  # pragma: no cover - formats are exhaustive
+        raise EncodeError(f"unhandled format {fmt}")
+    return word & _MASK32
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit instruction word into an :class:`Instruction`.
+
+    Raises :class:`DecodeError` for unknown opcodes or malformed fields.
+    """
+    if not 0 <= word <= _MASK32:
+        raise DecodeError(f"word out of 32-bit range: {word:#x}")
+    op = (word >> 26) & 0x3F
+    info = OPCODE_BY_NUMBER.get(op)
+    if info is None:
+        raise DecodeError(f"unknown opcode {op:#x} in word {word:#010x}")
+    fmt = info.format
+    f21 = (word >> 21) & 0x1F
+    f16 = (word >> 16) & 0x1F
+    f11 = (word >> 11) & 0x1F
+    if fmt is Format.R:
+        if word & 0x7FF:
+            raise DecodeError(f"R-format pad bits set in {word:#010x}")
+        insn = Instruction(info.mnemonic, rd=f21, rs1=f16, rs2=f11)
+    elif fmt in (Format.I, Format.LOAD, Format.JR):
+        insn = Instruction(
+            info.mnemonic, rd=f21, rs1=f16, imm=_sext(word, 16)
+        )
+    elif fmt is Format.STORE:
+        insn = Instruction(
+            info.mnemonic, rs2=f21, rs1=f16, imm=_sext(word, 16)
+        )
+    elif fmt is Format.BRANCH:
+        insn = Instruction(
+            info.mnemonic, rs1=f21, rs2=f16, imm=_sext(word, 16)
+        )
+    elif fmt is Format.U:
+        if word & 0x1F:
+            raise DecodeError(f"U-format pad bits set in {word:#010x}")
+        insn = Instruction(info.mnemonic, rd=f21, imm=_sext(word >> 5, 16))
+    elif fmt is Format.J:
+        insn = Instruction(info.mnemonic, rd=f21, imm=_sext(word, 21))
+    else:  # SYS
+        if word & 0x3FFFFFF:
+            raise DecodeError(f"SYS pad bits set in {word:#010x}")
+        insn = Instruction(info.mnemonic)
+    try:
+        insn.validate()
+    except ValueError as exc:
+        raise DecodeError(str(exc)) from exc
+    return insn

@@ -1,0 +1,233 @@
+"""Instruction definitions for the FRL-32 ISA.
+
+Every architectural instruction is described by an :class:`OpcodeInfo`
+record in :data:`OPCODES` (mnemonic, binary opcode, instruction format)
+and carried around at simulation time as a decoded :class:`Instruction`.
+
+Instruction formats
+-------------------
+All instructions are 4 bytes.  Bits ``[31:26]`` hold the 6-bit opcode.
+
+======= ==================================================== =============
+format  field layout (high to low)                           assembly
+======= ==================================================== =============
+R       opcode | rd(5) | rs1(5) | rs2(5) | zero(11)          ``add rd, rs1, rs2``
+I       opcode | rd(5) | rs1(5) | imm16                      ``addi rd, rs1, imm``
+LOAD    opcode | rd(5) | rs1(5) | imm16                      ``lw rd, imm(rs1)``
+STORE   opcode | rs2(5) | rs1(5) | imm16                     ``sw rs2, imm(rs1)``
+BRANCH  opcode | rs1(5) | rs2(5) | imm16 (byte offset)       ``beq rs1, rs2, label``
+U       opcode | rd(5) | imm16 | zero(5)                     ``lui rd, imm``
+J       opcode | rd(5) | imm21 (byte offset)                 ``jal rd, label``
+JR      opcode | rd(5) | rs1(5) | imm16                      ``jalr rd, rs1, imm``
+SYS     opcode | zero(26)                                    ``halt``
+======= ==================================================== =============
+
+Branch and jump offsets are relative to the address of the branch
+instruction itself (not PC+4), in bytes; they must be multiples of 4.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.isa.registers import reg_name
+
+INSTRUCTION_BYTES = 4
+
+IMM16_MIN = -(1 << 15)
+IMM16_MAX = (1 << 15) - 1
+IMM21_MIN = -(1 << 20)
+IMM21_MAX = (1 << 20) - 1
+
+
+class Format(enum.Enum):
+    """Binary layout family of an instruction."""
+
+    R = "R"
+    I = "I"  # noqa: E741 - conventional ISA format name
+    LOAD = "LOAD"
+    STORE = "STORE"
+    BRANCH = "BRANCH"
+    U = "U"
+    J = "J"
+    JR = "JR"
+    SYS = "SYS"
+
+
+@dataclass(frozen=True)
+class OpcodeInfo:
+    """Static description of one architectural instruction."""
+
+    mnemonic: str
+    opcode: int
+    format: Format
+
+
+def _ops(format: Format, names_from: int, *mnemonics: str) -> dict:
+    return {
+        name: OpcodeInfo(name, names_from + i, format)
+        for i, name in enumerate(mnemonics)
+    }
+
+
+#: mnemonic -> OpcodeInfo for every architectural instruction.
+OPCODES: dict = {}
+OPCODES.update(
+    _ops(
+        Format.R, 0x00,
+        "add", "sub", "and", "or", "xor", "sll", "srl", "sra",
+        "slt", "sltu", "mul", "mulh", "mulhu", "div", "divu", "rem", "remu",
+    )
+)
+OPCODES.update(
+    _ops(
+        Format.I, 0x14,
+        "addi", "andi", "ori", "xori", "slli", "srli", "srai", "slti", "sltiu",
+    )
+)
+OPCODES.update(_ops(Format.LOAD, 0x20, "lw", "lh", "lhu", "lb", "lbu"))
+OPCODES.update(_ops(Format.STORE, 0x26, "sw", "sh", "sb"))
+OPCODES.update(
+    _ops(Format.BRANCH, 0x2A, "beq", "bne", "blt", "bge", "bltu", "bgeu")
+)
+OPCODES.update(_ops(Format.U, 0x30, "lui"))
+OPCODES.update(_ops(Format.J, 0x31, "jal"))
+OPCODES.update(_ops(Format.JR, 0x32, "jalr"))
+OPCODES.update(_ops(Format.SYS, 0x3F, "halt"))
+
+#: opcode number -> OpcodeInfo (inverse of OPCODES).
+OPCODE_BY_NUMBER = {info.opcode: info for info in OPCODES.values()}
+
+ALU_REG_OPS = frozenset(
+    m for m, info in OPCODES.items() if info.format is Format.R
+)
+ALU_IMM_OPS = frozenset(
+    m for m, info in OPCODES.items() if info.format is Format.I
+)
+LOAD_OPS = frozenset(
+    m for m, info in OPCODES.items() if info.format is Format.LOAD
+)
+STORE_OPS = frozenset(
+    m for m, info in OPCODES.items() if info.format is Format.STORE
+)
+BRANCH_OPS = frozenset(
+    m for m, info in OPCODES.items() if info.format is Format.BRANCH
+)
+
+#: Byte width of each memory operation.
+MEM_OP_BYTES = {
+    "lw": 4, "lh": 2, "lhu": 2, "lb": 1, "lbu": 1,
+    "sw": 4, "sh": 2, "sb": 1,
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded FRL-32 instruction.
+
+    Unused operand fields are 0 (registers) or 0 (immediate); which fields
+    are meaningful depends on the instruction's :class:`Format`.
+
+    Attributes
+    ----------
+    mnemonic:
+        Lower-case instruction name, e.g. ``"addi"``.
+    rd, rs1, rs2:
+        Register numbers (0..31).
+    imm:
+        Sign-extended immediate / displacement / branch offset.
+    """
+
+    mnemonic: str
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+
+    @property
+    def info(self) -> OpcodeInfo:
+        """Static opcode metadata for this instruction."""
+        return OPCODES[self.mnemonic]
+
+    @property
+    def format(self) -> Format:
+        return self.info.format
+
+    def is_load(self) -> bool:
+        return self.mnemonic in LOAD_OPS
+
+    def is_store(self) -> bool:
+        return self.mnemonic in STORE_OPS
+
+    def is_branch(self) -> bool:
+        return self.mnemonic in BRANCH_OPS
+
+    def is_control_flow(self) -> bool:
+        """True for instructions that may redirect the program counter."""
+        return self.is_branch() or self.mnemonic in ("jal", "jalr")
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` on malformed operand fields."""
+        if self.mnemonic not in OPCODES:
+            raise ValueError(f"unknown mnemonic {self.mnemonic!r}")
+        for field in ("rd", "rs1", "rs2"):
+            value = getattr(self, field)
+            if not 0 <= value < 32:
+                raise ValueError(
+                    f"{self.mnemonic}: register field {field}={value} "
+                    "out of range"
+                )
+        fmt = self.format
+        if fmt is Format.J:
+            lo, hi = IMM21_MIN, IMM21_MAX
+        elif fmt in (Format.R, Format.SYS):
+            lo, hi = 0, 0
+        else:
+            lo, hi = IMM16_MIN, IMM16_MAX
+        if not lo <= self.imm <= hi:
+            raise ValueError(
+                f"{self.mnemonic}: immediate {self.imm} outside "
+                f"[{lo}, {hi}]"
+            )
+        if fmt in (Format.BRANCH, Format.J) and self.imm % 4 != 0:
+            raise ValueError(
+                f"{self.mnemonic}: branch offset {self.imm} not 4-aligned"
+            )
+
+    def __str__(self) -> str:
+        return format_instruction(self)
+
+
+def format_instruction(insn: Instruction, pc: Optional[int] = None) -> str:
+    """Render ``insn`` as assembly text.
+
+    When ``pc`` is given, branch/jump targets are shown as absolute
+    addresses instead of relative offsets.
+    """
+    m = insn.mnemonic
+    fmt = insn.format
+    rd, rs1, rs2 = reg_name(insn.rd), reg_name(insn.rs1), reg_name(insn.rs2)
+    if fmt is Format.R:
+        return f"{m} {rd}, {rs1}, {rs2}"
+    if fmt is Format.I:
+        return f"{m} {rd}, {rs1}, {insn.imm}"
+    if fmt is Format.LOAD:
+        return f"{m} {rd}, {insn.imm}({rs1})"
+    if fmt is Format.STORE:
+        return f"{m} {rs2}, {insn.imm}({rs1})"
+    if fmt is Format.BRANCH:
+        target = insn.imm if pc is None else pc + insn.imm
+        prefix = "" if pc is None else "0x"
+        return f"{m} {rs1}, {rs2}, {prefix}{target:x}" if pc is not None \
+            else f"{m} {rs1}, {rs2}, {target}"
+    if fmt is Format.U:
+        return f"{m} {rd}, {insn.imm}"
+    if fmt is Format.J:
+        if pc is None:
+            return f"{m} {rd}, {insn.imm}"
+        return f"{m} {rd}, 0x{pc + insn.imm:x}"
+    if fmt is Format.JR:
+        return f"{m} {rd}, {rs1}, {insn.imm}"
+    return m

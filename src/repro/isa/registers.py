@@ -1,0 +1,79 @@
+"""Register file naming for the FRL-32 ISA.
+
+FRL-32 has 32 general purpose 32-bit registers.  Register 0 is hard-wired
+to zero (writes are ignored), as on MIPS and RISC-V.  The ABI names follow
+the RISC-V convention because it is widely understood:
+
+====== ========= =============================================
+number ABI name  role
+====== ========= =============================================
+x0     zero      constant 0
+x1     ra        return address (the *link register* of the
+                 paper's Figure 2)
+x2     sp        stack pointer
+x3     gp        global pointer (static data base)
+x4     tp        thread pointer (unused by our benchmarks)
+x5-7   t0-t2     caller-saved temporaries
+x8-9   s0-s1     callee-saved
+x10-17 a0-a7     arguments / return values
+x18-27 s2-s11    callee-saved
+x28-31 t3-t6     caller-saved temporaries
+====== ========= =============================================
+"""
+
+from __future__ import annotations
+
+NUM_REGS = 32
+
+REG_ZERO = 0
+REG_RA = 1
+REG_SP = 2
+REG_GP = 3
+REG_TP = 4
+
+#: ABI name for each register number, index == register number.
+REG_ABI_NAMES = (
+    "zero", "ra", "sp", "gp", "tp",
+    "t0", "t1", "t2",
+    "s0", "s1",
+    "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7",
+    "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+    "t3", "t4", "t5", "t6",
+)
+
+_NAME_TO_NUM = {name: num for num, name in enumerate(REG_ABI_NAMES)}
+_NAME_TO_NUM.update({f"x{num}": num for num in range(NUM_REGS)})
+# 'fp' is the conventional alias for s0/x8.
+_NAME_TO_NUM["fp"] = 8
+
+
+def reg_number(name: str) -> int:
+    """Return the register number for an ABI name, ``xN`` name or number.
+
+    >>> reg_number("sp")
+    2
+    >>> reg_number("x31")
+    31
+    >>> reg_number("fp")
+    8
+    """
+    key = name.strip().lower()
+    if key in _NAME_TO_NUM:
+        return _NAME_TO_NUM[key]
+    raise ValueError(f"unknown register name: {name!r}")
+
+
+def reg_name(number: int) -> str:
+    """Return the canonical ABI name of register ``number``.
+
+    >>> reg_name(2)
+    'sp'
+    """
+    if not 0 <= number < NUM_REGS:
+        raise ValueError(f"register number out of range: {number}")
+    return REG_ABI_NAMES[number]
+
+
+def is_valid_reg(number: int) -> bool:
+    """True when ``number`` names an architectural register."""
+    return 0 <= number < NUM_REGS

@@ -1,0 +1,45 @@
+"""Processor simulation substrate.
+
+Replaces the paper's proprietary Softune instruction-set simulator: a
+flat little-endian memory model (:mod:`repro.sim.memory`), an FRL-32
+interpreter (:mod:`repro.sim.cpu`) and compact numpy-backed traces of
+everything the cache architectures need to see
+(:mod:`repro.sim.trace`, :mod:`repro.sim.fetch`):
+
+* the **data access trace** keeps the *(base register value,
+  displacement)* pair of every load/store — exactly the two inputs of
+  the paper's D-cache MAB (Figure 1), plus the resolved address;
+* the **flow trace** records straight-line runs and how each run was
+  entered (taken branch, indirect/link jump), from which
+  :func:`repro.sim.fetch.fetch_stream` derives the per-fetch-packet
+  I-cache access stream with the MAB input mux of Figure 2.
+"""
+
+from repro.sim.cpu import CPU, CPUError, ExecutionResult, run_program
+from repro.sim.fetch import FetchKind, FetchStream, fetch_stream
+from repro.sim.memory import Memory, MemoryError
+from repro.sim.profiler import Profile, profile_trace, recommend_mab
+from repro.sim.traceio import TraceFormatError, load_traces, save_traces
+from repro.sim.trace import DataTrace, ExecutionTrace, FlowKind, FlowTrace
+
+__all__ = [
+    "CPU",
+    "CPUError",
+    "DataTrace",
+    "ExecutionResult",
+    "ExecutionTrace",
+    "FetchKind",
+    "FetchStream",
+    "FlowKind",
+    "FlowTrace",
+    "Memory",
+    "MemoryError",
+    "Profile",
+    "TraceFormatError",
+    "load_traces",
+    "profile_trace",
+    "recommend_mab",
+    "save_traces",
+    "fetch_stream",
+    "run_program",
+]

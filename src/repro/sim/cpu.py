@@ -1,0 +1,309 @@
+"""FRL-32 instruction-set interpreter.
+
+The CPU executes an assembled :class:`~repro.isa.program.Program` on a
+flat :class:`~repro.sim.memory.Memory` and records the traces the cache
+studies consume.  The text segment is pre-decoded into operand tuples
+once, so the hot loop is a plain dictionary-free dispatch chain.
+
+Arithmetic is 32-bit two's complement.  Division follows the RISC-V
+convention (``div x, 0 == -1``, ``rem x, 0 == x``, overflow wraps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.instructions import INSTRUCTION_BYTES
+from repro.isa.program import MEMORY_BYTES, Program, STACK_TOP
+from repro.isa.registers import NUM_REGS, REG_SP
+from repro.sim.memory import Memory
+from repro.sim.trace import ExecutionTrace, FlowKind, TraceRecorder
+
+_M32 = 0xFFFFFFFF
+_SIGN = 0x80000000
+
+
+class CPUError(RuntimeError):
+    """Raised on execution faults (bad PC, runaway program, ...)."""
+
+
+def _signed(value: int) -> int:
+    return value - 0x1_0000_0000 if value & _SIGN else value
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of :meth:`CPU.run`."""
+
+    trace: ExecutionTrace
+    registers: List[int]
+    memory: Memory
+    instructions: int
+    halted: bool
+
+    def reg(self, number: int) -> int:
+        """Unsigned value of register ``number`` after the run."""
+        return self.registers[number]
+
+
+class CPU:
+    """Interpreter for FRL-32 programs.
+
+    Parameters
+    ----------
+    program:
+        The assembled program to run.
+    memory_bytes:
+        Size of the flat memory (defaults to the 1 MiB memory map).
+    """
+
+    def __init__(self, program: Program, memory_bytes: int = MEMORY_BYTES):
+        self.program = program
+        self.memory = Memory(memory_bytes)
+        self.memory.load_program(program)
+        self.registers: List[int] = [0] * NUM_REGS
+        self.registers[REG_SP] = STACK_TOP
+        self._decoded = self._predecode(program)
+
+    @staticmethod
+    def _predecode(program: Program) -> List[Tuple[str, int, int, int, int]]:
+        return [
+            (i.mnemonic, i.rd, i.rs1, i.rs2, i.imm)
+            for i in program.instructions()
+        ]
+
+    # ------------------------------------------------------------------
+
+    def run(self, max_instructions: int = 20_000_000) -> ExecutionResult:
+        """Execute until ``halt`` and return the result with traces.
+
+        Raises :class:`CPUError` if the program runs away (more than
+        ``max_instructions`` executed) or the PC leaves the text segment.
+        """
+        regs = self.registers
+        mem = self.memory
+        decoded = self._decoded
+        text_base = self.program.text.base
+        text_len = len(decoded)
+        recorder = TraceRecorder()
+        mix: Dict[str, int] = {}
+
+        pc = self.program.entry
+        recorder.begin_run(pc, int(FlowKind.START), pc, 0)
+        executed = 0
+        halted = False
+
+        read_u32, read_u16, read_u8 = mem.read_u32, mem.read_u16, mem.read_u8
+        write_u32, write_u16, write_u8 = (
+            mem.write_u32, mem.write_u16, mem.write_u8
+        )
+        record_data = recorder.record_data
+        begin_run = recorder.begin_run
+        run_count = recorder.run_count
+
+        while True:
+            idx = (pc - text_base) >> 2
+            if not 0 <= idx < text_len or pc & 3:
+                raise CPUError(f"PC {pc:#010x} outside text segment")
+            if executed >= max_instructions:
+                raise CPUError(
+                    f"runaway program: exceeded {max_instructions} "
+                    "instructions"
+                )
+            m, rd, rs1, rs2, imm = decoded[idx]
+            executed += 1
+            run_count[-1] += 1
+            mix[m] = mix.get(m, 0) + 1
+            next_pc = pc + INSTRUCTION_BYTES
+
+            if m == "addi":
+                if rd:
+                    regs[rd] = (regs[rs1] + imm) & _M32
+            elif m == "lw" or m == "lh" or m == "lhu" or m == "lb" \
+                    or m == "lbu":
+                base = regs[rs1]
+                record_data(base, imm, False)
+                addr = (base + imm) & _M32
+                if m == "lw":
+                    value = read_u32(addr)
+                elif m == "lhu":
+                    value = read_u16(addr)
+                elif m == "lh":
+                    value = read_u16(addr)
+                    if value & 0x8000:
+                        value -= 0x10000
+                        value &= _M32
+                elif m == "lbu":
+                    value = read_u8(addr)
+                else:  # lb
+                    value = read_u8(addr)
+                    if value & 0x80:
+                        value -= 0x100
+                        value &= _M32
+                if rd:
+                    regs[rd] = value
+            elif m == "sw" or m == "sh" or m == "sb":
+                base = regs[rs1]
+                record_data(base, imm, True)
+                addr = (base + imm) & _M32
+                if m == "sw":
+                    write_u32(addr, regs[rs2])
+                elif m == "sh":
+                    write_u16(addr, regs[rs2])
+                else:
+                    write_u8(addr, regs[rs2])
+            elif m == "add":
+                if rd:
+                    regs[rd] = (regs[rs1] + regs[rs2]) & _M32
+            elif m == "sub":
+                if rd:
+                    regs[rd] = (regs[rs1] - regs[rs2]) & _M32
+            elif m == "beq" or m == "bne" or m == "blt" or m == "bge" \
+                    or m == "bltu" or m == "bgeu":
+                a, b = regs[rs1], regs[rs2]
+                if m == "beq":
+                    taken = a == b
+                elif m == "bne":
+                    taken = a != b
+                elif m == "bltu":
+                    taken = a < b
+                elif m == "bgeu":
+                    taken = a >= b
+                elif m == "blt":
+                    taken = _signed(a) < _signed(b)
+                else:
+                    taken = _signed(a) >= _signed(b)
+                if taken:
+                    next_pc = pc + imm
+                    begin_run(next_pc, int(FlowKind.BRANCH), pc, imm)
+            elif m == "and":
+                if rd:
+                    regs[rd] = regs[rs1] & regs[rs2]
+            elif m == "or":
+                if rd:
+                    regs[rd] = regs[rs1] | regs[rs2]
+            elif m == "xor":
+                if rd:
+                    regs[rd] = regs[rs1] ^ regs[rs2]
+            elif m == "sll":
+                if rd:
+                    regs[rd] = (regs[rs1] << (regs[rs2] & 31)) & _M32
+            elif m == "srl":
+                if rd:
+                    regs[rd] = regs[rs1] >> (regs[rs2] & 31)
+            elif m == "sra":
+                if rd:
+                    regs[rd] = (_signed(regs[rs1]) >> (regs[rs2] & 31)) & _M32
+            elif m == "slt":
+                if rd:
+                    regs[rd] = int(_signed(regs[rs1]) < _signed(regs[rs2]))
+            elif m == "sltu":
+                if rd:
+                    regs[rd] = int(regs[rs1] < regs[rs2])
+            elif m == "andi":
+                if rd:
+                    regs[rd] = regs[rs1] & (imm & _M32)
+            elif m == "ori":
+                if rd:
+                    regs[rd] = regs[rs1] | (imm & _M32)
+            elif m == "xori":
+                if rd:
+                    regs[rd] = regs[rs1] ^ (imm & _M32)
+            elif m == "slli":
+                if rd:
+                    regs[rd] = (regs[rs1] << (imm & 31)) & _M32
+            elif m == "srli":
+                if rd:
+                    regs[rd] = regs[rs1] >> (imm & 31)
+            elif m == "srai":
+                if rd:
+                    regs[rd] = (_signed(regs[rs1]) >> (imm & 31)) & _M32
+            elif m == "slti":
+                if rd:
+                    regs[rd] = int(_signed(regs[rs1]) < imm)
+            elif m == "sltiu":
+                if rd:
+                    regs[rd] = int(regs[rs1] < (imm & _M32))
+            elif m == "mul":
+                if rd:
+                    regs[rd] = (regs[rs1] * regs[rs2]) & _M32
+            elif m == "mulh":
+                if rd:
+                    regs[rd] = (
+                        (_signed(regs[rs1]) * _signed(regs[rs2])) >> 32
+                    ) & _M32
+            elif m == "mulhu":
+                if rd:
+                    regs[rd] = ((regs[rs1] * regs[rs2]) >> 32) & _M32
+            elif m == "div":
+                if rd:
+                    a, b = _signed(regs[rs1]), _signed(regs[rs2])
+                    if b == 0:
+                        q = -1
+                    else:
+                        q = abs(a) // abs(b)
+                        if (a < 0) != (b < 0):
+                            q = -q
+                    regs[rd] = q & _M32
+            elif m == "divu":
+                if rd:
+                    b = regs[rs2]
+                    regs[rd] = _M32 if b == 0 else regs[rs1] // b
+            elif m == "rem":
+                if rd:
+                    a, b = _signed(regs[rs1]), _signed(regs[rs2])
+                    if b == 0:
+                        r = a
+                    else:
+                        r = abs(a) % abs(b)
+                        if a < 0:
+                            r = -r
+                    regs[rd] = r & _M32
+            elif m == "remu":
+                if rd:
+                    b = regs[rs2]
+                    regs[rd] = regs[rs1] if b == 0 else regs[rs1] % b
+            elif m == "lui":
+                if rd:
+                    regs[rd] = (imm << 16) & _M32
+            elif m == "jal":
+                if rd:
+                    regs[rd] = next_pc
+                next_pc = pc + imm
+                begin_run(next_pc, int(FlowKind.BRANCH), pc, imm)
+            elif m == "jalr":
+                base = regs[rs1]
+                if rd:
+                    regs[rd] = next_pc
+                next_pc = (base + imm) & _M32 & ~3
+                begin_run(next_pc, int(FlowKind.INDIRECT), base, imm)
+            elif m == "halt":
+                halted = True
+                break
+            else:  # pragma: no cover - decode guarantees coverage
+                raise CPUError(f"unimplemented instruction {m!r}")
+            pc = next_pc
+
+        trace = recorder.finish(self.program.name, executed, mix)
+        return ExecutionResult(
+            trace=trace,
+            registers=list(regs),
+            memory=mem,
+            instructions=executed,
+            halted=halted,
+        )
+
+
+def run_program(
+    program: Program,
+    max_instructions: int = 20_000_000,
+    memory_bytes: Optional[int] = None,
+) -> ExecutionResult:
+    """Assemble-and-go helper: execute ``program`` on a fresh CPU."""
+    cpu = CPU(
+        program,
+        memory_bytes=memory_bytes if memory_bytes is not None
+        else MEMORY_BYTES,
+    )
+    return cpu.run(max_instructions=max_instructions)

@@ -1,0 +1,83 @@
+"""Flat little-endian memory model for the FRL-32 simulator."""
+
+from __future__ import annotations
+
+from repro.isa.program import MEMORY_BYTES, Program
+
+
+class MemoryError(RuntimeError):
+    """Raised on out-of-range or misaligned accesses."""
+
+
+class Memory:
+    """A flat byte-addressable memory of ``size`` bytes.
+
+    Loads and stores enforce natural alignment, matching the FRL-32
+    architecture (and keeping benchmark address arithmetic honest).
+    """
+
+    def __init__(self, size: int = MEMORY_BYTES):
+        self.size = size
+        self._bytes = bytearray(size)
+
+    # ------------------------------------------------------------------
+
+    def load_program(self, program: Program) -> None:
+        """Copy a program's text and data segments into memory."""
+        for segment in (program.text, program.data):
+            if segment.end > self.size:
+                raise MemoryError(
+                    f"segment [{segment.base:#x}, {segment.end:#x}) does "
+                    f"not fit in {self.size:#x} bytes of memory"
+                )
+            self._bytes[segment.base : segment.end] = segment.data
+
+    def _check(self, addr: int, size: int) -> None:
+        if addr < 0 or addr + size > self.size:
+            raise MemoryError(f"address {addr:#x} out of range")
+        if addr % size != 0:
+            raise MemoryError(
+                f"misaligned {size}-byte access at {addr:#x}"
+            )
+
+    # -- reads ----------------------------------------------------------
+
+    def read_u32(self, addr: int) -> int:
+        self._check(addr, 4)
+        return int.from_bytes(self._bytes[addr : addr + 4], "little")
+
+    def read_u16(self, addr: int) -> int:
+        self._check(addr, 2)
+        return int.from_bytes(self._bytes[addr : addr + 2], "little")
+
+    def read_u8(self, addr: int) -> int:
+        self._check(addr, 1)
+        return self._bytes[addr]
+
+    def read_bytes(self, addr: int, count: int) -> bytes:
+        """Unchecked-alignment bulk read (for tests and validation)."""
+        if addr < 0 or addr + count > self.size:
+            raise MemoryError(f"range {addr:#x}+{count} out of bounds")
+        return bytes(self._bytes[addr : addr + count])
+
+    # -- writes ---------------------------------------------------------
+
+    def write_u32(self, addr: int, value: int) -> None:
+        self._check(addr, 4)
+        self._bytes[addr : addr + 4] = (value & 0xFFFFFFFF).to_bytes(
+            4, "little"
+        )
+
+    def write_u16(self, addr: int, value: int) -> None:
+        self._check(addr, 2)
+        self._bytes[addr : addr + 2] = (value & 0xFFFF).to_bytes(2, "little")
+
+    def write_u8(self, addr: int, value: int) -> None:
+        self._check(addr, 1)
+        self._bytes[addr] = value & 0xFF
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        """Bulk write (for test fixtures and workload inputs)."""
+        if addr < 0 or addr + len(data) > self.size:
+            raise MemoryError(f"range {addr:#x}+{len(data)} out of bounds")
+        self._bytes[addr : addr + len(data)] = data

@@ -1,0 +1,146 @@
+"""Execution profiling from flow traces.
+
+Turns the run-length flow trace into the reports an ASIP designer
+needs when sizing a MAB for an application: hot basic blocks, branch
+target working-set size (what the I-MAB's index side must hold), and
+data-region working sets (what the D-MAB must hold).  Exposed via
+``repro profile <benchmark>`` on the command line.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.sim.trace import ExecutionTrace, FlowKind
+
+
+@dataclass(frozen=True)
+class BlockStats:
+    """Execution statistics of one basic-block start address."""
+
+    start: int
+    entries: int
+    instructions: int
+
+
+@dataclass(frozen=True)
+class Profile:
+    """Aggregate profile of one execution trace."""
+
+    program_name: str
+    total_instructions: int
+    hot_blocks: List[BlockStats]
+    #: distinct taken-branch/indirect target count (I-MAB pressure)
+    branch_targets: int
+    #: distinct (tag, set) pairs per 10k data accesses (D-MAB pressure)
+    data_working_set: float
+    #: fraction of control transfers that are returns/indirect jumps
+    indirect_fraction: float
+    #: instruction mix, mnemonic -> fraction
+    mix: Dict[str, float]
+
+    def report(self, top: int = 10) -> str:
+        """Render a human-readable profile report."""
+        lines = [
+            f"profile of {self.program_name}: "
+            f"{self.total_instructions} instructions",
+            f"  distinct branch targets : {self.branch_targets}",
+            f"  indirect transfer share : {self.indirect_fraction:.1%}",
+            f"  data (tag,set) pairs per 10k accesses: "
+            f"{self.data_working_set:.1f}",
+            f"  top {min(top, len(self.hot_blocks))} blocks "
+            "(start, entries, instructions):",
+        ]
+        for block in self.hot_blocks[:top]:
+            share = block.instructions / max(self.total_instructions, 1)
+            lines.append(
+                f"    {block.start:#010x}  x{block.entries:<8d} "
+                f"{block.instructions:>9d}  ({share:.1%})"
+            )
+        top_mix = sorted(self.mix.items(), key=lambda kv: -kv[1])[:8]
+        rendered = ", ".join(f"{m} {f:.1%}" for m, f in top_mix)
+        lines.append(f"  instruction mix: {rendered}")
+        return "\n".join(lines)
+
+
+def profile_trace(
+    trace: ExecutionTrace,
+    line_bytes: int = 32,
+    index_bits: int = 9,
+    offset_bits: int = 5,
+) -> Profile:
+    """Build a :class:`Profile` from an execution trace."""
+    flow = trace.flow
+    starts = flow.start.tolist()
+    counts = flow.count.tolist()
+    kinds = flow.kind.tolist()
+
+    per_block_entries: Counter = Counter()
+    per_block_instructions: Counter = Counter()
+    for start, count in zip(starts, counts):
+        per_block_entries[start] += 1
+        per_block_instructions[start] += count
+
+    hot = sorted(
+        (
+            BlockStats(
+                start=start,
+                entries=per_block_entries[start],
+                instructions=per_block_instructions[start],
+            )
+            for start in per_block_entries
+        ),
+        key=lambda b: -b.instructions,
+    )
+
+    transfers = [
+        (start, kind) for start, kind in zip(starts, kinds)
+        if kind != int(FlowKind.START)
+    ]
+    targets = {start for start, _ in transfers}
+    indirect = sum(
+        1 for _, kind in transfers if kind == int(FlowKind.INDIRECT)
+    )
+    indirect_fraction = indirect / len(transfers) if transfers else 0.0
+
+    addr = trace.data.addr
+    if len(addr):
+        tag_set = (addr >> offset_bits).astype(np.uint32)
+        working = len(np.unique(tag_set)) / len(addr) * 10_000
+    else:
+        working = 0.0
+
+    total = trace.instructions or 1
+    mix = {m: c / total for m, c in trace.mix.items()}
+
+    return Profile(
+        program_name=trace.program_name,
+        total_instructions=trace.instructions,
+        hot_blocks=hot,
+        branch_targets=len(targets),
+        data_working_set=working,
+        indirect_fraction=indirect_fraction,
+        mix=mix,
+    )
+
+
+def recommend_mab(
+    profile: Profile,
+    index_options: Tuple[int, ...] = (4, 8, 16, 32),
+) -> Tuple[int, int]:
+    """Heuristic MAB sizing from a profile.
+
+    Picks the smallest index-side size comfortably above the observed
+    working set (branch targets for I-caches enter via the same
+    number).  This mirrors the designer workflow the paper implies;
+    the exact sweep lives in ``examples/mab_design_space.py``.
+    """
+    need = max(profile.data_working_set / 100.0, 1.0)
+    for ns in index_options:
+        if ns >= need:
+            return (2, ns)
+    return (2, index_options[-1])

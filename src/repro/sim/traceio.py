@@ -1,0 +1,114 @@
+"""Trace serialization: save and load traces as ``.npz`` archives.
+
+Running the ISS is cheap here, but real users integrate external
+traces (e.g. from an RTL simulator or a different ISS).  This module
+defines a stable on-disk format for both trace kinds so the cache
+studies can run on traces produced elsewhere::
+
+    save_traces("dct.npz", workload.trace, workload.fetch)
+    data, fetch = load_traces("dct.npz")
+
+Format: a numpy ``.npz`` with ``data_*``, ``flow_*`` and ``fetch_*``
+arrays plus a one-element ``meta`` record (format version, program
+name, packet size).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.sim.fetch import FetchStream
+from repro.sim.trace import DataTrace, ExecutionTrace, FlowTrace
+
+FORMAT_VERSION = 1
+
+
+class TraceFormatError(RuntimeError):
+    """Raised when an archive is not a valid trace file."""
+
+
+def save_traces(
+    path: str,
+    trace: ExecutionTrace,
+    fetch: Optional[FetchStream] = None,
+) -> None:
+    """Write an execution trace (and optional fetch stream) to disk."""
+    payload = {
+        "version": np.asarray([FORMAT_VERSION]),
+        "program_name": np.asarray([trace.program_name]),
+        "instructions": np.asarray([trace.instructions]),
+        "data_base": trace.data.base,
+        "data_disp": trace.data.disp,
+        "data_store": trace.data.store,
+        "flow_start": trace.flow.start,
+        "flow_count": trace.flow.count,
+        "flow_kind": trace.flow.kind,
+        "flow_base": trace.flow.base,
+        "flow_disp": trace.flow.disp,
+        "mix_mnemonics": np.asarray(sorted(trace.mix), dtype="U8"),
+        "mix_counts": np.asarray(
+            [trace.mix[m] for m in sorted(trace.mix)], dtype=np.int64
+        ),
+    }
+    if fetch is not None:
+        payload.update({
+            "fetch_addr": fetch.addr,
+            "fetch_kind": fetch.kind,
+            "fetch_base": fetch.base,
+            "fetch_disp": fetch.disp,
+            "fetch_packet_bytes": np.asarray([fetch.packet_bytes]),
+        })
+    np.savez_compressed(path, **payload)
+
+
+def load_traces(
+    path: str,
+) -> Tuple[ExecutionTrace, Optional[FetchStream]]:
+    """Read traces written by :func:`save_traces`."""
+    with np.load(path, allow_pickle=False) as archive:
+        try:
+            version = int(archive["version"][0])
+        except KeyError as exc:
+            raise TraceFormatError(f"{path}: not a trace archive") from exc
+        if version != FORMAT_VERSION:
+            raise TraceFormatError(
+                f"{path}: unsupported trace format v{version}"
+            )
+        data = DataTrace(
+            base=archive["data_base"],
+            disp=archive["data_disp"],
+            store=archive["data_store"],
+        )
+        flow = FlowTrace(
+            start=archive["flow_start"],
+            count=archive["flow_count"],
+            kind=archive["flow_kind"],
+            base=archive["flow_base"],
+            disp=archive["flow_disp"],
+        )
+        mix = {}
+        if "mix_mnemonics" in archive:
+            mix = {
+                str(m): int(c) for m, c in zip(
+                    archive["mix_mnemonics"], archive["mix_counts"]
+                )
+            }
+        trace = ExecutionTrace(
+            program_name=str(archive["program_name"][0]),
+            data=data,
+            flow=flow,
+            instructions=int(archive["instructions"][0]),
+            mix=mix,
+        )
+        fetch = None
+        if "fetch_addr" in archive:
+            fetch = FetchStream(
+                addr=archive["fetch_addr"],
+                kind=archive["fetch_kind"],
+                base=archive["fetch_base"],
+                disp=archive["fetch_disp"],
+                packet_bytes=int(archive["fetch_packet_bytes"][0]),
+            )
+        return trace, fetch

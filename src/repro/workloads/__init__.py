@@ -1,0 +1,36 @@
+"""The paper's seven benchmark programs, rebuilt for FRL-32.
+
+Section 4 evaluates DCT, FFT, whetstone, dhrystone, compress, a JPEG
+encoder and an MPEG-2 encoder.  Each module here generates the
+corresponding kernel as FRL-32 assembly (with deterministic embedded
+input data), plus a bit-exact Python *golden model* used by the tests
+to verify the simulated architectural state — so the traces fed to the
+cache studies come from genuinely executing programs, not synthetic
+approximations.
+
+:mod:`repro.workloads.suite` is the registry used by experiments;
+:mod:`repro.workloads.synthetic` provides parametric synthetic traces
+for unit tests and ablations.
+"""
+
+from repro.workloads.suite import (
+    BENCHMARK_NAMES,
+    Benchmark,
+    get_benchmark,
+    load_workload,
+    run_benchmark,
+)
+from repro.workloads.synthetic import (
+    synthetic_data_trace,
+    synthetic_fetch_stream,
+)
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "Benchmark",
+    "get_benchmark",
+    "load_workload",
+    "run_benchmark",
+    "synthetic_data_trace",
+    "synthetic_fetch_stream",
+]

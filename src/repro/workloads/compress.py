@@ -1,0 +1,207 @@
+"""Compress benchmark: LZW compression (the Unix ``compress`` kernel).
+
+Compresses 4 KiB of synthetic English-like text with the LZW algorithm
+using an open-addressing hash table (multiplicative hashing, linear
+probing) — the same dictionary structure as the classic ``compress``
+utility.  The hash probes give this workload the most irregular data
+address stream of the suite, which is the stress case for the D-cache
+MAB's set-index side.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.isa import Program, assemble
+from repro.workloads.data import LCG, bytes_directive, read_words
+
+INPUT_LEN = 4096
+HASH_SIZE = 8192          # power of two, open addressing
+HASH_MASK = HASH_SIZE - 1
+HASH_MULT = 2654435761    # Knuth's multiplicative constant
+HASH_SHIFT = 19
+MAX_CODES = 4096
+EMPTY = 0xFFFFFFFF
+SEED = 0xC0DE
+
+_WORDS = (
+    b"the", b"quick", b"brown", b"fox", b"jumps", b"over", b"lazy",
+    b"dog", b"cache", b"memory", b"power", b"tag", b"way", b"buffer",
+    b"address", b"access", b"energy", b"processor", b"line", b"set",
+)
+
+
+def input_text() -> bytes:
+    """Deterministic English-like text with heavy word repetition."""
+    rng = LCG(SEED)
+    out = bytearray()
+    while len(out) < INPUT_LEN:
+        out += rng.choice(_WORDS)
+        out += b" "
+        if rng.next_range(0, 12) == 0:
+            out += b"\n"
+    return bytes(out[:INPUT_LEN])
+
+
+def _hash(key: int) -> int:
+    return ((key * HASH_MULT) & 0xFFFFFFFF) >> HASH_SHIFT & HASH_MASK
+
+
+# ----------------------------------------------------------------------
+# golden model
+# ----------------------------------------------------------------------
+
+def lzw_compress(data: bytes) -> List[int]:
+    """LZW with open-addressing dictionary, bit-exact with the asm."""
+    ht_key = [EMPTY] * HASH_SIZE
+    ht_code = [0] * HASH_SIZE
+    next_code = 256
+    codes: List[int] = []
+    w = data[0]
+    for c in data[1:]:
+        key = (w << 8) | c
+        h = _hash(key)
+        while ht_key[h] != key and ht_key[h] != EMPTY:
+            h = (h + 1) & HASH_MASK
+        if ht_key[h] == key:
+            w = ht_code[h]
+        else:
+            codes.append(w)
+            if next_code < MAX_CODES:
+                ht_key[h] = key
+                ht_code[h] = next_code
+                next_code += 1
+            w = c
+    codes.append(w)
+    return codes
+
+
+def golden_output() -> Tuple[int, int]:
+    """(number of output codes, 32-bit checksum of the code stream)."""
+    codes = lzw_compress(input_text())
+    checksum = 0
+    for code in codes:
+        checksum = (checksum * 31 + code) & 0xFFFFFFFF
+    return len(codes), checksum
+
+
+# ----------------------------------------------------------------------
+# program
+# ----------------------------------------------------------------------
+
+def build() -> Program:
+    text = input_text()
+    source = f"""
+# LZW compression of {INPUT_LEN} bytes, {HASH_SIZE}-entry hash dictionary.
+.data
+lzw_input:
+{bytes_directive(text)}
+.align 2
+lzw_htkey:
+    .space {4 * HASH_SIZE}
+lzw_htcode:
+    .space {4 * HASH_SIZE}
+lzw_output:
+    .space {4 * INPUT_LEN}
+lzw_result:
+    .space 8
+
+.text
+main:
+    # ---- clear the hash table to EMPTY --------------------------------
+    la   t0, lzw_htkey
+    li   t1, {HASH_SIZE}
+    li   t2, -1              # EMPTY marker
+init_loop:
+    sw   t2, 0(t0)
+    addi t0, t0, 4
+    addi t1, t1, -1
+    bnez t1, init_loop
+
+    la   s0, lzw_input       # input cursor
+    la   s1, lzw_htkey
+    la   s2, lzw_htcode
+    la   s3, lzw_output      # output cursor
+    li   s4, 256             # next_code
+    li   s5, 0               # emitted count
+    lbu  s6, 0(s0)           # w = first byte
+    addi s0, s0, 1
+    li   s7, {INPUT_LEN - 1} # remaining bytes
+byte_loop:
+    lbu  t0, 0(s0)           # c
+    addi s0, s0, 1
+    slli t1, s6, 8
+    or   t1, t1, t0          # key = (w << 8) | c
+
+    # h = ((key * MULT) >> SHIFT) & MASK
+    li   t2, {HASH_MULT}
+    mul  t2, t1, t2
+    srli t2, t2, {HASH_SHIFT}
+    andi t2, t2, {HASH_MASK}
+probe_loop:
+    slli t3, t2, 2
+    add  t4, s1, t3
+    lw   t5, 0(t4)           # ht_key[h]
+    beq  t5, t1, probe_hit
+    li   t6, -1
+    beq  t5, t6, probe_empty
+    addi t2, t2, 1
+    andi t2, t2, {HASH_MASK}
+    j    probe_loop
+probe_hit:
+    add  t4, s2, t3
+    lw   s6, 0(t4)           # w = ht_code[h]
+    j    next_byte
+probe_empty:
+    # emit(w)
+    sw   s6, 0(s3)
+    addi s3, s3, 4
+    addi s5, s5, 1
+    # insert if the dictionary is not full
+    li   t6, {MAX_CODES}
+    bge  s4, t6, no_insert
+    add  t4, s1, t3
+    sw   t1, 0(t4)           # ht_key[h] = key
+    add  t4, s2, t3
+    sw   s4, 0(t4)           # ht_code[h] = next_code
+    addi s4, s4, 1
+no_insert:
+    mv   s6, t0              # w = c
+next_byte:
+    addi s7, s7, -1
+    bnez s7, byte_loop
+
+    # emit(final w)
+    sw   s6, 0(s3)
+    addi s5, s5, 1
+
+    # ---- checksum the code stream --------------------------------------
+    la   t0, lzw_output
+    li   t1, 0               # checksum
+    mv   t2, s5              # count
+    li   t4, 31
+cksum_loop:
+    lw   t3, 0(t0)
+    mul  t1, t1, t4
+    add  t1, t1, t3
+    addi t0, t0, 4
+    addi t2, t2, -1
+    bnez t2, cksum_loop
+
+    la   t6, lzw_result
+    sw   s5, 0(t6)           # code count
+    sw   t1, 4(t6)           # checksum
+    halt
+"""
+    return assemble(source, name="compress")
+
+
+def check(result) -> None:
+    prog = build()
+    count, checksum = golden_output()
+    actual = read_words(result.memory, prog.symbol("lzw_result"), 2)
+    if actual != [count, checksum]:
+        raise AssertionError(
+            f"compress mismatch: count/checksum {actual} != "
+            f"{[count, checksum]}"
+        )

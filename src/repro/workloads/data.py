@@ -1,0 +1,64 @@
+"""Deterministic input-data generation shared by the workloads.
+
+All benchmark inputs are produced by a small linear congruential
+generator so every run of the suite is bit-for-bit reproducible without
+any external files.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class LCG:
+    """Numerical-Recipes-style 32-bit linear congruential generator."""
+
+    MULT = 1664525
+    INC = 1013904223
+    MASK = 0xFFFFFFFF
+
+    def __init__(self, seed: int):
+        self.state = seed & self.MASK
+
+    def next_u32(self) -> int:
+        self.state = (self.state * self.MULT + self.INC) & self.MASK
+        return self.state
+
+    def next_range(self, lo: int, hi: int) -> int:
+        """Uniform integer in [lo, hi)."""
+        if hi <= lo:
+            raise ValueError("empty range")
+        return lo + self.next_u32() % (hi - lo)
+
+    def choice(self, seq):
+        return seq[self.next_range(0, len(seq))]
+
+
+def words_directive(values: List[int], per_line: int = 8) -> str:
+    """Render a list of ints as ``.word`` directives."""
+    lines = []
+    for pos in range(0, len(values), per_line):
+        chunk = values[pos : pos + per_line]
+        rendered = ", ".join(str(v & 0xFFFFFFFF) for v in chunk)
+        lines.append(f"    .word {rendered}")
+    return "\n".join(lines)
+
+
+def bytes_directive(values: bytes, per_line: int = 16) -> str:
+    """Render bytes as ``.byte`` directives."""
+    lines = []
+    for pos in range(0, len(values), per_line):
+        chunk = values[pos : pos + per_line]
+        rendered = ", ".join(str(b) for b in chunk)
+        lines.append(f"    .byte {rendered}")
+    return "\n".join(lines)
+
+
+def read_words(memory, addr: int, count: int) -> List[int]:
+    """Read ``count`` little-endian words from simulated memory."""
+    return [memory.read_u32(addr + 4 * i) for i in range(count)]
+
+
+def to_signed(value: int) -> int:
+    """Interpret a uint32 as two's-complement int32."""
+    return value - 0x1_0000_0000 if value & 0x8000_0000 else value

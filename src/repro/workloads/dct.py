@@ -1,0 +1,184 @@
+"""DCT benchmark: 8x8 two-dimensional discrete cosine transform.
+
+Processes ``NUM_BLOCKS`` 8x8 blocks of pseudo-random pixel data with a
+fixed-point (Q12) separable DCT-II — the kernel at the heart of JPEG
+and MPEG encoders and the first benchmark of the paper's Section 4.
+
+Memory traffic: the row pass streams each block with unit stride, the
+column pass re-reads the temporary block with a 32-byte (one cache
+line) stride — a classic mix of intra- and inter-line data locality.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.isa import Program, assemble
+from repro.workloads.data import LCG, read_words, to_signed, words_directive
+
+NUM_BLOCKS = 16
+BLOCK_WORDS = 64
+Q_SHIFT = 12
+SEED = 0xD0C7
+
+
+def cosine_table() -> List[int]:
+    """Q12 coefficients T[u][x] = 0.5 * C(u) * cos((2x+1) u pi / 16)."""
+    table = []
+    for u in range(8):
+        cu = (1.0 / math.sqrt(2.0)) if u == 0 else 1.0
+        for x in range(8):
+            coeff = 0.5 * cu * math.cos((2 * x + 1) * u * math.pi / 16.0)
+            table.append(int(round(coeff * (1 << Q_SHIFT))))
+    return table
+
+
+def input_blocks() -> List[int]:
+    """Pseudo-random 8-bit pixels, NUM_BLOCKS x 64 words."""
+    rng = LCG(SEED)
+    return [rng.next_range(0, 256) for _ in range(NUM_BLOCKS * BLOCK_WORDS)]
+
+
+# ----------------------------------------------------------------------
+# golden model
+# ----------------------------------------------------------------------
+
+def dct_1d(samples: List[int], table: List[int]) -> List[int]:
+    """Fixed-point 8-point DCT, bit-exact with the assembly kernel."""
+    out = []
+    for u in range(8):
+        acc = 0
+        for x in range(8):
+            acc += samples[x] * table[u * 8 + x]
+        out.append(acc >> Q_SHIFT)  # arithmetic shift, matches srai
+    return out
+
+
+def dct_2d(block: List[int], table: List[int]) -> List[int]:
+    """Row pass then column pass over a row-major 8x8 block."""
+    tmp = [0] * 64
+    for r in range(8):
+        row = dct_1d(block[r * 8 : r * 8 + 8], table)
+        for u in range(8):
+            tmp[r * 8 + u] = row[u]
+    out = [0] * 64
+    for c in range(8):
+        col = dct_1d([tmp[r * 8 + c] for r in range(8)], table)
+        for u in range(8):
+            out[u * 8 + c] = col[u]
+    return out
+
+
+def golden_output() -> List[int]:
+    table = cosine_table()
+    pixels = input_blocks()
+    out: List[int] = []
+    for blk in range(NUM_BLOCKS):
+        out.extend(
+            dct_2d(pixels[blk * 64 : blk * 64 + 64], table)
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# program
+# ----------------------------------------------------------------------
+
+def build() -> Program:
+    """Assemble the DCT benchmark."""
+    source = f"""
+# 8x8 2-D DCT over {NUM_BLOCKS} blocks, Q12 fixed point.
+.data
+dct_input:
+{words_directive(input_blocks())}
+dct_costab:
+{words_directive(cosine_table())}
+dct_tmp:
+    .space 256
+dct_output:
+    .space {NUM_BLOCKS * 256}
+
+.text
+main:
+    la   s5, dct_input
+    la   s6, dct_output
+    la   s1, dct_tmp
+    li   s3, 0               # block counter
+blk_loop:
+    li   s4, 0               # row index
+row_loop:
+    slli t0, s4, 5           # r * 32 bytes
+    add  a0, s5, t0          # src = block row
+    add  a1, s1, t0          # dst = tmp row
+    li   a2, 4               # src stride: contiguous words
+    li   a3, 4               # dst stride: contiguous words
+    call dct1d
+    addi s4, s4, 1
+    li   t0, 8
+    blt  s4, t0, row_loop
+    li   s4, 0               # column index
+col_loop:
+    slli t0, s4, 2           # c * 4 bytes
+    add  a0, s1, t0          # src = tmp column
+    add  a1, s6, t0          # dst = output column
+    li   a2, 32              # src stride: one row of words
+    li   a3, 32
+    call dct1d
+    addi s4, s4, 1
+    li   t0, 8
+    blt  s4, t0, col_loop
+    addi s5, s5, 256         # next input block
+    addi s6, s6, 256         # next output block
+    addi s3, s3, 1
+    li   t0, {NUM_BLOCKS}
+    blt  s3, t0, blk_loop
+    halt
+
+# dct1d(a0=src, a1=dst, a2=src stride, a3=dst stride)
+# 8-point DCT; walks the full 64-entry coefficient table.
+dct1d:
+    la   t6, dct_costab
+    li   t0, 0               # u
+    li   a5, 8
+dct1d_u:
+    li   t1, 0               # x
+    li   t2, 0               # accumulator
+    mv   t3, a0              # sample pointer
+dct1d_x:
+    lw   t4, 0(t3)
+    lw   t5, 0(t6)
+    mul  t4, t4, t5
+    add  t2, t2, t4
+    add  t3, t3, a2
+    addi t6, t6, 4
+    addi t1, t1, 1
+    blt  t1, a5, dct1d_x
+    srai t2, t2, {Q_SHIFT}
+    sw   t2, 0(a1)
+    add  a1, a1, a3
+    addi t0, t0, 1
+    blt  t0, a5, dct1d_u
+    ret
+"""
+    return assemble(source, name="dct")
+
+
+def check(result) -> None:
+    """Compare simulated memory against the golden model."""
+    # Re-derive the symbol table via build() so the checker does not
+    # depend on how the caller obtained its ExecutionResult.
+    out_addr = build().symbol("dct_output")
+    expected = golden_output()
+    actual = [
+        to_signed(w)
+        for w in read_words(result.memory, out_addr, len(expected))
+    ]
+    if actual != expected:
+        first_bad = next(
+            i for i, (a, b) in enumerate(zip(actual, expected)) if a != b
+        )
+        raise AssertionError(
+            f"DCT output mismatch at word {first_bad}: "
+            f"{actual[first_bad]} != {expected[first_bad]}"
+        )

@@ -1,0 +1,304 @@
+"""Dhrystone-like benchmark: the classic synthetic integer mix.
+
+Reproduces the structure of Dhrystone 2.1's main loop — procedure
+calls through a link register, string copy/compare over byte arrays,
+record (struct) field traffic, one- and two-dimensional array updates,
+multiply/divide arithmetic and data-dependent branches — scaled to a
+fixed iteration count.  This is the workload with the richest *call /
+return* behaviour of the suite, exercising the I-cache MAB's
+link-register input (paper Figure 2).
+
+Every architectural effect is mirrored bit-exactly by the golden model
+in :func:`golden_output`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isa import Program, assemble
+from repro.workloads.data import bytes_directive, read_words
+
+LOOPS = 600
+STR1 = b"DHRYSTONE PROGRAM, SOME STRING"  # 30 chars like the original
+ARRAY1_LEN = 50
+ARRAY2_DIM = 50
+REC_WORDS = 12
+
+
+def _trunc_div(a: int, b: int) -> int:
+    """Division truncating toward zero (the FRL-32 ``div`` semantics)."""
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+# ----------------------------------------------------------------------
+# golden model
+# ----------------------------------------------------------------------
+
+def golden_output() -> List[int]:
+    int_glob = 0
+    array1 = [0] * ARRAY1_LEN
+    array2 = [0] * (ARRAY2_DIM * ARRAY2_DIM)
+    rec_a = [0] * REC_WORDS
+    rec_b = [0] * REC_WORDS
+    str2 = bytearray(32)
+
+    for i in range(LOOPS):
+        ch1 = ord("A")
+        bool_glob = 0
+        bool_glob |= int(ch1 == ord("A"))
+        int1, int2 = 2, 3
+        str2[: len(STR1)] = STR1
+        str2[len(STR1)] = 0
+        if bytes(str2[: len(STR1)]) == STR1:  # strcmp == 0
+            int_glob += 1
+        int3 = int1 + 2 + int2            # Proc7
+        idx = int1 + 5                    # Proc8
+        array1[idx] = int3
+        array1[idx + 1] = array1[idx]
+        array1[idx + 30] = idx
+        array2[idx * ARRAY2_DIM + idx] = array1[idx] + i
+        for w in range(REC_WORDS):        # Proc1: record copy
+            rec_b[w] = rec_a[w]
+        rec_b[3] = i
+        rec_a[3] = rec_b[3] + int_glob
+        if ch1 == ord("A"):               # Proc2
+            int1 = int1 + int3 - 6
+        int2 = int2 * int1
+        int1 = _trunc_div(int2, int3)
+        int2 = 7 * (int2 - int3) - int1
+        int_glob += i % 3                 # Proc6-style enum step
+        del bool_glob
+
+    str_sum = sum(STR1)
+    return [
+        int_glob & 0xFFFFFFFF,
+        int1 & 0xFFFFFFFF,
+        int2 & 0xFFFFFFFF,
+        int3 & 0xFFFFFFFF,
+        array1[7] & 0xFFFFFFFF,
+        array1[37] & 0xFFFFFFFF,
+        array2[7 * ARRAY2_DIM + 7] & 0xFFFFFFFF,
+        str_sum & 0xFFFFFFFF,
+    ]
+
+
+# ----------------------------------------------------------------------
+# program
+# ----------------------------------------------------------------------
+
+def build() -> Program:
+    str1_bytes = bytes_directive(STR1 + b"\x00")
+    source = f"""
+# Dhrystone-like integer benchmark, {LOOPS} iterations.
+.data
+dhry_str1:
+{str1_bytes}
+.align 2
+dhry_str2:
+    .space 32
+dhry_int_glob:
+    .word 0
+dhry_array1:
+    .space {4 * ARRAY1_LEN}
+dhry_array2:
+    .space {4 * ARRAY2_DIM * ARRAY2_DIM}
+dhry_rec_a:
+    .space {4 * REC_WORDS}
+dhry_rec_b:
+    .space {4 * REC_WORDS}
+dhry_result:
+    .space 32
+
+.text
+main:
+    li   s0, 0               # i (loop counter)
+    la   s1, dhry_int_glob
+    la   s2, dhry_array1
+    la   s3, dhry_array2
+    la   s4, dhry_rec_a
+    la   s5, dhry_rec_b
+main_loop:
+    # Proc5 / Proc4: character globals and boolean
+    li   s6, 65              # ch1 = 'A'
+    li   s7, 0               # bool_glob
+    li   t0, 65
+    bne  s6, t0, skip_bool
+    ori  s7, s7, 1
+skip_bool:
+    li   s8, 2               # int1
+    li   s9, 3               # int2
+
+    # strcpy(str2, str1)
+    la   a0, dhry_str2
+    la   a1, dhry_str1
+    call strcpy
+
+    # if (strcmp(str1, str2) == 0) int_glob++
+    la   a0, dhry_str1
+    la   a1, dhry_str2
+    call strcmp
+    bnez a0, skip_glob
+    lw   t0, 0(s1)
+    addi t0, t0, 1
+    sw   t0, 0(s1)
+skip_glob:
+
+    # int3 = Proc7(int1, int2) = int1 + 2 + int2
+    mv   a0, s8
+    mv   a1, s9
+    call proc7
+    mv   s10, a0             # int3
+
+    # Proc8(array1, array2, int1, int3, i)
+    mv   a0, s8
+    mv   a1, s10
+    mv   a2, s0
+    call proc8
+
+    # Proc1: rec_b = rec_a; rec_b[3] = i; rec_a[3] = rec_b[3] + int_glob
+    mv   a0, s4
+    mv   a1, s5
+    mv   a2, s0
+    call proc1
+
+    # Proc2: if (ch1 == 'A') int1 += int3 - 6
+    li   t0, 65
+    bne  s6, t0, skip_proc2
+    add  s8, s8, s10
+    addi s8, s8, -6
+skip_proc2:
+
+    mul  s9, s9, s8          # int2 = int2 * int1
+    div  s8, s9, s10         # int1 = int2 / int3
+    sub  t0, s9, s10
+    li   t1, 7
+    mul  t0, t0, t1
+    sub  s9, t0, s8          # int2 = 7 * (int2 - int3) - int1
+
+    # int_glob += i % 3
+    li   t0, 3
+    rem  t1, s0, t0
+    lw   t2, 0(s1)
+    add  t2, t2, t1
+    sw   t2, 0(s1)
+
+    addi s0, s0, 1
+    li   t0, {LOOPS}
+    blt  s0, t0, main_loop
+
+    # ---- result block -------------------------------------------------
+    la   t6, dhry_result
+    lw   t0, 0(s1)
+    sw   t0, 0(t6)           # int_glob
+    sw   s8, 4(t6)           # int1
+    sw   s9, 8(t6)           # int2
+    sw   s10, 12(t6)         # int3
+    lw   t0, 28(s2)          # array1[7]
+    sw   t0, 16(t6)
+    lw   t0, 148(s2)         # array1[37]
+    sw   t0, 20(t6)
+    li   t0, {4 * (7 * ARRAY2_DIM + 7)}
+    add  t0, s3, t0
+    lw   t0, 0(t0)           # array2[7][7]
+    sw   t0, 24(t6)
+    la   a0, dhry_str1
+    call strsum
+    sw   a0, 28(t6)          # checksum of str1 bytes
+    halt
+
+# strcpy(a0=dst, a1=src): byte copy including the terminator.
+strcpy:
+    lbu  t0, 0(a1)
+    sb   t0, 0(a0)
+    addi a0, a0, 1
+    addi a1, a1, 1
+    bnez t0, strcpy
+    ret
+
+# strcmp(a0, a1) -> a0: 0 when equal, byte difference otherwise.
+strcmp:
+    lbu  t0, 0(a0)
+    lbu  t1, 0(a1)
+    bne  t0, t1, strcmp_diff
+    beqz t0, strcmp_equal
+    addi a0, a0, 1
+    addi a1, a1, 1
+    j    strcmp
+strcmp_equal:
+    li   a0, 0
+    ret
+strcmp_diff:
+    sub  a0, t0, t1
+    ret
+
+# strsum(a0) -> a0: sum of bytes up to the terminator.
+strsum:
+    li   t1, 0
+strsum_loop:
+    lbu  t0, 0(a0)
+    beqz t0, strsum_done
+    add  t1, t1, t0
+    addi a0, a0, 1
+    j    strsum_loop
+strsum_done:
+    mv   a0, t1
+    ret
+
+# proc7(a0=int1, a1=int2) -> a0 = int1 + 2 + int2
+proc7:
+    addi a0, a0, 2
+    add  a0, a0, a1
+    ret
+
+# proc8(a0=int1, a1=int3, a2=i): array updates (uses globals via s2/s3)
+proc8:
+    addi t0, a0, 5           # idx = int1 + 5
+    slli t1, t0, 2
+    add  t1, s2, t1          # &array1[idx]
+    sw   a1, 0(t1)           # array1[idx] = int3
+    lw   t2, 0(t1)
+    sw   t2, 4(t1)           # array1[idx+1] = array1[idx]
+    sw   t0, 120(t1)         # array1[idx+30] = idx
+    li   t3, {ARRAY2_DIM}
+    mul  t3, t0, t3
+    add  t3, t3, t0          # idx * DIM + idx
+    slli t3, t3, 2
+    add  t3, s3, t3
+    lw   t4, 0(t1)
+    add  t4, t4, a2          # array1[idx] + i
+    sw   t4, 0(t3)
+    ret
+
+# proc1(a0=rec_a, a1=rec_b, a2=i): record copy + field updates
+proc1:
+    li   t0, 0
+proc1_copy:
+    slli t1, t0, 2
+    add  t2, a0, t1
+    lw   t3, 0(t2)
+    add  t2, a1, t1
+    sw   t3, 0(t2)
+    addi t0, t0, 1
+    li   t1, {REC_WORDS}
+    blt  t0, t1, proc1_copy
+    sw   a2, 12(a1)          # rec_b[3] = i
+    lw   t0, 0(s1)           # int_glob
+    add  t0, t0, a2
+    sw   t0, 12(a0)          # rec_a[3] = rec_b[3] + int_glob
+    ret
+"""
+    return assemble(source, name="dhrystone")
+
+
+def check(result) -> None:
+    prog = build()
+    expected = golden_output()
+    actual = read_words(
+        result.memory, prog.symbol("dhry_result"), len(expected)
+    )
+    if actual != expected:
+        raise AssertionError(
+            f"dhrystone result mismatch: {actual} != {expected}"
+        )

@@ -1,0 +1,274 @@
+"""FFT benchmark: 256-point radix-2 fixed-point FFT.
+
+Two frames of complex data go through an iterative in-place
+Cooley-Tukey FFT with Q14 twiddle factors and per-stage scaling by 2
+(the standard block-floating scheme that keeps every intermediate in
+32 bits).  Bit reversal uses an embedded permutation table.
+
+The butterfly loops produce strided access patterns whose stride
+doubles per stage — from neighbouring words up to half-array jumps —
+which exercises the MAB's set-index side across its full range.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from repro.isa import Program, assemble
+from repro.workloads.data import LCG, read_words, to_signed, words_directive
+
+N = 256
+STAGES = 8
+Q_SHIFT = 14
+NUM_FRAMES = 2
+SEED = 0xFF7
+
+
+def twiddle_tables() -> Tuple[List[int], List[int]]:
+    """Q14 twiddle factors W_N^k = exp(-2 pi i k / N), k < N/2."""
+    re, im = [], []
+    for k in range(N // 2):
+        angle = -2.0 * math.pi * k / N
+        re.append(int(round(math.cos(angle) * (1 << Q_SHIFT))))
+        im.append(int(round(math.sin(angle) * (1 << Q_SHIFT))))
+    return re, im
+
+
+def bit_reverse_table() -> List[int]:
+    table = []
+    bits = N.bit_length() - 1
+    for i in range(N):
+        rev = 0
+        for b in range(bits):
+            if i & (1 << b):
+                rev |= 1 << (bits - 1 - b)
+        table.append(rev)
+    return table
+
+
+def input_frames() -> Tuple[List[int], List[int]]:
+    """NUM_FRAMES frames of complex samples in [-8192, 8191]."""
+    rng = LCG(SEED)
+    re = [rng.next_range(-8192, 8192) for _ in range(NUM_FRAMES * N)]
+    im = [rng.next_range(-8192, 8192) for _ in range(NUM_FRAMES * N)]
+    return re, im
+
+
+# ----------------------------------------------------------------------
+# golden model
+# ----------------------------------------------------------------------
+
+def fft_fixed(re: List[int], im: List[int]) -> Tuple[List[int], List[int]]:
+    """Bit-exact model of the assembly FFT (scaling by 2 per stage)."""
+    w_re, w_im = twiddle_tables()
+    rev = bit_reverse_table()
+    a_re = [re[rev[i]] for i in range(N)]
+    a_im = [im[rev[i]] for i in range(N)]
+    m = 2
+    while m <= N:
+        half = m // 2
+        step = N // m
+        for k in range(0, N, m):
+            for j in range(half):
+                wr = w_re[j * step]
+                wi = w_im[j * step]
+                idx = k + j + half
+                t_re = (wr * a_re[idx] - wi * a_im[idx]) >> Q_SHIFT
+                t_im = (wr * a_im[idx] + wi * a_re[idx]) >> Q_SHIFT
+                u_re = a_re[k + j]
+                u_im = a_im[k + j]
+                a_re[k + j] = (u_re + t_re) >> 1
+                a_im[k + j] = (u_im + t_im) >> 1
+                a_re[idx] = (u_re - t_re) >> 1
+                a_im[idx] = (u_im - t_im) >> 1
+        m *= 2
+    return a_re, a_im
+
+
+def golden_output() -> Tuple[List[int], List[int]]:
+    re_in, im_in = input_frames()
+    out_re: List[int] = []
+    out_im: List[int] = []
+    for frame in range(NUM_FRAMES):
+        fr, fi = fft_fixed(
+            re_in[frame * N : frame * N + N],
+            im_in[frame * N : frame * N + N],
+        )
+        out_re.extend(fr)
+        out_im.extend(fi)
+    return out_re, out_im
+
+
+# ----------------------------------------------------------------------
+# program
+# ----------------------------------------------------------------------
+
+def build() -> Program:
+    re_in, im_in = input_frames()
+    w_re, w_im = twiddle_tables()
+    source = f"""
+# {N}-point radix-2 fixed-point FFT over {NUM_FRAMES} frames.
+.data
+fft_in_re:
+{words_directive(re_in)}
+fft_in_im:
+{words_directive(im_in)}
+fft_wre:
+{words_directive(w_re)}
+fft_wim:
+{words_directive(w_im)}
+fft_rev:
+{words_directive(bit_reverse_table())}
+fft_re:
+    .space {4 * N}
+fft_im:
+    .space {4 * N}
+fft_out_re:
+    .space {4 * NUM_FRAMES * N}
+fft_out_im:
+    .space {4 * NUM_FRAMES * N}
+
+.text
+main:
+    li   s11, 0              # frame counter
+frame_loop:
+    # ---- bit-reversal copy into working arrays -----------------------
+    la   t0, fft_rev
+    la   t1, fft_re
+    la   t2, fft_im
+    slli t3, s11, {2 + N.bit_length() - 1}   # frame * N * 4 bytes
+    la   t4, fft_in_re
+    add  t4, t4, t3
+    la   t5, fft_in_im
+    add  t5, t5, t3
+    li   s0, 0               # i
+rev_loop:
+    lw   t6, 0(t0)           # rev[i]
+    slli t6, t6, 2
+    add  a0, t4, t6
+    lw   a1, 0(a0)           # in_re[rev[i]]
+    sw   a1, 0(t1)
+    add  a0, t5, t6
+    lw   a1, 0(a0)           # in_im[rev[i]]
+    sw   a1, 0(t2)
+    addi t0, t0, 4
+    addi t1, t1, 4
+    addi t2, t2, 4
+    addi s0, s0, 1
+    li   a2, {N}
+    blt  s0, a2, rev_loop
+
+    # ---- butterfly stages --------------------------------------------
+    li   s1, 2               # m = 2
+stage_loop:
+    srai s2, s1, 1           # half = m / 2
+    li   t0, {N}
+    div  s3, t0, s1          # step = N / m
+    li   s4, 0               # k
+k_loop:
+    li   s5, 0               # j
+j_loop:
+    mul  t0, s5, s3          # j * step
+    slli t0, t0, 2
+    la   t1, fft_wre
+    add  t1, t1, t0
+    lw   a4, 0(t1)           # wr
+    la   t1, fft_wim
+    add  t1, t1, t0
+    lw   a5, 0(t1)           # wi
+
+    add  t2, s4, s5          # k + j
+    add  t3, t2, s2          # idx = k + j + half
+    slli t4, t2, 2
+    slli t5, t3, 2
+    la   t6, fft_re
+    la   a6, fft_im
+    add  a0, t6, t5          # &re[idx]
+    add  a1, a6, t5          # &im[idx]
+    lw   a2, 0(a0)           # re[idx]
+    lw   a3, 0(a1)           # im[idx]
+
+    mul  t0, a4, a2          # wr * re[idx]
+    mul  t1, a5, a3          # wi * im[idx]
+    sub  t0, t0, t1
+    srai t0, t0, {Q_SHIFT}   # t_re
+    mul  t1, a4, a3          # wr * im[idx]
+    mul  a7, a5, a2          # wi * re[idx]
+    add  t1, t1, a7
+    srai t1, t1, {Q_SHIFT}   # t_im
+
+    add  a0, t6, t4          # &re[k+j]
+    add  a1, a6, t4          # &im[k+j]
+    lw   a2, 0(a0)           # u_re
+    lw   a3, 0(a1)           # u_im
+
+    add  a7, a2, t0
+    srai a7, a7, 1
+    sw   a7, 0(a0)           # re[k+j] = (u_re + t_re) >> 1
+    add  a7, a3, t1
+    srai a7, a7, 1
+    sw   a7, 0(a1)           # im[k+j] = (u_im + t_im) >> 1
+    add  a0, t6, t5
+    add  a1, a6, t5
+    sub  a7, a2, t0
+    srai a7, a7, 1
+    sw   a7, 0(a0)           # re[idx] = (u_re - t_re) >> 1
+    sub  a7, a3, t1
+    srai a7, a7, 1
+    sw   a7, 0(a1)           # im[idx] = (u_im - t_im) >> 1
+
+    addi s5, s5, 1
+    blt  s5, s2, j_loop
+    add  s4, s4, s1          # k += m
+    li   t0, {N}
+    blt  s4, t0, k_loop
+    slli s1, s1, 1           # m *= 2
+    li   t0, {N}
+    ble  s1, t0, stage_loop
+
+    # ---- copy working arrays to the frame's output slot --------------
+    la   t0, fft_re
+    la   t1, fft_im
+    slli t3, s11, {2 + N.bit_length() - 1}
+    la   t4, fft_out_re
+    add  t4, t4, t3
+    la   t5, fft_out_im
+    add  t5, t5, t3
+    li   s0, 0
+copy_loop:
+    lw   a0, 0(t0)
+    sw   a0, 0(t4)
+    lw   a0, 0(t1)
+    sw   a0, 0(t5)
+    addi t0, t0, 4
+    addi t1, t1, 4
+    addi t4, t4, 4
+    addi t5, t5, 4
+    addi s0, s0, 1
+    li   a2, {N}
+    blt  s0, a2, copy_loop
+
+    addi s11, s11, 1
+    li   t0, {NUM_FRAMES}
+    blt  s11, t0, frame_loop
+    halt
+"""
+    return assemble(source, name="fft")
+
+
+def check(result) -> None:
+    prog = build()
+    expected_re, expected_im = golden_output()
+    actual_re = [
+        to_signed(w) for w in read_words(
+            result.memory, prog.symbol("fft_out_re"), len(expected_re)
+        )
+    ]
+    actual_im = [
+        to_signed(w) for w in read_words(
+            result.memory, prog.symbol("fft_out_im"), len(expected_im)
+        )
+    ]
+    if actual_re != expected_re or actual_im != expected_im:
+        raise AssertionError("FFT output mismatch against golden model")

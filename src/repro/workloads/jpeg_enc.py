@@ -1,0 +1,235 @@
+"""JPEG encoder benchmark: DCT + quantisation + zigzag + run-length.
+
+The compute core of a baseline JPEG encoder over ``NUM_BLOCKS`` 8x8
+blocks: level shift, separable Q12 DCT, quantisation by the standard
+luminance table (integer division), zigzag reordering and zero-run
+RLE into an output stream.  Compared to the plain DCT benchmark this
+adds table-driven indirection (zigzag), data-dependent control flow
+(runs) and division.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isa import Program, assemble
+from repro.workloads.data import LCG, read_words, words_directive
+from repro.workloads.dct import cosine_table, dct_2d
+from repro.workloads.kernels import dct1d_asm, dct2d_driver_asm
+
+NUM_BLOCKS = 12
+SEED = 0x1BE6
+EOB_MARKER = 255
+
+#: The standard JPEG luminance quantisation table (Annex K).
+QUANT_TABLE = [
+    16, 11, 10, 16, 24, 40, 51, 61,
+    12, 12, 14, 19, 26, 58, 60, 55,
+    14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62,
+    18, 22, 37, 56, 68, 109, 103, 77,
+    24, 35, 55, 64, 81, 104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101,
+    72, 92, 95, 98, 112, 100, 103, 99,
+]
+
+#: Zigzag scan order: position i of the stream reads block[ZIGZAG[i]].
+ZIGZAG = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5,
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6, 7, 14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+]
+
+
+def input_blocks() -> List[int]:
+    """Smooth-ish pseudo image data (mixes a gradient with noise)."""
+    rng = LCG(SEED)
+    pixels = []
+    for blk in range(NUM_BLOCKS):
+        for y in range(8):
+            for x in range(8):
+                base = (blk * 11 + y * 9 + x * 5) % 160 + 40
+                pixels.append((base + rng.next_range(-16, 17)) % 256)
+    return pixels
+
+
+def _trunc_div(a: int, b: int) -> int:
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+# ----------------------------------------------------------------------
+# golden model
+# ----------------------------------------------------------------------
+
+def encode_block(block: List[int], table: List[int]) -> List[int]:
+    """Level shift, DCT, quantise, zigzag, RLE one 8x8 block."""
+    shifted = [p - 128 for p in block]
+    coeffs = dct_2d(shifted, table)
+    quantised = [
+        _trunc_div(coeffs[i], QUANT_TABLE[i]) for i in range(64)
+    ]
+    stream: List[int] = []
+    run = 0
+    for pos in range(64):
+        value = quantised[ZIGZAG[pos]]
+        if value == 0:
+            run += 1
+        else:
+            stream.append(run)
+            stream.append(value & 0xFFFFFFFF)
+            run = 0
+    stream.append(EOB_MARKER)
+    stream.append(0)
+    return stream
+
+
+def golden_output() -> List[int]:
+    """(stream length, checksum) like the assembly result block."""
+    table = cosine_table()
+    pixels = input_blocks()
+    stream: List[int] = []
+    for blk in range(NUM_BLOCKS):
+        stream.extend(
+            encode_block(pixels[blk * 64 : blk * 64 + 64], table)
+        )
+    checksum = 0
+    for word in stream:
+        checksum = (checksum * 31 + word) & 0xFFFFFFFF
+    return [len(stream), checksum]
+
+
+# ----------------------------------------------------------------------
+# program
+# ----------------------------------------------------------------------
+
+def build() -> Program:
+    source = f"""
+# JPEG encoder core: {NUM_BLOCKS} blocks -> DCT -> quant -> zigzag -> RLE.
+.data
+jpg_input:
+{words_directive(input_blocks())}
+jpg_costab:
+{words_directive(cosine_table())}
+jpg_quant:
+{words_directive(QUANT_TABLE)}
+jpg_zigzag:
+{words_directive(ZIGZAG)}
+jpg_shifted:
+    .space 256
+jpg_coeffs:
+    .space 256
+jpg_stream:
+    .space {4 * NUM_BLOCKS * 140}
+jpg_result:
+    .space 8
+
+.text
+main:
+    la   s2, jpg_input
+    la   s3, jpg_stream      # output cursor
+    li   s0, 0               # block counter
+jblk_loop:
+    # ---- level shift into jpg_shifted ---------------------------------
+    la   t0, jpg_shifted
+    mv   t1, s2
+    li   t2, 64
+shift_loop:
+    lw   t3, 0(t1)
+    addi t3, t3, -128
+    sw   t3, 0(t0)
+    addi t0, t0, 4
+    addi t1, t1, 4
+    addi t2, t2, -1
+    bnez t2, shift_loop
+
+    # ---- 2-D DCT -------------------------------------------------------
+    la   s5, jpg_shifted
+    la   s6, jpg_coeffs
+    call jdct2d
+
+    # ---- quantise in place ----------------------------------------------
+    la   t0, jpg_coeffs
+    la   t1, jpg_quant
+    li   t2, 64
+quant_loop:
+    lw   t3, 0(t0)
+    lw   t4, 0(t1)
+    div  t3, t3, t4
+    sw   t3, 0(t0)
+    addi t0, t0, 4
+    addi t1, t1, 4
+    addi t2, t2, -1
+    bnez t2, quant_loop
+
+    # ---- zigzag + RLE ----------------------------------------------------
+    la   t0, jpg_zigzag
+    la   t1, jpg_coeffs
+    li   t2, 0               # position
+    li   t5, 0               # zero run length
+rle_loop:
+    lw   t3, 0(t0)           # zigzag index
+    slli t3, t3, 2
+    add  t3, t1, t3
+    lw   t4, 0(t3)           # quantised value
+    beqz t4, rle_zero
+    sw   t5, 0(s3)           # emit run length
+    sw   t4, 4(s3)           # emit value
+    addi s3, s3, 8
+    li   t5, 0
+    j    rle_next
+rle_zero:
+    addi t5, t5, 1
+rle_next:
+    addi t0, t0, 4
+    addi t2, t2, 1
+    li   t6, 64
+    blt  t2, t6, rle_loop
+    li   t6, {EOB_MARKER}    # end-of-block marker
+    sw   t6, 0(s3)
+    sw   zero, 4(s3)
+    addi s3, s3, 8
+
+    addi s2, s2, 256         # next input block
+    addi s0, s0, 1
+    li   t0, {NUM_BLOCKS}
+    blt  s0, t0, jblk_loop
+
+    # ---- stream length + checksum ----------------------------------------
+    la   t0, jpg_stream
+    sub  t2, s3, t0          # bytes emitted
+    srli t2, t2, 2           # words emitted
+    li   t1, 0               # checksum
+    mv   t3, t2              # counter
+    li   t5, 31
+jck_loop:
+    lw   t4, 0(t0)
+    mul  t1, t1, t5
+    add  t1, t1, t4
+    addi t0, t0, 4
+    addi t3, t3, -1
+    bnez t3, jck_loop
+    la   t6, jpg_result
+    sw   t2, 0(t6)
+    sw   t1, 4(t6)
+    halt
+
+{dct1d_asm("jdct1d", "jpg_costab")}
+{dct2d_driver_asm("jdct2d", "jdct1d", "jpg_tmp")}
+
+.data
+jpg_tmp:
+    .space 256
+"""
+    return assemble(source, name="jpeg_enc")
+
+
+def check(result) -> None:
+    prog = build()
+    expected = golden_output()
+    actual = read_words(result.memory, prog.symbol("jpg_result"), 2)
+    if actual != expected:
+        raise AssertionError(
+            f"jpeg_enc mismatch: {actual} != {expected}"
+        )

@@ -1,0 +1,84 @@
+"""Shared assembly kernel generators used by multiple workloads."""
+
+from __future__ import annotations
+
+
+def dct1d_asm(name: str, table_label: str, q_shift: int = 12) -> str:
+    """Emit an 8-point fixed-point DCT subroutine.
+
+    Signature: ``name(a0=src, a1=dst, a2=src stride, a3=dst stride)``;
+    walks the 64-entry Q``q_shift`` coefficient table at
+    ``table_label`` row-major.  Clobbers t0-t6, a5.
+    """
+    return f"""
+# {name}(a0=src, a1=dst, a2=src stride, a3=dst stride): 8-point DCT.
+{name}:
+    la   t6, {table_label}
+    li   t0, 0               # u
+    li   a5, 8
+{name}_u:
+    li   t1, 0               # x
+    li   t2, 0               # accumulator
+    mv   t3, a0              # sample pointer
+{name}_x:
+    lw   t4, 0(t3)
+    lw   t5, 0(t6)
+    mul  t4, t4, t5
+    add  t2, t2, t4
+    add  t3, t3, a2
+    addi t6, t6, 4
+    addi t1, t1, 1
+    blt  t1, a5, {name}_x
+    srai t2, t2, {q_shift}
+    sw   t2, 0(a1)
+    add  a1, a1, a3
+    addi t0, t0, 1
+    blt  t0, a5, {name}_u
+    ret
+"""
+
+
+def dct2d_driver_asm(
+    name: str,
+    dct1d_name: str,
+    tmp_label: str,
+) -> str:
+    """Emit a 2-D 8x8 DCT subroutine built on ``dct1d_name``.
+
+    Signature: ``name(s5=src block, s6=dst block)`` — row pass into the
+    ``tmp_label`` scratch block, column pass into the destination.
+    Clobbers s4, t0 and everything ``dct1d_name`` clobbers; preserves
+    ra via the stack.
+    """
+    return f"""
+# {name}(s5=src block, s6=dst block): separable 8x8 DCT.
+{name}:
+    addi sp, sp, -4
+    sw   ra, 0(sp)
+    la   s1, {tmp_label}
+    li   s4, 0               # row index
+{name}_rows:
+    slli t0, s4, 5           # r * 32 bytes
+    add  a0, s5, t0
+    add  a1, s1, t0
+    li   a2, 4
+    li   a3, 4
+    call {dct1d_name}
+    addi s4, s4, 1
+    li   t0, 8
+    blt  s4, t0, {name}_rows
+    li   s4, 0               # column index
+{name}_cols:
+    slli t0, s4, 2           # c * 4 bytes
+    add  a0, s1, t0
+    add  a1, s6, t0
+    li   a2, 32
+    li   a3, 32
+    call {dct1d_name}
+    addi s4, s4, 1
+    li   t0, 8
+    blt  s4, t0, {name}_cols
+    lw   ra, 0(sp)
+    addi sp, sp, 4
+    ret
+"""

@@ -1,0 +1,261 @@
+"""MPEG-2 encoder benchmark: motion estimation + residual coding.
+
+The dominant compute of an MPEG-2 encoder is block-matching motion
+estimation: for each 16x16 macroblock of the current frame, a full
+search over a +/-``SEARCH`` pixel window of the reference frame finds
+the motion vector minimising the sum of absolute differences (SAD).
+The benchmark then computes a residual checksum for the best match.
+
+The current frame is a genuinely displaced copy of the reference
+(plus noise), so the search recovers real motion; the SAD loops
+produce long runs of byte loads from two frames with slowly sliding
+bases — the inter-cache-line data locality the paper's D-cache MAB
+targets.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.isa import Program, assemble
+from repro.workloads.data import (
+    LCG,
+    bytes_directive,
+    read_words,
+    words_directive,
+)
+
+FRAME_DIM = 48           # frames are FRAME_DIM x FRAME_DIM bytes
+MB_SIZE = 16             # macroblock edge
+SEARCH = 2               # +/- search range
+TRUE_DY, TRUE_DX = 1, 2  # motion embedded in the current frame
+#: Macroblock origins (y, x) in the current frame.
+MB_ORIGINS = ((8, 8), (8, 24), (24, 8), (24, 24))
+SEED = 0x3BE6
+
+
+def frames() -> Tuple[bytes, bytes]:
+    """(reference, current): current is reference shifted by the true
+    motion vector with +-2 greylevel noise."""
+    rng = LCG(SEED)
+    ref = bytes(
+        rng.next_range(0, 256) for _ in range(FRAME_DIM * FRAME_DIM)
+    )
+    cur = bytearray(FRAME_DIM * FRAME_DIM)
+    noise_rng = LCG(SEED ^ 0xFFFF)
+    for y in range(FRAME_DIM):
+        for x in range(FRAME_DIM):
+            sy = min(max(y + TRUE_DY, 0), FRAME_DIM - 1)
+            sx = min(max(x + TRUE_DX, 0), FRAME_DIM - 1)
+            value = ref[sy * FRAME_DIM + sx] + noise_rng.next_range(-2, 3)
+            cur[y * FRAME_DIM + x] = value % 256
+    return ref, bytes(cur)
+
+
+# ----------------------------------------------------------------------
+# golden model
+# ----------------------------------------------------------------------
+
+def _sad(cur: bytes, ref: bytes, cy: int, cx: int,
+         ry: int, rx: int) -> int:
+    total = 0
+    for y in range(MB_SIZE):
+        for x in range(MB_SIZE):
+            a = cur[(cy + y) * FRAME_DIM + (cx + x)]
+            b = ref[(ry + y) * FRAME_DIM + (rx + x)]
+            total += abs(a - b)
+    return total
+
+
+def motion_search(cur: bytes, ref: bytes, my: int, mx: int
+                  ) -> Tuple[int, int, int]:
+    """Best (sad, dy, dx) over the search window, first-found ties."""
+    best = (1 << 31) - 1
+    best_dy = best_dx = 0
+    for dy in range(-SEARCH, SEARCH + 1):
+        for dx in range(-SEARCH, SEARCH + 1):
+            sad = _sad(cur, ref, my, mx, my + dy, mx + dx)
+            if sad < best:
+                best, best_dy, best_dx = sad, dy, dx
+    return best, best_dy, best_dx
+
+
+def golden_output() -> List[int]:
+    ref, cur = frames()
+    out: List[int] = []
+    for my, mx in MB_ORIGINS:
+        best, dy, dx = motion_search(cur, ref, my, mx)
+        residual = 0
+        for y in range(MB_SIZE):
+            for x in range(MB_SIZE):
+                a = cur[(my + y) * FRAME_DIM + (mx + x)]
+                b = ref[(my + dy + y) * FRAME_DIM + (mx + dx + x)]
+                residual = (residual * 31 + ((a - b) & 0xFF)) & 0xFFFFFFFF
+        out.extend([best, (dy + SEARCH), (dx + SEARCH), residual])
+    return out
+
+
+# ----------------------------------------------------------------------
+# program
+# ----------------------------------------------------------------------
+
+def build() -> Program:
+    ref, cur = frames()
+    origins = []
+    for my, mx in MB_ORIGINS:
+        origins.extend([my, mx])
+    source = f"""
+# MPEG-2 motion estimation over {len(MB_ORIGINS)} macroblocks,
+# +/-{SEARCH} full search, {MB_SIZE}x{MB_SIZE} SAD.
+.data
+mpg_ref:
+{bytes_directive(ref)}
+mpg_cur:
+{bytes_directive(cur)}
+.align 2
+mpg_origins:
+{words_directive(origins)}
+mpg_result:
+    .space {16 * len(MB_ORIGINS)}
+
+.text
+main:
+    la   s0, mpg_origins
+    la   s1, mpg_result
+    li   s2, 0               # macroblock counter
+mb_loop:
+    lw   s3, 0(s0)           # my
+    lw   s4, 4(s0)           # mx
+    addi s0, s0, 8
+
+    li   s5, 0x7FFFFFFF      # best sad
+    li   s6, 0               # best dy (biased 0..2*SEARCH)
+    li   s7, 0               # best dx
+    li   s8, {-SEARCH}       # dy
+dy_loop:
+    li   s9, {-SEARCH}       # dx
+dx_loop:
+    # a2/a3 = top-left offsets of cur / ref candidate block
+    mv   a0, s3
+    mv   a1, s4
+    add  a2, s3, s8          # ry = my + dy
+    add  a3, s4, s9          # rx = mx + dx
+    call sad16
+    bge  a0, s5, not_better
+    mv   s5, a0
+    addi s6, s8, {SEARCH}
+    addi s7, s9, {SEARCH}
+not_better:
+    addi s9, s9, 1
+    li   t0, {SEARCH}
+    ble  s9, t0, dx_loop
+    addi s8, s8, 1
+    li   t0, {SEARCH}
+    ble  s8, t0, dy_loop
+
+    # ---- residual checksum at the best vector --------------------------
+    addi t0, s6, {-SEARCH}   # dy
+    addi t1, s7, {-SEARCH}   # dx
+    add  a2, s3, t0
+    add  a3, s4, t1
+    mv   a0, s3
+    mv   a1, s4
+    call residual16
+    mv   s10, a0
+
+    sw   s5, 0(s1)
+    sw   s6, 4(s1)
+    sw   s7, 8(s1)
+    sw   s10, 12(s1)
+    addi s1, s1, 16
+    addi s2, s2, 1
+    li   t0, {len(MB_ORIGINS)}
+    blt  s2, t0, mb_loop
+    halt
+
+# sad16(a0=cy, a1=cx, a2=ry, a3=rx) -> a0: 16x16 SAD between frames.
+sad16:
+    li   t0, {FRAME_DIM}
+    mul  t1, a0, t0          # cy * DIM
+    add  t1, t1, a1
+    la   t2, mpg_cur
+    add  t1, t2, t1          # cur row pointer
+    mul  t3, a2, t0
+    add  t3, t3, a3
+    la   t2, mpg_ref
+    add  t3, t2, t3          # ref row pointer
+    li   t4, 0               # sad accumulator
+    li   t5, {MB_SIZE}       # rows remaining
+sad_row:
+    li   t6, {MB_SIZE}       # cols remaining
+    mv   a4, t1
+    mv   a5, t3
+sad_col:
+    lbu  a6, 0(a4)
+    lbu  a7, 0(a5)
+    sub  a6, a6, a7
+    srai a7, a6, 31          # abs() via sign mask
+    xor  a6, a6, a7
+    sub  a6, a6, a7
+    add  t4, t4, a6
+    addi a4, a4, 1
+    addi a5, a5, 1
+    addi t6, t6, -1
+    bnez t6, sad_col
+    addi t1, t1, {FRAME_DIM}
+    addi t3, t3, {FRAME_DIM}
+    addi t5, t5, -1
+    bnez t5, sad_row
+    mv   a0, t4
+    ret
+
+# residual16(a0=cy, a1=cx, a2=ry, a3=rx) -> a0: checksum of the
+# byte differences of the matched block.
+residual16:
+    li   t0, {FRAME_DIM}
+    mul  t1, a0, t0
+    add  t1, t1, a1
+    la   t2, mpg_cur
+    add  t1, t2, t1
+    mul  t3, a2, t0
+    add  t3, t3, a3
+    la   t2, mpg_ref
+    add  t3, t2, t3
+    li   t4, 0               # checksum
+    li   t5, {MB_SIZE}
+    li   a6, 31
+res_row:
+    li   t6, {MB_SIZE}
+    mv   a4, t1
+    mv   a5, t3
+res_col:
+    lbu  a7, 0(a4)
+    lbu  t2, 0(a5)
+    sub  a7, a7, t2
+    andi a7, a7, 255
+    mul  t4, t4, a6
+    add  t4, t4, a7
+    addi a4, a4, 1
+    addi a5, a5, 1
+    addi t6, t6, -1
+    bnez t6, res_col
+    addi t1, t1, {FRAME_DIM}
+    addi t3, t3, {FRAME_DIM}
+    addi t5, t5, -1
+    bnez t5, res_row
+    mv   a0, t4
+    ret
+"""
+    return assemble(source, name="mpeg2enc")
+
+
+def check(result) -> None:
+    prog = build()
+    expected = golden_output()
+    actual = read_words(
+        result.memory, prog.symbol("mpg_result"), len(expected)
+    )
+    if actual != expected:
+        raise AssertionError(
+            f"mpeg2enc mismatch: {actual[:8]} != {expected[:8]}"
+        )

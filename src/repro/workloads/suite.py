@@ -1,0 +1,98 @@
+"""Benchmark registry and cached workload execution.
+
+Experiments and tests obtain workloads through :func:`load_workload`,
+which assembles the benchmark, runs it on the ISS once per process and
+caches the resulting traces (execution is deterministic, so caching is
+sound and keeps the full-suite experiments fast).
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable, Tuple
+
+from repro.isa import Program
+from repro.sim import ExecutionResult, FetchStream, fetch_stream, run_program
+from repro.sim.fetch import DEFAULT_FETCH_BYTES
+from repro.sim.trace import ExecutionTrace
+
+#: The seven benchmarks of the paper's Section 4, in paper order.
+BENCHMARK_NAMES: Tuple[str, ...] = (
+    "dct",
+    "fft",
+    "dhrystone",
+    "whetstone",
+    "compress",
+    "jpeg_enc",
+    "mpeg2enc",
+)
+
+_MODULES = {
+    "dct": "repro.workloads.dct",
+    "fft": "repro.workloads.fft",
+    "dhrystone": "repro.workloads.dhrystone",
+    "whetstone": "repro.workloads.whetstone",
+    "compress": "repro.workloads.compress",
+    "jpeg_enc": "repro.workloads.jpeg_enc",
+    "mpeg2enc": "repro.workloads.mpeg2enc",
+}
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """A registered benchmark: builder + golden-model checker."""
+
+    name: str
+    build: Callable[[], Program]
+    check: Callable[[ExecutionResult], None]
+
+
+def get_benchmark(name: str) -> Benchmark:
+    """Look up a benchmark by its paper name."""
+    if name not in _MODULES:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {BENCHMARK_NAMES}"
+        )
+    module = importlib.import_module(_MODULES[name])
+    return Benchmark(name=name, build=module.build, check=module.check)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """Cached result of running one benchmark on the ISS.
+
+    ``cycles`` uses the VLIW fetch model: the FR-V issues one 8-byte
+    fetch packet per cycle, so program cycles equal the number of
+    fetch-packet accesses.  All architectures share this time base
+    (the paper's technique adds no cycles); penalty baselines add
+    their ``extra_cycles`` on top.
+    """
+
+    name: str
+    trace: ExecutionTrace
+    fetch: FetchStream
+    cycles: int
+
+
+def run_benchmark(name: str) -> ExecutionResult:
+    """Assemble and execute ``name``, without caching (used by tests)."""
+    return run_program(get_benchmark(name).build())
+
+
+@lru_cache(maxsize=None)
+def load_workload(
+    name: str, packet_bytes: int = DEFAULT_FETCH_BYTES
+) -> Workload:
+    """Run ``name`` once and return its cached traces."""
+    result = run_benchmark(name)
+    if not result.halted:
+        raise RuntimeError(f"benchmark {name} did not halt")
+    fetch = fetch_stream(result.trace.flow, packet_bytes)
+    return Workload(
+        name=name,
+        trace=result.trace,
+        fetch=fetch,
+        cycles=len(fetch),
+    )

@@ -1,0 +1,352 @@
+"""Whetstone-like benchmark: fixed-point numeric module mix.
+
+The original Whetstone measures floating-point module throughput.
+FRL-32 (like many embedded ASIP cores, including FR-V integer
+pipelines) has no FPU, so the modules run in Q12 fixed point with
+polynomial approximations standing in for the transcendental calls —
+the standard embedded-benchmark port.  The module structure (and the
+register-heavy, low-memory-traffic profile that distinguishes
+whetstone from the other six workloads) is preserved:
+
+* module 1: simple identities over four scalars,
+* module 2: the same identities over an array in memory,
+* module 3: trigonometric approximation (cubic ``sin`` polynomial),
+* module 6: integer arithmetic,
+* module 7: ``atan``-flavoured rational polynomial,
+* module 8: procedure calls passing three parameters.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isa import Program, assemble
+from repro.workloads.data import read_words, to_signed
+
+Q = 12
+ONE = 1 << Q
+T_CONST = int(0.499975 * ONE)   # the Whetstone magic constant
+T2_CONST = int(0.50025 * ONE)
+N1 = 1200   # module repeat counts (scaled-down Whetstone weights)
+N2 = 1400
+N3 = 1200
+N6 = 2100
+N7 = 1200
+N8 = 1000
+
+
+def _mulq(a: int, b: int) -> int:
+    """Q12 multiply with arithmetic shift, bit-exact with the asm."""
+    return (a * b) >> Q
+
+
+def _trunc_div(a: int, b: int) -> int:
+    """Division truncating toward zero (FRL-32 ``div`` semantics)."""
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+# ----------------------------------------------------------------------
+# golden model
+# ----------------------------------------------------------------------
+
+def _sin_poly(x: int) -> int:
+    """Cubic sine approximation in Q12: x - x^3/6."""
+    x3 = _mulq(_mulq(x, x), x)
+    return x - _trunc_div(x3, 6)
+
+
+def _atan_poly(x: int) -> int:
+    """atan approximation in Q12: x - x^3/3 + x^5/5."""
+    x2 = _mulq(x, x)
+    x3 = _mulq(x2, x)
+    x5 = _mulq(x3, x2)
+    return x - _trunc_div(x3, 3) + _trunc_div(x5, 5)
+
+
+def _p3(x: int, y: int) -> int:
+    """Whetstone P3: z = (x + y) * T."""
+    return _mulq(x + y, T_CONST)
+
+
+def golden_output() -> List[int]:
+    # Module 1: scalars.
+    x1, x2, x3, x4 = ONE, -ONE, -ONE, -ONE
+    for _ in range(N1):
+        x1 = _mulq(x1 + x2 + x3 - x4, T_CONST)
+        x2 = _mulq(x1 + x2 - x3 + x4, T_CONST)
+        x3 = _mulq(x1 - x2 + x3 + x4, T_CONST)
+        x4 = _mulq(-x1 + x2 + x3 + x4, T_CONST)
+
+    # Module 2: array elements.
+    e1 = [ONE, -ONE, -ONE, -ONE]
+    for _ in range(N2):
+        e1[0] = _mulq(e1[0] + e1[1] + e1[2] - e1[3], T_CONST)
+        e1[1] = _mulq(e1[0] + e1[1] - e1[2] + e1[3], T_CONST)
+        e1[2] = _mulq(e1[0] - e1[1] + e1[2] + e1[3], T_CONST)
+        e1[3] = _mulq(-e1[0] + e1[1] + e1[2] + e1[3], T_CONST)
+
+    # Module 3: trig polynomial chain.
+    t3 = ONE // 2
+    for _ in range(N3):
+        t3 = _mulq(_sin_poly(t3) + _sin_poly(ONE - t3), T2_CONST)
+
+    # Module 6: integer arithmetic.
+    j, k, l = 1, 2, 3
+    for _ in range(N6):
+        j = j * (k - j) * (l - k)
+        k = l * k - (l - j) * k
+        l = (l - k) * (k + j)
+        # Wrap to 32 bits like the hardware registers.
+        j &= 0xFFFFFFFF
+        k &= 0xFFFFFFFF
+        l &= 0xFFFFFFFF
+        j = to_signed(j)
+        k = to_signed(k)
+        l = to_signed(l)
+
+    # Module 7: atan polynomial chain.
+    t7 = ONE // 4
+    for _ in range(N7):
+        t7 = _mulq(_atan_poly(t7) + _atan_poly(ONE // 2 - t7), T_CONST)
+
+    # Module 8: procedure calls.
+    x, y, z = ONE, ONE, 0
+    for _ in range(N8):
+        z = _p3(x, y)
+        x = _mulq(z, T_CONST)
+        y = z - x
+
+    return [
+        v & 0xFFFFFFFF
+        for v in (x1, x2, x3, x4, e1[0], e1[3], t3, j, k, l, t7, z)
+    ]
+
+
+# ----------------------------------------------------------------------
+# program
+# ----------------------------------------------------------------------
+
+def build() -> Program:
+    source = f"""
+# Whetstone-like fixed-point module mix (Q12).
+.data
+whet_e1:
+    .word {ONE}, {-ONE & 0xFFFFFFFF}, {-ONE & 0xFFFFFFFF}, {-ONE & 0xFFFFFFFF}
+whet_result:
+    .space 48
+
+.text
+main:
+    li   s11, {T_CONST}      # T
+    li   s10, {T2_CONST}     # T2
+
+    # ---- module 1: scalars in registers -------------------------------
+    li   s0, {ONE}           # x1
+    li   s1, {-ONE}          # x2
+    li   s2, {-ONE}          # x3
+    li   s3, {-ONE}          # x4
+    li   s4, 0
+m1_loop:
+    add  t0, s0, s1
+    add  t0, t0, s2
+    sub  t0, t0, s3
+    mul  t0, t0, s11
+    srai s0, t0, {Q}
+    add  t0, s0, s1
+    sub  t0, t0, s2
+    add  t0, t0, s3
+    mul  t0, t0, s11
+    srai s1, t0, {Q}
+    sub  t0, s0, s1
+    add  t0, t0, s2
+    add  t0, t0, s3
+    mul  t0, t0, s11
+    srai s2, t0, {Q}
+    sub  t0, s1, s0
+    add  t0, t0, s2
+    add  t0, t0, s3
+    mul  t0, t0, s11
+    srai s3, t0, {Q}
+    addi s4, s4, 1
+    li   t1, {N1}
+    blt  s4, t1, m1_loop
+    la   t6, whet_result
+    sw   s0, 0(t6)
+    sw   s1, 4(t6)
+    sw   s2, 8(t6)
+    sw   s3, 12(t6)
+
+    # ---- module 2: the same identities over memory ---------------------
+    la   s5, whet_e1
+    li   s4, 0
+m2_loop:
+    lw   t0, 0(s5)
+    lw   t1, 4(s5)
+    lw   t2, 8(s5)
+    lw   t3, 12(s5)
+    add  t4, t0, t1
+    add  t4, t4, t2
+    sub  t4, t4, t3
+    mul  t4, t4, s11
+    srai t0, t4, {Q}
+    sw   t0, 0(s5)
+    add  t4, t0, t1
+    sub  t4, t4, t2
+    add  t4, t4, t3
+    mul  t4, t4, s11
+    srai t1, t4, {Q}
+    sw   t1, 4(s5)
+    sub  t4, t0, t1
+    add  t4, t4, t2
+    add  t4, t4, t3
+    mul  t4, t4, s11
+    srai t2, t4, {Q}
+    sw   t2, 8(s5)
+    sub  t4, t1, t0
+    add  t4, t4, t2
+    add  t4, t4, t3
+    mul  t4, t4, s11
+    srai t3, t4, {Q}
+    sw   t3, 12(s5)
+    addi s4, s4, 1
+    li   t5, {N2}
+    blt  s4, t5, m2_loop
+    la   t6, whet_result
+    lw   t0, 0(s5)
+    sw   t0, 16(t6)
+    lw   t0, 12(s5)
+    sw   t0, 20(t6)
+
+    # ---- module 3: sine polynomial chain -------------------------------
+    li   s0, {ONE // 2}      # t3
+    li   s4, 0
+m3_loop:
+    mv   a0, s0
+    call sinq
+    mv   s1, a0              # sin(t3)
+    li   t0, {ONE}
+    sub  a0, t0, s0
+    call sinq                # sin(1 - t3)
+    add  t0, s1, a0
+    mul  t0, t0, s10
+    srai s0, t0, {Q}
+    addi s4, s4, 1
+    li   t1, {N3}
+    blt  s4, t1, m3_loop
+    la   t6, whet_result
+    sw   s0, 24(t6)
+
+    # ---- module 6: integer arithmetic ----------------------------------
+    li   s0, 1               # j
+    li   s1, 2               # k
+    li   s2, 3               # l
+    li   s4, 0
+m6_loop:
+    sub  t0, s1, s0          # k - j
+    mul  t0, s0, t0
+    sub  t1, s2, s1          # l - k
+    mul  s0, t0, t1          # j = j*(k-j)*(l-k)
+    mul  t0, s2, s1          # l*k
+    sub  t1, s2, s0          # l - j
+    mul  t1, t1, s1
+    sub  s1, t0, t1          # k = l*k - (l-j)*k
+    sub  t0, s2, s1          # l - k
+    add  t1, s1, s0          # k + j
+    mul  s2, t0, t1          # l = (l-k)*(k+j)
+    addi s4, s4, 1
+    li   t2, {N6}
+    blt  s4, t2, m6_loop
+    la   t6, whet_result
+    sw   s0, 28(t6)
+    sw   s1, 32(t6)
+    sw   s2, 36(t6)
+
+    # ---- module 7: atan polynomial chain --------------------------------
+    li   s0, {ONE // 4}      # t7
+    li   s4, 0
+m7_loop:
+    mv   a0, s0
+    call atanq
+    mv   s1, a0
+    li   t0, {ONE // 2}
+    sub  a0, t0, s0
+    call atanq
+    add  t0, s1, a0
+    mul  t0, t0, s11
+    srai s0, t0, {Q}
+    addi s4, s4, 1
+    li   t1, {N7}
+    blt  s4, t1, m7_loop
+    la   t6, whet_result
+    sw   s0, 40(t6)
+
+    # ---- module 8: procedure calls --------------------------------------
+    li   s0, {ONE}           # x
+    li   s1, {ONE}           # y
+    li   s2, 0               # z
+    li   s4, 0
+m8_loop:
+    mv   a0, s0
+    mv   a1, s1
+    call p3
+    mv   s2, a0              # z
+    mul  t0, s2, s11
+    srai s0, t0, {Q}         # x = z * T
+    sub  s1, s2, s0          # y = z - x
+    addi s4, s4, 1
+    li   t1, {N8}
+    blt  s4, t1, m8_loop
+    la   t6, whet_result
+    sw   s2, 44(t6)
+    halt
+
+# sinq(a0=x) -> a0 = x - (x*x*x >> 2Q) / 6   (Q12 cubic approximation)
+sinq:
+    mul  t0, a0, a0
+    srai t0, t0, {Q}
+    mul  t0, t0, a0
+    srai t0, t0, {Q}         # x^3 in Q12
+    li   t1, 6
+    div  t0, t0, t1
+    sub  a0, a0, t0
+    ret
+
+# atanq(a0=x) -> a0 = x - x^3/3 + x^5/5   (Q12)
+atanq:
+    mul  t0, a0, a0
+    srai t0, t0, {Q}         # x^2
+    mul  t1, t0, a0
+    srai t1, t1, {Q}         # x^3
+    mul  t2, t1, t0
+    srai t2, t2, {Q}         # x^5
+    li   t3, 3
+    div  t1, t1, t3
+    li   t3, 5
+    div  t2, t2, t3
+    sub  a0, a0, t1
+    add  a0, a0, t2
+    ret
+
+# p3(a0=x, a1=y) -> a0 = (x + y) * T >> Q
+p3:
+    add  a0, a0, a1
+    mul  a0, a0, s11
+    srai a0, a0, {Q}
+    ret
+"""
+    return assemble(source, name="whetstone")
+
+
+def check(result) -> None:
+    prog = build()
+    expected = golden_output()
+    actual = read_words(
+        result.memory, prog.symbol("whet_result"), len(expected)
+    )
+    if actual != expected:
+        diffs = [
+            (i, a, e) for i, (a, e) in enumerate(zip(actual, expected))
+            if a != e
+        ]
+        raise AssertionError(f"whetstone result mismatch: {diffs[:4]}")

@@ -1,0 +1,19 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import BENCHMARK_NAMES, load_workload
+
+
+@pytest.fixture(scope="session", params=BENCHMARK_NAMES)
+def workload(request):
+    """One cached workload per paper benchmark (runs the ISS once)."""
+    return load_workload(request.param)
+
+
+@pytest.fixture(scope="session")
+def dct_workload():
+    """The DCT workload (cheap, reused by many architecture tests)."""
+    return load_workload("dct")

@@ -1,0 +1,210 @@
+"""Baseline architecture tests: accounting rules and orderings."""
+
+import numpy as np
+
+from repro.baselines import (
+    FilterCacheDCache,
+    FilterCacheICache,
+    OriginalDCache,
+    OriginalICache,
+    PanwarICache,
+    SetBufferDCache,
+    TwoPhaseDCache,
+    TwoPhaseICache,
+    WayPredictionDCache,
+    WayPredictionICache,
+)
+from repro.sim.fetch import FetchKind, FetchStream
+from repro.sim.trace import DataTrace
+from repro.workloads import synthetic_data_trace, synthetic_fetch_stream
+
+START, SEQ, BR = (
+    int(FetchKind.START), int(FetchKind.SEQ), int(FetchKind.BRANCH)
+)
+
+
+def data_trace(records):
+    base, disp, store = zip(*records)
+    return DataTrace.from_lists(base, disp, store)
+
+
+def fetch(records):
+    addr, kind, base, disp = zip(*records)
+    return FetchStream(
+        addr=np.asarray(addr, dtype=np.uint32),
+        kind=np.asarray(kind, dtype=np.uint8),
+        base=np.asarray(base, dtype=np.uint32),
+        disp=np.asarray(disp, dtype=np.int32),
+        packet_bytes=8,
+    )
+
+
+# ----------------------------------------------------------------------
+# original
+# ----------------------------------------------------------------------
+
+def test_original_dcache_load_touches_all_ways():
+    c = OriginalDCache().process(data_trace([
+        (0x40000, 0, False),   # miss: 2 tags, 2 ways + refill
+        (0x40000, 4, False),   # hit: 2 tags, 2 ways
+    ]))
+    assert c.tag_accesses == 4
+    assert c.way_accesses == (2 + 1) + 2
+
+
+def test_original_dcache_store_single_way():
+    """The write-back buffer resolves the way before the data write."""
+    c = OriginalDCache().process(data_trace([
+        (0x40000, 0, False),
+        (0x40000, 0, True),
+    ]))
+    assert c.way_accesses == (2 + 1) + 1
+    assert c.stores == 1
+
+
+def test_original_icache_constant_cost():
+    fs = fetch([(0x0, START, 0x0, 0), (0x8, SEQ, 0x0, 8)])
+    c = OriginalICache().process(fs)
+    assert c.tags_per_access == 2.0
+    assert c.way_accesses == (2 + 1) + 2
+
+
+# ----------------------------------------------------------------------
+# Panwar [4]
+# ----------------------------------------------------------------------
+
+def test_panwar_intra_line_free_inter_line_full():
+    fs = fetch([
+        (0x0, START, 0x0, 0),
+        (0x8, SEQ, 0x0, 8),    # intra-line
+        (0x18, SEQ, 0x10, 8),  # intra-line (same 32 B line)
+        (0x20, SEQ, 0x18, 8),  # inter-line: full cost
+    ])
+    c = PanwarICache().process(fs)
+    assert c.intra_line_hits == 2
+    assert c.tag_accesses == 2 + 2  # START + inter-line
+
+
+def test_panwar_branch_always_full():
+    fs = fetch([
+        (0x0, START, 0x0, 0),
+        (0x8, BR, 0x0, 8),     # branch into the SAME line: still full
+    ])
+    c = PanwarICache().process(fs)
+    assert c.intra_line_hits == 0
+    assert c.tag_accesses == 4
+
+
+def test_panwar_between_original_and_nothing(workload):
+    original = OriginalICache().process(workload.fetch)
+    panwar = PanwarICache().process(workload.fetch)
+    assert panwar.tag_accesses < original.tag_accesses
+    assert panwar.way_accesses < original.way_accesses
+    assert panwar.cache_hits == original.cache_hits
+
+
+# ----------------------------------------------------------------------
+# set buffer [14]
+# ----------------------------------------------------------------------
+
+def test_set_buffer_hit_single_way():
+    c = SetBufferDCache().process(data_trace([
+        (0x40000, 0, False),   # buffer miss: full + allocate
+        (0x40000, 4, False),   # buffered set, tag matches: 1 way
+        (0x40000, 8, False),
+    ]))
+    assert c.tag_accesses == 2
+    assert c.way_accesses == (2 + 1) + 1 + 1
+    assert c.aux_accesses == 3
+
+
+def test_set_buffer_snapshot_refreshes_on_miss():
+    cfg_stride = 512 * 32   # same set, different tag
+    c = SetBufferDCache(entries=1).process(data_trace([
+        (0x40000, 0, False),
+        (0x40000 + cfg_stride, 0, False),    # same set, cache miss
+        (0x40000 + cfg_stride, 4, False),    # buffered tag now present
+    ]))
+    assert c.cache_misses == 2
+    assert c.way_accesses == (2 + 1) + (2 + 1) + 1
+
+
+def test_set_buffer_lru_eviction():
+    line = 32
+    c = SetBufferDCache(entries=2).process(data_trace([
+        (0x40000, 0, False),            # set 0
+        (0x40000 + line, 0, False),     # set 1
+        (0x40000 + 2 * line, 0, False),  # set 2 -> evicts set 0
+        (0x40000, 0, False),            # set 0 again: buffer miss
+    ]))
+    # All four are full accesses (three cold + one buffer miss).
+    assert c.tag_accesses == 8
+
+
+# ----------------------------------------------------------------------
+# way prediction [9]
+# ----------------------------------------------------------------------
+
+def test_way_prediction_correct_is_cheap():
+    c = WayPredictionDCache().process(data_trace([
+        (0x40000, 0, False),   # miss + mispredict path
+        (0x40000, 0, False),   # hit, prediction correct
+    ]))
+    # Second access: 1 tag, 1 way, no extra cycle.
+    assert c.extra_cycles == 1
+    assert c.tag_accesses == 2 + 1
+
+
+def test_way_prediction_penalty_on_mispredict():
+    stride = 512 * 32
+    c = WayPredictionDCache().process(data_trace([
+        (0x40000, 0, False),            # fills way 0, predicts 0
+        (0x40000 + stride, 0, False),   # same set, fills way 1
+        (0x40000, 0, False),            # predicted 1, actual 0: penalty
+    ]))
+    assert c.extra_cycles == 3
+
+
+def test_way_prediction_icache(workload):
+    c = WayPredictionICache().process(workload.fetch)
+    assert c.extra_cycles > 0
+    assert c.tags_per_access < 2.0
+
+
+# ----------------------------------------------------------------------
+# filter cache [6]
+# ----------------------------------------------------------------------
+
+def test_filter_cache_l0_hit_skips_l1():
+    c = FilterCacheDCache(l0_lines=1).process(data_trace([
+        (0x40000, 0, False),   # L0 miss: stall + full L1
+        (0x40000, 4, False),   # L0 hit: free
+    ]))
+    assert c.extra_cycles == 1
+    assert c.tag_accesses == 2
+    assert c.aux_accesses == 2
+
+
+def test_filter_cache_icache_penalty_counted(workload):
+    c = FilterCacheICache().process(workload.fetch)
+    assert c.extra_cycles > 0
+    assert c.tag_accesses < 2 * c.accesses
+
+
+# ----------------------------------------------------------------------
+# two-phase [8]
+# ----------------------------------------------------------------------
+
+def test_two_phase_always_one_way_one_cycle():
+    trace = synthetic_data_trace(num_accesses=1000, seed=9)
+    c = TwoPhaseDCache().process(trace)
+    assert c.extra_cycles == c.accesses
+    assert c.way_accesses == c.accesses     # exactly one way each
+    assert c.tag_accesses == 2 * c.accesses
+
+
+def test_two_phase_icache():
+    fs = synthetic_fetch_stream(num_blocks=200, seed=2)
+    c = TwoPhaseICache().process(fs)
+    assert c.extra_cycles == c.accesses
+    assert c.ways_per_access == 1.0

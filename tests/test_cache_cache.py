@@ -1,0 +1,133 @@
+"""Set-associative cache behaviour tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.config import CacheConfig
+from repro.cache.replacement import FIFOPolicy
+
+SMALL = CacheConfig(size_bytes=1024, ways=2, line_bytes=32)  # 16 sets
+
+
+def _addr(tag, set_index, offset=0):
+    return SMALL.join(tag, set_index, offset)
+
+
+def test_cold_miss_then_hit():
+    cache = SetAssociativeCache(SMALL)
+    first = cache.access(0x1000)
+    assert not first.hit
+    second = cache.access(0x1000)
+    assert second.hit
+    assert second.way == first.way
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_same_line_offsets_hit():
+    cache = SetAssociativeCache(SMALL)
+    cache.access(_addr(1, 3, 0))
+    assert cache.access(_addr(1, 3, 28)).hit
+
+
+def test_two_way_conflict_eviction_order():
+    cache = SetAssociativeCache(SMALL)
+    cache.access(_addr(1, 5))
+    cache.access(_addr(2, 5))
+    cache.access(_addr(1, 5))        # touch tag 1 -> tag 2 is LRU
+    result = cache.access(_addr(3, 5))
+    assert not result.hit
+    assert result.evicted_tag == 2
+    assert cache.probe(_addr(1, 5)) is not None
+    assert cache.probe(_addr(2, 5)) is None
+
+
+def test_dirty_eviction_reports_writeback():
+    cache = SetAssociativeCache(SMALL)
+    cache.access(_addr(1, 0), write=True)
+    cache.access(_addr(2, 0))
+    result = cache.access(_addr(3, 0))
+    assert result.evicted_tag == 1
+    assert result.writeback
+    assert cache.writebacks == 1
+
+
+def test_clean_eviction_no_writeback():
+    cache = SetAssociativeCache(SMALL)
+    cache.access(_addr(1, 0))
+    cache.access(_addr(2, 0))
+    result = cache.access(_addr(3, 0))
+    assert not result.writeback
+
+
+def test_write_hit_marks_dirty():
+    cache = SetAssociativeCache(SMALL)
+    res = cache.access(_addr(4, 2))
+    cache.access(_addr(4, 2), write=True)
+    assert cache.line_state(2, res.way).dirty
+
+
+def test_eviction_listener_called():
+    cache = SetAssociativeCache(SMALL)
+    events = []
+    cache.add_eviction_listener(lambda tag, s: events.append((tag, s)))
+    cache.access(_addr(1, 7))
+    cache.access(_addr(2, 7))
+    cache.access(_addr(3, 7))
+    assert events == [(1, 7)]
+
+
+def test_probe_does_not_disturb_lru():
+    cache = SetAssociativeCache(SMALL)
+    cache.access(_addr(1, 1))
+    cache.access(_addr(2, 1))
+    cache.probe(_addr(1, 1))  # must NOT touch recency
+    result = cache.access(_addr(3, 1))
+    assert result.evicted_tag == 1
+
+
+def test_invalidate_all_notifies():
+    cache = SetAssociativeCache(SMALL)
+    events = []
+    cache.add_eviction_listener(lambda tag, s: events.append((tag, s)))
+    cache.access(_addr(1, 0))
+    cache.access(_addr(2, 4))
+    cache.invalidate_all()
+    assert sorted(events) == [(1, 0), (2, 4)]
+    assert cache.probe(_addr(1, 0)) is None
+
+
+def test_policy_geometry_mismatch_rejected():
+    with pytest.raises(ValueError):
+        SetAssociativeCache(SMALL, FIFOPolicy(sets=4, ways=2))
+
+
+def test_hit_rate_property():
+    cache = SetAssociativeCache(SMALL)
+    cache.access(0x0)
+    cache.access(0x0)
+    cache.access(0x0)
+    assert cache.hit_rate == pytest.approx(2 / 3)
+
+
+@given(st.lists(st.tuples(
+    st.integers(0, 7), st.integers(0, 15), st.booleans()
+), max_size=200))
+@settings(max_examples=40)
+def test_no_duplicate_tags_and_hit_consistency(accesses):
+    """Model check: the cache agrees with a dict-of-sets reference."""
+    cache = SetAssociativeCache(SMALL)
+    reference = {}  # set_index -> list of tags, LRU first
+    for tag, set_index, write in accesses:
+        addr = _addr(tag, set_index)
+        expected_hit = tag in reference.get(set_index, [])
+        result = cache.access(addr, write=write)
+        assert result.hit == expected_hit
+        tags = reference.setdefault(set_index, [])
+        if expected_hit:
+            tags.remove(tag)
+        tags.append(tag)
+        if len(tags) > SMALL.ways:
+            evicted = tags.pop(0)
+            assert result.evicted_tag == evicted
+        cache.check_invariants()

@@ -1,0 +1,53 @@
+"""Cache geometry and address-splitting tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cache.config import CacheConfig, FRV_DCACHE, FRV_ICACHE
+
+
+def test_frv_geometry_matches_paper():
+    # 32 kB, 2-way, 32 B lines -> 512 sets, 5/9/18-bit split (Sec. 3.1).
+    for config in (FRV_ICACHE, FRV_DCACHE):
+        assert config.sets == 512
+        assert config.offset_bits == 5
+        assert config.index_bits == 9
+        assert config.tag_bits == 18
+        assert config.line_bits == 256
+
+
+def test_split_fields():
+    tag, set_index, offset = FRV_DCACHE.split(0xDEADBEEF)
+    assert offset == 0xDEADBEEF & 0x1F
+    assert set_index == (0xDEADBEEF >> 5) & 0x1FF
+    assert tag == 0xDEADBEEF >> 14
+
+
+def test_join_inverts_split():
+    addr = 0x0004_1234
+    assert FRV_DCACHE.join(*FRV_DCACHE.split(addr)) == addr
+
+
+@given(st.integers(0, 0xFFFFFFFF))
+def test_split_join_round_trip(addr):
+    assert FRV_ICACHE.join(*FRV_ICACHE.split(addr)) == addr
+
+
+def test_line_addr():
+    assert FRV_DCACHE.line_addr(0x1234567F) == 0x12345660
+
+
+def test_invalid_geometry_rejected():
+    with pytest.raises(ValueError):
+        CacheConfig(size_bytes=1000, ways=2, line_bytes=32)
+    with pytest.raises(ValueError):
+        CacheConfig(size_bytes=1024, ways=0, line_bytes=32)
+    with pytest.raises(ValueError):
+        CacheConfig(size_bytes=1024, ways=2, line_bytes=24)
+
+
+def test_direct_mapped_and_full_ways():
+    direct = CacheConfig(size_bytes=1024, ways=1, line_bytes=32)
+    assert direct.sets == 32
+    wide = CacheConfig(size_bytes=1024, ways=4, line_bytes=32)
+    assert wide.sets == 8

@@ -1,0 +1,86 @@
+"""Replacement policy tests, including an LRU model-based property."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cache.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    PseudoLRUPolicy,
+    RandomPolicy,
+    make_policy,
+)
+
+
+def test_lru_victim_is_least_recent():
+    lru = LRUPolicy(sets=1, ways=4)
+    for way in (0, 1, 2, 3):
+        lru.touch(0, way)
+    assert lru.victim(0) == 0
+    lru.touch(0, 0)
+    assert lru.victim(0) == 1
+
+
+def test_lru_per_set_independence():
+    lru = LRUPolicy(sets=2, ways=2)
+    lru.touch(0, 1)
+    assert lru.victim(0) == 0
+    assert lru.victim(1) == 0  # untouched set keeps initial order
+
+
+@given(st.lists(st.integers(0, 3), max_size=60))
+def test_lru_matches_reference_model(touches):
+    lru = LRUPolicy(sets=1, ways=4)
+    model = [0, 1, 2, 3]  # LRU at front
+    for way in touches:
+        lru.touch(0, way)
+        model.remove(way)
+        model.append(way)
+    assert lru.victim(0) == model[0]
+    assert lru.lru_to_mru(0) == model
+
+
+def test_fifo_rotates():
+    fifo = FIFOPolicy(sets=1, ways=3)
+    assert [fifo.victim(0) for _ in range(4)] == [0, 1, 2, 0]
+    fifo.touch(0, 0)  # touch must not affect FIFO order
+    assert fifo.victim(0) == 1
+
+
+def test_random_is_deterministic_with_seed():
+    a = RandomPolicy(sets=1, ways=4, seed=7)
+    b = RandomPolicy(sets=1, ways=4, seed=7)
+    assert [a.victim(0) for _ in range(16)] == [
+        b.victim(0) for _ in range(16)
+    ]
+    assert all(0 <= RandomPolicy(1, 4).victim(0) < 4 for _ in range(8))
+
+
+def test_plru_two_way_equals_lru():
+    plru = PseudoLRUPolicy(sets=1, ways=2)
+    lru = LRUPolicy(sets=1, ways=2)
+    for way in (0, 1, 0, 0, 1, 1, 0):
+        plru.touch(0, way)
+        lru.touch(0, way)
+        assert plru.victim(0) == lru.victim(0)
+
+
+def test_plru_victim_avoids_most_recent():
+    plru = PseudoLRUPolicy(sets=1, ways=4)
+    for way in range(4):
+        plru.touch(0, way)
+        assert plru.victim(0) != way
+
+
+def test_plru_requires_power_of_two_ways():
+    with pytest.raises(ValueError):
+        PseudoLRUPolicy(sets=1, ways=3)
+
+
+def test_make_policy_factory():
+    assert isinstance(make_policy("lru", 4, 2), LRUPolicy)
+    assert isinstance(make_policy("fifo", 4, 2), FIFOPolicy)
+    assert isinstance(make_policy("random", 4, 2), RandomPolicy)
+    assert isinstance(make_policy("plru", 4, 2), PseudoLRUPolicy)
+    with pytest.raises(ValueError, match="unknown"):
+        make_policy("mru", 4, 2)

@@ -1,0 +1,91 @@
+"""CLI tests."""
+
+
+from repro.cli import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "table1_area" in out
+    assert "mpeg2enc" in out
+
+
+def test_run_single_experiment(capsys):
+    assert main(["run", "table2_delay"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 2" in out
+    assert "delay_ns" in out
+
+
+def test_run_multiple_experiments(capsys):
+    assert main(["run", "table1_area", "table3_power"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out and "Table 3" in out
+
+
+def test_run_unknown_experiment(capsys):
+    assert main(["run", "figure99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_bench_runs_and_verifies(capsys):
+    assert main(["bench", "whetstone"]) == 0
+    out = capsys.readouterr().out
+    assert "golden-model check: OK" in out
+    assert "instructions" in out
+
+
+def test_bench_unknown(capsys):
+    assert main(["bench", "linpack"]) == 2
+    assert "unknown benchmark" in capsys.readouterr().err
+
+
+def test_disasm(capsys):
+    assert main(["disasm", "dct"]) == 0
+    out = capsys.readouterr().out
+    assert "main:" in out
+    assert "halt" in out
+
+
+def test_no_command_prints_help(capsys):
+    assert main([]) == 1
+    assert "usage" in capsys.readouterr().out.lower()
+
+
+def test_profile_command(capsys):
+    assert main(["profile", "fft"]) == 0
+    out = capsys.readouterr().out
+    assert "profile of fft" in out
+    assert "suggested D-cache MAB" in out
+
+
+def test_profile_unknown(capsys):
+    assert main(["profile", "nope"]) == 2
+
+
+def test_trace_export_command(tmp_path, capsys):
+    path = str(tmp_path / "fft.npz")
+    assert main(["trace", "fft", "-o", path]) == 0
+    from repro.sim import load_traces
+    trace, fetch = load_traces(path)
+    assert trace.program_name == "fft"
+    assert fetch is not None
+
+
+def test_report_subset():
+    # A single fast experiment keeps this test cheap; `repro report`
+    # without arguments runs the full set.
+    from repro.experiments import report
+    md = report.generate(["table2_delay"])
+    assert "# Reproduction report" in md
+    assert "## Table 2" in md
+    assert "| tag_entries |" in md
+
+
+def test_report_markdown_table_well_formed():
+    from repro.experiments import report
+    md = report.generate(["table3_power"])
+    lines = [l for l in md.splitlines() if l.startswith("|")]
+    widths = {line.count("|") for line in lines}
+    assert len(widths) == 1  # header, rule and rows all align

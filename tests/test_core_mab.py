@@ -1,0 +1,212 @@
+"""MAB structure tests: the four update cases, LRU, invalidation.
+
+Uses a small cache geometry where addresses are easy to construct;
+the cross-product (tag side x index side) semantics are checked case
+by case against Section 3.3, plus hypothesis-driven invariant checks.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.config import FRV_DCACHE
+from repro.core.mab import MAB, MABConfig
+
+LOW = 14  # offset+index bits of the FR-V geometry
+
+
+def addr_of(tag: int, set_index: int) -> int:
+    return FRV_DCACHE.join(tag, set_index)
+
+
+def make_mab(nt=2, ns=4) -> MAB:
+    return MAB(MABConfig(nt, ns), FRV_DCACHE)
+
+
+def lookup_miss_then_install(mab, base, disp, way):
+    lk = mab.lookup(base, disp)
+    assert not lk.hit
+    mab.install(lk, way)
+    return lk
+
+
+def test_miss_then_hit_returns_way():
+    mab = make_mab()
+    base = addr_of(5, 100)
+    lookup_miss_then_install(mab, base, 8, way=1)
+    lk = mab.lookup(base, 8)
+    assert lk.hit
+    assert lk.way == 1
+    assert lk.tag == 5
+    assert lk.set_index == 100
+
+
+def test_cross_product_coverage():
+    """Nt + Ns stored values cover Nt x Ns addresses."""
+    mab = make_mab(nt=2, ns=4)
+    # Two base tags x four set indices, all with disp 0.
+    for tag in (1, 2):
+        for s in (10, 11, 12, 13):
+            lk = mab.lookup(addr_of(tag, s), 0)
+            if not lk.hit:
+                mab.install(lk, 0)
+    assert mab.addresses_covered == 8
+    for tag in (1, 2):
+        for s in (10, 11, 12, 13):
+            assert mab.lookup(addr_of(tag, s), 0).hit
+
+
+def test_case2_tag_replacement_clears_row():
+    """Tag miss + index hit: new tag's row must be all-invalid except
+    the (new tag, hit index) pair."""
+    mab = make_mab(nt=1, ns=2)
+    lookup_miss_then_install(mab, addr_of(1, 10), 0, 0)
+    lookup_miss_then_install(mab, addr_of(1, 11), 0, 1)
+    assert mab.addresses_covered == 2
+    # New tag 2 at existing index 10 evicts tag 1 (the only entry).
+    lookup_miss_then_install(mab, addr_of(2, 10), 0, 0)
+    assert mab.addresses_covered == 1
+    assert not mab.lookup(addr_of(1, 11), 0).hit
+    assert mab.lookup(addr_of(2, 10), 0).hit
+
+
+def test_case3_index_replacement_clears_column():
+    mab = make_mab(nt=2, ns=1)
+    lookup_miss_then_install(mab, addr_of(1, 10), 0, 0)
+    lookup_miss_then_install(mab, addr_of(2, 10), 0, 1)
+    assert mab.addresses_covered == 2
+    # New set index replaces the only index entry -> both pairs die.
+    lookup_miss_then_install(mab, addr_of(1, 20), 0, 0)
+    assert mab.addresses_covered == 1
+    assert not mab.lookup(addr_of(2, 10), 0).hit
+
+
+def test_case1_revalidation_without_replacement():
+    """Both sides present but the pair invalid: only vflag flips."""
+    mab = make_mab(nt=2, ns=2)
+    lookup_miss_then_install(mab, addr_of(1, 10), 0, 0)
+    lookup_miss_then_install(mab, addr_of(2, 11), 0, 1)
+    # (tag 1, index 11) is a new PAIR of existing entries.
+    lk = mab.lookup(addr_of(1, 11), 0)
+    assert not lk.hit
+    assert lk.tag_entry is not None and lk.index_entry is not None
+    mab.install(lk, 1)
+    assert mab.lookup(addr_of(1, 11), 0).hit
+    # The previously valid pairs survive.
+    assert mab.lookup(addr_of(1, 10), 0).hit
+    assert mab.lookup(addr_of(2, 11), 0).hit
+
+
+def test_lru_on_tag_side():
+    mab = make_mab(nt=2, ns=4)
+    lookup_miss_then_install(mab, addr_of(1, 10), 0, 0)
+    lookup_miss_then_install(mab, addr_of(2, 10), 0, 0)
+    mab.lookup(addr_of(1, 10), 0)  # touch tag 1 -> tag 2 is LRU
+    lookup_miss_then_install(mab, addr_of(3, 10), 0, 0)
+    assert mab.lookup(addr_of(1, 10), 0).hit
+    assert not mab.lookup(addr_of(2, 10), 0).hit
+
+
+def test_same_line_different_cflag_keys_are_distinct():
+    """Two (base, disp) pairs denoting the same line occupy separate
+    tag-side entries (the MAB keys on base tag + cflag)."""
+    mab = make_mab(nt=2, ns=4)
+    line = addr_of(7, 42)
+    lookup_miss_then_install(mab, line, 4, 0)          # no carry
+    lk = mab.lookup(line - 8, 8 + 4)                   # same target
+    # Same final tag but different (base_tag, cflag)?  Here base tag
+    # is identical and carry identical, so it actually hits; craft a
+    # genuinely different key via a carry.
+    carry_base = (7 << LOW) | 0x3FFC                   # low bits near top
+    lk = mab.lookup(carry_base, 8)                     # carries into tag 8
+    assert lk.tag == 8
+    assert not lk.hit
+    mab.install(lk, 1)
+    assert mab.lookup(carry_base, 8).hit
+    assert mab.lookup(line, 4).hit                     # original intact
+
+
+def test_bypass_large_displacement():
+    mab = make_mab()
+    lk = mab.lookup(addr_of(1, 10), 1 << 20)
+    assert lk.bypass and not lk.hit
+    assert mab.bypasses == 1
+    with pytest.raises(ValueError):
+        mab.install(lk, 0)
+
+
+def test_on_bypass_clears_matching_column():
+    mab = make_mab()
+    base = addr_of(1, 10)
+    lookup_miss_then_install(mab, base, 0, 0)
+    assert mab.lookup(base, 0).hit
+    mab.on_bypass(10)
+    assert not mab.lookup(base, 0).hit
+
+
+def test_on_bypass_ignores_unknown_index():
+    mab = make_mab()
+    lookup_miss_then_install(mab, addr_of(1, 10), 0, 0)
+    mab.on_bypass(400)  # not resident: no effect
+    assert mab.lookup(addr_of(1, 10), 0).hit
+
+
+def test_invalidate_line_matches_reconstructed_tag():
+    mab = make_mab()
+    # Install via a carrying key: stored base tag is 6, final tag 7.
+    base = (6 << LOW) | 0x3FF8
+    lk = mab.lookup(base, 0x10)
+    final_tag, set_index = lk.tag, lk.set_index
+    assert final_tag == 7
+    mab.install(lk, 0)
+    mab.invalidate_line(final_tag, set_index)
+    assert not mab.lookup(base, 0x10).hit
+    assert mab.invalidations == 1
+
+
+def test_invalidate_line_leaves_others():
+    mab = make_mab()
+    lookup_miss_then_install(mab, addr_of(1, 10), 0, 0)
+    lookup_miss_then_install(mab, addr_of(2, 10), 0, 1)
+    mab.invalidate_line(1, 10)
+    assert not mab.lookup(addr_of(1, 10), 0).hit
+    assert mab.lookup(addr_of(2, 10), 0).hit
+
+
+def test_flush():
+    mab = make_mab()
+    lookup_miss_then_install(mab, addr_of(1, 10), 0, 0)
+    mab.flush()
+    assert mab.addresses_covered == 0
+
+
+def test_valid_pairs_reports_ways():
+    mab = make_mab()
+    lookup_miss_then_install(mab, addr_of(3, 30), 0, 1)
+    assert mab.valid_pairs() == [(3, 30, 1)]
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        MABConfig(0, 8)
+    with pytest.raises(ValueError):
+        MABConfig(2, 8, consistency="bogus")
+    assert MABConfig(2, 16).label == "2x16"
+
+
+@given(st.lists(st.tuples(
+    st.integers(0, 5),       # tag
+    st.integers(0, 9),       # set index
+    st.integers(-16, 16),    # displacement (words)
+    st.integers(0, 1),       # way
+), max_size=150))
+@settings(max_examples=40)
+def test_structural_invariants_under_random_traffic(ops):
+    mab = make_mab(nt=2, ns=4)
+    for tag, set_index, disp_words, way in ops:
+        base = addr_of(tag, set_index)
+        lk = mab.lookup(base, disp_words * 4)
+        if not lk.hit and not lk.bypass:
+            mab.install(lk, way)
+        mab.check_invariants()
+    # Coverage can never exceed the cross product.
+    assert mab.addresses_covered <= 2 * 4

@@ -1,0 +1,205 @@
+"""Energy model tests: SRAM scaling, MAB calibration, Equation (1)."""
+
+import pytest
+
+from repro.cache.config import FRV_DCACHE, FRV_ICACHE
+from repro.cache.stats import AccessCounters
+from repro.energy.mab_model import (
+    MABHardwareModel,
+    PAPER_GRID,
+    PAPER_TABLE1_AREA_MM2,
+    PAPER_TABLE2_DELAY_NS,
+    PAPER_TABLE3_POWER_ACTIVE_MW,
+    PAPER_TABLE3_POWER_SLEEP_MW,
+    fit_coefficients,
+    _ACTIVE_COEFFS,
+    _AREA_COEFFS,
+    _DELAY_COEFFS,
+    _SLEEP_COEFFS,
+)
+from repro.energy.power import CachePowerModel
+from repro.energy.sram import SRAMArray, cache_energy_per_access
+from repro.energy.technology import FRV_TECH
+
+
+# ----------------------------------------------------------------------
+# SRAM model
+# ----------------------------------------------------------------------
+
+def test_read_energy_scales_with_columns():
+    narrow = SRAMArray(rows=512, cols=20)
+    wide = SRAMArray(rows=512, cols=256)
+    assert wide.read_energy_j() > 5 * narrow.read_energy_j()
+
+
+def test_read_energy_scales_with_rows():
+    short = SRAMArray(rows=128, cols=64)
+    tall = SRAMArray(rows=1024, cols=64)
+    assert tall.read_energy_j() > short.read_energy_j()
+
+
+def test_energy_magnitudes_plausible():
+    """E_way in tens of pJ, E_tag an order of magnitude less."""
+    energy = cache_energy_per_access(FRV_DCACHE)
+    assert 20e-12 < energy.e_way_read_j < 300e-12
+    assert 2e-12 < energy.e_tag_read_j < 40e-12
+    assert 0.03 < energy.tag_to_way_ratio < 0.3
+
+
+def test_leakage_positive_and_small():
+    energy = cache_energy_per_access(FRV_ICACHE)
+    assert 0 < energy.leakage_w < 5e-3
+
+
+def test_invalid_array_rejected():
+    with pytest.raises(ValueError):
+        SRAMArray(rows=0, cols=8)
+
+
+# ----------------------------------------------------------------------
+# MAB hardware model vs the paper tables
+# ----------------------------------------------------------------------
+
+def test_fit_reproduces_stored_coefficients():
+    fits = fit_coefficients()
+    for stored, key in (
+        (_AREA_COEFFS, "area"),
+        (_DELAY_COEFFS, "delay"),
+        (_ACTIVE_COEFFS, "active"),
+        (_SLEEP_COEFFS, "sleep"),
+    ):
+        assert fits[key] == pytest.approx(stored, rel=1e-3, abs=1e-6)
+
+
+@pytest.mark.parametrize("nt,ns", PAPER_GRID)
+def test_model_tracks_paper_tables(nt, ns):
+    model = MABHardwareModel(nt, ns)
+    assert model.area_mm2() == pytest.approx(
+        PAPER_TABLE1_AREA_MM2[(nt, ns)], rel=0.35
+    )
+    assert model.delay_ns() == pytest.approx(
+        PAPER_TABLE2_DELAY_NS[(nt, ns)], rel=0.05
+    )
+    assert model.power_active_mw() == pytest.approx(
+        PAPER_TABLE3_POWER_ACTIVE_MW[(nt, ns)], rel=0.10
+    )
+    assert model.power_sleep_mw() == pytest.approx(
+        PAPER_TABLE3_POWER_SLEEP_MW[(nt, ns)], rel=0.10
+    )
+
+
+def test_model_monotone_in_entries():
+    for attr in ("area_mm2", "power_active_mw", "power_sleep_mw",
+                 "delay_ns"):
+        small = getattr(MABHardwareModel(1, 4), attr)()
+        large = getattr(MABHardwareModel(2, 32), attr)()
+        assert large > small, attr
+
+
+def test_paper_sizing_claims():
+    # 2x8 D-MAB ~3% of the cache; all delays fit the 2.5 ns cycle.
+    assert MABHardwareModel(2, 8).area_overhead() == pytest.approx(
+        0.03, abs=0.01
+    )
+    for nt, ns in PAPER_GRID:
+        assert MABHardwareModel(nt, ns).fits_cycle(2.5)
+
+
+def test_effective_power_interpolates():
+    model = MABHardwareModel(2, 8)
+    assert model.effective_power_mw(0.0) == model.power_sleep_mw()
+    assert model.effective_power_mw(1.0) == model.power_active_mw()
+    mid = model.effective_power_mw(0.5)
+    assert model.power_sleep_mw() < mid < model.power_active_mw()
+    with pytest.raises(ValueError):
+        model.effective_power_mw(1.5)
+
+
+def test_storage_bits_structure():
+    model = MABHardwareModel(2, 8, tag_bits=18, index_bits=9, ways=2)
+    expected = 2 * 20 + 8 * 9 + 2 * 8 * 2
+    assert model.storage_bits == expected
+
+
+# ----------------------------------------------------------------------
+# Equation (1)
+# ----------------------------------------------------------------------
+
+def _counters(tags, ways, lookups=0):
+    return AccessCounters(
+        accesses=max(tags, ways, 1), tag_accesses=tags,
+        way_accesses=ways, mab_lookups=lookups,
+    )
+
+
+def test_power_proportional_to_access_counts():
+    model = CachePowerModel(FRV_DCACHE)
+    low = model.power(_counters(100, 100), cycles=10_000)
+    high = model.power(_counters(200, 200), cycles=10_000)
+    assert high.data_mw == pytest.approx(2 * low.data_mw)
+    assert high.tag_mw == pytest.approx(2 * low.tag_mw)
+
+
+def test_power_mab_duty_cycle():
+    model = CachePowerModel(FRV_DCACHE)
+    hw = MABHardwareModel(2, 8)
+    idle = model.power(
+        _counters(0, 0, lookups=0), cycles=1000, mab_model=hw
+    )
+    busy = model.power(
+        _counters(0, 0, lookups=1000), cycles=1000, mab_model=hw
+    )
+    assert idle.aux_mw == pytest.approx(hw.power_sleep_mw())
+    assert busy.aux_mw == pytest.approx(hw.power_active_mw())
+
+
+def test_power_extra_cycles_stretch_time_base():
+    model = CachePowerModel(FRV_DCACHE)
+    normal = model.power(_counters(100, 100), cycles=1000)
+    slowed = AccessCounters(
+        accesses=100, tag_accesses=100, way_accesses=100,
+        extra_cycles=1000,
+    )
+    slow = model.power(slowed, cycles=1000)
+    assert slow.data_mw == pytest.approx(normal.data_mw / 2)
+
+
+def test_power_aux_bits_charges_small_array():
+    model = CachePowerModel(FRV_DCACHE)
+    counters = AccessCounters(
+        accesses=1000, tag_accesses=0, way_accesses=0, aux_accesses=1000
+    )
+    p = model.power(counters, cycles=1000, aux_bits=128)
+    assert p.aux_mw > 0
+    # Auxiliary structure must be far cheaper than the cache arrays.
+    full = model.power(_counters(2000, 2000), cycles=1000)
+    assert p.aux_mw < 0.2 * full.total_mw
+
+
+def test_power_breakdown_arithmetic():
+    model = CachePowerModel(FRV_ICACHE)
+    p = model.power(_counters(10, 20), cycles=100, label="x")
+    assert p.total_mw == pytest.approx(
+        p.data_mw + p.tag_mw + p.aux_mw + p.leakage_mw
+    )
+    doubled = p + p
+    assert doubled.total_mw == pytest.approx(2 * p.total_mw)
+    assert p.scaled(0.5).total_mw == pytest.approx(p.total_mw / 2)
+
+
+def test_power_requires_positive_cycles():
+    model = CachePowerModel(FRV_DCACHE)
+    with pytest.raises(ValueError):
+        model.power(_counters(1, 1), cycles=0)
+
+
+def test_frequency_enters_linearly():
+    from dataclasses import replace
+    slow_tech = replace(FRV_TECH, frequency_hz=FRV_TECH.frequency_hz / 2)
+    fast = CachePowerModel(FRV_DCACHE).power(
+        _counters(100, 100), cycles=1000
+    )
+    slow = CachePowerModel(FRV_DCACHE, tech=slow_tech).power(
+        _counters(100, 100), cycles=1000
+    )
+    assert slow.data_mw == pytest.approx(fast.data_mw / 2)

@@ -1,0 +1,265 @@
+"""Assembler tests: directives, pseudo-instructions, labels, errors."""
+
+import pytest
+
+from repro.isa import AssemblyError, assemble
+from repro.isa.assembler import _hi_lo_parts
+from repro.isa.instructions import Instruction
+from repro.isa.program import DATA_BASE, TEXT_BASE
+
+
+def _insns(source):
+    return assemble(source).instructions()
+
+
+def test_simple_program_layout():
+    prog = assemble("""
+.text
+main:
+    addi t0, zero, 1
+    halt
+""")
+    assert prog.entry == prog.symbol("main") == TEXT_BASE
+    assert prog.num_instructions == 2
+    assert prog.instructions()[0] == Instruction(
+        "addi", rd=5, rs1=0, imm=1
+    )
+
+
+def test_label_addresses_count_pseudo_expansion():
+    prog = assemble("""
+main:
+    la  t0, target       # 2 words
+    nop                  # 1 word
+target:
+    halt
+""")
+    assert prog.symbol("target") == TEXT_BASE + 12
+
+
+def test_li_small_is_one_word_large_is_two():
+    assert len(_insns("li t0, 5\nhalt")) == 2
+    assert len(_insns("li t0, 0x12345678\nhalt")) == 3
+
+
+def test_li_negative():
+    insns = _insns("li t0, -3\nhalt")
+    assert insns[0] == Instruction("addi", rd=5, rs1=0, imm=-3)
+
+
+def test_la_hi_lo_adjustment():
+    # An address with bit 15 set in the low half exercises the
+    # sign-compensation: lui must hold hi+1.
+    prog = assemble("""
+.data
+    .space 0x8000
+var:
+    .word 1
+.text
+main:
+    la t0, var
+    halt
+""")
+    lui, addi = prog.instructions()[:2]
+    target = prog.symbol("var")
+    assert ((lui.imm << 16) + addi.imm) & 0xFFFFFFFF == target
+
+
+@pytest.mark.parametrize("address", [
+    0, 1, 0x7FFF, 0x8000, 0xFFFF, 0x12348000, 0xFFFFFFFF, 0x00048000,
+])
+def test_hi_lo_parts_reconstruct(address):
+    hi, lo = _hi_lo_parts(address)
+    assert ((hi << 16) + lo) & 0xFFFFFFFF == address & 0xFFFFFFFF
+
+
+def test_branch_offset_is_pc_relative():
+    prog = assemble("""
+main:
+    nop
+loop:
+    addi t0, t0, 1
+    bne t0, t1, loop
+    halt
+""")
+    bne = prog.instructions()[2]
+    assert bne.imm == -4
+
+
+def test_forward_branch():
+    prog = assemble("""
+main:
+    beq t0, t1, done
+    nop
+done:
+    halt
+""")
+    assert prog.instructions()[0].imm == 8
+
+
+def test_memory_operand_forms():
+    insns = _insns("lw a0, 8(sp)\nsw a1, -12(s0)\nlw a2, (t0)\nhalt")
+    assert insns[0] == Instruction("lw", rd=10, rs1=2, imm=8)
+    assert insns[1] == Instruction("sw", rs2=11, rs1=8, imm=-12)
+    assert insns[2] == Instruction("lw", rd=12, rs1=5, imm=0)
+
+
+def test_data_directives():
+    prog = assemble("""
+.data
+words:
+    .word 1, 2, -1
+halves:
+    .half 0x1234, 0xFFFF
+bytes:
+    .byte 1, 2, 3
+text:
+    .asciiz "ab"
+.text
+main:
+    halt
+""")
+    data = prog.data.data
+    assert data[0:4] == (1).to_bytes(4, "little")
+    assert data[8:12] == (0xFFFFFFFF).to_bytes(4, "little")
+    assert prog.symbol("halves") == DATA_BASE + 12
+    assert data[12:14] == (0x1234).to_bytes(2, "little")
+    assert data[16:19] == bytes([1, 2, 3])
+    assert data[19:22] == b"ab\x00"
+
+
+def test_align_directive():
+    prog = assemble("""
+.data
+    .byte 1
+    .align 2
+aligned:
+    .word 7
+.text
+main:
+    halt
+""")
+    assert prog.symbol("aligned") % 4 == 0
+
+
+def test_space_directive_zero_fill():
+    prog = assemble(".data\nbuf: .space 8\nafter: .word 5\n.text\nmain: halt")
+    assert prog.data.data[:8] == b"\x00" * 8
+    assert prog.symbol("after") == DATA_BASE + 8
+
+
+def test_pseudo_instructions_expand_correctly():
+    insns = _insns("""
+    mv   a0, a1
+    not  a0, a1
+    neg  a0, a1
+    seqz a0, a1
+    snez a0, a1
+    jr   ra
+    ret
+    halt
+""")
+    assert insns[0] == Instruction("addi", rd=10, rs1=11, imm=0)
+    assert insns[1] == Instruction("xori", rd=10, rs1=11, imm=-1)
+    assert insns[2] == Instruction("sub", rd=10, rs1=0, rs2=11)
+    assert insns[3] == Instruction("sltiu", rd=10, rs1=11, imm=1)
+    assert insns[4] == Instruction("sltu", rd=10, rs1=0, rs2=11)
+    assert insns[5] == Instruction("jalr", rd=0, rs1=1, imm=0)
+    assert insns[6] == Instruction("jalr", rd=0, rs1=1, imm=0)
+
+
+def test_branch_pseudo_swaps():
+    insns = _insns("""
+main:
+    bgt a0, a1, main
+    ble a0, a1, main
+    beqz a2, main
+    bgez a3, main
+    halt
+""")
+    assert insns[0].mnemonic == "blt"
+    assert (insns[0].rs1, insns[0].rs2) == (11, 10)
+    assert insns[1].mnemonic == "bge"
+    assert (insns[1].rs1, insns[1].rs2) == (11, 10)
+    assert insns[2] == Instruction("beq", rs1=12, rs2=0, imm=-8)
+    assert insns[3].mnemonic == "bge"
+
+
+def test_call_uses_link_register():
+    insns = _insns("""
+main:
+    call fn
+    halt
+fn:
+    ret
+""")
+    assert insns[0] == Instruction("jal", rd=1, imm=8)
+
+
+def test_comments_and_blank_lines():
+    prog = assemble("""
+# full line comment
+main:   ; alt comment
+    nop  # trailing
+    halt
+""")
+    assert prog.num_instructions == 2
+
+
+def test_char_literal():
+    insns = _insns("li t0, 'A'\nhalt")
+    assert insns[0].imm == 65
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AssemblyError, match="duplicate"):
+        assemble("a:\nnop\na:\nhalt")
+
+
+def test_undefined_label_rejected():
+    with pytest.raises(AssemblyError, match="undefined"):
+        assemble("main:\n j nowhere\n halt")
+
+
+def test_unknown_instruction_rejected():
+    with pytest.raises(AssemblyError, match="unknown instruction"):
+        assemble("main:\n frobnicate t0\n halt")
+
+
+def test_instruction_in_data_segment_rejected():
+    with pytest.raises(AssemblyError):
+        assemble(".data\n addi t0, t0, 1\n")
+
+
+def test_data_directive_in_text_rejected():
+    with pytest.raises(AssemblyError):
+        assemble(".text\n .word 5\n")
+
+
+def test_wrong_operand_count_rejected():
+    with pytest.raises(AssemblyError, match="expects"):
+        assemble("main:\n add t0, t1\n halt")
+
+
+def test_bad_memory_operand_rejected():
+    with pytest.raises(AssemblyError, match="memory operand"):
+        assemble("main:\n lw t0, t1\n halt")
+
+
+def test_entry_defaults_to_text_base_without_main():
+    prog = assemble("start:\n halt")
+    assert prog.entry == TEXT_BASE
+
+
+def test_hi_lo_relocations():
+    prog = assemble("""
+.data
+var: .word 0
+.text
+main:
+    lui t0, %hi(var)
+    addi t0, t0, %lo(var)
+    halt
+""")
+    lui, addi = prog.instructions()[:2]
+    assert ((lui.imm << 16) + addi.imm) & 0xFFFFFFFF == prog.symbol("var")

@@ -1,0 +1,109 @@
+"""Encode/decode tests, including a hypothesis round-trip property."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.encoding import DecodeError, EncodeError, decode, encode
+from repro.isa.instructions import (
+    Format,
+    IMM16_MAX,
+    IMM16_MIN,
+    IMM21_MAX,
+    IMM21_MIN,
+    Instruction,
+    OPCODES,
+)
+
+_REG = st.integers(0, 31)
+
+
+def _imm_for(fmt: Format):
+    if fmt is Format.J:
+        return st.integers(IMM21_MIN // 4, IMM21_MAX // 4).map(
+            lambda v: v * 4
+        )
+    if fmt is Format.BRANCH:
+        return st.integers(IMM16_MIN // 4, IMM16_MAX // 4).map(
+            lambda v: v * 4
+        )
+    if fmt in (Format.R, Format.SYS):
+        return st.just(0)
+    return st.integers(IMM16_MIN, IMM16_MAX)
+
+
+@st.composite
+def instructions(draw):
+    mnemonic = draw(st.sampled_from(sorted(OPCODES)))
+    fmt = OPCODES[mnemonic].format
+    rd = draw(_REG) if fmt in (
+        Format.R, Format.I, Format.LOAD, Format.U, Format.J, Format.JR,
+    ) else 0
+    rs1 = draw(_REG) if fmt in (
+        Format.R, Format.I, Format.LOAD, Format.STORE, Format.BRANCH,
+        Format.JR,
+    ) else 0
+    rs2 = draw(_REG) if fmt in (Format.R, Format.STORE, Format.BRANCH) \
+        else 0
+    imm = draw(_imm_for(fmt))
+    return Instruction(mnemonic, rd=rd, rs1=rs1, rs2=rs2, imm=imm)
+
+
+@given(instructions())
+def test_round_trip(insn):
+    word = encode(insn)
+    assert 0 <= word <= 0xFFFFFFFF
+    assert decode(word) == insn
+
+
+def test_known_encoding_is_stable():
+    # Pin one encoding per format so layout changes are caught.
+    assert encode(Instruction("add", rd=1, rs1=2, rs2=3)) == 0x00221800
+    assert encode(Instruction("addi", rd=5, rs1=0, imm=1)) == 0x50A00001
+    assert encode(Instruction("halt")) == 0x3F << 26
+
+
+def test_decode_rejects_unknown_opcode():
+    with pytest.raises(DecodeError):
+        decode(0x3E << 26)  # unassigned opcode
+
+
+def test_decode_rejects_r_format_pad_bits():
+    word = encode(Instruction("add", rd=1, rs1=2, rs2=3)) | 0x1
+    with pytest.raises(DecodeError):
+        decode(word)
+
+
+def test_decode_rejects_sys_pad_bits():
+    with pytest.raises(DecodeError):
+        decode((0x3F << 26) | 1)
+
+
+def test_decode_rejects_out_of_range_word():
+    with pytest.raises(DecodeError):
+        decode(1 << 32)
+    with pytest.raises(DecodeError):
+        decode(-1)
+
+
+def test_encode_rejects_invalid_instruction():
+    with pytest.raises(EncodeError):
+        encode(Instruction("addi", imm=1 << 20))
+    with pytest.raises(EncodeError):
+        encode(Instruction("beq", imm=2))
+
+
+def test_negative_immediates_round_trip():
+    for imm in (-1, -4, IMM16_MIN):
+        insn = Instruction("addi", rd=1, rs1=1, imm=imm)
+        assert decode(encode(insn)) == insn
+
+
+def test_branch_negative_offset_round_trip():
+    insn = Instruction("bne", rs1=5, rs2=6, imm=-64)
+    assert decode(encode(insn)) == insn
+
+
+def test_jal_full_range():
+    for imm in (IMM21_MIN, IMM21_MAX - 3):
+        insn = Instruction("jal", rd=1, imm=imm & ~3)
+        assert decode(encode(insn)) == insn

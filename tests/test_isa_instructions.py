@@ -1,0 +1,99 @@
+"""Unit tests for instruction metadata and validation."""
+
+import pytest
+
+from repro.isa.instructions import (
+    ALU_IMM_OPS,
+    ALU_REG_OPS,
+    BRANCH_OPS,
+    Format,
+    IMM16_MAX,
+    IMM16_MIN,
+    Instruction,
+    LOAD_OPS,
+    MEM_OP_BYTES,
+    OPCODE_BY_NUMBER,
+    OPCODES,
+    STORE_OPS,
+)
+
+
+def test_opcode_numbers_unique():
+    numbers = [info.opcode for info in OPCODES.values()]
+    assert len(numbers) == len(set(numbers))
+    assert all(0 <= n < 64 for n in numbers)
+
+
+def test_opcode_inverse_table():
+    for mnemonic, info in OPCODES.items():
+        assert OPCODE_BY_NUMBER[info.opcode].mnemonic == mnemonic
+
+
+def test_format_partitions():
+    groups = (ALU_REG_OPS, ALU_IMM_OPS, LOAD_OPS, STORE_OPS, BRANCH_OPS)
+    seen = set()
+    for group in groups:
+        assert not (seen & group)
+        seen |= group
+
+
+def test_mem_op_bytes_covers_all_memory_ops():
+    assert set(MEM_OP_BYTES) == LOAD_OPS | STORE_OPS
+    assert MEM_OP_BYTES["lw"] == 4
+    assert MEM_OP_BYTES["sb"] == 1
+
+
+def test_classifiers():
+    assert Instruction("lw").is_load()
+    assert Instruction("sw").is_store()
+    assert Instruction("beq").is_branch()
+    assert Instruction("jal").is_control_flow()
+    assert Instruction("jalr").is_control_flow()
+    assert not Instruction("add").is_control_flow()
+
+
+def test_validate_accepts_good_instruction():
+    Instruction("addi", rd=1, rs1=2, imm=IMM16_MAX).validate()
+    Instruction("addi", rd=1, rs1=2, imm=IMM16_MIN).validate()
+    Instruction("jal", rd=1, imm=4096).validate()
+
+
+def test_validate_rejects_bad_register():
+    with pytest.raises(ValueError):
+        Instruction("add", rd=32).validate()
+
+
+def test_validate_rejects_immediate_overflow():
+    with pytest.raises(ValueError):
+        Instruction("addi", imm=IMM16_MAX + 1).validate()
+    with pytest.raises(ValueError):
+        Instruction("addi", imm=IMM16_MIN - 1).validate()
+
+
+def test_validate_rejects_unaligned_branch_offset():
+    with pytest.raises(ValueError):
+        Instruction("beq", imm=6).validate()
+    with pytest.raises(ValueError):
+        Instruction("jal", imm=2).validate()
+
+
+def test_validate_rejects_unknown_mnemonic():
+    with pytest.raises(ValueError):
+        Instruction("bogus").validate()
+
+
+def test_r_format_disallows_immediate():
+    with pytest.raises(ValueError):
+        Instruction("add", imm=1).validate()
+
+
+def test_str_rendering():
+    assert str(Instruction("add", rd=3, rs1=4, rs2=5)) == "add gp, tp, t0"
+    assert str(Instruction("lw", rd=10, rs1=2, imm=8)) == "lw a0, 8(sp)"
+    assert str(Instruction("sw", rs2=10, rs1=2, imm=-4)) == "sw a0, -4(sp)"
+    assert "halt" == str(Instruction("halt"))
+
+
+def test_format_property():
+    assert Instruction("lui").format is Format.U
+    assert Instruction("jalr").format is Format.JR

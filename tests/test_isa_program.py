@@ -1,0 +1,98 @@
+"""Program container and disassembler tests."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.isa.program import (
+    DATA_BASE,
+    MEMORY_BYTES,
+    Program,
+    STACK_TOP,
+    Segment,
+    TEXT_BASE,
+)
+
+SOURCE = """
+.data
+value: .word 42
+.text
+main:
+    la  t0, value
+    lw  t1, 0(t0)
+loop:
+    addi t1, t1, -1
+    bnez t1, loop
+    halt
+"""
+
+
+@pytest.fixture(scope="module")
+def program():
+    return assemble(SOURCE, name="demo")
+
+
+def test_memory_map_ordering():
+    assert TEXT_BASE < DATA_BASE < STACK_TOP < MEMORY_BYTES
+
+
+def test_segment_bounds():
+    seg = Segment(base=0x100, data=b"abcd")
+    assert seg.end == 0x104
+    assert seg.contains(0x100)
+    assert seg.contains(0x103)
+    assert not seg.contains(0x104)
+
+
+def test_program_counts(program):
+    # la(2) + lw + addi + bnez + halt = 6 words.
+    assert program.num_instructions == 6
+    assert len(program.text.data) == 24
+
+
+def test_instruction_words_little_endian(program):
+    words = program.instruction_words()
+    raw = program.text.data
+    assert words[0] == int.from_bytes(raw[:4], "little")
+
+
+def test_instructions_decode(program):
+    insns = program.instructions()
+    assert insns[0].mnemonic == "lui"
+    assert insns[-1].mnemonic == "halt"
+
+
+def test_symbol_lookup(program):
+    assert program.symbol("value") == DATA_BASE
+    assert program.symbol("main") == TEXT_BASE
+    with pytest.raises(KeyError):
+        program.symbol("nonexistent")
+
+
+def test_disassemble_contains_labels_and_addresses(program):
+    listing = program.disassemble()
+    assert "main:" in listing
+    assert "loop:" in listing
+    assert f"{TEXT_BASE:#010x}" in listing
+    assert "halt" in listing
+
+
+def test_disassemble_round_trips_instruction_count(program):
+    listing = program.disassemble()
+    insn_lines = [
+        line for line in listing.splitlines()
+        if line.startswith("  0x")
+    ]
+    assert len(insn_lines) == program.num_instructions
+
+
+def test_entry_is_main(program):
+    assert program.entry == program.symbol("main")
+
+
+def test_program_construction_direct():
+    prog = Program(
+        name="raw",
+        text=Segment(TEXT_BASE, (0x3F << 26).to_bytes(4, "little")),
+        data=Segment(DATA_BASE, b""),
+    )
+    assert prog.instructions()[0].mnemonic == "halt"

@@ -1,0 +1,65 @@
+"""Unit tests for register naming."""
+
+import pytest
+
+from repro.isa.registers import (
+    NUM_REGS,
+    REG_ABI_NAMES,
+    REG_RA,
+    REG_SP,
+    REG_ZERO,
+    is_valid_reg,
+    reg_name,
+    reg_number,
+)
+
+
+def test_abi_names_cover_all_registers():
+    assert len(REG_ABI_NAMES) == NUM_REGS
+    assert len(set(REG_ABI_NAMES)) == NUM_REGS
+
+
+def test_well_known_registers():
+    assert reg_number("zero") == REG_ZERO == 0
+    assert reg_number("ra") == REG_RA == 1
+    assert reg_number("sp") == REG_SP == 2
+
+
+def test_xn_aliases():
+    for n in range(NUM_REGS):
+        assert reg_number(f"x{n}") == n
+
+
+def test_fp_alias_for_s0():
+    assert reg_number("fp") == reg_number("s0") == 8
+
+
+def test_round_trip_name_number():
+    for n in range(NUM_REGS):
+        assert reg_number(reg_name(n)) == n
+
+
+def test_case_and_whitespace_insensitive():
+    assert reg_number(" SP ") == 2
+    assert reg_number("A0") == 10
+
+
+def test_unknown_register_raises():
+    with pytest.raises(ValueError):
+        reg_number("r42")
+    with pytest.raises(ValueError):
+        reg_number("x32")
+
+
+def test_reg_name_range_check():
+    with pytest.raises(ValueError):
+        reg_name(32)
+    with pytest.raises(ValueError):
+        reg_name(-1)
+
+
+def test_is_valid_reg():
+    assert is_valid_reg(0)
+    assert is_valid_reg(31)
+    assert not is_valid_reg(32)
+    assert not is_valid_reg(-1)

@@ -1,0 +1,358 @@
+"""Instruction-semantics tests for the FRL-32 interpreter.
+
+Each test assembles a tiny program, runs it, and checks architectural
+state — covering every opcode family including the signed/unsigned
+corner cases of compares, shifts and division.
+"""
+
+import pytest
+
+from repro.isa import assemble
+from repro.sim import CPUError, run_program
+
+M32 = 0xFFFFFFFF
+
+
+def run_asm(body: str, **kwargs):
+    """Assemble `body` (which must halt) and execute it."""
+    return run_program(assemble("main:\n" + body), **kwargs)
+
+
+def regs_after(body: str):
+    return run_asm(body).registers
+
+
+# ----------------------------------------------------------------------
+# ALU
+# ----------------------------------------------------------------------
+
+def test_add_sub_wrap():
+    r = regs_after("""
+    li t0, 0x7FFFFFFF
+    addi t1, t0, 1
+    li t2, 0
+    addi t2, t2, -1
+    sub t3, zero, t2
+    halt
+""")
+    assert r[6] == 0x80000000       # overflow wraps
+    assert r[7] == M32              # -1 unsigned
+    assert r[28] == 1               # 0 - (-1)
+
+
+def test_logic_ops():
+    r = regs_after("""
+    li t0, 0xF0F0
+    li t1, 0x0FF0
+    and t2, t0, t1
+    or  t3, t0, t1
+    xor t4, t0, t1
+    halt
+""")
+    assert r[7] == 0x00F0
+    assert r[28] == 0xFFF0
+    assert r[29] == 0xFF00
+
+
+def test_shifts():
+    r = regs_after("""
+    li t0, -8
+    li t1, 2
+    sll t2, t0, t1
+    srl t3, t0, t1
+    sra t4, t0, t1
+    slli t5, t0, 1
+    srai t6, t0, 1
+    halt
+""")
+    assert r[7] == (-8 << 2) & M32
+    assert r[28] == ((-8) & M32) >> 2
+    assert r[29] == (-2) & M32
+    assert r[30] == (-16) & M32
+    assert r[31] == (-4) & M32
+
+
+def test_shift_amount_masked_to_5_bits():
+    r = regs_after("""
+    li t0, 1
+    li t1, 33
+    sll t2, t0, t1
+    halt
+""")
+    assert r[7] == 2  # 33 & 31 == 1
+
+
+def test_signed_vs_unsigned_compare():
+    r = regs_after("""
+    li t0, -1
+    li t1, 1
+    slt  t2, t0, t1
+    sltu t3, t0, t1
+    slti t4, t0, 0
+    sltiu t5, t1, 2
+    halt
+""")
+    assert r[7] == 1   # -1 < 1 signed
+    assert r[28] == 0  # 0xFFFFFFFF > 1 unsigned
+    assert r[29] == 1
+    assert r[30] == 1
+
+
+def test_multiply_family():
+    r = regs_after("""
+    li t0, -3
+    li t1, 7
+    mul   t2, t0, t1
+    mulh  t3, t0, t1
+    mulhu t4, t0, t1
+    halt
+""")
+    assert r[7] == (-21) & M32
+    assert r[28] == ((-21) >> 32) & M32        # signed high = -1
+    assert r[29] == (((-3) & M32) * 7) >> 32   # unsigned high
+
+
+def test_divide_family():
+    r = regs_after("""
+    li t0, -7
+    li t1, 2
+    div  t2, t0, t1
+    rem  t3, t0, t1
+    divu t4, t0, t1
+    remu t5, t0, t1
+    halt
+""")
+    assert r[7] == (-3) & M32   # trunc toward zero
+    assert r[28] == (-1) & M32  # remainder keeps dividend sign
+    assert r[29] == ((-7) & M32) // 2
+    assert r[30] == ((-7) & M32) % 2
+
+
+def test_divide_by_zero_convention():
+    r = regs_after("""
+    li t0, 5
+    li t1, 0
+    div  t2, t0, t1
+    rem  t3, t0, t1
+    divu t4, t0, t1
+    halt
+""")
+    assert r[7] == M32   # div/0 = -1
+    assert r[28] == 5    # rem/0 = dividend
+    assert r[29] == M32  # divu/0 = all ones
+
+
+def test_lui():
+    r = regs_after("""
+    lui t0, 0x1234
+    lui t1, -1
+    halt
+""")
+    assert r[5] == 0x12340000
+    assert r[6] == 0xFFFF0000
+
+
+def test_x0_writes_ignored():
+    r = regs_after("""
+    addi zero, zero, 5
+    li t0, 7
+    add zero, t0, t0
+    halt
+""")
+    assert r[0] == 0
+
+
+# ----------------------------------------------------------------------
+# memory
+# ----------------------------------------------------------------------
+
+def test_load_store_word_half_byte():
+    res = run_asm("""
+    la  t0, buf
+    li  t1, 0x80FF
+    sw  t1, 0(t0)
+    lh  t2, 0(t0)
+    lhu t3, 0(t0)
+    lb  t4, 1(t0)
+    lbu t5, 1(t0)
+    sh  t1, 4(t0)
+    sb  t1, 6(t0)
+    lw  t6, 4(t0)
+    halt
+.data
+buf: .space 16
+""")
+    r = res.registers
+    assert r[7] == (0x80FF - 0x10000) & M32  # lh sign-extends bit 15
+    assert r[28] == 0x80FF                   # lhu zero-extends
+    assert r[29] == (0x80 - 0x100) & M32     # lb sign-extends 0x80
+    assert r[30] == 0x80
+    assert r[31] == 0x00FF80FF               # sh at 4 + sb at 6
+
+
+def test_lh_sign_extension():
+    res = run_asm("""
+    la t0, buf
+    li t1, 0x8000
+    sh t1, 0(t0)
+    lh t2, 0(t0)
+    halt
+.data
+buf: .space 4
+""")
+    assert res.registers[7] == (-0x8000) & M32
+
+
+def test_misaligned_load_raises():
+    with pytest.raises(Exception):
+        run_asm("""
+    la t0, buf
+    lw t1, 2(t0)
+    halt
+.data
+buf: .space 8
+""")
+
+
+# ----------------------------------------------------------------------
+# control flow
+# ----------------------------------------------------------------------
+
+def test_branches_taken_and_not():
+    r = regs_after("""
+    li t0, 1
+    li t1, 2
+    blt t0, t1, over1
+    li t2, 99
+over1:
+    bge t0, t1, over2
+    li t3, 42
+over2:
+    bltu t1, t0, over3
+    li t4, 7
+over3:
+    halt
+""")
+    assert r[7] == 0    # skipped
+    assert r[28] == 42  # fell through
+    assert r[29] == 7
+
+
+def test_loop_counts():
+    r = regs_after("""
+    li t0, 0
+    li t1, 10
+loop:
+    addi t0, t0, 1
+    blt t0, t1, loop
+    halt
+""")
+    assert r[5] == 10
+
+
+def test_jal_links_and_jalr_returns():
+    r = regs_after("""
+    call fn
+    li t1, 5
+    halt
+fn:
+    li t0, 3
+    ret
+""")
+    assert r[5] == 3
+    assert r[6] == 5
+
+
+def test_nested_calls_with_stack():
+    r = regs_after("""
+    call outer
+    halt
+outer:
+    addi sp, sp, -4
+    sw ra, 0(sp)
+    call inner
+    lw ra, 0(sp)
+    addi sp, sp, 4
+    addi t0, t0, 1
+    ret
+inner:
+    li t0, 10
+    ret
+""")
+    assert r[5] == 11
+
+
+def test_pc_out_of_text_raises():
+    with pytest.raises(CPUError, match="text segment"):
+        run_asm("""
+    li t0, 0x1000
+    jalr zero, t0, 0
+""")
+
+
+def test_runaway_program_raises():
+    with pytest.raises(CPUError, match="runaway"):
+        run_asm("""
+loop:
+    j loop
+""", max_instructions=1000)
+
+
+def test_halt_stops_execution():
+    res = run_asm("""
+    li t0, 1
+    halt
+    li t0, 2
+""")
+    assert res.halted
+    assert res.registers[5] == 1
+    assert res.instructions == 2  # li + halt; nothing after halt runs
+
+
+# ----------------------------------------------------------------------
+# tracing
+# ----------------------------------------------------------------------
+
+def test_data_trace_records_base_and_disp():
+    res = run_asm("""
+    la t0, buf
+    lw t1, 8(t0)
+    sw t1, 12(t0)
+    halt
+.data
+buf: .space 16
+""")
+    trace = res.trace.data
+    assert len(trace) == 2
+    buf = assemble("main:\nhalt").data.base  # DATA_BASE
+    assert trace.disp.tolist() == [8, 12]
+    assert trace.store.tolist() == [False, True]
+    assert trace.addr.tolist() == [buf + 8, buf + 12]
+
+
+def test_flow_trace_runs_reconstruct_pc_stream():
+    res = run_asm("""
+    li t0, 0
+    li t1, 3
+loop:
+    addi t0, t0, 1
+    blt t0, t1, loop
+    halt
+""")
+    flow = res.trace.flow
+    pcs = flow.expand_pcs()
+    assert len(pcs) == res.instructions
+    assert pcs[0] == res.trace.flow.start[0]
+    # Three runs entered by the taken branch (2 iterations) + START.
+    assert flow.num_instructions == res.instructions
+
+
+def test_instruction_mix_recorded():
+    res = run_asm("""
+    li t0, 1
+    add t1, t0, t0
+    add t2, t1, t1
+    halt
+""")
+    assert res.trace.mix["add"] == 2
+    assert res.trace.mix["halt"] == 1

@@ -1,0 +1,128 @@
+"""Fetch-stream derivation tests, including hypothesis properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import assemble
+from repro.sim import FetchKind, fetch_stream, run_program
+from repro.sim.trace import FlowKind, FlowTrace
+
+
+def _flow(runs):
+    start, count, kind, base, disp = zip(*runs)
+    return FlowTrace.from_lists(start, count, kind, base, disp)
+
+
+def test_single_run_packets():
+    # 6 instructions from 0x0: packets 0x0, 0x8, 0x10.
+    flow = _flow([(0x0, 6, int(FlowKind.START), 0x0, 0)])
+    fs = fetch_stream(flow, 8)
+    assert fs.addr.tolist() == [0x0, 0x8, 0x10]
+    assert fs.kind.tolist() == [
+        int(FetchKind.START), int(FetchKind.SEQ), int(FetchKind.SEQ)
+    ]
+    assert fs.base.tolist() == [0x0, 0x0, 0x8]
+    assert fs.disp.tolist() == [0, 8, 8]
+
+
+def test_unaligned_run_start():
+    # Run starting mid-packet at 0x4 with 2 instructions stays in 0x0
+    # and crosses into 0x8.
+    flow = _flow([(0x4, 2, int(FlowKind.START), 0x4, 0)])
+    fs = fetch_stream(flow, 8)
+    assert fs.addr.tolist() == [0x0, 0x8]
+
+
+def test_branch_entry_carries_offset():
+    flow = _flow([
+        (0x0, 2, int(FlowKind.START), 0x0, 0),
+        (0x40, 1, int(FlowKind.BRANCH), 0x4, 0x3C),
+    ])
+    fs = fetch_stream(flow, 8)
+    assert fs.addr.tolist() == [0x0, 0x40]
+    assert fs.kind.tolist()[1] == int(FetchKind.BRANCH)
+    assert fs.base.tolist()[1] == 0x4
+    assert fs.disp.tolist()[1] == 0x3C
+
+
+def test_indirect_entry():
+    flow = _flow([
+        (0x0, 1, int(FlowKind.START), 0x0, 0),
+        (0x100, 1, int(FlowKind.INDIRECT), 0x100, 0),
+    ])
+    fs = fetch_stream(flow, 8)
+    assert fs.kind.tolist()[1] == int(FetchKind.INDIRECT)
+
+
+def test_empty_flow():
+    fs = fetch_stream(
+        FlowTrace.from_lists([], [], [], [], []), 8
+    )
+    assert len(fs) == 0
+
+
+def test_invalid_packet_size_rejected():
+    flow = _flow([(0x0, 1, int(FlowKind.START), 0x0, 0)])
+    with pytest.raises(ValueError):
+        fetch_stream(flow, 12)
+    with pytest.raises(ValueError):
+        fetch_stream(flow, 2)
+
+
+@st.composite
+def flows(draw):
+    n = draw(st.integers(1, 30))
+    runs = []
+    pc = draw(st.integers(0, 1 << 12)) * 4
+    kind = int(FlowKind.START)
+    base, disp = pc, 0
+    for _ in range(n):
+        count = draw(st.integers(1, 40))
+        runs.append((pc, count, kind, base, disp))
+        end = pc + 4 * count
+        target = draw(st.integers(0, 1 << 12)) * 4
+        kind = int(FlowKind.BRANCH)
+        base, disp = end - 4, target - (end - 4)
+        pc = target
+    return _flow(runs)
+
+
+@given(flows())
+@settings(max_examples=50)
+def test_fetch_invariants(flow):
+    fs = fetch_stream(flow, 8)
+    # 1. base + disp lands inside the packet at addr.
+    target = (fs.base.astype(np.int64) + fs.disp).astype(np.uint32)
+    assert ((target & np.uint32(0xFFFFFFF8)) == fs.addr).all()
+    # 2. packet addresses are aligned.
+    assert (fs.addr % 8 == 0).all()
+    # 3. per-run packet count matches the instruction span.
+    first = flow.start & np.uint32(~7 & 0xFFFFFFFF)
+    last = (flow.start + 4 * (flow.count - 1)) & np.uint32(
+        ~7 & 0xFFFFFFFF
+    )
+    expected = int(((last - first) // 8 + 1).sum())
+    assert len(fs) == expected
+    # 4. SEQ accesses always follow their predecessor by one packet.
+    seq = fs.kind == int(FetchKind.SEQ)
+    prev = np.roll(fs.addr, 1)
+    assert (fs.addr[seq] == prev[seq] + 8).all()
+
+
+def test_fetch_stream_from_real_program():
+    prog = assemble("""
+main:
+    li t0, 0
+    li t1, 4
+loop:
+    addi t0, t0, 1
+    blt t0, t1, loop
+    halt
+""")
+    res = run_program(prog)
+    fs = fetch_stream(res.trace.flow)
+    assert fs.kind.tolist()[0] == int(FetchKind.START)
+    # The taken branch appears once per loop-back.
+    branches = (fs.kind == int(FetchKind.BRANCH)).sum()
+    assert branches == 3  # 4 iterations, 3 back edges

@@ -1,0 +1,71 @@
+"""Memory model tests: endianness, alignment, bounds, program load."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.sim.memory import Memory, MemoryError
+
+
+def test_little_endian_word():
+    mem = Memory(64)
+    mem.write_u32(0, 0x11223344)
+    assert mem.read_u8(0) == 0x44
+    assert mem.read_u8(3) == 0x11
+    assert mem.read_u16(0) == 0x3344
+    assert mem.read_u32(0) == 0x11223344
+
+
+def test_byte_and_half_masking():
+    mem = Memory(16)
+    mem.write_u8(1, 0x1FF)
+    assert mem.read_u8(1) == 0xFF
+    mem.write_u16(2, 0x12345)
+    assert mem.read_u16(2) == 0x2345
+
+
+def test_alignment_enforced():
+    mem = Memory(64)
+    with pytest.raises(MemoryError):
+        mem.read_u32(2)
+    with pytest.raises(MemoryError):
+        mem.read_u16(1)
+    with pytest.raises(MemoryError):
+        mem.write_u32(6, 0)
+    mem.read_u8(3)  # bytes are always aligned
+
+
+def test_bounds_checked():
+    mem = Memory(8)
+    with pytest.raises(MemoryError):
+        mem.read_u32(8)
+    with pytest.raises(MemoryError):
+        mem.write_u8(-1, 0)
+    with pytest.raises(MemoryError):
+        mem.read_bytes(4, 8)
+
+
+def test_bulk_read_write():
+    mem = Memory(32)
+    mem.write_bytes(4, b"hello")
+    assert mem.read_bytes(4, 5) == b"hello"
+
+
+def test_load_program_places_segments():
+    prog = assemble("""
+.data
+value: .word 0xDEADBEEF
+.text
+main:
+    halt
+""")
+    mem = Memory()
+    mem.load_program(prog)
+    assert mem.read_u32(prog.symbol("value")) == 0xDEADBEEF
+    assert mem.read_u32(prog.text.base) == prog.instruction_words()[0]
+
+
+def test_load_program_too_large():
+    prog = assemble("main:\n halt")
+    mem = Memory(2)
+    with pytest.raises(MemoryError):
+        mem.load_program(prog)

@@ -1,0 +1,164 @@
+"""Profiler and trace-serialization tests."""
+
+import numpy as np
+import pytest
+
+from repro.isa import assemble
+from repro.sim import (
+    TraceFormatError,
+    load_traces,
+    profile_trace,
+    recommend_mab,
+    run_program,
+    save_traces,
+    fetch_stream,
+)
+
+
+@pytest.fixture(scope="module")
+def loop_result():
+    return run_program(assemble("""
+.data
+buf: .space 64
+.text
+main:
+    li t0, 0
+    li t1, 8
+    la t2, buf
+loop:
+    slli t3, t0, 2
+    add t3, t2, t3
+    sw t0, 0(t3)
+    addi t0, t0, 1
+    blt t0, t1, loop
+    call fn
+    halt
+fn:
+    lw t4, 0(t2)
+    ret
+"""))
+
+
+# ----------------------------------------------------------------------
+# profiler
+# ----------------------------------------------------------------------
+
+def test_profile_block_counts(loop_result):
+    profile = profile_trace(loop_result.trace)
+    assert profile.total_instructions == loop_result.instructions
+    # The loop head is entered 7 times via the back edge.
+    loop_block = max(profile.hot_blocks, key=lambda b: b.entries)
+    assert loop_block.entries == 7
+    total = sum(b.instructions for b in profile.hot_blocks)
+    assert total == profile.total_instructions
+
+
+def test_profile_branch_targets_and_indirect(loop_result):
+    profile = profile_trace(loop_result.trace)
+    # Targets: loop head, fn, return site.
+    assert profile.branch_targets == 3
+    # One call + one return out of 9 transfers -> indirect share > 0.
+    assert 0.0 < profile.indirect_fraction < 0.5
+
+
+def test_profile_mix_fractions(loop_result):
+    profile = profile_trace(loop_result.trace)
+    assert sum(profile.mix.values()) == pytest.approx(1.0)
+    assert profile.mix["sw"] > 0
+
+
+def test_profile_report_renders(loop_result):
+    report = profile_trace(loop_result.trace).report(top=3)
+    assert "profile of" in report
+    assert "instruction mix" in report
+
+
+def test_profile_empty_data_trace():
+    result = run_program(assemble("main:\n li t0, 1\n halt"))
+    profile = profile_trace(result.trace)
+    assert profile.data_working_set == 0.0
+    assert profile.branch_targets == 0
+
+
+def test_recommend_mab_scales_with_working_set(loop_result):
+    profile = profile_trace(loop_result.trace)
+    nt, ns = recommend_mab(profile)
+    assert nt == 2
+    assert ns in (4, 8, 16, 32)
+
+
+def test_recommend_mab_caps_at_largest():
+    from repro.sim.profiler import Profile
+    huge = Profile(
+        program_name="x", total_instructions=1, hot_blocks=[],
+        branch_targets=0, data_working_set=1e6,
+        indirect_fraction=0.0, mix={},
+    )
+    assert recommend_mab(huge) == (2, 32)
+
+
+# ----------------------------------------------------------------------
+# trace serialization
+# ----------------------------------------------------------------------
+
+def test_trace_round_trip(tmp_path, loop_result):
+    fetch = fetch_stream(loop_result.trace.flow)
+    path = str(tmp_path / "trace.npz")
+    save_traces(path, loop_result.trace, fetch)
+    trace, loaded_fetch = load_traces(path)
+    assert trace.program_name == loop_result.trace.program_name
+    assert trace.instructions == loop_result.instructions
+    assert np.array_equal(trace.data.base, loop_result.trace.data.base)
+    assert np.array_equal(trace.data.disp, loop_result.trace.data.disp)
+    assert np.array_equal(trace.flow.start, loop_result.trace.flow.start)
+    assert loaded_fetch is not None
+    assert np.array_equal(loaded_fetch.addr, fetch.addr)
+    assert loaded_fetch.packet_bytes == fetch.packet_bytes
+
+
+def test_trace_round_trip_without_fetch(tmp_path, loop_result):
+    path = str(tmp_path / "nofetch.npz")
+    save_traces(path, loop_result.trace)
+    trace, fetch = load_traces(path)
+    assert fetch is None
+    assert trace.instructions == loop_result.instructions
+
+
+def test_loaded_trace_drives_controllers(tmp_path, loop_result):
+    """An exported trace must reproduce identical counters."""
+    from repro.core import WayMemoDCache
+    fetch = fetch_stream(loop_result.trace.flow)
+    path = str(tmp_path / "t.npz")
+    save_traces(path, loop_result.trace, fetch)
+    trace, _ = load_traces(path)
+    direct = WayMemoDCache().process(loop_result.trace.data)
+    replayed = WayMemoDCache().process(trace.data)
+    assert direct.tag_accesses == replayed.tag_accesses
+    assert direct.way_accesses == replayed.way_accesses
+
+
+def test_bad_archive_rejected(tmp_path):
+    path = str(tmp_path / "bogus.npz")
+    np.savez(path, unrelated=np.zeros(3))
+    with pytest.raises(TraceFormatError):
+        load_traces(path)
+
+
+def test_wrong_version_rejected(tmp_path, loop_result):
+    import repro.sim.traceio as traceio
+    path = str(tmp_path / "v99.npz")
+    original = traceio.FORMAT_VERSION
+    try:
+        traceio.FORMAT_VERSION = 99
+        save_traces(path, loop_result.trace)
+    finally:
+        traceio.FORMAT_VERSION = original
+    with pytest.raises(TraceFormatError, match="v99"):
+        load_traces(path)
+
+
+def test_trace_round_trip_preserves_mix(tmp_path, loop_result):
+    path = str(tmp_path / "mix.npz")
+    save_traces(path, loop_result.trace)
+    trace, _ = load_traces(path)
+    assert trace.mix == loop_result.trace.mix

@@ -1,0 +1,70 @@
+"""Trace container tests."""
+
+import numpy as np
+import pytest
+
+from repro.sim.trace import (
+    DataTrace,
+    FlowKind,
+    FlowTrace,
+    TraceRecorder,
+)
+
+
+def test_data_trace_addr_wraps():
+    trace = DataTrace.from_lists(
+        [0xFFFFFFFC, 0x1000], [8, -4], [True, False]
+    )
+    assert trace.addr.tolist() == [0x4, 0xFFC]
+
+
+def test_data_trace_load_store_counts():
+    trace = DataTrace.from_lists([0, 0, 0], [0, 0, 0], [True, False, True])
+    assert trace.num_stores == 2
+    assert trace.num_loads == 1
+    assert len(trace) == 3
+
+
+def test_data_trace_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        DataTrace(
+            base=np.zeros(2, dtype=np.uint32),
+            disp=np.zeros(3, dtype=np.int32),
+            store=np.zeros(2, dtype=bool),
+        )
+
+
+def test_flow_trace_expand_pcs():
+    flow = FlowTrace.from_lists(
+        [0x0, 0x100], [3, 2], [0, 1], [0, 8], [0, 0xF8]
+    )
+    assert flow.expand_pcs().tolist() == [0x0, 0x4, 0x8, 0x100, 0x104]
+    assert flow.num_instructions == 5
+
+
+def test_flow_trace_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        FlowTrace(
+            start=np.zeros(1, dtype=np.uint32),
+            count=np.zeros(2, dtype=np.uint32),
+            kind=np.zeros(1, dtype=np.uint8),
+            base=np.zeros(1, dtype=np.uint32),
+            disp=np.zeros(1, dtype=np.int32),
+        )
+
+
+def test_recorder_builds_consistent_trace():
+    rec = TraceRecorder()
+    rec.begin_run(0x0, int(FlowKind.START), 0x0, 0)
+    rec.step()
+    rec.step()
+    rec.record_data(0x40000, 4, False)
+    rec.begin_run(0x100, int(FlowKind.BRANCH), 0x4, 0xFC)
+    rec.step()
+    rec.record_data(0x40010, -4, True)
+    trace = rec.finish("unit", 3, {"addi": 3})
+    assert trace.instructions == 3
+    assert trace.flow.count.tolist() == [2, 1]
+    assert trace.data.disp.tolist() == [4, -4]
+    assert trace.mix == {"addi": 3}
+    assert "unit" in trace.summary()

@@ -1,0 +1,216 @@
+"""Validate the golden models against independent references.
+
+The golden models are bit-exact mirrors of the assembly kernels — but
+a mirror of a wrong kernel would still "pass".  These tests anchor
+each golden model to independent mathematics (numpy FFT, DCT theory,
+LZW invertibility, embedded motion), closing the loop: assembly ==
+golden model == the real algorithm.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.workloads import compress, dct, fft, jpeg_enc, mpeg2enc
+from repro.workloads.jpeg_enc import QUANT_TABLE, ZIGZAG
+
+
+# ----------------------------------------------------------------------
+# DCT
+# ----------------------------------------------------------------------
+
+def test_dct_constant_block_concentrates_in_dc():
+    table = dct.cosine_table()
+    block = [100] * 64
+    out = dct.dct_2d(block, table)
+    assert out[0] != 0
+    ac_energy = sum(abs(v) for v in out[1:])
+    assert ac_energy <= 8  # rounding noise only
+
+
+def test_dct_matches_float_reference():
+    """Fixed-point 2-D DCT tracks the exact orthonormal DCT-II."""
+    rng = np.random.default_rng(3)
+    block = rng.integers(0, 256, size=64).tolist()
+    fixed = dct.dct_2d(block, dct.cosine_table())
+
+    def c(u):
+        return 1.0 / math.sqrt(2.0) if u == 0 else 1.0
+
+    exact = np.zeros((8, 8))
+    mat = np.array(block, dtype=float).reshape(8, 8)
+    for u in range(8):
+        for v in range(8):
+            total = 0.0
+            for y in range(8):
+                for x in range(8):
+                    total += (
+                        mat[y, x]
+                        * math.cos((2 * y + 1) * u * math.pi / 16)
+                        * math.cos((2 * x + 1) * v * math.pi / 16)
+                    )
+            exact[u, v] = 0.25 * c(u) * c(v) * total
+    fixed_mat = np.array(fixed, dtype=float).reshape(8, 8)
+    # Q12 arithmetic with two rounding stages: stay within a few LSBs.
+    assert np.max(np.abs(fixed_mat - exact)) < 4.0
+
+
+def test_dct_linearity():
+    table = dct.cosine_table()
+    a = list(range(64))
+    doubled = dct.dct_2d([2 * v for v in a], table)
+    single = dct.dct_2d(a, table)
+    diff = [abs(d - 2 * s) for d, s in zip(doubled, single)]
+    assert max(diff) <= 4  # fixed-point rounding only
+
+
+# ----------------------------------------------------------------------
+# FFT
+# ----------------------------------------------------------------------
+
+def test_fft_matches_numpy_shape():
+    """The scaled fixed-point FFT tracks numpy's FFT divided by N."""
+    re_in, im_in = fft.input_frames()
+    re_in, im_in = re_in[: fft.N], im_in[: fft.N]
+    got_re, got_im = fft.fft_fixed(list(re_in), list(im_in))
+    reference = np.fft.fft(
+        np.array(re_in, dtype=float) + 1j * np.array(im_in, dtype=float)
+    ) / fft.N  # the >>1 per stage divides by N overall
+    got = np.array(got_re, dtype=float) + 1j * np.array(got_im, float)
+    error = np.abs(got - reference)
+    scale = np.abs(reference).max()
+    assert error.max() < 0.02 * scale + 8.0
+
+
+def test_fft_impulse_is_flat():
+    re = [0] * fft.N
+    im = [0] * fft.N
+    re[0] = 4096 * 4
+    got_re, got_im = fft.fft_fixed(re, im)
+    # FFT(impulse)/N is constant amplitude/N = 16384/256 = 64.
+    assert all(abs(v - 64) <= 1 for v in got_re)
+    assert all(abs(v) <= 1 for v in got_im)
+
+
+def test_bit_reverse_table_is_involution():
+    table = fft.bit_reverse_table()
+    assert sorted(table) == list(range(fft.N))
+    assert all(table[table[i]] == i for i in range(fft.N))
+
+
+def test_twiddles_on_unit_circle():
+    w_re, w_im = fft.twiddle_tables()
+    one = 1 << fft.Q_SHIFT
+    for re, im in zip(w_re, w_im):
+        radius = math.hypot(re, im)
+        assert abs(radius - one) < 3
+
+
+# ----------------------------------------------------------------------
+# compress (LZW)
+# ----------------------------------------------------------------------
+
+def _lzw_decompress(codes):
+    """An independent LZW decoder (textbook algorithm)."""
+    table = {i: bytes([i]) for i in range(256)}
+    next_code = 256
+    out = bytearray()
+    prev = table[codes[0]]
+    out += prev
+    for code in codes[1:]:
+        if code in table:
+            entry = table[code]
+        elif code == next_code:
+            entry = prev + prev[:1]
+        else:
+            raise AssertionError(f"corrupt code {code}")
+        out += entry
+        if next_code < compress.MAX_CODES:
+            table[next_code] = prev + entry[:1]
+            next_code += 1
+        prev = entry
+    return bytes(out)
+
+
+def test_lzw_round_trips():
+    text = compress.input_text()
+    codes = compress.lzw_compress(text)
+    assert _lzw_decompress(codes) == text
+
+
+def test_lzw_actually_compresses():
+    text = compress.input_text()
+    codes = compress.lzw_compress(text)
+    # 12-bit codes: compressed bits must undercut the 8-bit input.
+    assert len(codes) * 12 < len(text) * 8
+
+
+def test_lzw_handles_pathological_inputs():
+    assert _lzw_decompress(compress.lzw_compress(b"aaaaaaaa")) == \
+        b"aaaaaaaa"
+    assert _lzw_decompress(compress.lzw_compress(bytes(range(256)))) == \
+        bytes(range(256))
+
+
+# ----------------------------------------------------------------------
+# JPEG
+# ----------------------------------------------------------------------
+
+def test_zigzag_is_permutation():
+    assert sorted(ZIGZAG) == list(range(64))
+    # Spot-check the canonical start of the scan.
+    assert ZIGZAG[:6] == [0, 1, 8, 16, 9, 2]
+
+
+def test_quant_table_is_standard_annex_k():
+    assert QUANT_TABLE[0] == 16
+    assert QUANT_TABLE[63] == 99
+    assert len(QUANT_TABLE) == 64
+    assert all(q > 0 for q in QUANT_TABLE)
+
+
+def test_jpeg_block_stream_structure():
+    table = dct.cosine_table()
+    block = jpeg_enc.input_blocks()[:64]
+    stream = jpeg_enc.encode_block(block, table)
+    # Stream is (run, value) pairs ending with the EOB marker.
+    assert len(stream) % 2 == 0
+    assert stream[-2] == jpeg_enc.EOB_MARKER
+    assert stream[-1] == 0
+    runs = stream[:-2:2]
+    assert all(0 <= r < 64 for r in runs)
+
+
+def test_jpeg_flat_block_is_one_dc_coefficient():
+    table = dct.cosine_table()
+    stream = jpeg_enc.encode_block([128] * 64, table)
+    # Level shift makes it all-zero: nothing but the EOB.
+    assert stream == [jpeg_enc.EOB_MARKER, 0]
+
+
+# ----------------------------------------------------------------------
+# MPEG-2
+# ----------------------------------------------------------------------
+
+def test_motion_search_recovers_embedded_motion():
+    ref, cur = mpeg2enc.frames()
+    for my, mx in mpeg2enc.MB_ORIGINS:
+        _, dy, dx = mpeg2enc.motion_search(cur, ref, my, mx)
+        assert (dy, dx) == (mpeg2enc.TRUE_DY, mpeg2enc.TRUE_DX)
+
+
+def test_motion_search_zero_on_identical_frames():
+    ref, _ = mpeg2enc.frames()
+    best, dy, dx = mpeg2enc.motion_search(ref, ref, 8, 8)
+    assert (best, dy, dx) == (0, 0, 0)
+
+
+def test_sad_is_metric_like():
+    ref, cur = mpeg2enc.frames()
+    same = mpeg2enc._sad(cur, cur, 8, 8, 8, 8)
+    assert same == 0
+    cross = mpeg2enc._sad(cur, ref, 8, 8, 8, 8)
+    assert cross > 0
+    symmetric = mpeg2enc._sad(ref, cur, 8, 8, 8, 8)
+    assert cross == symmetric

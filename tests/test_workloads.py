@@ -1,0 +1,196 @@
+"""Workload tests: golden-model validation and trace properties."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    BENCHMARK_NAMES,
+    get_benchmark,
+    load_workload,
+    run_benchmark,
+    synthetic_data_trace,
+    synthetic_fetch_stream,
+)
+from repro.workloads.data import LCG, bytes_directive, words_directive
+
+
+# ----------------------------------------------------------------------
+# golden models: every benchmark's architectural output must match its
+# bit-exact Python model.  This is the strongest end-to-end check of
+# the ISA, assembler and CPU stack.
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_benchmark_matches_golden_model(name):
+    benchmark = get_benchmark(name)
+    result = run_benchmark(name)
+    assert result.halted
+    benchmark.check(result)  # raises on mismatch
+
+
+def test_all_benchmarks_registered():
+    assert set(BENCHMARK_NAMES) == {
+        "dct", "fft", "dhrystone", "whetstone", "compress",
+        "jpeg_enc", "mpeg2enc",
+    }
+    with pytest.raises(KeyError):
+        get_benchmark("linpack")
+
+
+def test_workloads_are_cached():
+    a = load_workload("dct")
+    b = load_workload("dct")
+    assert a is b
+
+
+def test_workload_cycles_equal_fetch_accesses(workload):
+    assert workload.cycles == len(workload.fetch)
+    assert workload.cycles > 0
+
+
+def test_workload_instruction_counts_substantial(workload):
+    """Each benchmark must be a real program, not a toy loop."""
+    assert workload.trace.instructions > 50_000
+
+
+def test_workload_has_loads_and_stores(workload):
+    data = workload.trace.data
+    assert data.num_loads > 0
+    assert data.num_stores > 0
+
+
+def test_workload_fetch_covers_flow(workload):
+    assert len(workload.fetch) >= len(workload.trace.flow)
+
+
+def test_benchmark_determinism():
+    first = run_benchmark("fft")
+    second = run_benchmark("fft")
+    assert first.instructions == second.instructions
+    assert first.registers == second.registers
+    assert np.array_equal(first.trace.data.base, second.trace.data.base)
+
+
+def test_displacements_are_small(workload):
+    """The premise of Section 3.1: displacements fit 14 bits."""
+    disp = workload.trace.data.disp
+    frac_large = np.mean(np.abs(disp.astype(np.int64)) >= (1 << 13))
+    assert frac_large < 0.01  # the paper claims <1%
+
+
+def test_benchmark_diversity():
+    """The suite must not be seven copies of the same profile."""
+    ratios = []
+    for name in BENCHMARK_NAMES:
+        w = load_workload(name)
+        ratios.append(len(w.trace.data) / w.trace.instructions)
+    assert max(ratios) > 2.5 * min(ratios)
+
+
+# ----------------------------------------------------------------------
+# synthetic generators
+# ----------------------------------------------------------------------
+
+def test_synthetic_data_trace_shape():
+    trace = synthetic_data_trace(num_accesses=500, store_fraction=0.25,
+                                 seed=1)
+    assert len(trace) == 500
+    assert 0 < trace.num_stores < 300
+
+
+def test_synthetic_data_trace_large_disp_fraction():
+    trace = synthetic_data_trace(
+        num_accesses=4000, large_disp_fraction=0.5, seed=2
+    )
+    frac = np.mean(trace.disp >= (1 << 13))
+    assert 0.4 < frac < 0.6
+
+
+def test_synthetic_data_trace_deterministic():
+    a = synthetic_data_trace(seed=7)
+    b = synthetic_data_trace(seed=7)
+    assert np.array_equal(a.base, b.base)
+    c = synthetic_data_trace(seed=8)
+    assert not np.array_equal(a.base, c.base)
+
+
+def test_synthetic_fetch_stream_invariants():
+    fs = synthetic_fetch_stream(num_blocks=100, seed=3)
+    target = (fs.base.astype(np.int64) + fs.disp).astype(np.uint32)
+    assert ((target & np.uint32(~7 & 0xFFFFFFFF)) == fs.addr).all()
+    assert (fs.addr % 8 == 0).all()
+
+
+# ----------------------------------------------------------------------
+# data helpers
+# ----------------------------------------------------------------------
+
+def test_lcg_deterministic_and_ranged():
+    rng = LCG(42)
+    values = [rng.next_range(5, 10) for _ in range(100)]
+    assert all(5 <= v < 10 for v in values)
+    assert values == [LCG(42).next_range(5, 10) for _ in range(1)] + \
+        values[1:]
+
+
+def test_lcg_empty_range_rejected():
+    with pytest.raises(ValueError):
+        LCG(0).next_range(3, 3)
+
+
+def test_words_directive_format():
+    text = words_directive([1, -1, 2], per_line=2)
+    assert ".word 1, 4294967295" in text
+    assert ".word 2" in text
+
+
+def test_bytes_directive_format():
+    text = bytes_directive(b"\x01\xff", per_line=8)
+    assert ".byte 1, 255" in text
+
+
+# ----------------------------------------------------------------------
+# stack-traffic injection
+# ----------------------------------------------------------------------
+
+def test_inject_stack_traffic_rate():
+    from repro.workloads.synthetic import inject_stack_traffic
+    base = synthetic_data_trace(num_accesses=10_000, seed=5)
+    injected = inject_stack_traffic(base, fraction=0.3)
+    added = len(injected) - len(base)
+    # Long-run stack share should approach the requested fraction.
+    share = added / len(injected)
+    assert 0.25 < share < 0.35
+
+
+def test_inject_stack_traffic_preserves_original_order():
+    from repro.workloads.synthetic import inject_stack_traffic
+    base = synthetic_data_trace(num_accesses=2_000, seed=6)
+    injected = inject_stack_traffic(base, fraction=0.4, sp_value=0xF0000)
+    kept = injected.base[injected.base != 0xF0000]
+    assert np.array_equal(kept, base.base)
+
+
+def test_inject_stack_traffic_zero_fraction_is_identity():
+    from repro.workloads.synthetic import inject_stack_traffic
+    base = synthetic_data_trace(num_accesses=100, seed=7)
+    assert inject_stack_traffic(base, 0.0) is base
+
+
+def test_inject_stack_traffic_validates_fraction():
+    from repro.workloads.synthetic import inject_stack_traffic
+    base = synthetic_data_trace(num_accesses=10, seed=8)
+    with pytest.raises(ValueError):
+        inject_stack_traffic(base, 1.0)
+
+
+def test_stack_traffic_raises_mab_hit_rate():
+    """The mechanism behind the paper's higher Figure-4 numbers."""
+    from repro.core import WayMemoDCache
+    from repro.workloads.synthetic import inject_stack_traffic
+    base = load_workload("dct").trace.data
+    plain = WayMemoDCache().process(base)
+    staged = WayMemoDCache().process(
+        inject_stack_traffic(base, fraction=0.4)
+    )
+    assert staged.mab_hit_rate > plain.mab_hit_rate
