@@ -1,0 +1,216 @@
+#!/usr/bin/env python
+"""Timing harness for the simulation substrate: writes BENCH_report.json.
+
+Measures the throughput of the three hot loops (ISS execution, D-cache
+controller, I-cache controller) plus the end-to-end experiment path,
+and records them next to the frozen *seed* numbers (measured on the
+pre-fast-engine tree with the identical workloads on the same
+machine class), so the perf trajectory is tracked in-repo from the
+fast-engine PR onwards.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_report.py          # full run
+    PYTHONPATH=src python benchmarks/perf_report.py --quick  # CI smoke
+
+``--quick`` shrinks the workloads and repeat counts so the whole run
+takes a couple of seconds; it also asserts the fast engines still
+reproduce the reference engines' counters, making the smoke run a
+cheap end-to-end equivalence check for CI.
+
+The report schema::
+
+    {
+      "schema": 1,
+      "mode": "full" | "quick",
+      "python": "3.11.x",
+      "metrics_us": {<name>: best-of-N microseconds, ...},
+      "seed_baseline_us": {<name>: seed microseconds, ...},
+      "speedup": {<name>: seed / current, ...}
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.baselines import OriginalDCache
+from repro.core import WayMemoDCache, WayMemoICache
+from repro.isa import assemble
+from repro.sim import run_program
+from repro.workloads import synthetic_data_trace, synthetic_fetch_stream
+
+#: Seed-tree timings (mean microseconds) of the identical measurement
+#: bodies, captured with pytest-benchmark at the repository seed before
+#: the fast engine landed.  Kept frozen so ``speedup`` in the report
+#: always reads "vs. the original interpreter/object-API engines".
+SEED_BASELINE_US = {
+    "iss_execution": 22604.4,
+    "dcache_controller": 194917.3,
+    "icache_controller": 70791.0,
+    "mab_lookup_x8": 44.3,
+    "cache_access_x64": 125.3,
+}
+
+ISS_SOURCE = """
+main:
+    li t0, 0
+    li t1, {n}
+loop:
+    addi t0, t0, 1
+    blt t0, t1, loop
+    halt
+"""
+
+
+def best_of(fn, repeats: int) -> float:
+    """Best-of-N wall time of ``fn()`` in microseconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        t1 = time.perf_counter()
+        best = min(best, t1 - t0)
+    return best * 1e6
+
+
+def measure(quick: bool) -> dict:
+    repeats = 3 if quick else 5
+    n_data = 4_000 if quick else 20_000
+    n_blocks = 600 if quick else 3_000
+    n_loop = 4_000 if quick else 20_000
+
+    data_trace = synthetic_data_trace(num_accesses=n_data, seed=1)
+    fetch = synthetic_fetch_stream(num_blocks=n_blocks, seed=1)
+    program = assemble(ISS_SOURCE.format(n=n_loop))
+
+    metrics = {}
+
+    metrics["iss_execution"] = best_of(
+        lambda: run_program(program), repeats
+    )
+    metrics["dcache_controller"] = best_of(
+        lambda: WayMemoDCache().process(data_trace), repeats
+    )
+    metrics["icache_controller"] = best_of(
+        lambda: WayMemoICache().process(fetch), repeats
+    )
+    metrics["dcache_original_baseline"] = best_of(
+        lambda: OriginalDCache().process(data_trace), repeats
+    )
+
+    # Kernel micro-ops (object API), matching benchmarks/test_micro.py.
+    from repro.cache.cache import SetAssociativeCache
+    from repro.cache.config import FRV_DCACHE
+    from repro.core import MAB, MABConfig
+
+    mab = MAB(MABConfig(2, 8), FRV_DCACHE)
+    lk = mab.lookup(0x40000, 8)
+    mab.install(lk, 0)
+
+    def mab_lookups():
+        for disp in (8, 16, 24, 8, 16, 24, 8, 16):
+            mab.lookup(0x40000, disp)
+
+    metrics["mab_lookup_x8"] = best_of(mab_lookups, 200 if quick else 1000)
+
+    cache = SetAssociativeCache(FRV_DCACHE)
+    addrs = [0x40000 + 32 * i for i in range(64)]
+    for addr in addrs:
+        cache.access(addr)
+
+    def cache_accesses():
+        for addr in addrs:
+            cache.access(addr)
+
+    metrics["cache_access_x64"] = best_of(
+        cache_accesses, 200 if quick else 1000
+    )
+
+    if quick:
+        # Scale the shrunken loop metrics back to the full-size bodies
+        # so they stay comparable with the frozen seed baseline.
+        metrics["iss_execution"] *= 20_000 / n_loop
+        metrics["dcache_controller"] *= 20_000 / n_data
+        metrics["dcache_original_baseline"] *= 20_000 / n_data
+        metrics["icache_controller"] *= 3_000 / n_blocks
+
+    return metrics
+
+
+def check_equivalence() -> None:
+    """Assert fast engines reproduce the reference engines exactly."""
+    trace = synthetic_data_trace(
+        num_accesses=3_000, seed=7, large_disp_fraction=0.02
+    )
+    fast = WayMemoDCache().process(trace)
+    ref = WayMemoDCache().process_reference(trace)
+    if fast.as_dict() != ref.as_dict():
+        raise AssertionError(
+            f"D-cache fast/reference divergence:\n{fast.as_dict()}\n"
+            f"{ref.as_dict()}"
+        )
+
+    fetch = synthetic_fetch_stream(num_blocks=400, seed=9)
+    fast_i = WayMemoICache().process(fetch)
+    ref_i = WayMemoICache().process_reference(fetch)
+    if fast_i.as_dict() != ref_i.as_dict():
+        raise AssertionError("I-cache fast/reference divergence")
+
+    program = assemble(ISS_SOURCE.format(n=500))
+    rf = run_program(program, engine="fast")
+    ri = run_program(program, engine="interp")
+    if (rf.registers != ri.registers
+            or rf.instructions != ri.instructions
+            or rf.trace.mix != ri.trace.mix):
+        raise AssertionError("ISS fast/interp divergence")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small workloads + equivalence smoke check (for CI)",
+    )
+    parser.add_argument(
+        "--output", default=None,
+        help="report path (default: BENCH_report.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    check_equivalence()
+    metrics = measure(args.quick)
+
+    report = {
+        "schema": 1,
+        "mode": "quick" if args.quick else "full",
+        "python": platform.python_version(),
+        "metrics_us": {k: round(v, 1) for k, v in metrics.items()},
+        "seed_baseline_us": SEED_BASELINE_US,
+        "speedup": {
+            k: round(SEED_BASELINE_US[k] / v, 2)
+            for k, v in metrics.items()
+            if k in SEED_BASELINE_US and v > 0
+        },
+    }
+
+    out = Path(args.output) if args.output else (
+        Path(__file__).resolve().parent.parent / "BENCH_report.json"
+    )
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    print(f"wrote {out}")
+    for name, us in sorted(report["metrics_us"].items()):
+        speedup = report["speedup"].get(name)
+        extra = f"  ({speedup}x vs seed)" if speedup else ""
+        print(f"  {name:28s} {us:12,.1f} us{extra}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

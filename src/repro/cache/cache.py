@@ -5,6 +5,17 @@ data bytes (the ISS provides functional memory, the cache studies only
 need hit/way/eviction behaviour).  Eviction listeners let the
 way-memoization machinery implement its ``evict_hook`` consistency
 mode.
+
+The internal state is *flat*: per-set lists of tag integers (``-1``
+means invalid) and dirty flags, with the address-split geometry
+precomputed once in ``__init__``.  The allocation-free fast-path API
+(:meth:`SetAssociativeCache.access_fast`,
+:meth:`SetAssociativeCache.hit_confirm`) is the kernel-level form of
+the scans: baselines and the line-buffer controller call it directly,
+while the two hottest controllers (``core/dcache.py`` /
+``core/icache.py``) inline equivalent code over the same state.  The
+original object API (:meth:`access` returning :class:`AccessResult`)
+is a thin wrapper kept for tests and non-hot callers.
 """
 
 from __future__ import annotations
@@ -18,7 +29,7 @@ from repro.cache.replacement import LRUPolicy, ReplacementPolicy
 
 @dataclass
 class CacheLineState:
-    """Tag state of one cache line."""
+    """Tag state of one cache line (a snapshot; not live storage)."""
 
     valid: bool = False
     dirty: bool = False
@@ -50,6 +61,18 @@ class AccessResult:
 #: Signature of eviction listeners: (tag, set_index) of the line removed.
 EvictionListener = Callable[[int, int], None]
 
+# Bit layout of the packed int returned by ``access_fast``:
+#   bit 0       hit
+#   bits 1..8   way
+#   bit 9       a valid line was evicted
+#   bit 10      the evicted line was dirty (writeback)
+#   bits 11..   evicted tag
+_F_HIT = 1
+_F_WAY_SHIFT = 1
+_F_EVICTED = 1 << 9
+_F_WRITEBACK = 1 << 10
+_F_TAG_SHIFT = 11
+
 
 class SetAssociativeCache:
     """A write-back, write-allocate set-associative cache model."""
@@ -63,10 +86,24 @@ class SetAssociativeCache:
         self.policy = policy or LRUPolicy(config.sets, config.ways)
         if (self.policy.sets, self.policy.ways) != (config.sets, config.ways):
             raise ValueError("replacement policy geometry mismatch")
-        self._lines: List[List[CacheLineState]] = [
-            [CacheLineState() for _ in range(config.ways)]
-            for _ in range(config.sets)
+        # Geometry, precomputed once (CacheConfig derives them lazily).
+        self.offset_bits = config.offset_bits
+        self.index_bits = config.index_bits
+        self.tag_shift = self.offset_bits + self.index_bits
+        self.set_mask = config.sets - 1
+        self.ways = config.ways
+        # Flat line state: tag per (set, way), -1 == invalid.
+        self._tags: List[List[int]] = [
+            [-1] * config.ways for _ in range(config.sets)
         ]
+        self._dirty: List[List[bool]] = [
+            [False] * config.ways for _ in range(config.sets)
+        ]
+        # Direct handle on LRU recency stacks for inline touch/victim;
+        # None for non-LRU policies (which go through method calls).
+        self._lru: Optional[List[List[int]]] = (
+            self.policy._order if isinstance(self.policy, LRUPolicy) else None
+        )
         self._eviction_listeners: List[EvictionListener] = []
         self.hits = 0
         self.misses = 0
@@ -81,66 +118,142 @@ class SetAssociativeCache:
 
     def probe(self, addr: int) -> Optional[int]:
         """Return the way holding ``addr`` without touching any state."""
-        tag, set_index, _ = self.config.split(addr)
-        for way, line in enumerate(self._lines[set_index]):
-            if line.valid and line.tag == tag:
+        addr &= 0xFFFFFFFF
+        tag = addr >> self.tag_shift
+        tags = self._tags[(addr >> self.offset_bits) & self.set_mask]
+        for way in range(self.ways):
+            if tags[way] == tag:
                 return way
         return None
 
     def line_state(self, set_index: int, way: int) -> CacheLineState:
-        return self._lines[set_index][way]
+        """Snapshot of one line's tag state."""
+        tag = self._tags[set_index][way]
+        if tag < 0:
+            return CacheLineState(valid=False, dirty=False, tag=0)
+        return CacheLineState(
+            valid=True, dirty=self._dirty[set_index][way], tag=tag
+        )
 
     def resident_tags(self, set_index: int) -> List[int]:
         """Valid tags currently stored in ``set_index`` (tests/invariants)."""
-        return [
-            line.tag for line in self._lines[set_index] if line.valid
-        ]
+        return [tag for tag in self._tags[set_index] if tag >= 0]
 
+    # ------------------------------------------------------------------
+    # fast path
+    # ------------------------------------------------------------------
+
+    def access_fast(self, tag: int, set_index: int, write: bool) -> int:
+        """Load/store access on a pre-split address, packed-int result.
+
+        Returns ``hit | way << 1`` plus eviction info in the upper bits
+        (see the ``_F_*`` layout above).  State changes are identical
+        to :meth:`access`.
+        """
+        tags = self._tags[set_index]
+        lru = self._lru
+        for way in range(self.ways):
+            if tags[way] == tag:
+                self.hits += 1
+                if lru is not None:
+                    order = lru[set_index]
+                    if order[-1] != way:
+                        order.remove(way)
+                        order.append(way)
+                else:
+                    self.policy.touch(set_index, way)
+                if write:
+                    self._dirty[set_index][way] = True
+                return _F_HIT | (way << _F_WAY_SHIFT)
+
+        # Miss: choose a victim, evict, fill.
+        self.misses += 1
+        if lru is not None:
+            way = lru[set_index][0]
+        else:
+            way = self.policy.victim(set_index)
+        result = way << _F_WAY_SHIFT
+        evicted_tag = tags[way]
+        dirty = self._dirty[set_index]
+        if evicted_tag >= 0:
+            self.evictions += 1
+            result |= _F_EVICTED | (evicted_tag << _F_TAG_SHIFT)
+            if dirty[way]:
+                self.writebacks += 1
+                result |= _F_WRITEBACK
+            for listener in self._eviction_listeners:
+                listener(evicted_tag, set_index)
+        tags[way] = tag
+        dirty[way] = write
+        if lru is not None:
+            order = lru[set_index]
+            if order[-1] != way:
+                order.remove(way)
+                order.append(way)
+        else:
+            self.policy.touch(set_index, way)
+        return result
+
+    def hit_confirm(
+        self, tag: int, set_index: int, way: int, write: bool
+    ) -> bool:
+        """Verify a memoized ``way`` and complete the hit in one scan.
+
+        Equivalent to ``probe(addr) == way`` followed by
+        ``access(addr)`` on the guaranteed-hit path, but with a single
+        tag comparison: a tag can reside in at most one way, so the
+        memoized way holds it iff any way does.  On success the hit is
+        recorded (hit counter, recency touch, dirty bit); on failure
+        (stale memoization) no state changes and the caller falls back
+        to a full access.
+        """
+        if self._tags[set_index][way] != tag:
+            return False
+        self.hits += 1
+        lru = self._lru
+        if lru is not None:
+            order = lru[set_index]
+            if order[-1] != way:
+                order.remove(way)
+                order.append(way)
+        else:
+            self.policy.touch(set_index, way)
+        if write:
+            self._dirty[set_index][way] = True
+        return True
+
+    # ------------------------------------------------------------------
+    # object API (wrapper over the fast path)
     # ------------------------------------------------------------------
 
     def access(self, addr: int, write: bool = False) -> AccessResult:
         """Perform a load/store access, filling on a miss."""
-        tag, set_index, _ = self.config.split(addr)
-        lines = self._lines[set_index]
-        for way, line in enumerate(lines):
-            if line.valid and line.tag == tag:
-                self.hits += 1
-                self.policy.touch(set_index, way)
-                if write:
-                    line.dirty = True
-                return AccessResult(hit=True, way=way)
-
-        # Miss: choose a victim, evict, fill.
-        self.misses += 1
-        way = self.policy.victim(set_index)
-        line = lines[way]
+        addr &= 0xFFFFFFFF
+        packed = self.access_fast(
+            addr >> self.tag_shift,
+            (addr >> self.offset_bits) & self.set_mask,
+            write,
+        )
         evicted_tag = None
-        writeback = False
-        if line.valid:
-            evicted_tag = line.tag
-            writeback = line.dirty
-            self.evictions += 1
-            if writeback:
-                self.writebacks += 1
-            for listener in self._eviction_listeners:
-                listener(evicted_tag, set_index)
-        line.valid = True
-        line.tag = tag
-        line.dirty = write
-        self.policy.touch(set_index, way)
+        if packed & _F_EVICTED:
+            evicted_tag = packed >> _F_TAG_SHIFT
         return AccessResult(
-            hit=False, way=way, evicted_tag=evicted_tag, writeback=writeback
+            hit=bool(packed & _F_HIT),
+            way=(packed >> _F_WAY_SHIFT) & 0xFF,
+            evicted_tag=evicted_tag,
+            writeback=bool(packed & _F_WRITEBACK),
         )
 
     def invalidate_all(self) -> None:
         """Flush the cache (notifies eviction listeners)."""
-        for set_index, lines in enumerate(self._lines):
-            for line in lines:
-                if line.valid:
+        for set_index, tags in enumerate(self._tags):
+            dirty = self._dirty[set_index]
+            for way, tag in enumerate(tags):
+                if tag >= 0:
                     for listener in self._eviction_listeners:
-                        listener(line.tag, set_index)
-                line.valid = False
-                line.dirty = False
+                        listener(tag, set_index)
+                tags[way] = -1
+                dirty[way] = False
 
     # ------------------------------------------------------------------
 
@@ -154,8 +267,8 @@ class SetAssociativeCache:
 
     def check_invariants(self) -> None:
         """Assert internal consistency (used by property tests)."""
-        for set_index, lines in enumerate(self._lines):
-            tags = [line.tag for line in lines if line.valid]
+        for set_index, line_tags in enumerate(self._tags):
+            tags = [tag for tag in line_tags if tag >= 0]
             if len(tags) != len(set(tags)):
                 raise AssertionError(
                     f"duplicate tag in set {set_index}: {tags}"

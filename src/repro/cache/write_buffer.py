@@ -7,11 +7,14 @@ is written.  For access counting the single-way-store consequence is
 applied directly by the controllers; this model additionally tracks
 occupancy and coalescing so the substrate is complete and the
 behaviour can be tested.
+
+``push`` is on the controllers' per-store hot path, so the line mask
+is precomputed and the pending FIFO is a plain insertion-ordered dict.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
+from typing import Dict
 
 from repro.cache.config import CacheConfig
 
@@ -24,7 +27,8 @@ class WriteBuffer:
             raise ValueError("write buffer needs at least one entry")
         self.config = config
         self.entries = entries
-        self._pending: "OrderedDict[int, int]" = OrderedDict()
+        self._line_mask = ~(config.line_bytes - 1) & 0xFFFFFFFF
+        self._pending: Dict[int, int] = {}
         self.inserts = 0
         self.coalesced = 0
         self.drains = 0
@@ -32,20 +36,23 @@ class WriteBuffer:
 
     def push(self, addr: int) -> bool:
         """Stage a store; returns True if it coalesced with a pending line."""
-        line = self.config.line_addr(addr)
-        if line in self._pending:
-            self._pending[line] += 1
+        line = addr & self._line_mask
+        pending = self._pending
+        if line in pending:
+            pending[line] += 1
             self.coalesced += 1
             return True
-        if len(self._pending) >= self.entries:
+        if len(pending) >= self.entries:
             self._drain_one()
-        self._pending[line] = 1
+        pending[line] = 1
         self.inserts += 1
-        self.max_occupancy = max(self.max_occupancy, len(self._pending))
+        occupancy = len(pending)
+        if occupancy > self.max_occupancy:
+            self.max_occupancy = occupancy
         return False
 
     def _drain_one(self) -> None:
-        self._pending.popitem(last=False)
+        del self._pending[next(iter(self._pending))]
         self.drains += 1
 
     def drain_all(self) -> int:

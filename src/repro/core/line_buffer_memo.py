@@ -95,10 +95,13 @@ class LineBufferWayMemoDCache:
                 continue
 
             if lookup.hit:
-                actual = cache.probe(addr)
-                if actual is not None and actual == lookup.way:
+                # Verify the memoized way and complete the hit in one
+                # tag comparison (replaces the probe() + access()
+                # double scan; a tag lives in at most one way).
+                if cache.hit_confirm(
+                    lookup.tag, lookup.set_index, lookup.way, is_store
+                ):
                     counters.mab_hits += 1
-                    cache.access(addr, write=is_store)
                     counters.cache_hits += 1
                     counters.way_accesses += 1
                     continue

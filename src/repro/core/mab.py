@@ -31,17 +31,33 @@ cache") is maintained by two mechanisms selectable via
   the cache evicts (a conservative guarantee).  The
   ``ablation_consistency`` experiment measures whether the paper mode
   ever yields a stale hit on our workloads.
+
+Implementation notes (fast engine): state is flat — tag-side keys are
+packed ``(base_tag << 2) | cflag`` ints mirrored in a dict for O(1)
+match, ``vflag`` rows are int bitmasks, and LRU order is kept as
+monotonically increasing use-stamps (victim = argmin) so a touch never
+runs ``list.remove``.  The hot-path API is
+:meth:`MAB.lookup_fast`/:meth:`MAB.install_fast` (plain ints/tuples,
+no per-lookup object churn); :meth:`lookup`/:meth:`install` wrap them
+to keep the original dataclass-based API for tests and cold callers.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.cache.config import CacheConfig
 from repro.core.address import PartialSum, partial_add
 
 CONSISTENCY_MODES = ("paper", "evict_hook")
+
+#: ``status`` values of :meth:`MAB.lookup_fast`.
+LOOKUP_MISS = 0
+LOOKUP_HIT = 1
+LOOKUP_BYPASS = 2
+
+_M32 = 0xFFFFFFFF
 
 
 @dataclass(frozen=True)
@@ -96,16 +112,30 @@ class MAB:
         self.cache_config = cache_config
         self.low_bits = cache_config.offset_bits + cache_config.index_bits
         self.tag_bits = 32 - self.low_bits
+        # Precomputed geometry for the inline narrow-adder datapath.
+        self._low_mask = (1 << self.low_bits) - 1
+        self._upper_mask = (1 << (32 - self.low_bits)) - 1
+        self._tag_mask = (1 << self.tag_bits) - 1
+        self._offset_bits = cache_config.offset_bits
+        self._index_mask = (1 << cache_config.index_bits) - 1
         nt, ns = config.tag_entries, config.index_entries
-        # Tag side: (base_tag, cflag) or None per slot.
-        self._tags: List[Optional[Tuple[int, int]]] = [None] * nt
-        # Index side: 9-bit set-index or None per slot.
-        self._indices: List[Optional[int]] = [None] * ns
-        # LRU order per side: slot numbers, LRU first.
-        self._tag_lru: List[int] = list(range(nt))
-        self._index_lru: List[int] = list(range(ns))
-        self._vflag: List[List[bool]] = [[False] * ns for _ in range(nt)]
-        self._way: List[List[int]] = [[0] * ns for _ in range(nt)]
+        self._nt = nt
+        self._ns = ns
+        # Tag side: packed (base_tag << 2) | cflag per slot, -1 empty,
+        # mirrored in a dict for O(1) match.
+        self._keys: List[int] = [-1] * nt
+        self._key_map: Dict[int, int] = {}
+        # Index side: 9-bit set-index per slot, -1 empty.
+        self._idx_vals: List[int] = [-1] * ns
+        self._idx_map: Dict[int, int] = {}
+        # Validity matrix as one bitmask per tag row (bit j = pair i,j).
+        self._vmask: List[int] = [0] * nt
+        self._ways: List[List[int]] = [[0] * ns for _ in range(nt)]
+        # LRU as use-stamps: victim = slot with the smallest stamp.
+        # Initial stamps replicate the cold order "slot 0 is LRU".
+        self._tag_stamp: List[int] = list(range(nt))
+        self._idx_stamp: List[int] = list(range(ns))
+        self._stamp = nt + ns
         # Statistics.
         self.lookups = 0
         self.hits = 0
@@ -113,7 +143,114 @@ class MAB:
         self.invalidations = 0
 
     # ------------------------------------------------------------------
-    # lookup
+    # fast path
+    # ------------------------------------------------------------------
+
+    def lookup_fast(
+        self, base: int, disp: int
+    ) -> Tuple[int, int, int, int, int, int, int]:
+        """Probe the MAB; allocation-free except for the result tuple.
+
+        Returns ``(status, way, tag_entry, index_entry, key,
+        target_tag, set_index)`` with ``status`` one of
+        :data:`LOOKUP_MISS` / :data:`LOOKUP_HIT` / :data:`LOOKUP_BYPASS`
+        and absent entries encoded as ``-1``.  ``key`` is the packed
+        ``(base_tag << 2) | cflag`` the tag side matches on; pass it
+        (with the entries and ``set_index``) to :meth:`install_fast`
+        after a miss resolves.  A hit touches both sides' LRU state.
+        """
+        self.lookups += 1
+        low_bits = self.low_bits
+        low_mask = self._low_mask
+        base &= _M32
+        disp &= _M32
+        raw = (base & low_mask) + (disp & low_mask)
+        set_index = ((raw & low_mask) >> self._offset_bits) & self._index_mask
+        upper = (disp >> low_bits) & self._upper_mask
+        if upper == 0:
+            sign = 0
+        elif upper == self._upper_mask:
+            sign = 1
+        else:
+            self.bypasses += 1
+            return (LOOKUP_BYPASS, -1, -1, -1, -1, -1, set_index)
+
+        base_tag = base >> low_bits
+        carry = raw >> low_bits
+        key = (base_tag << 2) | (carry << 1) | sign
+        target_tag = (base_tag + carry - sign) & self._tag_mask
+
+        tag_entry = self._key_map.get(key, -1)
+        index_entry = self._idx_map.get(set_index, -1)
+        if (
+            tag_entry >= 0
+            and index_entry >= 0
+            and self._vmask[tag_entry] >> index_entry & 1
+        ):
+            self.hits += 1
+            stamp = self._stamp
+            self._tag_stamp[tag_entry] = stamp
+            self._idx_stamp[index_entry] = stamp + 1
+            self._stamp = stamp + 2
+            return (
+                LOOKUP_HIT, self._ways[tag_entry][index_entry],
+                tag_entry, index_entry, key, target_tag, set_index,
+            )
+        return (
+            LOOKUP_MISS, -1, tag_entry, index_entry, key, target_tag,
+            set_index,
+        )
+
+    def install_fast(
+        self, tag_entry: int, index_entry: int, key: int,
+        set_index: int, way: int,
+    ) -> None:
+        """Memoize ``way`` after a miss (the four cases of Section 3.3).
+
+        ``tag_entry`` / ``index_entry`` are the slots reported by
+        :meth:`lookup_fast` (``-1`` = that side missed and its LRU
+        entry is replaced, clearing the row/column).
+        """
+        if tag_entry < 0:
+            stamps = self._tag_stamp
+            tag_entry = 0
+            best = stamps[0]
+            for slot in range(1, self._nt):
+                if stamps[slot] < best:
+                    best = stamps[slot]
+                    tag_entry = slot
+            old = self._keys[tag_entry]
+            if old >= 0:
+                del self._key_map[old]
+            self._keys[tag_entry] = key
+            self._key_map[key] = tag_entry
+            self._vmask[tag_entry] = 0
+        if index_entry < 0:
+            stamps = self._idx_stamp
+            index_entry = 0
+            best = stamps[0]
+            for slot in range(1, self._ns):
+                if stamps[slot] < best:
+                    best = stamps[slot]
+                    index_entry = slot
+            old = self._idx_vals[index_entry]
+            if old >= 0:
+                del self._idx_map[old]
+            self._idx_vals[index_entry] = set_index
+            self._idx_map[set_index] = index_entry
+            clear = ~(1 << index_entry)
+            vmask = self._vmask
+            for i in range(self._nt):
+                vmask[i] &= clear
+        self._vmask[tag_entry] |= 1 << index_entry
+        self._ways[tag_entry][index_entry] = way
+        stamp = self._stamp
+        self._tag_stamp[tag_entry] = stamp
+        self._idx_stamp[index_entry] = stamp + 1
+        self._stamp = stamp + 2
+
+    # ------------------------------------------------------------------
+    # object API (thin wrappers over the fast path)
     # ------------------------------------------------------------------
 
     def lookup(self, base: int, disp: int) -> MABLookup:
@@ -122,43 +259,24 @@ class MAB:
         A hit touches both sides' LRU state (the paper updates MAB
         entries with an LRU policy on every use).
         """
-        self.lookups += 1
-        partial = partial_add(base, disp, self.low_bits)
-        set_index = partial.set_index(
-            self.cache_config.offset_bits, self.cache_config.index_bits
+        status, way, tag_entry, index_entry, _, tag, set_index = (
+            self.lookup_fast(base, disp)
         )
-        if not partial.usable:
-            self.bypasses += 1
+        partial = partial_add(base, disp, self.low_bits)
+        if status == LOOKUP_BYPASS:
             return MABLookup(
                 hit=False, bypass=True, way=None, tag=None,
                 set_index=set_index, tag_entry=None, index_entry=None,
                 partial=partial,
             )
-
-        key = (partial.base_tag, partial.cflag)
-        tag_entry = self._find_tag(key)
-        index_entry = self._find_index(set_index)
-        target_tag = partial.target_tag(self.tag_bits)
-
-        hit = (
-            tag_entry is not None
-            and index_entry is not None
-            and self._vflag[tag_entry][index_entry]
-        )
-        way = self._way[tag_entry][index_entry] if hit else None
-        if hit:
-            self.hits += 1
-            self._touch_tag(tag_entry)
-            self._touch_index(index_entry)
         return MABLookup(
-            hit=hit, bypass=False, way=way, tag=target_tag,
-            set_index=set_index, tag_entry=tag_entry,
-            index_entry=index_entry, partial=partial,
+            hit=status == LOOKUP_HIT, bypass=False,
+            way=way if status == LOOKUP_HIT else None, tag=tag,
+            set_index=set_index,
+            tag_entry=tag_entry if tag_entry >= 0 else None,
+            index_entry=index_entry if index_entry >= 0 else None,
+            partial=partial,
         )
-
-    # ------------------------------------------------------------------
-    # update (called by controllers after a MAB miss resolves)
-    # ------------------------------------------------------------------
 
     def install(self, lookup: MABLookup, way: int) -> None:
         """Memoize the resolved ``way`` for the missed address.
@@ -169,21 +287,12 @@ class MAB:
         if lookup.bypass:
             raise ValueError("cannot install a bypassed lookup")
         partial = lookup.partial
-        key = (partial.base_tag, partial.cflag)
-        i = lookup.tag_entry
-        j = lookup.index_entry
-        if i is None:
-            i = self._tag_lru[0]
-            self._tags[i] = key
-            self._clear_row(i)
-        if j is None:
-            j = self._index_lru[0]
-            self._indices[j] = lookup.set_index
-            self._clear_column(j)
-        self._vflag[i][j] = True
-        self._way[i][j] = way
-        self._touch_tag(i)
-        self._touch_index(j)
+        key = (partial.base_tag << 2) | partial.cflag
+        self.install_fast(
+            lookup.tag_entry if lookup.tag_entry is not None else -1,
+            lookup.index_entry if lookup.index_entry is not None else -1,
+            key, lookup.set_index, way,
+        )
 
     def on_bypass(self, set_index: int) -> None:
         """Apply the paper's large-displacement consistency rule.
@@ -194,9 +303,12 @@ class MAB:
         the sum is exact even for large displacements (it only needs
         the narrow adder), so the matching column is cleared.
         """
-        j = self._find_index(set_index)
-        if j is not None:
-            self._clear_column(j)
+        j = self._idx_map.get(set_index, -1)
+        if j >= 0:
+            clear = ~(1 << j)
+            vmask = self._vmask
+            for i in range(self._nt):
+                vmask[i] &= clear
 
     def invalidate_line(self, tag: int, set_index: int) -> None:
         """Drop every pair matching an evicted cache line.
@@ -205,24 +317,40 @@ class MAB:
         the *reconstructed* cache tag, since several (base_tag, cflag)
         keys can denote the same line.
         """
-        j = self._find_index(set_index)
-        if j is None:
+        j = self._idx_map.get(set_index, -1)
+        if j < 0:
             return
-        for i, key in enumerate(self._tags):
-            if key is None or not self._vflag[i][j]:
+        bit = 1 << j
+        tag_mask = self._tag_mask
+        for i, key in enumerate(self._keys):
+            if key < 0 or not self._vmask[i] & bit:
                 continue
-            base_tag, cflag = key
-            carry, sign = cflag >> 1, cflag & 1
-            final = (base_tag + carry - sign) & ((1 << self.tag_bits) - 1)
+            base_tag = key >> 2
+            carry, sign = key >> 1 & 1, key & 1
+            final = (base_tag + carry - sign) & tag_mask
             if final == tag:
-                self._vflag[i][j] = False
+                self._vmask[i] &= ~bit
                 self.invalidations += 1
 
     def flush(self) -> None:
-        """Invalidate all pairs (e.g. on context switch)."""
-        for row in self._vflag:
-            for j in range(len(row)):
-                row[j] = False
+        """Invalidate all pairs and reset to the cold state.
+
+        Used e.g. on context switch.  Besides clearing every ``vflag``
+        this also drops the stored tag/index entries and resets both
+        sides' LRU order, so a flushed MAB behaves exactly like a
+        freshly constructed one (the activity counters ``lookups`` /
+        ``hits`` / ``bypasses`` / ``invalidations`` are measurement
+        accumulators and deliberately survive the flush).
+        """
+        nt, ns = self._nt, self._ns
+        self._keys = [-1] * nt
+        self._key_map.clear()
+        self._idx_vals = [-1] * ns
+        self._idx_map.clear()
+        self._vmask = [0] * nt
+        self._tag_stamp = list(range(nt))
+        self._idx_stamp = list(range(ns))
+        self._stamp = nt + ns
 
     # ------------------------------------------------------------------
     # invariants / introspection
@@ -231,72 +359,53 @@ class MAB:
     @property
     def addresses_covered(self) -> int:
         """Number of currently valid (tag, index) pairs."""
-        return sum(sum(row) for row in self._vflag)
+        return sum(mask.bit_count() for mask in self._vmask)
 
     def valid_pairs(self) -> List[Tuple[int, int, int]]:
         """Return valid pairs as (cache_tag, set_index, way) triples."""
         pairs = []
-        mask = (1 << self.tag_bits) - 1
-        for i, key in enumerate(self._tags):
-            if key is None:
+        mask = self._tag_mask
+        for i, key in enumerate(self._keys):
+            if key < 0:
                 continue
-            base_tag, cflag = key
-            final = (base_tag + (cflag >> 1) - (cflag & 1)) & mask
-            for j, index in enumerate(self._indices):
-                if index is not None and self._vflag[i][j]:
-                    pairs.append((final, index, self._way[i][j]))
+            base_tag = key >> 2
+            final = (base_tag + (key >> 1 & 1) - (key & 1)) & mask
+            vrow = self._vmask[i]
+            for j, index in enumerate(self._idx_vals):
+                if index >= 0 and vrow >> j & 1:
+                    pairs.append((final, index, self._ways[i][j]))
         return pairs
+
+    def _lru_order(self, stamps: List[int]) -> List[int]:
+        """Slot numbers sorted LRU first (reconstructed from stamps)."""
+        return sorted(range(len(stamps)), key=stamps.__getitem__)
 
     def check_invariants(self) -> None:
         """Assert structural invariants (used by property tests)."""
-        if sorted(self._tag_lru) != list(range(self.config.tag_entries)):
+        if len(set(self._tag_stamp)) != self._nt:
             raise AssertionError("tag LRU order corrupted")
-        if sorted(self._index_lru) != list(
-            range(self.config.index_entries)
-        ):
+        if len(set(self._idx_stamp)) != self._ns:
             raise AssertionError("index LRU order corrupted")
-        for i, key in enumerate(self._tags):
-            if key is None and any(self._vflag[i]):
+        for i, key in enumerate(self._keys):
+            if key < 0 and self._vmask[i]:
                 raise AssertionError(f"vflag set on empty tag row {i}")
-        for j, index in enumerate(self._indices):
-            if index is None and any(row[j] for row in self._vflag):
+        col_mask = 0
+        for row in self._vmask:
+            col_mask |= row
+        for j, index in enumerate(self._idx_vals):
+            if index < 0 and col_mask >> j & 1:
                 raise AssertionError(f"vflag set on empty index column {j}")
-        live_keys = [k for k in self._tags if k is not None]
+        live_keys = [k for k in self._keys if k >= 0]
         if len(live_keys) != len(set(live_keys)):
             raise AssertionError("duplicate tag-side keys")
-        live_idx = [s for s in self._indices if s is not None]
+        if sorted(self._key_map.items()) != sorted(
+            (k, i) for i, k in enumerate(self._keys) if k >= 0
+        ):
+            raise AssertionError("tag-side key map out of sync")
+        live_idx = [s for s in self._idx_vals if s >= 0]
         if len(live_idx) != len(set(live_idx)):
             raise AssertionError("duplicate index-side entries")
-
-    # ------------------------------------------------------------------
-    # internals
-    # ------------------------------------------------------------------
-
-    def _find_tag(self, key: Tuple[int, int]) -> Optional[int]:
-        for i, stored in enumerate(self._tags):
-            if stored == key:
-                return i
-        return None
-
-    def _find_index(self, set_index: int) -> Optional[int]:
-        for j, stored in enumerate(self._indices):
-            if stored == set_index:
-                return j
-        return None
-
-    def _touch_tag(self, i: int) -> None:
-        self._tag_lru.remove(i)
-        self._tag_lru.append(i)
-
-    def _touch_index(self, j: int) -> None:
-        self._index_lru.remove(j)
-        self._index_lru.append(j)
-
-    def _clear_row(self, i: int) -> None:
-        row = self._vflag[i]
-        for j in range(len(row)):
-            row[j] = False
-
-    def _clear_column(self, j: int) -> None:
-        for row in self._vflag:
-            row[j] = False
+        if sorted(self._idx_map.items()) != sorted(
+            (s, j) for j, s in enumerate(self._idx_vals) if s >= 0
+        ):
+            raise AssertionError("index-side map out of sync")

@@ -7,6 +7,7 @@ both the traces and the controllers are deterministic.
 
 from __future__ import annotations
 
+import math
 from functools import lru_cache
 from typing import Callable, Dict, Tuple
 
@@ -141,11 +142,28 @@ def icache_power(benchmark: str, arch: str) -> PowerBreakdown:
 
 
 def geometric_mean(values) -> float:
+    """Geometric mean, accumulated in log-space.
+
+    A running product underflows (or overflows) for long lists of
+    small (large) ratios; summing logarithms is exact in the float
+    range instead.  Any zero value makes the mean zero, matching the
+    limit of the product form; negative values are rejected (the
+    product form would silently return NaN or a complex-rooted
+    garbage value).
+    """
     values = list(values)
-    product = 1.0
+    if not values:
+        return 0.0
+    total = 0.0
     for v in values:
-        product *= v
-    return product ** (1.0 / len(values)) if values else 0.0
+        if v < 0:
+            raise ValueError(
+                f"geometric mean undefined for negative value {v!r}"
+            )
+        if v == 0:
+            return 0.0
+        total += math.log(v)
+    return math.exp(total / len(values))
 
 
 def average(values) -> float:

@@ -2,8 +2,20 @@
 
 The CPU executes an assembled :class:`~repro.isa.program.Program` on a
 flat :class:`~repro.sim.memory.Memory` and records the traces the cache
-studies consume.  The text segment is pre-decoded into operand tuples
-once, so the hot loop is a plain dictionary-free dispatch chain.
+studies consume.  Two engines share the architectural semantics:
+
+* ``engine="fast"`` (default) — the block-compiling engine of
+  :mod:`repro.sim.fastcpu`: basic blocks become specialized Python
+  closures, hot self-loops run without per-instruction dispatch, and
+  trace/mix bookkeeping is batched.
+* ``engine="interp"`` — the classic interpreter loop below, kept as
+  the executable specification.  The text segment is pre-decoded into
+  ``(opcode, rd, rs1, rs2, imm)`` tuples once, dispatch is an
+  integer-opcode branch chain (no string compares on the hot path) and
+  the instruction mix is counted in an opcode-indexed array.
+
+``tests/test_fastpath_differential.py`` asserts both engines produce
+identical registers, memory, traces and instruction counts.
 
 Arithmetic is 32-bit two's complement.  Division follows the RISC-V
 convention (``div x, 0 == -1``, ``rem x, 0 == x``, overflow wraps).
@@ -12,9 +24,13 @@ convention (``div x, 0 == -1``, ``rem x, 0 == x``, overflow wraps).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
-from repro.isa.instructions import INSTRUCTION_BYTES
+from repro.isa.instructions import (
+    INSTRUCTION_BYTES,
+    OPCODES,
+    OPCODE_BY_NUMBER,
+)
 from repro.isa.program import MEMORY_BYTES, Program, STACK_TOP
 from repro.isa.registers import NUM_REGS, REG_SP
 from repro.sim.memory import Memory
@@ -22,6 +38,36 @@ from repro.sim.trace import ExecutionTrace, FlowKind, TraceRecorder
 
 _M32 = 0xFFFFFFFF
 _SIGN = 0x80000000
+
+# Integer opcodes for the dispatch chain (bound once at import).
+_OP = {m: info.opcode for m, info in OPCODES.items()}
+_ADDI = _OP["addi"]
+_LW, _LH, _LHU, _LB, _LBU = (
+    _OP["lw"], _OP["lh"], _OP["lhu"], _OP["lb"], _OP["lbu"]
+)
+_SW, _SH, _SB = _OP["sw"], _OP["sh"], _OP["sb"]
+_ADD, _SUB = _OP["add"], _OP["sub"]
+_BEQ, _BNE, _BLT, _BGE, _BLTU, _BGEU = (
+    _OP["beq"], _OP["bne"], _OP["blt"], _OP["bge"],
+    _OP["bltu"], _OP["bgeu"],
+)
+_AND, _OR, _XOR = _OP["and"], _OP["or"], _OP["xor"]
+_SLL, _SRL, _SRA = _OP["sll"], _OP["srl"], _OP["sra"]
+_SLT, _SLTU = _OP["slt"], _OP["sltu"]
+_ANDI, _ORI, _XORI = _OP["andi"], _OP["ori"], _OP["xori"]
+_SLLI, _SRLI, _SRAI = _OP["slli"], _OP["srli"], _OP["srai"]
+_SLTI, _SLTIU = _OP["slti"], _OP["sltiu"]
+_MUL, _MULH, _MULHU = _OP["mul"], _OP["mulh"], _OP["mulhu"]
+_DIV, _DIVU, _REM, _REMU = (
+    _OP["div"], _OP["divu"], _OP["rem"], _OP["remu"]
+)
+_LUI, _JAL, _JALR, _HALT = (
+    _OP["lui"], _OP["jal"], _OP["jalr"], _OP["halt"]
+)
+_NUM_OPCODES = max(_OP.values()) + 1
+
+#: Engines accepted by :meth:`CPU.run`.
+ENGINES = ("fast", "interp")
 
 
 class CPUError(RuntimeError):
@@ -64,30 +110,67 @@ class CPU:
         self.memory.load_program(program)
         self.registers: List[int] = [0] * NUM_REGS
         self.registers[REG_SP] = STACK_TOP
-        self._decoded = self._predecode(program)
+        # Predecode lazily: the default fast engine keeps its own
+        # compiled representation and never reads these tuples.
+        self._decoded_cache: Optional[
+            List[Tuple[int, int, int, int, int]]
+        ] = None
+
+    @property
+    def _decoded(self) -> List[Tuple[int, int, int, int, int]]:
+        if self._decoded_cache is None:
+            self._decoded_cache = self._predecode(self.program)
+        return self._decoded_cache
 
     @staticmethod
-    def _predecode(program: Program) -> List[Tuple[str, int, int, int, int]]:
+    def _predecode(program: Program) -> List[Tuple[int, int, int, int, int]]:
+        """Decode the text segment to (opcode, rd, rs1, rs2, imm) tuples."""
         return [
-            (i.mnemonic, i.rd, i.rs1, i.rs2, i.imm)
+            (_OP[i.mnemonic], i.rd, i.rs1, i.rs2, i.imm)
             for i in program.instructions()
         ]
 
     # ------------------------------------------------------------------
 
-    def run(self, max_instructions: int = 20_000_000) -> ExecutionResult:
+    def run(
+        self,
+        max_instructions: int = 20_000_000,
+        engine: str = "fast",
+    ) -> ExecutionResult:
         """Execute until ``halt`` and return the result with traces.
 
         Raises :class:`CPUError` if the program runs away (more than
-        ``max_instructions`` executed) or the PC leaves the text segment.
+        ``max_instructions`` executed) or the PC leaves the text
+        segment.  ``engine`` selects the block-compiling fast engine
+        (default) or the reference interpreter loop (``"interp"``).
         """
+        if engine == "fast":
+            from repro.sim.fastcpu import run_fast
+
+            trace, instructions, halted = run_fast(
+                self.program, self.memory, self.registers,
+                max_instructions,
+            )
+            return ExecutionResult(
+                trace=trace,
+                registers=list(self.registers),
+                memory=self.memory,
+                instructions=instructions,
+                halted=halted,
+            )
+        if engine != "interp":
+            raise ValueError(f"unknown engine {engine!r}; use {ENGINES}")
+        return self._run_interp(max_instructions)
+
+    def _run_interp(self, max_instructions: int) -> ExecutionResult:
+        """The reference interpreter loop (integer-opcode dispatch)."""
         regs = self.registers
         mem = self.memory
         decoded = self._decoded
         text_base = self.program.text.base
         text_len = len(decoded)
         recorder = TraceRecorder()
-        mix: Dict[str, int] = {}
+        mix_counts = [0] * _NUM_OPCODES
 
         pc = self.program.entry
         recorder.begin_run(pc, int(FlowKind.START), pc, 0)
@@ -111,30 +194,30 @@ class CPU:
                     f"runaway program: exceeded {max_instructions} "
                     "instructions"
                 )
-            m, rd, rs1, rs2, imm = decoded[idx]
+            op, rd, rs1, rs2, imm = decoded[idx]
             executed += 1
             run_count[-1] += 1
-            mix[m] = mix.get(m, 0) + 1
+            mix_counts[op] += 1
             next_pc = pc + INSTRUCTION_BYTES
 
-            if m == "addi":
+            if op == _ADDI:
                 if rd:
                     regs[rd] = (regs[rs1] + imm) & _M32
-            elif m == "lw" or m == "lh" or m == "lhu" or m == "lb" \
-                    or m == "lbu":
+            elif op == _LW or op == _LH or op == _LHU or op == _LB \
+                    or op == _LBU:
                 base = regs[rs1]
                 record_data(base, imm, False)
                 addr = (base + imm) & _M32
-                if m == "lw":
+                if op == _LW:
                     value = read_u32(addr)
-                elif m == "lhu":
+                elif op == _LHU:
                     value = read_u16(addr)
-                elif m == "lh":
+                elif op == _LH:
                     value = read_u16(addr)
                     if value & 0x8000:
                         value -= 0x10000
                         value &= _M32
-                elif m == "lbu":
+                elif op == _LBU:
                     value = read_u8(addr)
                 else:  # lb
                     value = read_u8(addr)
@@ -143,100 +226,100 @@ class CPU:
                         value &= _M32
                 if rd:
                     regs[rd] = value
-            elif m == "sw" or m == "sh" or m == "sb":
+            elif op == _SW or op == _SH or op == _SB:
                 base = regs[rs1]
                 record_data(base, imm, True)
                 addr = (base + imm) & _M32
-                if m == "sw":
+                if op == _SW:
                     write_u32(addr, regs[rs2])
-                elif m == "sh":
+                elif op == _SH:
                     write_u16(addr, regs[rs2])
                 else:
                     write_u8(addr, regs[rs2])
-            elif m == "add":
+            elif op == _ADD:
                 if rd:
                     regs[rd] = (regs[rs1] + regs[rs2]) & _M32
-            elif m == "sub":
+            elif op == _SUB:
                 if rd:
                     regs[rd] = (regs[rs1] - regs[rs2]) & _M32
-            elif m == "beq" or m == "bne" or m == "blt" or m == "bge" \
-                    or m == "bltu" or m == "bgeu":
+            elif op == _BEQ or op == _BNE or op == _BLT or op == _BGE \
+                    or op == _BLTU or op == _BGEU:
                 a, b = regs[rs1], regs[rs2]
-                if m == "beq":
+                if op == _BEQ:
                     taken = a == b
-                elif m == "bne":
+                elif op == _BNE:
                     taken = a != b
-                elif m == "bltu":
+                elif op == _BLTU:
                     taken = a < b
-                elif m == "bgeu":
+                elif op == _BGEU:
                     taken = a >= b
-                elif m == "blt":
+                elif op == _BLT:
                     taken = _signed(a) < _signed(b)
                 else:
                     taken = _signed(a) >= _signed(b)
                 if taken:
                     next_pc = pc + imm
                     begin_run(next_pc, int(FlowKind.BRANCH), pc, imm)
-            elif m == "and":
+            elif op == _AND:
                 if rd:
                     regs[rd] = regs[rs1] & regs[rs2]
-            elif m == "or":
+            elif op == _OR:
                 if rd:
                     regs[rd] = regs[rs1] | regs[rs2]
-            elif m == "xor":
+            elif op == _XOR:
                 if rd:
                     regs[rd] = regs[rs1] ^ regs[rs2]
-            elif m == "sll":
+            elif op == _SLL:
                 if rd:
                     regs[rd] = (regs[rs1] << (regs[rs2] & 31)) & _M32
-            elif m == "srl":
+            elif op == _SRL:
                 if rd:
                     regs[rd] = regs[rs1] >> (regs[rs2] & 31)
-            elif m == "sra":
+            elif op == _SRA:
                 if rd:
                     regs[rd] = (_signed(regs[rs1]) >> (regs[rs2] & 31)) & _M32
-            elif m == "slt":
+            elif op == _SLT:
                 if rd:
                     regs[rd] = int(_signed(regs[rs1]) < _signed(regs[rs2]))
-            elif m == "sltu":
+            elif op == _SLTU:
                 if rd:
                     regs[rd] = int(regs[rs1] < regs[rs2])
-            elif m == "andi":
+            elif op == _ANDI:
                 if rd:
                     regs[rd] = regs[rs1] & (imm & _M32)
-            elif m == "ori":
+            elif op == _ORI:
                 if rd:
                     regs[rd] = regs[rs1] | (imm & _M32)
-            elif m == "xori":
+            elif op == _XORI:
                 if rd:
                     regs[rd] = regs[rs1] ^ (imm & _M32)
-            elif m == "slli":
+            elif op == _SLLI:
                 if rd:
                     regs[rd] = (regs[rs1] << (imm & 31)) & _M32
-            elif m == "srli":
+            elif op == _SRLI:
                 if rd:
                     regs[rd] = regs[rs1] >> (imm & 31)
-            elif m == "srai":
+            elif op == _SRAI:
                 if rd:
                     regs[rd] = (_signed(regs[rs1]) >> (imm & 31)) & _M32
-            elif m == "slti":
+            elif op == _SLTI:
                 if rd:
                     regs[rd] = int(_signed(regs[rs1]) < imm)
-            elif m == "sltiu":
+            elif op == _SLTIU:
                 if rd:
                     regs[rd] = int(regs[rs1] < (imm & _M32))
-            elif m == "mul":
+            elif op == _MUL:
                 if rd:
                     regs[rd] = (regs[rs1] * regs[rs2]) & _M32
-            elif m == "mulh":
+            elif op == _MULH:
                 if rd:
                     regs[rd] = (
                         (_signed(regs[rs1]) * _signed(regs[rs2])) >> 32
                     ) & _M32
-            elif m == "mulhu":
+            elif op == _MULHU:
                 if rd:
                     regs[rd] = ((regs[rs1] * regs[rs2]) >> 32) & _M32
-            elif m == "div":
+            elif op == _DIV:
                 if rd:
                     a, b = _signed(regs[rs1]), _signed(regs[rs2])
                     if b == 0:
@@ -246,11 +329,11 @@ class CPU:
                         if (a < 0) != (b < 0):
                             q = -q
                     regs[rd] = q & _M32
-            elif m == "divu":
+            elif op == _DIVU:
                 if rd:
                     b = regs[rs2]
                     regs[rd] = _M32 if b == 0 else regs[rs1] // b
-            elif m == "rem":
+            elif op == _REM:
                 if rd:
                     a, b = _signed(regs[rs1]), _signed(regs[rs2])
                     if b == 0:
@@ -260,31 +343,36 @@ class CPU:
                         if a < 0:
                             r = -r
                     regs[rd] = r & _M32
-            elif m == "remu":
+            elif op == _REMU:
                 if rd:
                     b = regs[rs2]
                     regs[rd] = regs[rs1] if b == 0 else regs[rs1] % b
-            elif m == "lui":
+            elif op == _LUI:
                 if rd:
                     regs[rd] = (imm << 16) & _M32
-            elif m == "jal":
+            elif op == _JAL:
                 if rd:
                     regs[rd] = next_pc
                 next_pc = pc + imm
                 begin_run(next_pc, int(FlowKind.BRANCH), pc, imm)
-            elif m == "jalr":
+            elif op == _JALR:
                 base = regs[rs1]
                 if rd:
                     regs[rd] = next_pc
                 next_pc = (base + imm) & _M32 & ~3
                 begin_run(next_pc, int(FlowKind.INDIRECT), base, imm)
-            elif m == "halt":
+            elif op == _HALT:
                 halted = True
                 break
             else:  # pragma: no cover - decode guarantees coverage
-                raise CPUError(f"unimplemented instruction {m!r}")
+                raise CPUError(f"unimplemented opcode {op!r}")
             pc = next_pc
 
+        mix = {
+            OPCODE_BY_NUMBER[op].mnemonic: count
+            for op, count in enumerate(mix_counts)
+            if count and op in OPCODE_BY_NUMBER
+        }
         trace = recorder.finish(self.program.name, executed, mix)
         return ExecutionResult(
             trace=trace,
@@ -299,6 +387,7 @@ def run_program(
     program: Program,
     max_instructions: int = 20_000_000,
     memory_bytes: Optional[int] = None,
+    engine: str = "fast",
 ) -> ExecutionResult:
     """Assemble-and-go helper: execute ``program`` on a fresh CPU."""
     cpu = CPU(
@@ -306,4 +395,4 @@ def run_program(
         memory_bytes=memory_bytes if memory_bytes is not None
         else MEMORY_BYTES,
     )
-    return cpu.run(max_instructions=max_instructions)
+    return cpu.run(max_instructions=max_instructions, engine=engine)

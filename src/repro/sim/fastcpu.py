@@ -1,0 +1,762 @@
+"""Block-compiling fast engine for the FRL-32 ISS.
+
+The interpreter in :mod:`repro.sim.cpu` dispatches every instruction
+through a predecoded operand tuple — robust, but the per-instruction
+Python overhead (dispatch, per-instruction trace bookkeeping, mix
+counting) dominates execution time.  This module compiles each *block*
+of the program to a specialized Python closure instead:
+
+* A block starts at any jump-target index and extends through straight
+  -line code (including not-taken conditional branches) up to the
+  first unconditional control transfer (``jal``/``jalr``/``halt``),
+  the end of the text segment, or a length cap.
+* Registers used by the block are promoted to Python locals on entry
+  and written back at every exit.
+* A conditional branch whose taken-target is the block entry is
+  compiled into a native ``while`` loop ("self-loop"), so hot inner
+  loops execute with no per-iteration dispatch at all.
+* Trace bookkeeping is batched: instruction counts and the mix are
+  reconstructed from per-exit/per-loop execution counters after the
+  run, and the flow-trace records of a self-loop's identical taken
+  back-edges are recorded as a single run-length segment expanded into
+  the numpy arrays at the end (run records of non-loop transfers are
+  ordinary list appends of compile-time constants).
+
+The engine is bit-exact with the interpreter: identical registers,
+memory, :class:`~repro.sim.trace.ExecutionTrace` (data + flow + mix)
+and instruction counts (``tests/test_fastpath_differential.py`` proves
+it on every bundled workload and on random programs).  The only
+divergence is *when* a runaway program is detected: the interpreter
+raises exactly at ``max_instructions``, the fast engine at the next
+block boundary after crossing it.
+
+Compiled blocks are cached per :class:`~repro.isa.program.Program`
+instance, so repeated runs (fresh CPUs on the same program) skip
+compilation.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.isa.instructions import INSTRUCTION_BYTES, OPCODES, Format
+from repro.isa.program import Program
+from repro.sim.memory import Memory
+from repro.sim.trace import (
+    DataTrace,
+    ExecutionTrace,
+    FlowKind,
+    FlowTrace,
+)
+
+_M32 = 0xFFFFFFFF
+_SIGN = 0x80000000
+
+#: Cap on instructions scanned into one block.
+_MAX_BLOCK = 256
+#: Cap on self-loop iterations executed inside one block call (the
+#: driver re-enters the block afterwards, bounding the work between
+#: runaway-budget checks).
+_LOOP_CAP = 1 << 20
+
+#: Exit table sentinels for the "next block" field.
+_NEXT_HALT = -1
+_NEXT_DYNAMIC = -2
+
+_BRANCH_COND = {
+    "beq": "{a} == {b}",
+    "bne": "{a} != {b}",
+    "bltu": "{a} < {b}",
+    "bgeu": "{a} >= {b}",
+    "blt": "({a} ^ 2147483648) < ({b} ^ 2147483648)",
+    "bge": "({a} ^ 2147483648) >= ({b} ^ 2147483648)",
+}
+
+_CONTROL = frozenset(_BRANCH_COND) | {"jal", "jalr", "halt"}
+
+
+def _sdiv(a: int, b: int) -> int:
+    sa = a - 0x1_0000_0000 if a & _SIGN else a
+    sb = b - 0x1_0000_0000 if b & _SIGN else b
+    if sb == 0:
+        return _M32
+    q = abs(sa) // abs(sb)
+    if (sa < 0) != (sb < 0):
+        q = -q
+    return q & _M32
+
+
+def _srem(a: int, b: int) -> int:
+    sa = a - 0x1_0000_0000 if a & _SIGN else a
+    sb = b - 0x1_0000_0000 if b & _SIGN else b
+    if sb == 0:
+        return sa & _M32
+    r = abs(sa) % abs(sb)
+    if sa < 0:
+        r = -r
+    return r & _M32
+
+
+def _mulh(a: int, b: int) -> int:
+    sa = a - 0x1_0000_0000 if a & _SIGN else a
+    sb = b - 0x1_0000_0000 if b & _SIGN else b
+    return ((sa * sb) >> 32) & _M32
+
+
+class _FastRecorder:
+    """Trace builder with O(1) bulk recording of repeated runs."""
+
+    def __init__(self, entry_pc: int):
+        self.db: List[int] = []
+        self.dd: List[int] = []
+        self.ds: List[bool] = []
+        self.rs: List[int] = [entry_pc]
+        self.rc: List[int] = [0]
+        self.rk: List[int] = [int(FlowKind.START)]
+        self.rb: List[int] = [entry_pc]
+        self.rd: List[int] = [0]
+        # (position, n, start, count, kind, base, disp) segments; the
+        # n identical runs are spliced in at `position` on finish.
+        self.reps: List[Tuple[int, int, int, int, int, int, int]] = []
+
+    def rep(
+        self, n: int, start: int, count: int, kind: int,
+        base: int, disp: int,
+    ) -> None:
+        self.reps.append((len(self.rs), n, start, count, kind, base, disp))
+
+    def _column(self, plain: List[int], col: int, dtype) -> np.ndarray:
+        parts = []
+        prev = 0
+        for rep in self.reps:
+            pos, n = rep[0], rep[1]
+            if pos > prev:
+                parts.append(np.asarray(plain[prev:pos], dtype=dtype))
+            parts.append(np.full(n, rep[2 + col], dtype=dtype))
+            prev = pos
+        parts.append(np.asarray(plain[prev:], dtype=dtype))
+        return np.concatenate(parts) if len(parts) > 1 else parts[0]
+
+    def finish(self, program_name: str, instructions: int, mix) -> (
+            ExecutionTrace):
+        data = DataTrace.from_lists(self.db, self.dd, self.ds)
+        if not self.reps:
+            flow = FlowTrace.from_lists(
+                self.rs, self.rc, self.rk, self.rb, self.rd
+            )
+        else:
+            flow = FlowTrace(
+                start=self._column(self.rs, 0, np.uint32),
+                count=self._column(self.rc, 1, np.uint32),
+                kind=self._column(self.rk, 2, np.uint8),
+                base=self._column(self.rb, 3, np.uint32),
+                disp=self._column(self.rd, 4, np.int32),
+            )
+        return ExecutionTrace(
+            program_name=program_name,
+            data=data,
+            flow=flow,
+            instructions=instructions,
+            mix=dict(mix),
+        )
+
+
+class _CompiledProgram:
+    """Per-program compilation state (block makers, exit/loop tables)."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.text_base = program.text.base
+        insns = program.instructions()
+        self.text_len = len(insns)
+        self.decoded = [
+            (i.mnemonic, i.rd, i.rs1, i.rs2, i.imm) for i in insns
+        ]
+        self.mnemonics = [d[0] for d in self.decoded]
+        # entry idx -> maker(env) producing the block closure.
+        self.makers: Dict[int, Callable] = {}
+        # exit id -> (n_path_insns, next_idx | _NEXT_*, coverage tuple).
+        self.exits: List[Tuple[int, int, Tuple[int, ...]]] = []
+        # loop id -> loop body coverage tuple.
+        self.loops: List[Tuple[int, ...]] = []
+
+
+_COMPILED: Dict[int, Tuple[weakref.ref, _CompiledProgram]] = {}
+
+
+def _compiled(program: Program) -> _CompiledProgram:
+    key = id(program)
+    ent = _COMPILED.get(key)
+    if ent is not None and ent[0]() is program:
+        return ent[1]
+    cp = _CompiledProgram(program)
+
+    def _drop(_ref, _key=key, _cache=_COMPILED):
+        try:
+            _cache.pop(_key, None)
+        except TypeError:  # pragma: no cover - interpreter shutdown
+            pass
+
+    _COMPILED[key] = (weakref.ref(program, _drop), cp)
+    return cp
+
+
+# ----------------------------------------------------------------------
+# block compilation
+# ----------------------------------------------------------------------
+
+class _Emitter:
+    def __init__(self):
+        self.lines: List[str] = ["        pass"]
+
+    def emit(self, indent: int, text: str) -> None:
+        self.lines.append("        " + "    " * indent + text)
+
+
+def _reg(n: int) -> str:
+    return f"r{n}" if n else "0"
+
+
+def _compile_block(cp: _CompiledProgram, entry: int) -> Callable:
+    """Compile the block starting at instruction index ``entry``."""
+    decoded = cp.decoded
+    text_base = cp.text_base
+    text_len = cp.text_len
+
+    # -- scan the block -------------------------------------------------
+    idxs: List[int] = []
+    loop_pos = -1  # position (offset in idxs) of the self-loop back-edge
+    i = entry
+    while i < text_len and len(idxs) < _MAX_BLOCK:
+        m = decoded[i][0]
+        idxs.append(i)
+        if m in ("jal", "jalr", "halt"):
+            break
+        if m in _BRANCH_COND and loop_pos < 0:
+            imm = decoded[i][4]
+            if i + imm // INSTRUCTION_BYTES == entry:
+                loop_pos = len(idxs) - 1
+        i += 1
+
+    # -- register promotion ---------------------------------------------
+    used: set = set()
+    written: set = set()
+    for i in idxs:
+        m, rd, rs1, rs2, imm = decoded[i]
+        fmt = OPCODES[m].format
+        if fmt in (Format.R, Format.BRANCH):
+            used.add(rs1)
+            used.add(rs2)
+        elif fmt in (Format.I, Format.LOAD, Format.JR):
+            used.add(rs1)
+        elif fmt is Format.STORE:
+            used.add(rs1)
+            used.add(rs2)
+        if fmt in (Format.R, Format.I, Format.LOAD, Format.U, Format.J,
+                   Format.JR) and rd:
+            used.add(rd)
+            written.add(rd)
+    used.discard(0)
+    written.discard(0)
+
+    e = _Emitter()
+    for n in sorted(used):
+        e.emit(0, f"r{n} = regs[{n}]")
+
+    wb = "; ".join(f"regs[{n}] = r{n}" for n in sorted(written)) or "pass"
+
+    exits = cp.exits
+    loop_body_len = loop_pos + 1 if loop_pos >= 0 else 0
+    loop_id = -1
+    if loop_pos >= 0:
+        loop_id = len(cp.loops)
+        cp.loops.append(tuple(idxs[: loop_pos + 1]))
+
+    # back-edge constants (for loop flush code)
+    if loop_pos >= 0:
+        bi = idxs[loop_pos]
+        b_pc = text_base + 4 * bi
+        b_imm = decoded[bi][4]
+        sp = b_pc + b_imm  # == entry pc
+        bk = int(FlowKind.BRANCH)
+        flush_taken = (
+            f"rc[-1] += {loop_body_len}\n"
+            f"if m > 1: rep(m - 1, {sp}, {loop_body_len}, {bk}, "
+            f"{b_pc}, {b_imm})\n"
+            f"rsa({sp}); rca({{cnt}}); rka({bk}); rba({b_pc}); "
+            f"rda({b_imm})"
+        )
+
+    def loop_flush(ind: int, partial: int) -> None:
+        """Emit run-record flush for exiting the loop mid-pass.
+
+        ``partial`` = instructions executed in the current (unfinished)
+        pass; the m completed passes are recorded in bulk.
+        """
+        e.emit(ind, "if m:")
+        for ln in flush_taken.format(cnt=partial).split("\n"):
+            e.emit(ind + 1, ln)
+        e.emit(ind, "else:")
+        e.emit(ind + 1, f"rc[-1] += {partial}")
+        e.emit(ind, f"lc[{loop_id}] += m")
+        e.emit(ind, f"st[0] += m * {loop_body_len}")
+
+    def new_exit(n_insns: int, next_idx: int,
+                 coverage: Tuple[int, ...]) -> int:
+        exits.append((n_insns, next_idx, coverage))
+        return len(exits) - 1
+
+    # -- emit instructions ----------------------------------------------
+    in_loop = loop_pos >= 0
+    if in_loop:
+        e.emit(0, "m = 0")
+        e.emit(0, "while True:")
+    ind = 1 if in_loop else 0
+    c = 0  # run-count contribution accumulated since the last boundary
+
+    for pos, i in enumerate(idxs):
+        if in_loop and pos == loop_pos + 1:
+            # we are past the back-edge: close the loop construct
+            e.emit(1, "break")
+            in_loop = False
+            ind = 0
+            e.emit(0, f"rc[-1] += {loop_body_len}")
+            e.emit(0, "if m:")
+            for ln in flush_taken.format(cnt=loop_body_len).split("\n")[1:]:
+                e.emit(1, ln)
+            e.emit(0, f"lc[{loop_id}] += m")
+            e.emit(0, f"st[0] += m * {loop_body_len}")
+            c = 0
+
+        m, rd, rs1, rs2, imm = decoded[i]
+        pc = text_base + 4 * i
+        next_pc = pc + INSTRUCTION_BYTES
+        a, b = _reg(rs1), _reg(rs2)
+        d = _reg(rd)
+
+        if m == "addi":
+            if rd:
+                e.emit(ind, f"{d} = ({a} + {imm}) & 4294967295")
+        elif m in ("lw", "lh", "lhu", "lb", "lbu"):
+            e.emit(ind, f"_b = {a}")
+            e.emit(ind, f"dba(_b); dda({imm}); dsa(False)")
+            e.emit(ind, f"_a = (_b + {imm}) & 4294967295")
+            if m == "lw":
+                rhs = "r_u32(_a)"
+            elif m == "lhu":
+                rhs = "r_u16(_a)"
+            elif m == "lbu":
+                rhs = "r_u8(_a)"
+            elif m == "lh":
+                rhs = None
+            else:
+                rhs = None
+            if rhs is not None:
+                e.emit(ind, f"{d} = {rhs}" if rd else f"{rhs}")
+            elif m == "lh":
+                e.emit(ind, "_v = r_u16(_a)")
+                if rd:
+                    e.emit(
+                        ind,
+                        f"{d} = (_v - 65536) & 4294967295 "
+                        "if _v & 32768 else _v",
+                    )
+            else:  # lb
+                e.emit(ind, "_v = r_u8(_a)")
+                if rd:
+                    e.emit(
+                        ind,
+                        f"{d} = (_v - 256) & 4294967295 "
+                        "if _v & 128 else _v",
+                    )
+        elif m in ("sw", "sh", "sb"):
+            e.emit(ind, f"_b = {a}")
+            e.emit(ind, f"dba(_b); dda({imm}); dsa(True)")
+            fn = {"sw": "w_u32", "sh": "w_u16", "sb": "w_u8"}[m]
+            e.emit(ind, f"{fn}((_b + {imm}) & 4294967295, {b})")
+        elif m == "add":
+            if rd:
+                e.emit(ind, f"{d} = ({a} + {b}) & 4294967295")
+        elif m == "sub":
+            if rd:
+                e.emit(ind, f"{d} = ({a} - {b}) & 4294967295")
+        elif m in _BRANCH_COND:
+            cond = _BRANCH_COND[m].format(a=a, b=b)
+            t_idx = i + imm // INSTRUCTION_BYTES
+            e.emit(ind, f"if {cond}:")
+            if not 0 <= t_idx < text_len:
+                e.emit(
+                    ind + 1,
+                    f'raise CPUError("PC {pc + imm:#010x} '
+                    'outside text segment")',
+                )
+            elif in_loop and pos == loop_pos:
+                # the self-loop back-edge
+                e.emit(ind + 1, "m += 1")
+                e.emit(ind + 1, "if m < CAP:")
+                e.emit(ind + 2, "continue")
+                for ln in flush_taken.format(cnt=0).split("\n"):
+                    e.emit(ind + 1, ln)
+                e.emit(ind + 1, f"lc[{loop_id}] += m")
+                e.emit(ind + 1, f"st[0] += m * {loop_body_len}")
+                e.emit(ind + 1, wb)
+                eid = new_exit(0, entry, ())
+                e.emit(ind + 1, f"return {eid}")
+            else:
+                if in_loop:
+                    loop_flush(ind + 1, c + 1)
+                else:
+                    e.emit(ind + 1, f"rc[-1] += {c + 1}")
+                e.emit(
+                    ind + 1,
+                    f"rsa({pc + imm}); rca(0); "
+                    f"rka({int(FlowKind.BRANCH)}); rba({pc}); rda({imm})",
+                )
+                e.emit(ind + 1, wb)
+                if in_loop:
+                    coverage = tuple(idxs[: pos + 1])
+                else:
+                    coverage = _coverage(idxs, loop_pos, pos)
+                eid = new_exit(len(coverage), t_idx, coverage)
+                e.emit(ind + 1, f"return {eid}")
+        elif m == "and":
+            if rd:
+                e.emit(ind, f"{d} = {a} & {b}")
+        elif m == "or":
+            if rd:
+                e.emit(ind, f"{d} = {a} | {b}")
+        elif m == "xor":
+            if rd:
+                e.emit(ind, f"{d} = {a} ^ {b}")
+        elif m == "sll":
+            if rd:
+                e.emit(ind, f"{d} = ({a} << ({b} & 31)) & 4294967295")
+        elif m == "srl":
+            if rd:
+                e.emit(ind, f"{d} = {a} >> ({b} & 31)")
+        elif m == "sra":
+            if rd:
+                e.emit(ind, f"_a = {a}; _s = {b} & 31")
+                e.emit(
+                    ind,
+                    f"{d} = ((_a - 4294967296 if _a & 2147483648 "
+                    "else _a) >> _s) & 4294967295",
+                )
+        elif m == "slt":
+            if rd:
+                e.emit(
+                    ind,
+                    f"{d} = 1 if ({a} ^ 2147483648) < "
+                    f"({b} ^ 2147483648) else 0",
+                )
+        elif m == "sltu":
+            if rd:
+                e.emit(ind, f"{d} = 1 if {a} < {b} else 0")
+        elif m == "andi":
+            if rd:
+                e.emit(ind, f"{d} = {a} & {imm & _M32}")
+        elif m == "ori":
+            if rd:
+                e.emit(ind, f"{d} = {a} | {imm & _M32}")
+        elif m == "xori":
+            if rd:
+                e.emit(ind, f"{d} = {a} ^ {imm & _M32}")
+        elif m == "slli":
+            if rd:
+                e.emit(ind, f"{d} = ({a} << {imm & 31}) & 4294967295")
+        elif m == "srli":
+            if rd:
+                e.emit(ind, f"{d} = {a} >> {imm & 31}")
+        elif m == "srai":
+            if rd:
+                e.emit(ind, f"_a = {a}")
+                e.emit(
+                    ind,
+                    f"{d} = ((_a - 4294967296 if _a & 2147483648 "
+                    f"else _a) >> {imm & 31}) & 4294967295",
+                )
+        elif m == "slti":
+            if rd:
+                e.emit(
+                    ind,
+                    f"{d} = 1 if ({a} ^ 2147483648) < "
+                    f"{(imm & _M32) ^ _SIGN} else 0",
+                )
+        elif m == "sltiu":
+            if rd:
+                e.emit(ind, f"{d} = 1 if {a} < {imm & _M32} else 0")
+        elif m == "mul":
+            if rd:
+                e.emit(ind, f"{d} = ({a} * {b}) & 4294967295")
+        elif m == "mulh":
+            if rd:
+                e.emit(ind, f"{d} = mulh({a}, {b})")
+        elif m == "mulhu":
+            if rd:
+                e.emit(ind, f"{d} = (({a} * {b}) >> 32) & 4294967295")
+        elif m == "div":
+            if rd:
+                e.emit(ind, f"{d} = sdiv({a}, {b})")
+        elif m == "divu":
+            if rd:
+                e.emit(ind, f"_b = {b}")
+                e.emit(
+                    ind,
+                    f"{d} = 4294967295 if _b == 0 else {a} // _b",
+                )
+        elif m == "rem":
+            if rd:
+                e.emit(ind, f"{d} = srem({a}, {b})")
+        elif m == "remu":
+            if rd:
+                e.emit(ind, f"_b = {b}")
+                e.emit(ind, f"{d} = {a} if _b == 0 else {a} % _b")
+        elif m == "lui":
+            if rd:
+                e.emit(ind, f"{d} = {(imm << 16) & _M32}")
+        elif m == "jal":
+            if rd:
+                e.emit(ind, f"{d} = {next_pc}")
+            t_idx = i + imm // INSTRUCTION_BYTES
+            if in_loop:
+                loop_flush(ind, c + 1)
+            else:
+                e.emit(ind, f"rc[-1] += {c + 1}")
+            if not 0 <= t_idx < text_len:
+                e.emit(
+                    ind,
+                    f'raise CPUError("PC {pc + imm:#010x} '
+                    'outside text segment")',
+                )
+            else:
+                e.emit(
+                    ind,
+                    f"rsa({pc + imm}); rca(0); "
+                    f"rka({int(FlowKind.BRANCH)}); rba({pc}); rda({imm})",
+                )
+                e.emit(ind, wb)
+                coverage = _coverage(idxs, loop_pos, pos)
+                eid = new_exit(len(coverage), t_idx, coverage)
+                e.emit(ind, f"return {eid}")
+        elif m == "jalr":
+            e.emit(ind, f"_t = {a}")
+            if rd:
+                e.emit(ind, f"{d} = {next_pc}")
+            e.emit(ind, f"_n = (_t + {imm}) & 4294967292")
+            if in_loop:
+                loop_flush(ind, c + 1)
+            else:
+                e.emit(ind, f"rc[-1] += {c + 1}")
+            e.emit(
+                ind,
+                f"rsa(_n); rca(0); rka({int(FlowKind.INDIRECT)}); "
+                f"rba(_t); rda({imm})",
+            )
+            e.emit(ind, "st[1] = _n")
+            e.emit(ind, wb)
+            coverage = _coverage(idxs, loop_pos, pos)
+            eid = new_exit(len(coverage), _NEXT_DYNAMIC, coverage)
+            e.emit(ind, f"return {eid}")
+        elif m == "halt":
+            if in_loop:
+                loop_flush(ind, c + 1)
+            else:
+                e.emit(ind, f"rc[-1] += {c + 1}")
+            e.emit(ind, wb)
+            coverage = _coverage(idxs, loop_pos, pos)
+            eid = new_exit(len(coverage), _NEXT_HALT, coverage)
+            e.emit(ind, f"return {eid}")
+        else:  # pragma: no cover - decode guarantees coverage
+            raise RuntimeError(f"unimplemented instruction {m!r}")
+        c += 1
+
+    last = idxs[-1]
+    last_m = decoded[last][0]
+    if last_m not in ("jal", "jalr", "halt"):
+        # The block fell off its end without an unconditional transfer:
+        # either the text segment ends here (executing past it is a
+        # fault, like the interpreter's PC bounds check) or the block
+        # was capped and execution continues in the next block with
+        # the current run left open.
+        if in_loop and loop_pos == len(idxs) - 1:
+            # back-edge is the final instruction: not-taken falls out
+            e.emit(1, "break")
+            e.emit(0, f"rc[-1] += {loop_body_len}")
+            e.emit(0, "if m:")
+            for ln in flush_taken.format(cnt=loop_body_len).split("\n")[1:]:
+                e.emit(1, ln)
+            e.emit(0, f"lc[{loop_id}] += m")
+            e.emit(0, f"st[0] += m * {loop_body_len}")
+            c = 0
+        cont_idx = last + 1
+        if cont_idx >= text_len:
+            e.emit(0, f"rc[-1] += {c}")
+            e.emit(0, wb)
+            e.emit(
+                0,
+                f'raise CPUError("PC {text_base + 4 * cont_idx:#010x} '
+                'outside text segment")',
+            )
+        else:
+            e.emit(0, f"rc[-1] += {c}")
+            e.emit(0, wb)
+            coverage = _coverage(idxs, loop_pos, len(idxs) - 1)
+            eid = new_exit(len(coverage), cont_idx, coverage)
+            e.emit(0, f"return {eid}")
+
+    body = "\n".join(e.lines)
+    src = (
+        "def _maker(env):\n"
+        "    regs = env['regs']\n"
+        "    dba = env['dba']; dda = env['dda']; dsa = env['dsa']\n"
+        "    rc = env['rc']; rsa = env['rsa']; rca = env['rca']\n"
+        "    rka = env['rka']; rba = env['rba']; rda = env['rda']\n"
+        "    rep = env['rep']; lc = env['lc']; st = env['st']\n"
+        "    CAP = env['cap']\n"
+        "    r_u32 = env['r_u32']; r_u16 = env['r_u16']\n"
+        "    r_u8 = env['r_u8']\n"
+        "    w_u32 = env['w_u32']; w_u16 = env['w_u16']\n"
+        "    w_u8 = env['w_u8']\n"
+        "    sdiv = env['sdiv']; srem = env['srem']; mulh = env['mulh']\n"
+        "    CPUError = env['CPUError']\n"
+        "    def _block():\n"
+        f"{body}\n"
+        "    return _block\n"
+    )
+    namespace: dict = {}
+    exec(compile(src, f"<block@{entry}>", "exec"), namespace)
+    maker = namespace["_maker"]
+    cp.makers[entry] = maker
+    return maker
+
+
+def _coverage(idxs: List[int], loop_pos: int, upto: int) -> Tuple[int, ...]:
+    """Instruction indices executed along the path entry..position.
+
+    For blocks with a self-loop, paths that reach past the back-edge
+    cover the loop body exactly once (the final pass); extra passes
+    are accounted separately via the loop counter.
+    """
+    return tuple(idxs[: upto + 1])
+
+
+# ----------------------------------------------------------------------
+# driver
+# ----------------------------------------------------------------------
+
+def run_fast(
+    program: Program,
+    memory: Memory,
+    registers: List[int],
+    max_instructions: int,
+) -> Tuple[ExecutionTrace, int, bool]:
+    """Execute ``program`` with the block-compiling engine.
+
+    Mutates ``memory`` and ``registers`` exactly like the interpreter
+    loop and returns ``(trace, instructions, halted)``.
+    """
+    from repro.sim.cpu import CPUError  # local import avoids a cycle
+
+    cp = _compiled(program)
+    text_base = cp.text_base
+    text_len = cp.text_len
+
+    entry_pc = program.entry
+    idx = (entry_pc - text_base) >> 2
+    if not 0 <= idx < text_len or entry_pc & 3:
+        raise CPUError(f"PC {entry_pc:#010x} outside text segment")
+
+    rec = _FastRecorder(entry_pc)
+    st = [0, 0]
+    lc = [0] * len(cp.loops)
+    ec = [0] * len(cp.exits)
+    env = {
+        "regs": registers,
+        "dba": rec.db.append,
+        "dda": rec.dd.append,
+        "dsa": rec.ds.append,
+        "rc": rec.rc,
+        "rsa": rec.rs.append,
+        "rca": rec.rc.append,
+        "rka": rec.rk.append,
+        "rba": rec.rb.append,
+        "rda": rec.rd.append,
+        "rep": rec.rep,
+        "lc": lc,
+        "st": st,
+        "cap": min(_LOOP_CAP, max_instructions + 1),
+        "r_u32": memory.read_u32,
+        "r_u16": memory.read_u16,
+        "r_u8": memory.read_u8,
+        "w_u32": memory.write_u32,
+        "w_u16": memory.write_u16,
+        "w_u8": memory.write_u8,
+        "sdiv": _sdiv,
+        "srem": _srem,
+        "mulh": _mulh,
+        "CPUError": CPUError,
+    }
+    bound: Dict[int, Callable] = {}
+    exits = cp.exits
+    executed = 0
+    halted = False
+
+    while True:
+        fn = bound.get(idx)
+        if fn is None:
+            maker = cp.makers.get(idx) or _compile_block(cp, idx)
+            # Compilation may have appended loops/exits: grow the
+            # per-run counters in place (closures hold references).
+            if len(lc) < len(cp.loops):
+                lc.extend([0] * (len(cp.loops) - len(lc)))
+            if len(ec) < len(exits):
+                ec.extend([0] * (len(exits) - len(ec)))
+            fn = maker(env)
+            bound[idx] = fn
+        eid = fn()
+        ec[eid] += 1
+        info = exits[eid]
+        executed += info[0]
+        if executed + st[0] > max_instructions:
+            raise CPUError(
+                f"runaway program: exceeded {max_instructions} "
+                "instructions"
+            )
+        nxt = info[1]
+        if nxt >= 0:
+            idx = nxt
+        elif nxt == _NEXT_HALT:
+            halted = True
+            break
+        else:  # dynamic (jalr)
+            target = st[1]
+            idx = (target - text_base) >> 2
+            if not 0 <= idx < text_len or (target - text_base) & 3:
+                raise CPUError(f"PC {target:#010x} outside text segment")
+
+    # -- reconstruct visits, mix and the instruction count --------------
+    visits = [0] * text_len
+    for eid, cnt in enumerate(ec):
+        if cnt:
+            for i in exits[eid][2]:
+                visits[i] += cnt
+    for lid, cnt in enumerate(lc):
+        if cnt:
+            for i in cp.loops[lid]:
+                visits[i] += cnt
+    mix: Dict[str, int] = {}
+    mnemonics = cp.mnemonics
+    mix_get = mix.get
+    for i, v in enumerate(visits):
+        if v:
+            m = mnemonics[i]
+            mix[m] = mix_get(m, 0) + v
+    instructions = sum(visits)
+    assert instructions == executed + st[0], (
+        "fast engine bookkeeping out of sync"
+    )
+    trace = rec.finish(program.name, instructions, mix)
+    return trace, instructions, halted

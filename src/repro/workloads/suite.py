@@ -1,22 +1,47 @@
 """Benchmark registry and cached workload execution.
 
 Experiments and tests obtain workloads through :func:`load_workload`,
-which assembles the benchmark, runs it on the ISS once per process and
-caches the resulting traces (execution is deterministic, so caching is
-sound and keeps the full-suite experiments fast).
+which assembles the benchmark, runs it on the ISS and caches the
+resulting traces (execution is deterministic, so caching is sound and
+keeps the full-suite experiments fast).  Two cache levels stack:
+
+* an in-process ``lru_cache`` (one ISS run per process at most), and
+* a versioned **on-disk trace cache**: the traces are persisted as a
+  ``.npz`` archive keyed by workload name, the program's content
+  digest, the fetch packet size and the trace format version, so a
+  *second process* (another experiment suite, a CI shard, a sweep
+  worker) skips the ISS entirely and just loads the arrays.
+
+The disk cache lives in ``$REPRO_TRACE_CACHE`` when set (set it to
+``0``/``off`` to disable caching), otherwise in
+``$XDG_CACHE_HOME/repro-traces`` (default ``~/.cache/repro-traces``).
+Archives are written atomically (temp file + rename) and any
+unreadable/garbage archive is ignored and regenerated, so the cache
+can never produce wrong traces — the key includes the program digest,
+so a changed benchmark generator automatically misses.
 """
 
 from __future__ import annotations
 
 import importlib
+import os
+import tempfile
+import zipfile
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Callable, Tuple
+from pathlib import Path
+from typing import Callable, Optional, Tuple
 
 from repro.isa import Program
 from repro.sim import ExecutionResult, FetchStream, fetch_stream, run_program
 from repro.sim.fetch import DEFAULT_FETCH_BYTES
 from repro.sim.trace import ExecutionTrace
+from repro.sim.traceio import (
+    FORMAT_VERSION,
+    TraceFormatError,
+    load_traces,
+    save_traces,
+)
 
 #: The seven benchmarks of the paper's Section 4, in paper order.
 BENCHMARK_NAMES: Tuple[str, ...] = (
@@ -38,6 +63,9 @@ _MODULES = {
     "jpeg_enc": "repro.workloads.jpeg_enc",
     "mpeg2enc": "repro.workloads.mpeg2enc",
 }
+
+#: Environment variable holding the trace cache directory (or 0/off).
+TRACE_CACHE_ENV = "REPRO_TRACE_CACHE"
 
 
 @dataclass(frozen=True)
@@ -81,18 +109,100 @@ def run_benchmark(name: str) -> ExecutionResult:
     return run_program(get_benchmark(name).build())
 
 
+# ----------------------------------------------------------------------
+# on-disk trace cache
+# ----------------------------------------------------------------------
+
+def trace_cache_dir() -> Optional[Path]:
+    """Directory of the on-disk trace cache, or None when disabled."""
+    env = os.environ.get(TRACE_CACHE_ENV)
+    if env is not None:
+        if env.strip().lower() in ("", "0", "off", "none", "disable"):
+            return None
+        return Path(env).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro-traces"
+
+
+def _trace_cache_path(
+    name: str, program: Program, packet_bytes: int
+) -> Optional[Path]:
+    directory = trace_cache_dir()
+    if directory is None:
+        return None
+    return directory / (
+        f"{name}-{program.digest()[:16]}-p{packet_bytes}"
+        f"-v{FORMAT_VERSION}.npz"
+    )
+
+
+def _load_cached_traces(
+    path: Path, packet_bytes: int
+) -> Optional[Tuple[ExecutionTrace, FetchStream]]:
+    """Read a cached workload archive; None when absent or unusable."""
+    if not path.is_file():
+        return None
+    try:
+        trace, fetch = load_traces(str(path))
+    except (TraceFormatError, OSError, ValueError, KeyError, EOFError,
+            zipfile.BadZipFile):
+        return None
+    if fetch is None or fetch.packet_bytes != packet_bytes:
+        return None
+    return trace, fetch
+
+
+def _store_cached_traces(
+    path: Path, trace: ExecutionTrace, fetch: FetchStream
+) -> None:
+    """Atomically persist traces; caching is best-effort only."""
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # numpy appends ".npz" unless the name already ends with it.
+        fd, tmp = tempfile.mkstemp(
+            dir=str(path.parent), suffix=".tmp.npz"
+        )
+        os.close(fd)
+        try:
+            save_traces(tmp, trace, fetch)
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+    except OSError:
+        pass
+
+
+def _execute_workload(
+    name: str, program: Program, packet_bytes: int
+) -> Tuple[ExecutionTrace, FetchStream]:
+    """Run the already-assembled ``program`` (no second build)."""
+    result = run_program(program)
+    if not result.halted:
+        raise RuntimeError(f"benchmark {name} did not halt")
+    return result.trace, fetch_stream(result.trace.flow, packet_bytes)
+
+
 @lru_cache(maxsize=None)
 def load_workload(
     name: str, packet_bytes: int = DEFAULT_FETCH_BYTES
 ) -> Workload:
-    """Run ``name`` once and return its cached traces."""
-    result = run_benchmark(name)
-    if not result.halted:
-        raise RuntimeError(f"benchmark {name} did not halt")
-    fetch = fetch_stream(result.trace.flow, packet_bytes)
+    """Return ``name``'s traces, via the in-process + on-disk caches."""
+    bench = get_benchmark(name)
+    program = bench.build()
+    path = _trace_cache_path(name, program, packet_bytes)
+
+    cached = _load_cached_traces(path, packet_bytes) if path else None
+    if cached is not None:
+        trace, fetch = cached
+    else:
+        trace, fetch = _execute_workload(name, program, packet_bytes)
+        if path is not None:
+            _store_cached_traces(path, trace, fetch)
     return Workload(
         name=name,
-        trace=result.trace,
+        trace=trace,
         fetch=fetch,
         cycles=len(fetch),
     )

@@ -179,6 +179,60 @@ def test_flush():
     assert mab.addresses_covered == 0
 
 
+def test_flushed_mab_behaves_like_fresh():
+    """Regression: flush must reset entries AND both LRU permutations.
+
+    A flush that only clears ``vflag`` leaves stale tag/index entries
+    and a warmed LRU order behind, so the post-flush update-case and
+    eviction sequence diverges from a cold MAB.  Drive an identical
+    op sequence through a flushed and a fresh MAB and require
+    identical observable behaviour throughout.
+    """
+    warm_ops = [
+        (1, 10, 0, 0), (2, 11, 4, 1), (3, 12, 8, 0), (1, 13, 0, 1),
+        (4, 10, 4, 0), (2, 12, 0, 1),
+    ]
+    probe_ops = [
+        (5, 10, 0, 1), (1, 10, 0, 0), (5, 11, 4, 0), (6, 14, 8, 1),
+        (5, 10, 0, 0), (2, 11, 0, 1), (6, 14, 4, 0), (7, 15, 0, 1),
+    ]
+
+    flushed = make_mab(nt=2, ns=4)
+    for tag, s, disp, way in warm_ops:
+        lk = flushed.lookup(addr_of(tag, s), disp)
+        if not lk.hit and not lk.bypass:
+            flushed.install(lk, way)
+    flushed.flush()
+
+    fresh = make_mab(nt=2, ns=4)
+    for tag, s, disp, way in probe_ops:
+        lk_flushed = flushed.lookup(addr_of(tag, s), disp)
+        lk_fresh = fresh.lookup(addr_of(tag, s), disp)
+        assert (lk_flushed.hit, lk_flushed.way) == (
+            lk_fresh.hit, lk_fresh.way
+        ), f"divergence at {(tag, s, disp)}"
+        if not lk_flushed.hit:
+            flushed.install(lk_flushed, way)
+            fresh.install(lk_fresh, way)
+        flushed.check_invariants()
+    assert sorted(flushed.valid_pairs()) == sorted(fresh.valid_pairs())
+
+
+def test_flush_preserves_activity_counters():
+    """The measurement accumulators survive a flush (only state resets)."""
+    mab = make_mab()
+    lookup_miss_then_install(mab, addr_of(1, 10), 0, 0)
+    mab.lookup(addr_of(1, 10), 0)
+    lookups_before = mab.lookups
+    hits_before = mab.hits
+    mab.flush()
+    assert mab.lookups == lookups_before
+    assert mab.hits == hits_before
+    assert mab.addresses_covered == 0
+    assert mab.valid_pairs() == []
+    mab.check_invariants()
+
+
 def test_valid_pairs_reports_ways():
     mab = make_mab()
     lookup_miss_then_install(mab, addr_of(3, 30), 0, 1)
