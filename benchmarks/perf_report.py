@@ -21,13 +21,19 @@ cheap end-to-end equivalence check for CI.
 The report schema::
 
     {
-      "schema": 1,
+      "schema": 2,
       "mode": "full" | "quick",
       "python": "3.11.x",
       "metrics_us": {<name>: best-of-N microseconds, ...},
       "seed_baseline_us": {<name>: seed microseconds, ...},
-      "speedup": {<name>: seed / current, ...}
+      "speedup": {<name>: seed / current, ...},
+      "baseline_speedup_vs_reference": {<arch>: reference / fast, ...}
     }
+
+``baseline_speedup_vs_reference`` measures each ported comparison
+baseline's fast ``process`` against its retained object-API
+``process_reference`` *in the same run*, so the ratio is
+machine-independent and CI can put regression floors under it.
 """
 
 from __future__ import annotations
@@ -39,7 +45,15 @@ import sys
 import time
 from pathlib import Path
 
-from repro.baselines import OriginalDCache
+from repro.baselines import (
+    FilterCacheDCache,
+    MaLinksICache,
+    OriginalDCache,
+    PanwarICache,
+    SetBufferDCache,
+    TwoPhaseDCache,
+    WayPredictionDCache,
+)
 from repro.core import WayMemoDCache, WayMemoICache
 from repro.isa import assemble
 from repro.sim import run_program
@@ -143,6 +157,46 @@ def measure(quick: bool) -> dict:
     return metrics
 
 
+#: The six comparison baselines ported to the fast kernels, with the
+#: stream kind each one replays ("data" or "fetch").
+PORTED_BASELINES = (
+    ("set_buffer_dcache", SetBufferDCache, "data"),
+    ("filter_cache_dcache", FilterCacheDCache, "data"),
+    ("way_prediction_dcache", WayPredictionDCache, "data"),
+    ("two_phase_dcache", TwoPhaseDCache, "data"),
+    ("ma_links_icache", MaLinksICache, "fetch"),
+    ("panwar_icache", PanwarICache, "fetch"),
+)
+
+
+def measure_baselines(quick: bool) -> dict:
+    """Fast vs reference timing for every ported comparison baseline.
+
+    Both engines run on the same synthetic streams in the same
+    process; each run gets a fresh controller (they are stateful).
+    Returns ``{name: {"fast_us", "reference_us", "speedup"}}``.
+    """
+    repeats = 3 if quick else 5
+    n_data = 4_000 if quick else 20_000
+    n_blocks = 600 if quick else 3_000
+    data_trace = synthetic_data_trace(num_accesses=n_data, seed=1)
+    fetch = synthetic_fetch_stream(num_blocks=n_blocks, seed=1)
+
+    out = {}
+    for name, factory, kind in PORTED_BASELINES:
+        stream = data_trace if kind == "data" else fetch
+        fast_us = best_of(lambda: factory().process(stream), repeats)
+        ref_us = best_of(
+            lambda: factory().process_reference(stream), repeats
+        )
+        out[name] = {
+            "fast_us": round(fast_us, 1),
+            "reference_us": round(ref_us, 1),
+            "speedup": round(ref_us / fast_us, 2) if fast_us else 0.0,
+        }
+    return out
+
+
 def check_equivalence() -> None:
     """Assert fast engines reproduce the reference engines exactly."""
     trace = synthetic_data_trace(
@@ -157,6 +211,16 @@ def check_equivalence() -> None:
         )
 
     fetch = synthetic_fetch_stream(num_blocks=400, seed=9)
+    for name, factory, kind in PORTED_BASELINES:
+        stream = trace if kind == "data" else fetch
+        cf = factory().process(stream)
+        cr = factory().process_reference(stream)
+        if cf.as_dict() != cr.as_dict():
+            raise AssertionError(
+                f"{name} fast/reference divergence:\n{cf.as_dict()}\n"
+                f"{cr.as_dict()}"
+            )
+
     fast_i = WayMemoICache().process(fetch)
     ref_i = WayMemoICache().process_reference(fetch)
     if fast_i.as_dict() != ref_i.as_dict():
@@ -185,9 +249,10 @@ def main(argv=None) -> int:
 
     check_equivalence()
     metrics = measure(args.quick)
+    baselines = measure_baselines(args.quick)
 
     report = {
-        "schema": 1,
+        "schema": 2,
         "mode": "quick" if args.quick else "full",
         "python": platform.python_version(),
         "metrics_us": {k: round(v, 1) for k, v in metrics.items()},
@@ -196,6 +261,13 @@ def main(argv=None) -> int:
             k: round(SEED_BASELINE_US[k] / v, 2)
             for k, v in metrics.items()
             if k in SEED_BASELINE_US and v > 0
+        },
+        "baseline_engines_us": {
+            k: {"fast": v["fast_us"], "reference": v["reference_us"]}
+            for k, v in baselines.items()
+        },
+        "baseline_speedup_vs_reference": {
+            k: v["speedup"] for k, v in baselines.items()
         },
     }
 
@@ -209,6 +281,13 @@ def main(argv=None) -> int:
         speedup = report["speedup"].get(name)
         extra = f"  ({speedup}x vs seed)" if speedup else ""
         print(f"  {name:28s} {us:12,.1f} us{extra}")
+    print("baseline fast vs reference:")
+    for name, speedup in sorted(
+        report["baseline_speedup_vs_reference"].items()
+    ):
+        us = report["baseline_engines_us"][name]
+        print(f"  {name:28s} {us['fast']:12,.1f} us  "
+              f"({speedup}x vs reference {us['reference']:,.1f} us)")
     return 0
 
 

@@ -4,10 +4,23 @@ A tiny cache sits between the core and L1.  L0 hits are cheap; L0
 misses pay one extra cycle plus a full L1 access.  This is the classic
 energy/performance trade the paper's zero-penalty technique is set
 against.  The L0 is modelled as a small fully-associative cache of L1
-line-size lines.
+line-size lines, kept *inclusive* in L1: when L1 evicts a line the L0
+copy is invalidated through the eviction listener, so an L0 hit always
+refers to an L1-resident line (without the listener a line could
+linger in the L0 after its L1 eviction, and a write-through on such a
+stale L0 hit would silently miss-fill L1 with uncharged energy — a
+consistency bug the fast/reference differential matrix exposed).
+
+:meth:`_FilterCache._process_fast` is the fast engine: vectorized line
+address/tag/set splitting and packed-int
+:meth:`SetAssociativeCache.access_fast` calls around the same ``_l0``
+MRU list; the per-access object-API loop is retained as the
+executable specification for the differential tests.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.cache.cache import SetAssociativeCache
 from repro.cache.config import CacheConfig, FRV_DCACHE, FRV_ICACHE
@@ -34,6 +47,74 @@ class _FilterCache:
             make_policy(policy, cache_config.sets, cache_config.ways),
         )
         self._l0: list = []  # line addresses, MRU at back
+        # L0 is inclusive in L1: evicting the L1 line kills the copy.
+        self.cache.add_eviction_listener(self._on_l1_evict)
+
+    def _on_l1_evict(self, tag: int, set_index: int) -> None:
+        line = self.cache_config.join(tag, set_index)
+        if line in self._l0:
+            self._l0.remove(line)
+
+    # -- fast engine ----------------------------------------------------
+
+    def _process_fast(self, addr_arr, writes) -> AccessCounters:
+        counters = AccessCounters()
+        cfg = self.cache_config
+        cache = self.cache
+        nways = cache.ways
+        access_fast = cache.access_fast
+        l0 = self._l0
+        l0_lines = self.l0_lines
+
+        addr64 = addr_arr.astype(np.int64)
+        lines = (addr64 & ~np.int64(cfg.line_bytes - 1)).tolist()
+        tags = (addr64 >> cache.tag_shift).tolist()
+        sets = ((addr64 >> cache.offset_bits) & cache.set_mask).tolist()
+        if writes is None:
+            writes = [False] * len(lines)
+
+        cache_hits = 0
+        cache_misses = 0
+        tag_accesses = 0
+        way_accesses = 0
+        extra_cycles = 0
+
+        for i in range(len(lines)):
+            line = lines[i]
+            write = writes[i]
+            if line in l0:
+                l0.remove(line)
+                l0.append(line)
+                cache_hits += 1
+                if write:
+                    # Write-through to L1 state so dirtiness is tracked.
+                    access_fast(tags[i], sets[i], True)
+                continue
+
+            # L0 miss: one stall cycle, then the full L1 access.
+            extra_cycles += 1
+            packed = access_fast(tags[i], sets[i], write)
+            tag_accesses += nways
+            if packed & 1:
+                cache_hits += 1
+                way_accesses += 1 if write else nways
+            else:
+                cache_misses += 1
+                way_accesses += (1 if write else nways) + 1
+            l0.append(line)
+            if len(l0) > l0_lines:
+                l0.pop(0)
+
+        counters.accesses = len(lines)
+        counters.aux_accesses = len(lines)  # L0 probe (cheap)
+        counters.cache_hits = cache_hits
+        counters.cache_misses = cache_misses
+        counters.tag_accesses = tag_accesses
+        counters.way_accesses = way_accesses
+        counters.extra_cycles = extra_cycles
+        return counters
+
+    # -- executable specification ---------------------------------------
 
     def _access(self, counters: AccessCounters, addr: int,
                 write: bool = False) -> None:
@@ -74,6 +155,12 @@ class FilterCacheDCache(_FilterCache):
         super().__init__(cache_config, l0_lines, policy)
 
     def process(self, trace: DataTrace) -> AccessCounters:
+        counters = self._process_fast(trace.addr, trace.store.tolist())
+        counters.stores = int(trace.store.sum())
+        counters.loads = counters.accesses - counters.stores
+        return counters
+
+    def process_reference(self, trace: DataTrace) -> AccessCounters:
         counters = AccessCounters()
         for base, disp, is_store in zip(
             trace.base.tolist(), trace.disp.tolist(), trace.store.tolist()
@@ -97,6 +184,9 @@ class FilterCacheICache(_FilterCache):
         super().__init__(cache_config, l0_lines, policy)
 
     def process(self, fetch: FetchStream) -> AccessCounters:
+        return self._process_fast(fetch.addr, None)
+
+    def process_reference(self, fetch: FetchStream) -> AccessCounters:
         counters = AccessCounters()
         for addr in fetch.addr.tolist():
             counters.accesses += 1

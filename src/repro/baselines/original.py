@@ -6,13 +6,17 @@ happens after tag compare); stores resolve the way first through the
 write-back buffer and write a single way (paper Section 4, which is why
 the original D-cache's ways-per-access is below 2 in Figure 4).
 
-Both controllers run on the flat ``access_fast`` kernel with
-vectorized address splitting and local counter accumulation — the
-baseline is replayed once per benchmark in every figure experiment, so
-its throughput matters as much as the way-memo controllers'.
+Both controllers run on the shared ``access_fast_batch`` kernel with
+vectorized address splitting and counter accounting derived from the
+packed hit bits — the baseline is replayed once per benchmark in every
+figure experiment, so its throughput matters as much as the way-memo
+controllers'.  ``process_reference`` keeps the original object-API
+loops as the executable specification for the differential tests.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.cache.cache import SetAssociativeCache
 from repro.cache.config import CacheConfig, FRV_DCACHE, FRV_ICACHE
@@ -44,39 +48,68 @@ class OriginalDCache:
         counters = AccessCounters()
         cache = self.cache
         nways = cache.ways
-        access_fast = cache.access_fast
         wbuf_push = self.write_buffer.push
 
         addr_arr = trace.addr
-        addrs = addr_arr.tolist()
-        stores = trace.store.tolist()
+        store_arr = trace.store
         tags = (addr_arr >> cache.tag_shift).tolist()
         sets = ((addr_arr >> cache.offset_bits) & cache.set_mask).tolist()
+        stores = store_arr.tolist()
 
-        cache_hits = 0
-        cache_misses = 0
-        way_accesses = 0
+        # The write buffer only sees the ordered store sub-stream, and
+        # the cache sees every access regardless of hit/miss or store
+        # flag, so the two replays decouple: push the stores, then run
+        # the whole access stream through the shared batch kernel.
+        for addr in addr_arr[store_arr].tolist():
+            wbuf_push(addr)
+        packed = cache.access_fast_batch(tags, sets, stores)
 
-        for i in range(len(addrs)):
-            is_store = stores[i]
-            if is_store:
-                wbuf_push(addrs[i])
-            packed = access_fast(tags[i], sets[i], is_store)
-            if packed & 1:
-                cache_hits += 1
-                way_accesses += 1 if is_store else nways
-            else:
-                cache_misses += 1
-                way_accesses += (1 if is_store else nways) + 1
+        n = len(tags)
+        hit = (np.fromiter(packed, dtype=np.int64, count=n) & 1) == 1
+        num_stores = int(store_arr.sum())
+        store_hits = int(hit[store_arr].sum())
+        cache_hits = int(hit.sum())
+        load_hits = cache_hits - store_hits
+        store_misses = num_stores - store_hits
+        load_misses = (n - num_stores) - load_hits
 
-        num_stores = int(trace.store.sum())
-        counters.accesses = len(addrs)
-        counters.loads = len(addrs) - num_stores
+        counters.accesses = n
+        counters.loads = n - num_stores
         counters.stores = num_stores
         counters.cache_hits = cache_hits
-        counters.cache_misses = cache_misses
-        counters.tag_accesses = nways * len(addrs)
-        counters.way_accesses = way_accesses
+        counters.cache_misses = n - cache_hits
+        counters.tag_accesses = nways * n
+        counters.way_accesses = (
+            store_hits                       # single-way store
+            + load_hits * nways              # parallel load
+            + store_misses * 2               # store + refill write
+            + load_misses * (nways + 1)      # parallel load + refill
+        )
+        return counters
+
+    def process_reference(self, trace: DataTrace) -> AccessCounters:
+        """Replay via the original object-API path (spec for diff tests)."""
+        counters = AccessCounters()
+        cfg = self.cache_config
+        cache = self.cache
+        for base, disp, is_store in zip(
+            trace.base.tolist(), trace.disp.tolist(), trace.store.tolist()
+        ):
+            counters.accesses += 1
+            if is_store:
+                counters.stores += 1
+                self.write_buffer.push((base + disp) & 0xFFFFFFFF)
+            else:
+                counters.loads += 1
+            addr = (base + disp) & 0xFFFFFFFF
+            result = cache.access(addr, write=is_store)
+            counters.tag_accesses += cfg.ways
+            if result.hit:
+                counters.cache_hits += 1
+                counters.way_accesses += 1 if is_store else cfg.ways
+            else:
+                counters.cache_misses += 1
+                counters.way_accesses += (1 if is_store else cfg.ways) + 1
         return counters
 
 
@@ -100,29 +133,38 @@ class OriginalICache:
         counters = AccessCounters()
         cache = self.cache
         nways = cache.ways
-        access_fast = cache.access_fast
 
         tags = (fetch.addr >> cache.tag_shift).tolist()
         sets = (
             (fetch.addr >> cache.offset_bits) & cache.set_mask
         ).tolist()
 
-        cache_hits = 0
-        cache_misses = 0
-        way_accesses = 0
+        hits_before = cache.hits
+        cache.access_fast_batch(tags, sets)
+        cache_hits = cache.hits - hits_before
+        n = len(tags)
+        cache_misses = n - cache_hits
 
-        for tag, set_index in zip(tags, sets):
-            packed = access_fast(tag, set_index, False)
-            if packed & 1:
-                cache_hits += 1
-                way_accesses += nways
-            else:
-                cache_misses += 1
-                way_accesses += nways + 1
-
-        counters.accesses = len(tags)
+        counters.accesses = n
         counters.cache_hits = cache_hits
         counters.cache_misses = cache_misses
-        counters.tag_accesses = nways * len(tags)
-        counters.way_accesses = way_accesses
+        counters.tag_accesses = nways * n
+        counters.way_accesses = cache_hits * nways + cache_misses * (nways + 1)
+        return counters
+
+    def process_reference(self, fetch: FetchStream) -> AccessCounters:
+        """Replay via the original object-API path (spec for diff tests)."""
+        counters = AccessCounters()
+        cfg = self.cache_config
+        cache = self.cache
+        for addr in fetch.addr.tolist():
+            counters.accesses += 1
+            result = cache.access(addr)
+            counters.tag_accesses += cfg.ways
+            if result.hit:
+                counters.cache_hits += 1
+                counters.way_accesses += cfg.ways
+            else:
+                counters.cache_misses += 1
+                counters.way_accesses += cfg.ways + 1
         return counters

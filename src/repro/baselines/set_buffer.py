@@ -16,6 +16,12 @@ Accounting (Figure 4's "approach [14]" bars):
   handling, buffered tag copy updated.
 * buffer miss: full parallel access (all tags, all ways for loads) and
   the set's tags are copied into the buffer (LRU replacement).
+
+:meth:`SetBufferDCache.process` is the fast engine: vectorized address
+splitting, packed-int :meth:`SetAssociativeCache.access_fast` calls
+and inlined buffer allocate/touch over the same ``_buffer``/``_lru``
+structures; :meth:`process_reference` keeps the object-API loop as the
+executable specification.
 """
 
 from __future__ import annotations
@@ -83,6 +89,99 @@ class SetBufferDCache:
     # ------------------------------------------------------------------
 
     def process(self, trace: DataTrace) -> AccessCounters:
+        """Replay ``trace`` and return the access counters (fast engine).
+
+        The cache is accessed once per reference on both buffer paths,
+        so every access is one :meth:`access_fast` call; the buffer
+        probe, LRU touch and snapshot refresh are inlined over the
+        shared ``_buffer``/``_lru`` state (a snapshot is a copy of the
+        live flat tag row, with invalid ways as ``None`` exactly like
+        the reference's ``line_state`` form).
+        """
+        counters = AccessCounters()
+        cache = self.cache
+        nways = cache.ways
+        access_fast = cache.access_fast
+        ctags = cache._tags
+        wbuf_push = self.write_buffer.push
+        buffer = self._buffer
+        buffer_get = buffer.get
+        lru = self._lru
+        entries = self.entries
+
+        addr_arr = trace.addr
+        addrs = addr_arr.tolist()
+        tags = (addr_arr >> cache.tag_shift).tolist()
+        sets = ((addr_arr >> cache.offset_bits) & cache.set_mask).tolist()
+        stores = trace.store.tolist()
+
+        cache_hits = 0
+        cache_misses = 0
+        tag_accesses = 0
+        way_accesses = 0
+
+        for i in range(len(addrs)):
+            tag = tags[i]
+            set_index = sets[i]
+            is_store = stores[i]
+            if is_store:
+                wbuf_push(addrs[i])
+
+            buffered = buffer_get(set_index)
+            if buffered is not None and tag in buffered:
+                # Buffer hit with matching tag: single-way access, no
+                # cache tag reads.
+                packed = access_fast(tag, set_index, is_store)
+                assert packed & 1, "buffered tag must be cache-resident"
+                cache_hits += 1
+                way_accesses += 1
+                if lru[-1] != set_index:
+                    lru.remove(set_index)
+                    lru.append(set_index)
+                continue
+
+            # Either the set is not buffered, or the buffered tags do
+            # not contain this address (which implies a cache miss,
+            # since the buffer mirrors the set's tags exactly).
+            packed = access_fast(tag, set_index, is_store)
+            tag_accesses += nways
+            if packed & 1:
+                cache_hits += 1
+                way_accesses += 1 if is_store else nways
+            else:
+                cache_misses += 1
+                way_accesses += (1 if is_store else nways) + 1
+            # Allocate/refresh the snapshot (inline _allocate).
+            if buffered is None:
+                if len(buffer) >= entries:
+                    del buffer[lru.pop(0)]
+                lru.append(set_index)
+            elif lru[-1] != set_index:
+                lru.remove(set_index)
+                lru.append(set_index)
+            buffer[set_index] = [
+                t if t >= 0 else None for t in ctags[set_index]
+            ]
+
+        n = len(addrs)
+        num_stores = int(trace.store.sum())
+        counters.accesses = n
+        counters.loads = n - num_stores
+        counters.stores = num_stores
+        counters.aux_accesses = n  # the buffer is probed every access
+        counters.cache_hits = cache_hits
+        counters.cache_misses = cache_misses
+        counters.tag_accesses = tag_accesses
+        counters.way_accesses = way_accesses
+        counters.notes["set_buffer_entries"] = self.entries
+        return counters
+
+    # ------------------------------------------------------------------
+    # reference implementation (executable specification)
+    # ------------------------------------------------------------------
+
+    def process_reference(self, trace: DataTrace) -> AccessCounters:
+        """Replay via the original object-API path (spec for diff tests)."""
         counters = AccessCounters()
         cfg = self.cache_config
         cache = self.cache

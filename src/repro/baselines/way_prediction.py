@@ -5,6 +5,15 @@ predicted way's tag + data.  On a correct prediction the access costs
 one tag and one way.  On a misprediction a second cycle probes the
 remaining ways (their tags and data), costing one extra cycle — the
 performance loss the paper's MAB technique avoids.
+
+The prediction table never influences which line the cache loads —
+every access touches the cache exactly once — so the fast path batches
+the whole address stream through
+:meth:`SetAssociativeCache.access_fast_batch` and then replays the
+packed (hit, way) results through a light integer loop that evolves
+the MRU table and counts second-phase probes.
+:meth:`process_reference` keeps the per-access object-API loop as the
+executable specification.
 """
 
 from __future__ import annotations
@@ -28,6 +37,46 @@ class _WayPredictingCache:
         )
         # MRU prediction table: one way number per set.
         self._predicted = [0] * cache_config.sets
+
+    # -- fast engine ----------------------------------------------------
+
+    def _process_fast(self, addr_arr, writes) -> AccessCounters:
+        counters = AccessCounters()
+        cache = self.cache
+        nways = cache.ways
+        tags = (addr_arr >> cache.tag_shift).tolist()
+        sets = ((addr_arr >> cache.offset_bits) & cache.set_mask).tolist()
+        packed = cache.access_fast_batch(tags, sets, writes)
+
+        pred = self._predicted
+        hits = 0
+        misses = 0
+        second = 0  # accesses that needed the second phase
+        for set_index, p in zip(sets, packed):
+            way = (p >> 1) & 0xFF
+            if p & 1:
+                hits += 1
+                if pred[set_index] != way:
+                    second += 1
+            else:
+                misses += 1
+                second += 1
+            pred[set_index] = way
+
+        n = len(sets)
+        counters.accesses = n
+        counters.aux_accesses = n  # prediction table read per access
+        counters.cache_hits = hits
+        counters.cache_misses = misses
+        counters.extra_cycles = second
+        # First phase always probes the predicted way; the second phase
+        # probes the remaining ways in parallel; a miss adds one refill
+        # way write.
+        counters.tag_accesses = n + second * (nways - 1)
+        counters.way_accesses = n + second * (nways - 1) + misses
+        return counters
+
+    # -- executable specification ---------------------------------------
 
     def _access(self, counters: AccessCounters, addr: int,
                 write: bool = False) -> None:
@@ -66,6 +115,12 @@ class WayPredictionDCache(_WayPredictingCache):
         super().__init__(cache_config, policy)
 
     def process(self, trace: DataTrace) -> AccessCounters:
+        counters = self._process_fast(trace.addr, trace.store.tolist())
+        counters.stores = int(trace.store.sum())
+        counters.loads = counters.accesses - counters.stores
+        return counters
+
+    def process_reference(self, trace: DataTrace) -> AccessCounters:
         counters = AccessCounters()
         for base, disp, is_store in zip(
             trace.base.tolist(), trace.disp.tolist(), trace.store.tolist()
@@ -89,6 +144,9 @@ class WayPredictionICache(_WayPredictingCache):
         super().__init__(cache_config, policy)
 
     def process(self, fetch: FetchStream) -> AccessCounters:
+        return self._process_fast(fetch.addr, None)
+
+    def process_reference(self, fetch: FetchStream) -> AccessCounters:
         counters = AccessCounters()
         for addr in fetch.addr.tolist():
             counters.accesses += 1

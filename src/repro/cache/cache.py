@@ -194,6 +194,118 @@ class SetAssociativeCache:
             self.policy.touch(set_index, way)
         return result
 
+    def access_fast_batch(
+        self,
+        tags: List[int],
+        sets: List[int],
+        writes: Optional[List[bool]] = None,
+    ) -> List[int]:
+        """Run a sequence of :meth:`access_fast` calls as one tight loop.
+
+        ``tags`` and ``sets`` are equal-length lists of pre-split
+        address components; ``writes`` marks stores (all loads when
+        None).  Returns the packed-int result of every access, in
+        order, with state changes identical to calling
+        :meth:`access_fast` access by access.
+
+        This is the shared kernel behind the baseline fast paths whose
+        cache access stream does not depend on auxiliary state (the
+        original, two-phase, way-prediction and Panwar controllers
+        touch the cache once per access no matter what their side
+        structures hold, so the whole replay collapses into this one
+        loop).  The loop keeps the state lists in locals and special-
+        cases the ubiquitous 2-way + LRU geometry, mirroring the
+        inlined scans of ``core/dcache.py`` / ``core/icache.py``.
+        """
+        if writes is None:
+            writes = [False] * len(tags)
+        out: List[int] = []
+        append = out.append
+        ctags = self._tags
+        cdirty = self._dirty
+        lru = self._lru
+        nways = self.ways
+        way_range = range(nways)
+        two_way = nways == 2
+        lru2 = lru is not None and two_way
+        policy_touch = self.policy.touch
+        policy_victim = self.policy.victim
+        listeners = self._eviction_listeners
+        hits = 0
+        misses = 0
+        evictions = 0
+        writebacks = 0
+
+        for tag, set_index, write in zip(tags, sets, writes):
+            row = ctags[set_index]
+            if two_way:
+                if row[0] == tag:
+                    way = 0
+                elif row[1] == tag:
+                    way = 1
+                else:
+                    way = -1
+            else:
+                way = -1
+                for w in way_range:
+                    if row[w] == tag:
+                        way = w
+                        break
+            if way >= 0:
+                hits += 1
+                if lru2:
+                    order = lru[set_index]
+                    if order[1] != way:
+                        order[0], order[1] = order[1], order[0]
+                elif lru is not None:
+                    order = lru[set_index]
+                    if order[-1] != way:
+                        order.remove(way)
+                        order.append(way)
+                else:
+                    policy_touch(set_index, way)
+                if write:
+                    cdirty[set_index][way] = True
+                append(_F_HIT | (way << _F_WAY_SHIFT))
+                continue
+
+            # Miss: choose a victim, evict, fill.
+            misses += 1
+            if lru is not None:
+                order = lru[set_index]
+                way = order[0]
+            else:
+                way = policy_victim(set_index)
+                order = None
+            result = way << _F_WAY_SHIFT
+            evicted_tag = row[way]
+            dirty_row = cdirty[set_index]
+            if evicted_tag >= 0:
+                evictions += 1
+                result |= _F_EVICTED | (evicted_tag << _F_TAG_SHIFT)
+                if dirty_row[way]:
+                    writebacks += 1
+                    result |= _F_WRITEBACK
+                for listener in listeners:
+                    listener(evicted_tag, set_index)
+            row[way] = tag
+            dirty_row[way] = write
+            if lru2:
+                order[0], order[1] = order[1], order[0]
+            elif lru is not None:
+                if order[-1] != way:
+                    order.remove(way)
+                    order.append(way)
+            else:
+                policy_touch(set_index, way)
+            append(result)
+
+        self.hits += hits
+        self.misses += misses
+        self.evictions += evictions
+        self.writebacks += writebacks
+        return out
+
     def hit_confirm(
         self, tag: int, set_index: int, way: int, write: bool
     ) -> bool:

@@ -15,6 +15,9 @@ Subcommands
     Print a hot-block / working-set profile and a MAB size suggestion.
 ``repro trace <benchmark> -o out.npz``
     Export the benchmark's traces for external tooling.
+``repro sweep [--experiment ...] [--workers N] [--grid paper|full]``
+    Parallel design-space sweeps (full MAB grid, baseline matrix)
+    over the shared on-disk trace cache.
 """
 
 from __future__ import annotations
@@ -100,6 +103,14 @@ def _export_trace(name: str, output: str) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv[:1] == ["sweep"]:
+        # Forward everything verbatim (argparse.REMAINDER cannot pass
+        # through leading options like --experiment).
+        from repro.experiments import sweep
+
+        return sweep.main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -147,6 +158,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     report_parser.add_argument(
         "-o", "--output", default=None,
         help="write to a file instead of stdout",
+    )
+
+    sub.add_parser(
+        "sweep", add_help=False,
+        help="parallel design-space sweeps (repro sweep --help)",
     )
 
     args = parser.parse_args(argv)

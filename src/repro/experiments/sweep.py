@@ -1,0 +1,334 @@
+"""Parallel sweep harness: full design-space grids over the trace cache.
+
+The fast kernels make a single (architecture, benchmark) replay cheap;
+this module scales that to whole design spaces by fanning the points
+out over a ``multiprocessing`` pool:
+
+* :func:`sweep_mab_size` — ``ablation_mab_size`` widened to the full
+  Nt x Ns grid (default 4 x 6 = 24 points per cache, 336 controller
+  runs over the bundled suite) for **both** caches.
+* :func:`sweep_baselines` — ``extension_baselines`` parallelized
+  across every (baseline, workload) point.
+
+Workers never run the ISS: the parent warms the shared on-disk trace
+cache (``$REPRO_TRACE_CACHE``, see ``repro.workloads.suite``) before
+forking, so each worker just loads the ``.npz`` arrays (or inherits
+the parent's in-process cache under the fork start method).  Each
+design point is evaluated in a single worker and the parent reduces
+the per-point values in a fixed order, so the result — rendered table
+and raw rows — is byte-identical for any worker count and for cold
+vs. warm trace caches (``tests/test_sweep.py`` locks this down).
+
+CLI::
+
+    python -m repro.experiments.sweep --workers 8          # everything
+    python -m repro.experiments.sweep --experiment mab-size \
+        --grid paper --workers 4 --json
+    repro sweep --experiment baselines                      # via the CLI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import os
+import sys
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.cache.config import FRV_DCACHE, FRV_ICACHE
+from repro.core import MABConfig, WayMemoDCache, WayMemoICache
+from repro.energy import CachePowerModel, MABHardwareModel
+from repro.experiments.extension_baselines import D_ARCHS, I_ARCHS
+from repro.experiments.reporting import ExperimentResult, render
+from repro.experiments.runner import (
+    average,
+    dcache_counters,
+    dcache_power,
+    icache_counters,
+    icache_power,
+)
+from repro.workloads import BENCHMARK_NAMES, load_workload
+
+#: The paper's (Nt, Ns) grid (plus Nt=4), as swept by ablation_mab_size.
+PAPER_TAG_ENTRIES: Tuple[int, ...] = (1, 2, 4)
+PAPER_INDEX_ENTRIES: Tuple[int, ...] = (4, 8, 16, 32)
+
+#: The full design-space grid the fast kernels make affordable.
+FULL_TAG_ENTRIES: Tuple[int, ...] = (1, 2, 4, 8)
+FULL_INDEX_ENTRIES: Tuple[int, ...] = (2, 4, 8, 16, 32, 64)
+
+
+def warm_trace_cache(
+    benchmarks: Sequence[str] = BENCHMARK_NAMES,
+) -> None:
+    """Run every benchmark once so workers skip the ISS entirely.
+
+    Populates both the in-process workload cache (inherited by forked
+    workers) and the on-disk trace cache (read by spawned workers and
+    later processes).
+    """
+    for name in benchmarks:
+        load_workload(name)
+
+
+def _parallel_map(fn, tasks: List, workers: Optional[int]) -> List:
+    """Ordered map over ``tasks`` with ``workers`` processes.
+
+    ``workers=None`` uses every core; ``workers<=1`` runs serially in
+    this process (no pool, easiest to debug).  Results always come
+    back in task order, which keeps every reduction deterministic.
+    """
+    if workers is None:
+        workers = os.cpu_count() or 1
+    workers = min(workers, len(tasks)) if tasks else 1
+    if workers <= 1:
+        return [fn(task) for task in tasks]
+    with multiprocessing.Pool(processes=workers) as pool:
+        return pool.map(fn, tasks, chunksize=1)
+
+
+# ----------------------------------------------------------------------
+# MAB design-space sweep
+# ----------------------------------------------------------------------
+
+def _mab_point(task: Tuple[str, int, int, str]) -> Tuple[float, float, float]:
+    """Evaluate one (cache, Nt, Ns, benchmark) design point."""
+    cache_name, nt, ns, benchmark = task
+    workload = load_workload(benchmark)
+    cfg = MABConfig(nt, ns)
+    hw = MABHardwareModel(nt, ns)
+    if cache_name == "dcache":
+        controller = WayMemoDCache(mab_config=cfg)
+        stream = workload.trace.data
+        model = CachePowerModel(FRV_DCACHE)
+    else:
+        controller = WayMemoICache(mab_config=cfg)
+        stream = workload.fetch
+        model = CachePowerModel(FRV_ICACHE)
+    counters = controller.process(stream)
+    power = model.power(
+        counters, workload.cycles, label=cfg.label, mab_model=hw
+    )
+    return (
+        counters.mab_hit_rate, counters.tags_per_access, power.total_mw
+    )
+
+
+def sweep_mab_size(
+    tag_entries: Sequence[int] = FULL_TAG_ENTRIES,
+    index_entries: Sequence[int] = FULL_INDEX_ENTRIES,
+    benchmarks: Sequence[str] = BENCHMARK_NAMES,
+    workers: Optional[int] = None,
+) -> ExperimentResult:
+    """Full (Nt, Ns) grid for both caches, averaged over the suite.
+
+    Same row/column shape as ``ablation_mab_size`` (which it subsumes:
+    the paper grid is a sub-rectangle of the default full grid), with
+    the per-benchmark controller runs fanned out across workers.
+    """
+    tag_entries = tuple(tag_entries)
+    index_entries = tuple(index_entries)
+    benchmarks = tuple(benchmarks)
+    warm_trace_cache(benchmarks)
+
+    result = ExperimentResult(
+        name="sweep_mab_size",
+        title=(
+            "Sweep: full MAB design space "
+            "(average over the selected benchmarks)"
+        ),
+        columns=(
+            "cache", "mab", "mab_hit_rate", "tags_per_access",
+            "avg_power_mw", "optimal",
+        ),
+        paper_reference=(
+            "paper: 2x8 optimal for D-cache; 2x8 or 2x16 for I-cache "
+            "depending on the program"
+        ),
+    )
+    tasks = [
+        (cache_name, nt, ns, benchmark)
+        for cache_name in ("dcache", "icache")
+        for nt in tag_entries
+        for ns in index_entries
+        for benchmark in benchmarks
+    ]
+    values = _parallel_map(_mab_point, tasks, workers)
+    per_point = {}
+    for task, value in zip(tasks, values):
+        per_point.setdefault(task[:3], []).append(value)
+
+    for cache_name in ("dcache", "icache"):
+        rows = []
+        for nt in tag_entries:
+            for ns in index_entries:
+                vals = per_point[(cache_name, nt, ns)]
+                rows.append({
+                    "cache": cache_name,
+                    "mab": f"{nt}x{ns}",
+                    "mab_hit_rate": average(v[0] for v in vals),
+                    "tags_per_access": average(v[1] for v in vals),
+                    "avg_power_mw": average(v[2] for v in vals),
+                })
+        best = min(rows, key=lambda r: r["avg_power_mw"])
+        for row in rows:
+            row["optimal"] = "<== optimal" if row is best else ""
+            result.rows.append(row)
+        result.notes.append(
+            f"{cache_name}: power-optimal configuration {best['mab']} "
+            f"at {best['avg_power_mw']:.2f} mW average"
+        )
+    result.notes.append(
+        f"grid: {len(tag_entries)}x{len(index_entries)} configurations "
+        f"per cache x {len(benchmarks)} benchmarks = {len(tasks)} runs"
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# baseline comparison sweep
+# ----------------------------------------------------------------------
+
+def _baseline_point(
+    task: Tuple[str, str, str]
+) -> Tuple[float, float, float]:
+    """Evaluate one (cache, architecture, benchmark) point."""
+    cache_name, arch, benchmark = task
+    workload = load_workload(benchmark)
+    if cache_name == "dcache":
+        counters = dcache_counters(benchmark, arch)
+        power = dcache_power(benchmark, arch)
+    else:
+        counters = icache_counters(benchmark, arch)
+        power = icache_power(benchmark, arch)
+    return (
+        power.total_mw,
+        100.0 * counters.extra_cycles / workload.cycles,
+        counters.tags_per_access,
+    )
+
+
+def sweep_baselines(
+    benchmarks: Sequence[str] = BENCHMARK_NAMES,
+    workers: Optional[int] = None,
+) -> ExperimentResult:
+    """``extension_baselines`` fanned out per (baseline, workload)."""
+    benchmarks = tuple(benchmarks)
+    warm_trace_cache(benchmarks)
+
+    result = ExperimentResult(
+        name="sweep_baselines",
+        title=(
+            "Sweep: penalty-laden alternatives vs way memoization "
+            "(averages over the selected benchmarks)"
+        ),
+        columns=(
+            "cache", "architecture", "avg_power_mw",
+            "avg_slowdown_pct", "avg_tags_per_access",
+        ),
+        paper_reference=(
+            "filter cache / way prediction / two-phase save energy "
+            "but add cycles; way memoization adds none"
+        ),
+    )
+    tasks = [
+        (cache_name, arch, benchmark)
+        for cache_name, archs in (("dcache", D_ARCHS), ("icache", I_ARCHS))
+        for arch in archs
+        for benchmark in benchmarks
+    ]
+    values = _parallel_map(_baseline_point, tasks, workers)
+    per_arch = {}
+    for task, value in zip(tasks, values):
+        per_arch.setdefault(task[:2], []).append(value)
+
+    for cache_name, archs in (("dcache", D_ARCHS), ("icache", I_ARCHS)):
+        for arch in archs:
+            vals = per_arch[(cache_name, arch)]
+            result.add_row(
+                cache=cache_name,
+                architecture=arch,
+                avg_power_mw=average(v[0] for v in vals),
+                avg_slowdown_pct=average(v[1] for v in vals),
+                avg_tags_per_access=average(v[2] for v in vals),
+            )
+    result.notes.append(
+        "slowdown = extra cycles / baseline cycles; way memoization "
+        "is the only technique at exactly 0"
+    )
+    result.notes.append(
+        f"{len(tasks)} (cache, architecture, benchmark) points"
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+def _results_to_json(results: Iterable[ExperimentResult]) -> str:
+    payload = [
+        {
+            "name": r.name,
+            "title": r.title,
+            "columns": list(r.columns),
+            "rows": r.rows,
+            "notes": r.notes,
+        }
+        for r in results
+    ]
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro sweep",
+        description=(
+            "Parallel design-space sweeps over the shared trace cache"
+        ),
+    )
+    parser.add_argument(
+        "--experiment", choices=("mab-size", "baselines", "all"),
+        default="all", help="which sweep to run (default: all)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes (default: all cores; 1 = serial)",
+    )
+    parser.add_argument(
+        "--grid", choices=("paper", "full"), default="full",
+        help="MAB grid: the paper's 3x4 points or the full 4x6 grid",
+    )
+    parser.add_argument(
+        "--benchmarks", nargs="+", metavar="NAME",
+        default=list(BENCHMARK_NAMES), choices=BENCHMARK_NAMES,
+        help="benchmark subset (default: the whole suite)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of tables",
+    )
+    args = parser.parse_args(argv)
+
+    results = []
+    if args.experiment in ("mab-size", "all"):
+        if args.grid == "paper":
+            grid = (PAPER_TAG_ENTRIES, PAPER_INDEX_ENTRIES)
+        else:
+            grid = (FULL_TAG_ENTRIES, FULL_INDEX_ENTRIES)
+        results.append(sweep_mab_size(
+            grid[0], grid[1], args.benchmarks, args.workers
+        ))
+    if args.experiment in ("baselines", "all"):
+        results.append(sweep_baselines(args.benchmarks, args.workers))
+
+    if args.json:
+        print(_results_to_json(results))
+    else:
+        print("\n\n".join(render(r) for r in results))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,228 @@
+"""Randomized lockstep fuzzing of every baseline's fast kernel.
+
+Each test drives a freshly seeded access stream through a *fast*
+controller (``process``) and a *reference* controller
+(``process_reference``) in lockstep chunks, comparing every
+:class:`AccessCounters` field and the complete cache + auxiliary state
+after each chunk.  On a divergence the harness re-drives two fresh
+controllers access by access over the failing prefix and reports the
+first offending access index, so a kernel bug pinpoints the exact
+reference the two engines disagree on.
+
+The streams deliberately hammer a tiny cache (heavy conflict misses,
+evictions and write-backs) and include a 4-way geometry so the generic
+(non-2-way) scan paths of the batch kernel are fuzzed too.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    FilterCacheDCache,
+    FilterCacheICache,
+    MaLinksICache,
+    OriginalDCache,
+    OriginalICache,
+    PanwarICache,
+    SetBufferDCache,
+    TwoPhaseDCache,
+    TwoPhaseICache,
+    WayPredictionDCache,
+    WayPredictionICache,
+)
+from repro.cache.config import CacheConfig
+from repro.sim.fetch import FetchStream
+from repro.sim.trace import DataTrace
+from repro.workloads import synthetic_fetch_stream
+
+from test_fastpath_differential import (
+    COUNTER_FIELDS,
+    assert_baseline_state_equal,
+    assert_controller_state_equal,
+)
+
+#: Small geometries that evict constantly under the fuzz streams.
+TINY_2WAY = CacheConfig(size_bytes=1024, ways=2, line_bytes=32)
+TINY_4WAY = CacheConfig(size_bytes=2048, ways=4, line_bytes=32)
+
+#: Lockstep chunk length (prime, so chunk boundaries drift across the
+#: stream's block structure instead of aligning with it).
+CHUNK = 257
+
+NUM_ACCESSES = 4_000
+
+DCACHE_FACTORIES = {
+    "original": OriginalDCache,
+    "set-buffer": SetBufferDCache,
+    "filter-cache": FilterCacheDCache,
+    "way-prediction": WayPredictionDCache,
+    "two-phase": TwoPhaseDCache,
+}
+
+ICACHE_FACTORIES = {
+    "original": OriginalICache,
+    "panwar": PanwarICache,
+    "ma-links": MaLinksICache,
+    "filter-cache": FilterCacheICache,
+    "way-prediction": WayPredictionICache,
+    "two-phase": TwoPhaseICache,
+}
+
+
+# ----------------------------------------------------------------------
+# stream generators and slicers
+# ----------------------------------------------------------------------
+
+def fuzz_data_trace(seed: int, n: int = NUM_ACCESSES) -> DataTrace:
+    """Loads/stores over a region a tiny cache cannot hold."""
+    rng = np.random.default_rng(seed)
+    # ~8x the tiny cache size, word-aligned, mixed loads/stores.
+    base = (0x40000 + rng.integers(0, 2048, size=n) * 4).astype(np.uint32)
+    disp = (rng.integers(0, 16, size=n) * 4).astype(np.int32)
+    store = rng.random(n) < 0.4
+    return DataTrace(base=base, disp=disp, store=store)
+
+
+def fuzz_fetch_stream(seed: int) -> FetchStream:
+    """Branchy fetch traffic over a text footprint that evicts."""
+    return synthetic_fetch_stream(
+        num_blocks=NUM_ACCESSES // 4, seed=seed,
+        text_bytes=1 << 15, num_targets=32,
+    )
+
+
+def slice_data(trace: DataTrace, lo: int, hi: int) -> DataTrace:
+    return DataTrace(
+        base=trace.base[lo:hi], disp=trace.disp[lo:hi],
+        store=trace.store[lo:hi],
+    )
+
+
+def slice_fetch(fs: FetchStream, lo: int, hi: int) -> FetchStream:
+    return FetchStream(
+        addr=fs.addr[lo:hi], kind=fs.kind[lo:hi], base=fs.base[lo:hi],
+        disp=fs.disp[lo:hi], packet_bytes=fs.packet_bytes,
+    )
+
+
+# ----------------------------------------------------------------------
+# lockstep harness
+# ----------------------------------------------------------------------
+
+def _diff_counters(cf, cr):
+    return [
+        (field, getattr(cf, field), getattr(cr, field))
+        for field in COUNTER_FIELDS
+        if getattr(cf, field) != getattr(cr, field)
+    ]
+
+
+def _first_divergent_access(make, stream, slicer, limit, state_check):
+    """Re-drive access by access; return the first divergent index."""
+    fast = make()
+    ref = make()
+    for i in range(limit):
+        cf = fast.process(slicer(stream, i, i + 1))
+        cr = ref.process_reference(slicer(stream, i, i + 1))
+        if _diff_counters(cf, cr):
+            return i
+        try:
+            state_check(fast, ref)
+        except AssertionError:
+            return i
+    return None
+
+
+def run_lockstep(make, stream, slicer, total, context,
+                 state_check=assert_baseline_state_equal):
+    fast = make()
+    ref = make()
+    for lo in range(0, total, CHUNK):
+        hi = min(lo + CHUNK, total)
+        cf = fast.process(slicer(stream, lo, hi))
+        cr = ref.process_reference(slicer(stream, lo, hi))
+        mismatches = _diff_counters(cf, cr)
+        state_error = None
+        if not mismatches:
+            try:
+                state_check(
+                    fast, ref, f"{context} accesses [{lo}, {hi})"
+                )
+            except AssertionError as exc:
+                state_error = exc
+        if mismatches or state_error is not None:
+            index = _first_divergent_access(
+                make, stream, slicer, hi, state_check
+            )
+            detail = (
+                "; ".join(
+                    f"{f}: fast={a} ref={b}" for f, a, b in mismatches
+                )
+                or str(state_error)
+            )
+            where = (
+                f"access index {index}" if index is not None
+                else f"chunk [{lo}, {hi})"
+            )
+            pytest.fail(
+                f"{context}: fast/reference divergence at {where}: "
+                f"{detail}"
+            )
+
+
+# ----------------------------------------------------------------------
+# the fuzz matrix
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("config", [TINY_2WAY, TINY_4WAY],
+                         ids=["2way", "4way"])
+@pytest.mark.parametrize("seed", [101, 202])
+@pytest.mark.parametrize("arch", sorted(DCACHE_FACTORIES))
+def test_fuzz_dcache_baseline(arch, seed, config):
+    trace = fuzz_data_trace(seed)
+    factory = DCACHE_FACTORIES[arch]
+    run_lockstep(
+        lambda: factory(config), trace, slice_data, len(trace),
+        f"{arch} seed={seed} ways={config.ways}",
+    )
+
+
+@pytest.mark.parametrize("config", [TINY_2WAY, TINY_4WAY],
+                         ids=["2way", "4way"])
+@pytest.mark.parametrize("seed", [303, 404])
+@pytest.mark.parametrize("arch", sorted(ICACHE_FACTORIES))
+def test_fuzz_icache_baseline(arch, seed, config):
+    fs = fuzz_fetch_stream(seed)
+    factory = ICACHE_FACTORIES[arch]
+    run_lockstep(
+        lambda: factory(config), fs, slice_fetch, len(fs),
+        f"{arch} seed={seed} ways={config.ways}",
+    )
+
+
+def test_fuzz_streams_actually_stress_the_cache():
+    """The fuzz traffic must exercise misses, evictions and stores."""
+    ctrl = OriginalDCache(TINY_2WAY)
+    counters = ctrl.process(fuzz_data_trace(101))
+    assert counters.cache_misses > 100
+    assert ctrl.cache.evictions > 100
+    assert ctrl.cache.writebacks > 0
+    assert counters.stores > 0
+
+    ictrl = OriginalICache(TINY_2WAY)
+    icounters = ictrl.process(fuzz_fetch_stream(303))
+    assert icounters.cache_misses > 100
+    assert ictrl.cache.evictions > 100
+
+
+def test_way_memo_dcache_lockstep_fuzz():
+    """The way-memo controller joins the lockstep fuzz too."""
+    from repro.core import WayMemoDCache
+
+    trace = fuzz_data_trace(515)
+    run_lockstep(
+        WayMemoDCache, trace, slice_data, len(trace), "way-memo",
+        state_check=assert_controller_state_equal,
+    )

@@ -191,6 +191,34 @@ def test_filter_cache_icache_penalty_counted(workload):
     assert c.tag_accesses < 2 * c.accesses
 
 
+def test_filter_cache_l0_invalidated_on_l1_eviction():
+    """L0 is inclusive in L1: evicting the L1 line kills the L0 copy.
+
+    Regression: without the eviction listener the L0 kept serving a
+    line after its L1 eviction, so a write-through on the stale "hit"
+    silently miss-filled L1 — an uncharged fill that left
+    ``counters.cache_misses`` disagreeing with the cache's own miss
+    count.
+    """
+    stride = 512 * 32  # same set, different tag
+    a, b, c_addr = 0x40000, 0x40000 + stride, 0x40000 + 2 * stride
+    trace = data_trace([
+        (a, 0, False),       # L1 fill way 0
+        (b, 0, False),       # L1 fill way 1
+        (c_addr, 0, False),  # evicts a (LRU) -> must drop a from L0
+        (a, 0, True),        # stale in L0 pre-fix; now a clean miss
+    ])
+    for engine in ("process", "process_reference"):
+        ctrl = FilterCacheDCache()
+        counters = getattr(ctrl, engine)(trace)
+        assert counters.cache_misses == 4, engine
+        assert counters.cache_misses == ctrl.cache.misses, engine
+        assert counters.extra_cycles == 4, engine
+        # ... and the refill re-admits the line to both levels.
+        assert ctrl.cache_config.line_addr(a) in ctrl._l0, engine
+        assert ctrl.cache.probe(a) is not None, engine
+
+
 # ----------------------------------------------------------------------
 # two-phase [8]
 # ----------------------------------------------------------------------

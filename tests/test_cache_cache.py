@@ -131,3 +131,66 @@ def test_no_duplicate_tags_and_hit_consistency(accesses):
             evicted = tags.pop(0)
             assert result.evicted_tag == evicted
         cache.check_invariants()
+
+
+# ----------------------------------------------------------------------
+# batch kernel
+# ----------------------------------------------------------------------
+
+@given(st.lists(st.tuples(
+    st.integers(0, 7), st.integers(0, 15), st.booleans()
+), max_size=200), st.sampled_from([2, 4]),
+    st.sampled_from(["lru", "fifo", "plru"]))
+@settings(max_examples=60)
+def test_access_fast_batch_matches_access_fast(accesses, ways, policy):
+    """The batch kernel is a tight-loop re-statement of access_fast.
+
+    ``fifo``/``plru`` exercise the generic policy branch (no inline
+    LRU shortcut), ``lru`` the specialized one.
+    """
+    from repro.cache.replacement import make_policy
+
+    config = CacheConfig(size_bytes=512 * ways, ways=ways, line_bytes=32)
+    batched = SetAssociativeCache(
+        config, make_policy(policy, config.sets, config.ways)
+    )
+    stepped = SetAssociativeCache(
+        config, make_policy(policy, config.sets, config.ways)
+    )
+    evictions = []
+    batched.add_eviction_listener(
+        lambda tag, set_index: evictions.append((tag, set_index))
+    )
+    expected_evictions = []
+    stepped.add_eviction_listener(
+        lambda tag, set_index: expected_evictions.append((tag, set_index))
+    )
+
+    tags = [a[0] for a in accesses]
+    sets = [a[1] % config.sets for a in accesses]
+    writes = [a[2] for a in accesses]
+    packed = batched.access_fast_batch(tags, sets, writes)
+    expected = [
+        stepped.access_fast(tag, set_index, write)
+        for tag, set_index, write in zip(tags, sets, writes)
+    ]
+    assert packed == expected
+    assert evictions == expected_evictions
+    assert batched._tags == stepped._tags
+    assert batched._dirty == stepped._dirty
+    assert batched._lru == stepped._lru
+    # Non-LRU policies keep their victim state outside the cache.
+    for attr in ("_next", "_tree"):
+        assert getattr(batched.policy, attr, None) == (
+            getattr(stepped.policy, attr, None)
+        )
+    assert (batched.hits, batched.misses, batched.evictions,
+            batched.writebacks) == (stepped.hits, stepped.misses,
+                                    stepped.evictions, stepped.writebacks)
+
+
+def test_access_fast_batch_defaults_to_loads():
+    cache = SetAssociativeCache(SMALL)
+    packed = cache.access_fast_batch([1, 1], [3, 3])
+    assert (packed[0] & 1, packed[1] & 1) == (0, 1)
+    assert not cache._dirty[3][cache.probe(_addr(1, 3))]

@@ -6,19 +6,35 @@ implementations:
 
 * :meth:`WayMemoDCache.process` vs. :meth:`process_reference`
 * :meth:`WayMemoICache.process` vs. :meth:`process_reference`
+* every comparison baseline's fast ``process`` vs. its retained
+  ``process_reference`` (the full seven-architecture matrix)
 * ``CPU.run(engine="fast")`` vs. ``CPU.run(engine="interp")``
 
 Equivalence is asserted on every :class:`AccessCounters` field
 (including ``stale_hits``, ``way_accesses`` and ``tag_accesses``), the
-final cache/MAB state, and — for the ISS — registers, memory, data and
-flow traces, the instruction mix and the instruction count, over all
-bundled workloads plus seeded synthetic traffic that exercises
-bypasses, stores and evictions.
+final cache/MAB state, each baseline's buffer/predictor/link state,
+and — for the ISS — registers, memory, data and flow traces, the
+instruction mix and the instruction count, over all bundled workloads
+plus seeded synthetic traffic that exercises bypasses, stores and
+evictions.
 """
 
 import numpy as np
 import pytest
 
+from repro.baselines import (
+    FilterCacheDCache,
+    FilterCacheICache,
+    MaLinksICache,
+    OriginalDCache,
+    OriginalICache,
+    PanwarICache,
+    SetBufferDCache,
+    TwoPhaseDCache,
+    TwoPhaseICache,
+    WayPredictionDCache,
+    WayPredictionICache,
+)
 from repro.core import MABConfig, WayMemoDCache, WayMemoICache
 from repro.isa import assemble
 from repro.sim import CPU, CPUError, run_program
@@ -46,9 +62,8 @@ def assert_counters_equal(fast, ref, context=""):
     assert fast.notes == ref.notes, context
 
 
-def assert_controller_state_equal(fast, ref, context=""):
-    """Final cache + MAB state must match exactly."""
-    fc, rc = fast.cache, ref.cache
+def assert_cache_state_equal(fc, rc, context=""):
+    """Final flat cache state + cache counters must match exactly."""
     assert fc._tags == rc._tags, f"{context}: cache tag arrays differ"
     assert fc._dirty == rc._dirty, f"{context}: dirty bits differ"
     assert (fc.hits, fc.misses, fc.evictions, fc.writebacks) == (
@@ -56,6 +71,39 @@ def assert_controller_state_equal(fast, ref, context=""):
     ), f"{context}: cache counters differ"
     if fc._lru is not None and rc._lru is not None:
         assert fc._lru == rc._lru, f"{context}: LRU stacks differ"
+
+
+#: Auxiliary structures of the baseline architectures (set buffer
+#: snapshots, L0 contents, predictor tables, way links) that must come
+#: out identical from the fast and reference engines.
+BASELINE_AUX_STATE = (
+    "_buffer", "_lru", "_l0", "_predicted", "_links", "_reverse",
+)
+
+
+def assert_baseline_state_equal(fast, ref, context=""):
+    """Cache + auxiliary (buffer/predictor/link) state must match."""
+    assert_cache_state_equal(fast.cache, ref.cache, context)
+    for attr in BASELINE_AUX_STATE:
+        if hasattr(ref, attr):
+            assert getattr(fast, attr) == getattr(ref, attr), (
+                f"{context}: baseline state {attr} differs"
+            )
+    wf = getattr(fast, "write_buffer", None)
+    if wf is not None:
+        wr = ref.write_buffer
+        assert (
+            wf._pending, wf.inserts, wf.coalesced, wf.drains,
+            wf.max_occupancy,
+        ) == (
+            wr._pending, wr.inserts, wr.coalesced, wr.drains,
+            wr.max_occupancy,
+        ), f"{context}: write buffer state differs"
+
+
+def assert_controller_state_equal(fast, ref, context=""):
+    """Final cache + MAB state must match exactly."""
+    assert_cache_state_equal(fast.cache, ref.cache, context)
     fm, rm = fast.mab, ref.mab
     assert sorted(fm.valid_pairs()) == sorted(rm.valid_pairs()), (
         f"{context}: MAB valid pairs differ"
@@ -197,6 +245,87 @@ def test_icache_fast_matches_reference_on_workload(workload):
     cr = ref.process_reference(workload.fetch)
     assert_counters_equal(cf, cr, workload.name)
     assert_controller_state_equal(fast, ref, workload.name)
+
+
+# ----------------------------------------------------------------------
+# baselines: the full seven-architecture matrix, every bundled workload
+# ----------------------------------------------------------------------
+
+DCACHE_BASELINES = {
+    "original": OriginalDCache,
+    "set-buffer": SetBufferDCache,
+    "filter-cache": FilterCacheDCache,
+    "way-prediction": WayPredictionDCache,
+    "two-phase": TwoPhaseDCache,
+}
+
+ICACHE_BASELINES = {
+    "original": OriginalICache,
+    "panwar": PanwarICache,
+    "ma-links": MaLinksICache,
+    "filter-cache": FilterCacheICache,
+    "way-prediction": WayPredictionICache,
+    "two-phase": TwoPhaseICache,
+}
+
+
+@pytest.mark.parametrize("arch", sorted(DCACHE_BASELINES))
+def test_dcache_baseline_fast_matches_reference_on_workload(arch, workload):
+    fast = DCACHE_BASELINES[arch]()
+    ref = DCACHE_BASELINES[arch]()
+    cf = fast.process(workload.trace.data)
+    cr = ref.process_reference(workload.trace.data)
+    context = f"{arch}/{workload.name}"
+    assert_counters_equal(cf, cr, context)
+    assert_baseline_state_equal(fast, ref, context)
+
+
+@pytest.mark.parametrize("arch", sorted(ICACHE_BASELINES))
+def test_icache_baseline_fast_matches_reference_on_workload(arch, workload):
+    fast = ICACHE_BASELINES[arch]()
+    ref = ICACHE_BASELINES[arch]()
+    cf = fast.process(workload.fetch)
+    cr = ref.process_reference(workload.fetch)
+    context = f"{arch}/{workload.name}"
+    assert_counters_equal(cf, cr, context)
+    assert_baseline_state_equal(fast, ref, context)
+
+
+@pytest.mark.parametrize("arch", sorted(DCACHE_BASELINES))
+@pytest.mark.parametrize("seed,stores", [(41, 0.3), (42, 1.0), (43, 0.0)])
+def test_dcache_baseline_fast_matches_reference_synthetic(
+    arch, seed, stores
+):
+    trace = synthetic_data_trace(
+        num_accesses=5_000, seed=seed, store_fraction=stores,
+        num_bases=8, base_region_bytes=1 << 15,
+    )
+    fast = DCACHE_BASELINES[arch]()
+    ref = DCACHE_BASELINES[arch]()
+    cf = fast.process(trace)
+    cr = ref.process_reference(trace)
+    assert_counters_equal(cf, cr, f"{arch} seed={seed}")
+    assert_baseline_state_equal(fast, ref, f"{arch} seed={seed}")
+
+
+@pytest.mark.parametrize("arch", sorted(ICACHE_BASELINES))
+def test_icache_baseline_fast_matches_reference_synthetic(arch):
+    # A tiny cache under a wide text footprint forces conflict
+    # evictions, exercising the miss/eviction paths (and ma-links'
+    # reverse-index invalidation).
+    from repro.cache.config import CacheConfig
+
+    small = CacheConfig(size_bytes=2048, ways=2, line_bytes=32)
+    fs = synthetic_fetch_stream(
+        num_blocks=1_500, seed=23, text_bytes=1 << 18, num_targets=24,
+    )
+    fast = ICACHE_BASELINES[arch](small)
+    ref = ICACHE_BASELINES[arch](small)
+    cf = fast.process(fs)
+    cr = ref.process_reference(fs)
+    assert ref.cache.evictions > 0, "stream should evict"
+    assert_counters_equal(cf, cr, arch)
+    assert_baseline_state_equal(fast, ref, arch)
 
 
 # ----------------------------------------------------------------------
