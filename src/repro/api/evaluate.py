@@ -1,0 +1,162 @@
+"""``evaluate(spec) -> RunResult``: the one evaluation entry point.
+
+Resolves a :class:`~repro.api.spec.RunSpec` against the central
+registry, replays the workload through a fresh controller, prices the
+counters with the paper's Equation (1) and returns a typed
+:class:`~repro.api.result.RunResult`.  ``evaluate_many`` fans a batch
+out over the shared :func:`~repro.api.parallel.parallel_map` harness
+(after warming the trace cache in the parent), deduplicating repeated
+specs and reducing in input order — results are byte-identical for
+any worker count and for cold vs. warm trace caches.
+
+Results are cached per process by canonical spec key, so the figure
+experiments, the report generator and ad-hoc library callers share
+one computation per design point.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.cache.config import FRV_DCACHE, FRV_ICACHE
+from repro.cache.stats import AccessCounters
+from repro.energy import CachePowerModel, MABHardwareModel
+from repro.workloads import (
+    load_workload,
+    synthetic_data_trace,
+    synthetic_fetch_stream,
+)
+
+from repro.api.parallel import parallel_map, warm_trace_cache
+from repro.api.registry import TECHNOLOGIES, get_architecture
+from repro.api.result import RunResult
+from repro.api.spec import RunSpec, parse_synthetic_params
+
+#: Per-process result cache, keyed by canonical spec serialization.
+_RESULTS: Dict[str, RunResult] = {}
+
+
+@lru_cache(maxsize=None)
+def _power_model(cache: str, technology: str) -> CachePowerModel:
+    config = FRV_DCACHE if cache == "dcache" else FRV_ICACHE
+    return CachePowerModel(config, TECHNOLOGIES[technology])
+
+
+def _resolve_stream(spec: RunSpec) -> Tuple[object, int]:
+    """The access stream and cycle base the spec's workload defines.
+
+    Benchmarks use the VLIW fetch model's cycle count; synthetic
+    workloads have no program behind them, so one access per cycle is
+    the (documented) time base.
+    """
+    if spec.is_synthetic:
+        params = parse_synthetic_params(spec.workload)
+        if spec.cache == "dcache":
+            stream = synthetic_data_trace(**params)
+        else:
+            stream = synthetic_fetch_stream(**params)
+        return stream, len(stream)
+    workload = load_workload(spec.workload)
+    stream = (
+        workload.trace.data if spec.cache == "dcache" else workload.fetch
+    )
+    return stream, workload.cycles
+
+
+def _run(spec: RunSpec) -> RunResult:
+    info = get_architecture(spec.cache, spec.arch)
+    params = spec.param_dict
+    controller = info.build(params)
+    stream, cycles = _resolve_stream(spec)
+    if spec.engine == "reference":
+        process = getattr(controller, "process_reference", None)
+        if process is None:
+            raise ValueError(
+                f"architecture {spec.arch!r} ({spec.cache}) has no "
+                "reference engine; use engine='fast'"
+            )
+    else:
+        process = controller.process
+    counters: AccessCounters = process(stream)
+    geometry = info.mab_geometry(params)
+    power = _power_model(spec.cache, spec.technology).power(
+        counters,
+        cycles,
+        label=spec.arch,
+        mab_model=MABHardwareModel(*geometry) if geometry else None,
+        aux_bits=info.resolved_aux_bits(params),
+    )
+    return RunResult(
+        spec=spec, counters=counters, power=power, cycles=cycles
+    )
+
+
+def evaluate(spec: RunSpec, use_cache: bool = True) -> RunResult:
+    """Evaluate one design point (cached per process by spec key)."""
+    if not use_cache:
+        return _run(spec)
+    key = spec.key()
+    result = _RESULTS.get(key)
+    if result is None:
+        result = _RESULTS[key] = _run(spec)
+    return result
+
+
+def _evaluate_payload(payload: str) -> RunResult:
+    """Worker entry point: JSON spec in, result out.
+
+    Round-tripping the spec through its serialized form in every
+    worker keeps the wire format honest: anything expressible from
+    the library is expressible from a JSON file and vice versa.
+    """
+    return _run(RunSpec.from_json(payload))
+
+
+def evaluate_many(
+    specs: Sequence[RunSpec],
+    workers: Optional[int] = None,
+    use_cache: bool = True,
+) -> List[RunResult]:
+    """Evaluate a batch, fanned out over the shared pool harness.
+
+    Duplicate specs are computed once; the returned list is in input
+    order regardless of worker count, so any reduction over it is
+    deterministic.  The parent warms the on-disk trace cache for the
+    batch's benchmarks before forking, so workers never run the ISS.
+    """
+    specs = list(specs)
+    keys = [spec.key() for spec in specs]
+    fresh: Dict[str, RunSpec] = {}
+    for spec, key in zip(specs, keys):
+        if key not in fresh and not (use_cache and key in _RESULTS):
+            fresh[key] = spec
+    if fresh:
+        warm_trace_cache(tuple(dict.fromkeys(
+            spec.workload for spec in fresh.values()
+            if not spec.is_synthetic
+        )))
+        results = parallel_map(
+            _evaluate_payload,
+            [spec.to_json() for spec in fresh.values()],
+            workers,
+        )
+        computed = dict(zip(fresh, results))
+    else:
+        computed = {}
+    if use_cache:
+        _RESULTS.update(computed)
+        return [_RESULTS[key] for key in keys]
+    merged = {**{k: _RESULTS[k] for k in keys if k in _RESULTS},
+              **computed}
+    return [merged[key] for key in keys]
+
+
+def clear_result_cache() -> None:
+    """Drop every cached result (tests and long-lived services)."""
+    _RESULTS.clear()
+
+
+def cached_results() -> Iterable[RunResult]:
+    """A snapshot of the per-process result cache (diagnostics)."""
+    return tuple(_RESULTS.values())

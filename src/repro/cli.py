@@ -3,9 +3,14 @@
 Subcommands
 -----------
 ``repro list``
-    Show available experiments and benchmarks.
-``repro run <experiment> [...]``
-    Run one or more experiments (or ``all``) and print their tables.
+    Show available experiments, benchmarks, registered architectures
+    (with cache side and parameter defaults) and sweeps.
+``repro run <experiment> [...] [--json] [--workers N]``
+    Run one or more experiments (or ``all``) and print their tables,
+    or a schema-versioned JSON document with ``--json``.
+``repro eval <spec.json> [--workers N]``
+    Evaluate declarative run specs (inline JSON, ``@file`` or ``-``
+    for stdin) and print serialized ``RunResult`` documents.
 ``repro bench <benchmark>``
     Execute one benchmark on the ISS, verify it against its golden
     model and print trace statistics.
@@ -15,6 +20,8 @@ Subcommands
     Print a hot-block / working-set profile and a MAB size suggestion.
 ``repro trace <benchmark> -o out.npz``
     Export the benchmark's traces for external tooling.
+``repro report [-o FILE] [--workers N]``
+    Run every experiment into one markdown report (parallel prefetch).
 ``repro sweep [--experiment ...] [--workers N] [--grid paper|full]``
     Parallel design-space sweeps (full MAB grid, baseline matrix)
     over the shared on-disk trace cache.
@@ -24,6 +31,8 @@ from __future__ import annotations
 
 import argparse
 import importlib
+import inspect
+import json
 import sys
 from typing import List, Optional
 
@@ -31,7 +40,19 @@ from repro.experiments import EXPERIMENTS, render
 from repro.workloads import BENCHMARK_NAMES, get_benchmark, run_benchmark
 
 
-def _run_experiments(names: List[str]) -> int:
+def _run_one(name: str, workers: Optional[int]):
+    """Run one experiment, passing ``workers`` where supported."""
+    module = importlib.import_module(f"repro.experiments.{name}")
+    if "workers" in inspect.signature(module.run).parameters:
+        return module.run(workers=workers)
+    return module.run()
+
+
+def _run_experiments(
+    names: List[str],
+    as_json: bool = False,
+    workers: Optional[int] = 1,
+) -> int:
     if names == ["all"]:
         names = list(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]
@@ -40,11 +61,100 @@ def _run_experiments(names: List[str]) -> int:
               file=sys.stderr)
         print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
+    if as_json:
+        from repro.api import RESULT_SCHEMA_VERSION
+
+        results = [_run_one(name, workers) for name in names]
+        payload = {
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "results": [
+                {
+                    "name": r.name,
+                    "title": r.title,
+                    "columns": list(r.columns),
+                    "rows": r.rows,
+                    "notes": r.notes,
+                    "paper_reference": r.paper_reference,
+                    "rendered": render(r),
+                }
+                for r in results
+            ],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     for pos, name in enumerate(names):
-        module = importlib.import_module(f"repro.experiments.{name}")
-        print(render(module.run()))
+        print(render(_run_one(name, workers)))
         if pos + 1 != len(names):
             print()
+    return 0
+
+
+def _read_spec_document(text: str) -> str:
+    if text == "-":
+        return sys.stdin.read()
+    if text.startswith("@"):
+        with open(text[1:]) as handle:
+            return handle.read()
+    return text
+
+
+def _eval_specs(
+    document: str, workers: Optional[int], indent: int
+) -> int:
+    """``repro eval``: evaluate one spec or a batch from JSON."""
+    from repro.api import RunSpec, evaluate_many
+
+    try:
+        payload = json.loads(_read_spec_document(document))
+    except OSError as exc:
+        print(f"cannot read spec file: {exc}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"invalid spec JSON: {exc}", file=sys.stderr)
+        return 2
+    single = isinstance(payload, dict)
+    items = [payload] if single else payload
+    if not isinstance(items, list) or not all(
+        isinstance(item, dict) for item in items
+    ):
+        print("invalid spec: expected a JSON object or an array of "
+              "objects", file=sys.stderr)
+        return 2
+    try:
+        specs = [RunSpec.from_dict(item) for item in items]
+    except (KeyError, ValueError, TypeError) as exc:
+        print(f"invalid spec: {exc}", file=sys.stderr)
+        return 2
+    results = evaluate_many(specs, workers=workers)
+    documents = [r.to_dict() for r in results]
+    print(json.dumps(
+        documents[0] if single else documents,
+        indent=indent, sort_keys=True,
+    ))
+    return 0
+
+
+def _list() -> int:
+    from repro.api import architectures
+    from repro.experiments.sweep import SWEEPS
+
+    print("experiments:")
+    for name in EXPERIMENTS:
+        print(f"  {name}")
+    print("benchmarks:")
+    for name in BENCHMARK_NAMES:
+        print(f"  {name}")
+    print("architectures:")
+    for side in ("dcache", "icache"):
+        for info in architectures(side):
+            defaults = ", ".join(
+                f"{k}={v}" for k, v in sorted(info.defaults.items())
+            )
+            print(f"  {side}/{info.id}  [{defaults}]")
+            print(f"      {info.description}")
+    print("sweeps:")
+    for name, description in SWEEPS.items():
+        print(f"  {name}  — {description}")
     return 0
 
 
@@ -127,6 +237,33 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiments", nargs="+",
         help="experiment names, or 'all'",
     )
+    run_parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit a schema-versioned JSON document (rows + rendered "
+             "tables) instead of plain tables",
+    )
+    run_parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="prefetch pool size for spec-declaring experiments "
+             "(default: 1 = serial; 0 = all cores)",
+    )
+
+    eval_parser = sub.add_parser(
+        "eval", help="evaluate declarative run specs (JSON)"
+    )
+    eval_parser.add_argument(
+        "spec",
+        help="a RunSpec JSON object or array, @file, or '-' for stdin",
+    )
+    eval_parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes for spec batches "
+             "(default: 1 = serial; 0 = all cores)",
+    )
+    eval_parser.add_argument(
+        "--indent", type=int, default=2,
+        help="JSON indentation of the output (default: 2)",
+    )
 
     bench_parser = sub.add_parser(
         "bench", help="execute and verify one benchmark"
@@ -159,6 +296,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "-o", "--output", default=None,
         help="write to a file instead of stdout",
     )
+    report_parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="prefetch pool size (default: all cores; 1 = serial)",
+    )
 
     sub.add_parser(
         "sweep", add_help=False,
@@ -167,15 +308,15 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     args = parser.parse_args(argv)
     if args.command == "list":
-        print("experiments:")
-        for name in EXPERIMENTS:
-            print(f"  {name}")
-        print("benchmarks:")
-        for name in BENCHMARK_NAMES:
-            print(f"  {name}")
-        return 0
+        return _list()
     if args.command == "run":
-        return _run_experiments(args.experiments)
+        workers = None if args.workers == 0 else args.workers
+        return _run_experiments(
+            args.experiments, as_json=args.as_json, workers=workers
+        )
+    if args.command == "eval":
+        workers = None if args.workers == 0 else args.workers
+        return _eval_specs(args.spec, workers, args.indent)
     if args.command == "bench":
         return _run_bench(args.benchmark)
     if args.command == "disasm":
@@ -188,7 +329,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "report":
         from repro.experiments import report
 
-        report.main(output=args.output)
+        report.main(output=args.output, workers=args.workers)
         return 0
     parser.print_help()
     return 1

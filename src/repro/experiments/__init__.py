@@ -4,6 +4,23 @@ Every module exposes ``run()`` returning an
 :class:`~repro.experiments.reporting.ExperimentResult` and ``main()``
 that prints it; ``python -m repro <experiment>`` dispatches here.
 
+Programmatic use
+----------------
+Each experiment is sugar over the declarative :mod:`repro.api` layer —
+a design point is three lines from the library::
+
+    from repro.api import RunSpec, evaluate
+    spec = RunSpec(cache="dcache", arch="way-memo-2x8", workload="dct")
+    result = evaluate(spec)   # .counters, .power, .cycles
+
+The same spec runs from the CLI as ``repro eval`` with the spec's
+JSON (``spec.to_json()``), and batches fan out over the worker pool
+via :func:`repro.api.evaluate_many`.  Experiment modules that declare
+their design points expose ``specs() -> list[RunSpec]``; ``run()``
+accepts ``workers=`` and prefetches those points through the shared
+pool, so ``repro run --workers N`` and ``repro report`` parallelize
+without changing a byte of output.
+
 Paper artefacts
 ---------------
 ========================== ========================================

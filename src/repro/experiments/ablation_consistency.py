@@ -16,8 +16,15 @@ conservative hook costs.
 
 from __future__ import annotations
 
+from typing import List, Optional
+
+from repro.api import RunSpec, evaluate_many
 from repro.experiments.reporting import ExperimentResult, render
-from repro.experiments.runner import dcache_counters, icache_counters
+from repro.experiments.runner import (
+    arch_spec,
+    dcache_counters,
+    icache_counters,
+)
 from repro.workloads import BENCHMARK_NAMES
 
 PAIRS = (
@@ -26,7 +33,18 @@ PAIRS = (
 )
 
 
-def run() -> ExperimentResult:
+def specs() -> List[RunSpec]:
+    """Every design point this experiment evaluates."""
+    return [
+        arch_spec(cache, arch, benchmark)
+        for benchmark in BENCHMARK_NAMES
+        for cache, paper_arch, hook_arch in PAIRS
+        for arch in (paper_arch, hook_arch)
+    ]
+
+
+def run(workers: Optional[int] = 1) -> ExperimentResult:
+    evaluate_many(specs(), workers=workers)
     result = ExperimentResult(
         name="ablation_consistency",
         title="Ablation: MAB consistency — paper rules vs eviction hook",

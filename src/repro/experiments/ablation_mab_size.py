@@ -6,22 +6,45 @@ on the paper's grid (plus Nt=4) for both caches, pricing each with
 Equation (1), and marks the power-optimal configuration per cache —
 reproducing the paper's sizing conclusion and exposing the
 hit-rate-vs-MAB-power trade-off.
+
+Each point is one declarative ``RunSpec`` over the parametric
+``way-memo`` architecture; ``repro.experiments.sweep`` fans the same
+specs (on a wider grid) over a worker pool.
 """
 
 from __future__ import annotations
 
-from repro.cache.config import FRV_DCACHE, FRV_ICACHE
-from repro.core import MABConfig, WayMemoDCache, WayMemoICache
-from repro.energy import CachePowerModel, MABHardwareModel
+from typing import List, Optional
+
+from repro.api import RunSpec, evaluate, evaluate_many
 from repro.experiments.reporting import ExperimentResult, render
 from repro.experiments.runner import average
-from repro.workloads import BENCHMARK_NAMES, load_workload
+from repro.workloads import BENCHMARK_NAMES
 
 TAG_ENTRIES = (1, 2, 4)
 INDEX_ENTRIES = (4, 8, 16, 32)
 
 
-def run() -> ExperimentResult:
+def mab_spec(cache: str, nt: int, ns: int, benchmark: str) -> RunSpec:
+    """One parametric way-memo design point."""
+    return RunSpec(
+        cache=cache, arch="way-memo", workload=benchmark,
+        params={"tag_entries": nt, "index_entries": ns},
+    )
+
+
+def specs() -> List[RunSpec]:
+    """Every design point this experiment evaluates."""
+    return [
+        mab_spec(cache_name, nt, ns, benchmark)
+        for cache_name in ("dcache", "icache")
+        for nt in TAG_ENTRIES
+        for ns in INDEX_ENTRIES
+        for benchmark in BENCHMARK_NAMES
+    ]
+
+
+def run(workers: Optional[int] = 1) -> ExperimentResult:
     result = ExperimentResult(
         name="ablation_mab_size",
         title="Ablation: MAB size sweep (average over all benchmarks)",
@@ -34,42 +57,27 @@ def run() -> ExperimentResult:
             "depending on the program"
         ),
     )
-    d_model = CachePowerModel(FRV_DCACHE)
-    i_model = CachePowerModel(FRV_ICACHE)
-
-    for cache_name, model, make in (
-        ("dcache", d_model,
-         lambda cfg: WayMemoDCache(mab_config=cfg)),
-        ("icache", i_model,
-         lambda cfg: WayMemoICache(mab_config=cfg)),
-    ):
+    evaluate_many(specs(), workers=workers)
+    for cache_name in ("dcache", "icache"):
         rows = []
         for nt in TAG_ENTRIES:
             for ns in INDEX_ENTRIES:
-                cfg = MABConfig(nt, ns)
-                hw = MABHardwareModel(nt, ns)
-                hit_rates, tag_rates, powers = [], [], []
-                for benchmark in BENCHMARK_NAMES:
-                    workload = load_workload(benchmark)
-                    controller = make(cfg)
-                    stream = (
-                        workload.fetch if cache_name == "icache"
-                        else workload.trace.data
-                    )
-                    counters = controller.process(stream)
-                    power = model.power(
-                        counters, workload.cycles, label=cfg.label,
-                        mab_model=hw,
-                    )
-                    hit_rates.append(counters.mab_hit_rate)
-                    tag_rates.append(counters.tags_per_access)
-                    powers.append(power.total_mw)
+                points = [
+                    evaluate(mab_spec(cache_name, nt, ns, benchmark))
+                    for benchmark in BENCHMARK_NAMES
+                ]
                 rows.append({
                     "cache": cache_name,
-                    "mab": cfg.label,
-                    "mab_hit_rate": average(hit_rates),
-                    "tags_per_access": average(tag_rates),
-                    "avg_power_mw": average(powers),
+                    "mab": f"{nt}x{ns}",
+                    "mab_hit_rate": average(
+                        p.counters.mab_hit_rate for p in points
+                    ),
+                    "tags_per_access": average(
+                        p.counters.tags_per_access for p in points
+                    ),
+                    "avg_power_mw": average(
+                        p.power.total_mw for p in points
+                    ),
                 })
         best = min(rows, key=lambda r: r["avg_power_mw"])
         for row in rows:

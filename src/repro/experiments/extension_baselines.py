@@ -11,23 +11,30 @@ performance penalty.
 
 from __future__ import annotations
 
+from typing import List, Optional
+
+from repro.api import RunSpec, comparison_archs, evaluate, evaluate_many
 from repro.experiments.reporting import ExperimentResult, render
-from repro.experiments.runner import (
-    average,
-    dcache_counters,
-    dcache_power,
-    icache_counters,
-    icache_power,
-)
-from repro.workloads import BENCHMARK_NAMES, load_workload
+from repro.experiments.runner import arch_spec, average
+from repro.workloads import BENCHMARK_NAMES
 
-D_ARCHS = ("original", "filter-cache", "way-prediction", "two-phase",
-           "way-memo-2x8")
-I_ARCHS = ("original", "ma-links", "filter-cache", "way-prediction",
-           "two-phase", "way-memo-2x16")
+#: Comparison sets in paper order — thin aliases over the central
+#: registry's ``comparison_rank`` metadata.
+D_ARCHS = comparison_archs("dcache")
+I_ARCHS = comparison_archs("icache")
 
 
-def run() -> ExperimentResult:
+def specs() -> List[RunSpec]:
+    """Every design point this experiment evaluates."""
+    return [
+        arch_spec(cache_name, arch, benchmark)
+        for cache_name, archs in (("dcache", D_ARCHS), ("icache", I_ARCHS))
+        for arch in archs
+        for benchmark in BENCHMARK_NAMES
+    ]
+
+
+def run(workers: Optional[int] = 1) -> ExperimentResult:
     result = ExperimentResult(
         name="extension_baselines",
         title=(
@@ -43,18 +50,15 @@ def run() -> ExperimentResult:
             "but add cycles; way memoization adds none"
         ),
     )
-    for cache_name, archs, counters_fn, power_fn in (
-        ("dcache", D_ARCHS, dcache_counters, dcache_power),
-        ("icache", I_ARCHS, icache_counters, icache_power),
-    ):
+    evaluate_many(specs(), workers=workers)
+    for cache_name, archs in (("dcache", D_ARCHS), ("icache", I_ARCHS)):
         for arch in archs:
             powers, slowdowns, tag_rates = [], [], []
             for benchmark in BENCHMARK_NAMES:
-                workload = load_workload(benchmark)
-                c = counters_fn(benchmark, arch)
-                p = power_fn(benchmark, arch)
+                point = evaluate(arch_spec(cache_name, arch, benchmark))
+                c, p = point.counters, point.power
                 powers.append(p.total_mw)
-                slowdowns.append(100.0 * c.extra_cycles / workload.cycles)
+                slowdowns.append(100.0 * c.extra_cycles / point.cycles)
                 tag_rates.append(c.tags_per_access)
             result.add_row(
                 cache=cache_name,

@@ -9,8 +9,12 @@ quantifies the additional D-cache saving over plain way memoization.
 
 from __future__ import annotations
 
+from typing import List, Optional
+
+from repro.api import RunSpec, evaluate_many
 from repro.experiments.reporting import ExperimentResult, render
 from repro.experiments.runner import (
+    arch_spec,
     average,
     dcache_counters,
     dcache_power,
@@ -21,7 +25,17 @@ from repro.workloads import BENCHMARK_NAMES
 ARCHS = ("original", "way-memo-2x8", "way-memo+line-buffer")
 
 
-def run() -> ExperimentResult:
+def specs() -> List[RunSpec]:
+    """Every design point this experiment evaluates."""
+    return [
+        arch_spec("dcache", arch, benchmark)
+        for benchmark in BENCHMARK_NAMES
+        for arch in ARCHS
+    ]
+
+
+def run(workers: Optional[int] = 1) -> ExperimentResult:
+    evaluate_many(specs(), workers=workers)
     result = ExperimentResult(
         name="extension_line_buffer",
         title="Extension: way memoization + line buffer (D-cache)",

@@ -10,14 +10,27 @@ always read).
 
 from __future__ import annotations
 
+from typing import List, Optional
+
+from repro.api import RunSpec, evaluate_many
 from repro.experiments.reporting import ExperimentResult, render
-from repro.experiments.runner import average, dcache_counters
+from repro.experiments.runner import arch_spec, average, dcache_counters
 from repro.workloads import BENCHMARK_NAMES
 
 ARCHS = ("original", "set-buffer", "way-memo-2x8")
 
 
-def run() -> ExperimentResult:
+def specs() -> List[RunSpec]:
+    """Every design point this experiment evaluates."""
+    return [
+        arch_spec("dcache", arch, benchmark)
+        for benchmark in BENCHMARK_NAMES
+        for arch in ARCHS
+    ]
+
+
+def run(workers: Optional[int] = 1) -> ExperimentResult:
+    evaluate_many(specs(), workers=workers)
     result = ExperimentResult(
         name="figure4_dcache_accesses",
         title="Figure 4: tag/way accesses per D-cache access",

@@ -9,14 +9,27 @@ further ~20% cut, improving with MAB size).
 
 from __future__ import annotations
 
+from typing import List, Optional
+
+from repro.api import RunSpec, evaluate_many
 from repro.experiments.reporting import ExperimentResult, render
-from repro.experiments.runner import average, icache_counters
+from repro.experiments.runner import arch_spec, average, icache_counters
 from repro.workloads import BENCHMARK_NAMES
 
 ARCHS = ("panwar", "way-memo-2x8", "way-memo-2x16", "way-memo-2x32")
 
 
-def run() -> ExperimentResult:
+def specs() -> List[RunSpec]:
+    """Every design point this experiment evaluates."""
+    return [
+        arch_spec("icache", arch, benchmark)
+        for benchmark in BENCHMARK_NAMES
+        for arch in ARCHS
+    ]
+
+
+def run(workers: Optional[int] = 1) -> ExperimentResult:
+    evaluate_many(specs(), workers=workers)
     result = ExperimentResult(
         name="figure6_icache_accesses",
         title="Figure 6: tag/way accesses per I-cache access",

@@ -8,14 +8,32 @@ given the 2x32's area).  Expected shape: ~25% average saving for the
 
 from __future__ import annotations
 
+from typing import List, Optional
+
+from repro.api import RunSpec, evaluate_many
 from repro.experiments.reporting import ExperimentResult, render
-from repro.experiments.runner import average, icache_power, savings
+from repro.experiments.runner import (
+    arch_spec,
+    average,
+    icache_power,
+    savings,
+)
 from repro.workloads import BENCHMARK_NAMES
 
 ARCHS = ("panwar", "way-memo-2x8", "way-memo-2x16", "way-memo-2x32")
 
 
-def run() -> ExperimentResult:
+def specs() -> List[RunSpec]:
+    """Every design point this experiment evaluates."""
+    return [
+        arch_spec("icache", arch, benchmark)
+        for benchmark in BENCHMARK_NAMES
+        for arch in ARCHS
+    ]
+
+
+def run(workers: Optional[int] = 1) -> ExperimentResult:
+    evaluate_many(specs(), workers=workers)
     result = ExperimentResult(
         name="figure7_icache_power",
         title="Figure 7: I-cache power consumption (mW)",

@@ -9,8 +9,12 @@ the I-cache.  Expected shape: ~30% average saving, best case ~40%
 
 from __future__ import annotations
 
+from typing import List, Optional
+
+from repro.api import RunSpec, evaluate_many
 from repro.experiments.reporting import ExperimentResult, render
 from repro.experiments.runner import (
+    arch_spec,
     average,
     dcache_power,
     icache_power,
@@ -18,8 +22,26 @@ from repro.experiments.runner import (
 )
 from repro.workloads import BENCHMARK_NAMES
 
+#: (cache, architecture) pairs of the baseline and our configuration.
+POINTS = (
+    ("icache", "panwar"),
+    ("dcache", "original"),
+    ("icache", "way-memo-2x16"),
+    ("dcache", "way-memo-2x8"),
+)
 
-def run() -> ExperimentResult:
+
+def specs() -> List[RunSpec]:
+    """Every design point this experiment evaluates."""
+    return [
+        arch_spec(cache_name, arch, benchmark)
+        for benchmark in BENCHMARK_NAMES
+        for cache_name, arch in POINTS
+    ]
+
+
+def run(workers: Optional[int] = 1) -> ExperimentResult:
+    evaluate_many(specs(), workers=workers)
     result = ExperimentResult(
         name="figure8_total_power",
         title="Figure 8: total cache power (mW), I + D",

@@ -1,10 +1,17 @@
 """Full reproduction report generator.
 
-``repro report [-o FILE]`` runs every registered experiment and
-renders one self-contained markdown document: the reproduced tables
-and figures, each with its paper reference and notes.  This is the
-artefact to diff across code changes — if an optimisation or fix
-shifts any reproduced number, the report shows where.
+``repro report [-o FILE] [--workers N]`` runs every registered
+experiment and renders one self-contained markdown document: the
+reproduced tables and figures, each with its paper reference and
+notes.  This is the artefact to diff across code changes — if an
+optimisation or fix shifts any reproduced number, the report shows
+where.
+
+Before rendering, every experiment that declares its design points
+(a module-level ``specs()``) contributes them to one deduplicated
+``evaluate_many`` batch, fanned out over the shared worker pool —
+so the expensive controller replays run in parallel while the
+rendering stays serial and byte-deterministic.
 """
 
 from __future__ import annotations
@@ -13,6 +20,7 @@ import importlib
 import time
 from typing import List, Optional
 
+from repro.api import evaluate_many
 from repro.experiments import EXPERIMENTS
 from repro.experiments.reporting import ExperimentResult
 
@@ -38,12 +46,36 @@ def _to_markdown(result: ExperimentResult) -> str:
     return "\n".join(lines)
 
 
+def prefetch_specs(names: List[str]) -> List:
+    """The union of design points declared by ``names``' modules."""
+    specs = []
+    for name in names:
+        module = importlib.import_module(f"repro.experiments.{name}")
+        declared = getattr(module, "specs", None)
+        if declared is not None:
+            specs.extend(declared())
+    return specs
+
+
 def generate(
     experiments: Optional[List[str]] = None,
     progress: bool = False,
+    workers: Optional[int] = 1,
 ) -> str:
-    """Run ``experiments`` (default: all) and return the markdown."""
+    """Run ``experiments`` (default: all) and return the markdown.
+
+    ``workers`` sizes the prefetch pool (None = all cores); rendering
+    order and output bytes are independent of it.
+    """
     names = list(experiments or EXPERIMENTS)
+    specs = prefetch_specs(names)
+    if specs:
+        if progress:
+            print(
+                f"  prefetching {len(specs)} design points "
+                f"(workers={workers or 'all'}) ...", flush=True,
+            )
+        evaluate_many(specs, workers=workers)
     sections = [
         "# Reproduction report",
         "",
@@ -67,8 +99,10 @@ def generate(
     return "\n".join(sections)
 
 
-def main(output: Optional[str] = None) -> None:
-    markdown = generate(progress=True)
+def main(
+    output: Optional[str] = None, workers: Optional[int] = None
+) -> None:
+    markdown = generate(progress=True, workers=workers)
     if output:
         with open(output, "w") as handle:
             handle.write(markdown)

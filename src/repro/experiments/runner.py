@@ -1,144 +1,62 @@
-"""Shared experiment machinery: architecture registry + cached runs.
+"""Shared experiment machinery, now a thin shim over :mod:`repro.api`.
 
-Controllers are stateful, so each (benchmark, architecture) pair gets
-a fresh instance; the resulting counters are cached per process since
-both the traces and the controllers are deterministic.
+The architecture registry, counter plumbing and power pricing all live
+in the declarative api layer; this module keeps the names the
+experiment modules (and external callers) grew up with:
+
+* ``dcache_counters`` / ``icache_counters`` / ``dcache_power`` /
+  ``icache_power`` — per-(benchmark, architecture) evaluation, cached
+  per process through the api's result cache.
+* ``DCACHE_ARCHS`` / ``ICACHE_ARCHS`` / ``AUX_BITS`` /
+  ``MAB_GEOMETRY`` — legacy alias views re-exported from
+  :mod:`repro.api.registry`, the single defining site.
+* ``arch_spec`` — the canonical :class:`~repro.api.spec.RunSpec` for a
+  (cache, architecture, benchmark) point; experiments use it to
+  declare their design points for parallel prefetching.
 """
 
 from __future__ import annotations
 
 import math
 from functools import lru_cache
-from typing import Callable, Dict, Tuple
+from typing import Tuple
 
-from repro.baselines import (
-    FilterCacheDCache,
-    FilterCacheICache,
-    MaLinksICache,
-    OriginalDCache,
-    OriginalICache,
-    PanwarICache,
-    SetBufferDCache,
-    TwoPhaseDCache,
-    TwoPhaseICache,
-    WayPredictionDCache,
-    WayPredictionICache,
+from repro.api import RunSpec, evaluate
+from repro.api.registry import (  # noqa: F401  (re-exported aliases)
+    AUX_BITS,
+    DCACHE_ARCHS,
+    ICACHE_ARCHS,
+    MAB_GEOMETRY,
 )
-from repro.cache.config import FRV_DCACHE, FRV_ICACHE
 from repro.cache.stats import AccessCounters
-from repro.core import (
-    LineBufferWayMemoDCache,
-    MABConfig,
-    WayMemoDCache,
-    WayMemoICache,
-)
-from repro.energy import CachePowerModel, MABHardwareModel, PowerBreakdown
-from repro.workloads import load_workload
+from repro.energy import PowerBreakdown
 
-#: D-cache architecture factories, keyed by experiment label.
-DCACHE_ARCHS: Dict[str, Callable[[], object]] = {
-    "original": OriginalDCache,
-    "set-buffer": SetBufferDCache,
-    "way-memo-2x8": lambda: WayMemoDCache(mab_config=MABConfig(2, 8)),
-    "way-memo-2x8-evict": lambda: WayMemoDCache(
-        mab_config=MABConfig(2, 8, consistency="evict_hook")
-    ),
-    "way-memo+line-buffer": lambda: LineBufferWayMemoDCache(
-        mab_config=MABConfig(2, 8)
-    ),
-    "filter-cache": FilterCacheDCache,
-    "way-prediction": WayPredictionDCache,
-    "two-phase": TwoPhaseDCache,
-}
 
-#: I-cache architecture factories.
-ICACHE_ARCHS: Dict[str, Callable[[], object]] = {
-    "original": OriginalICache,
-    "panwar": PanwarICache,
-    "ma-links": MaLinksICache,
-    "way-memo-2x8": lambda: WayMemoICache(mab_config=MABConfig(2, 8)),
-    "way-memo-2x16": lambda: WayMemoICache(mab_config=MABConfig(2, 16)),
-    "way-memo-2x32": lambda: WayMemoICache(mab_config=MABConfig(2, 32)),
-    "way-memo-2x16-evict": lambda: WayMemoICache(
-        mab_config=MABConfig(2, 16, consistency="evict_hook")
-    ),
-    "filter-cache": FilterCacheICache,
-    "way-prediction": WayPredictionICache,
-    "two-phase": TwoPhaseICache,
-}
-
-#: Auxiliary-structure storage bits for non-MAB baselines (charged as a
-#: small SRAM by the power model).
-AUX_BITS = {
-    "set-buffer": 2 * (2 * 18 + 9),          # 2 sets x (2 tags + index)
-    "filter-cache": 8 * (32 * 8 + 27),       # 8 lines x (data + tag)
-    "way-prediction": 512 * 1,               # 1 prediction bit per set
-    # [11]: 2 links x (1 valid + 1 way bit) per line, every line.
-    "ma-links": 1024 * 2 * 2,
-}
-
-#: MAB geometry per way-memo architecture label.
-MAB_GEOMETRY = {
-    "way-memo-2x8": (2, 8),
-    "way-memo-2x8-evict": (2, 8),
-    "way-memo+line-buffer": (2, 8),
-    "way-memo-2x16": (2, 16),
-    "way-memo-2x16-evict": (2, 16),
-    "way-memo-2x32": (2, 32),
-}
+def arch_spec(cache: str, arch: str, benchmark: str) -> RunSpec:
+    """The canonical spec for one (cache, architecture, benchmark)."""
+    return RunSpec(cache=cache, arch=arch, workload=benchmark)
 
 
 @lru_cache(maxsize=None)
 def dcache_counters(benchmark: str, arch: str) -> AccessCounters:
     """Run ``arch`` over ``benchmark``'s data trace (cached)."""
-    workload = load_workload(benchmark)
-    controller = DCACHE_ARCHS[arch]()
-    return controller.process(workload.trace.data)
+    return evaluate(arch_spec("dcache", arch, benchmark)).counters
 
 
 @lru_cache(maxsize=None)
 def icache_counters(benchmark: str, arch: str) -> AccessCounters:
     """Run ``arch`` over ``benchmark``'s fetch stream (cached)."""
-    workload = load_workload(benchmark)
-    controller = ICACHE_ARCHS[arch]()
-    return controller.process(workload.fetch)
-
-
-_DPOWER = CachePowerModel(FRV_DCACHE)
-_IPOWER = CachePowerModel(FRV_ICACHE)
-
-
-def _power(
-    model: CachePowerModel,
-    counters: AccessCounters,
-    cycles: int,
-    arch: str,
-) -> PowerBreakdown:
-    mab_model = None
-    aux_bits = AUX_BITS.get(arch)
-    if arch in MAB_GEOMETRY:
-        nt, ns = MAB_GEOMETRY[arch]
-        mab_model = MABHardwareModel(nt, ns)
-    return model.power(
-        counters, cycles, label=arch, mab_model=mab_model,
-        aux_bits=aux_bits,
-    )
+    return evaluate(arch_spec("icache", arch, benchmark)).counters
 
 
 def dcache_power(benchmark: str, arch: str) -> PowerBreakdown:
     """Equation (1) for one D-cache architecture on one benchmark."""
-    workload = load_workload(benchmark)
-    return _power(
-        _DPOWER, dcache_counters(benchmark, arch), workload.cycles, arch
-    )
+    return evaluate(arch_spec("dcache", arch, benchmark)).power
 
 
 def icache_power(benchmark: str, arch: str) -> PowerBreakdown:
     """Equation (1) for one I-cache architecture on one benchmark."""
-    workload = load_workload(benchmark)
-    return _power(
-        _IPOWER, icache_counters(benchmark, arch), workload.cycles, arch
-    )
+    return evaluate(arch_spec("icache", arch, benchmark)).power
 
 
 def geometric_mean(values) -> float:

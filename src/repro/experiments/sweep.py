@@ -1,8 +1,9 @@
 """Parallel sweep harness: full design-space grids over the trace cache.
 
 The fast kernels make a single (architecture, benchmark) replay cheap;
-this module scales that to whole design spaces by fanning the points
-out over a ``multiprocessing`` pool:
+this module scales that to whole design spaces by expressing every
+point as a declarative :class:`~repro.api.spec.RunSpec` and fanning
+the batch through :func:`repro.api.evaluate_many`:
 
 * :func:`sweep_mab_size` — ``ablation_mab_size`` widened to the full
   Nt x Ns grid (default 4 x 6 = 24 points per cache, 336 controller
@@ -31,24 +32,15 @@ from __future__ import annotations
 
 import argparse
 import json
-import multiprocessing
-import os
 import sys
 from typing import Iterable, List, Optional, Sequence, Tuple
 
-from repro.cache.config import FRV_DCACHE, FRV_ICACHE
-from repro.core import MABConfig, WayMemoDCache, WayMemoICache
-from repro.energy import CachePowerModel, MABHardwareModel
+from repro.api import evaluate_many, warm_trace_cache
+from repro.experiments.ablation_mab_size import mab_spec
 from repro.experiments.extension_baselines import D_ARCHS, I_ARCHS
 from repro.experiments.reporting import ExperimentResult, render
-from repro.experiments.runner import (
-    average,
-    dcache_counters,
-    dcache_power,
-    icache_counters,
-    icache_power,
-)
-from repro.workloads import BENCHMARK_NAMES, load_workload
+from repro.experiments.runner import arch_spec, average
+from repro.workloads import BENCHMARK_NAMES
 
 #: The paper's (Nt, Ns) grid (plus Nt=4), as swept by ablation_mab_size.
 PAPER_TAG_ENTRIES: Tuple[int, ...] = (1, 2, 4)
@@ -59,61 +51,9 @@ FULL_TAG_ENTRIES: Tuple[int, ...] = (1, 2, 4, 8)
 FULL_INDEX_ENTRIES: Tuple[int, ...] = (2, 4, 8, 16, 32, 64)
 
 
-def warm_trace_cache(
-    benchmarks: Sequence[str] = BENCHMARK_NAMES,
-) -> None:
-    """Run every benchmark once so workers skip the ISS entirely.
-
-    Populates both the in-process workload cache (inherited by forked
-    workers) and the on-disk trace cache (read by spawned workers and
-    later processes).
-    """
-    for name in benchmarks:
-        load_workload(name)
-
-
-def _parallel_map(fn, tasks: List, workers: Optional[int]) -> List:
-    """Ordered map over ``tasks`` with ``workers`` processes.
-
-    ``workers=None`` uses every core; ``workers<=1`` runs serially in
-    this process (no pool, easiest to debug).  Results always come
-    back in task order, which keeps every reduction deterministic.
-    """
-    if workers is None:
-        workers = os.cpu_count() or 1
-    workers = min(workers, len(tasks)) if tasks else 1
-    if workers <= 1:
-        return [fn(task) for task in tasks]
-    with multiprocessing.Pool(processes=workers) as pool:
-        return pool.map(fn, tasks, chunksize=1)
-
-
 # ----------------------------------------------------------------------
 # MAB design-space sweep
 # ----------------------------------------------------------------------
-
-def _mab_point(task: Tuple[str, int, int, str]) -> Tuple[float, float, float]:
-    """Evaluate one (cache, Nt, Ns, benchmark) design point."""
-    cache_name, nt, ns, benchmark = task
-    workload = load_workload(benchmark)
-    cfg = MABConfig(nt, ns)
-    hw = MABHardwareModel(nt, ns)
-    if cache_name == "dcache":
-        controller = WayMemoDCache(mab_config=cfg)
-        stream = workload.trace.data
-        model = CachePowerModel(FRV_DCACHE)
-    else:
-        controller = WayMemoICache(mab_config=cfg)
-        stream = workload.fetch
-        model = CachePowerModel(FRV_ICACHE)
-    counters = controller.process(stream)
-    power = model.power(
-        counters, workload.cycles, label=cfg.label, mab_model=hw
-    )
-    return (
-        counters.mab_hit_rate, counters.tags_per_access, power.total_mw
-    )
-
 
 def sweep_mab_size(
     tag_entries: Sequence[int] = FULL_TAG_ENTRIES,
@@ -125,7 +65,8 @@ def sweep_mab_size(
 
     Same row/column shape as ``ablation_mab_size`` (which it subsumes:
     the paper grid is a sub-rectangle of the default full grid), with
-    the per-benchmark controller runs fanned out across workers.
+    the per-benchmark design points fanned out across workers as one
+    ``evaluate_many`` batch.
     """
     tag_entries = tuple(tag_entries)
     index_entries = tuple(index_entries)
@@ -147,17 +88,19 @@ def sweep_mab_size(
             "depending on the program"
         ),
     )
-    tasks = [
-        (cache_name, nt, ns, benchmark)
+    specs = [
+        mab_spec(cache_name, nt, ns, benchmark)
         for cache_name in ("dcache", "icache")
         for nt in tag_entries
         for ns in index_entries
         for benchmark in benchmarks
     ]
-    values = _parallel_map(_mab_point, tasks, workers)
+    points = evaluate_many(specs, workers=workers)
     per_point = {}
-    for task, value in zip(tasks, values):
-        per_point.setdefault(task[:3], []).append(value)
+    for spec, point in zip(specs, points):
+        nt = dict(spec.params)["tag_entries"]
+        ns = dict(spec.params)["index_entries"]
+        per_point.setdefault((spec.cache, nt, ns), []).append(point)
 
     for cache_name in ("dcache", "icache"):
         rows = []
@@ -167,9 +110,15 @@ def sweep_mab_size(
                 rows.append({
                     "cache": cache_name,
                     "mab": f"{nt}x{ns}",
-                    "mab_hit_rate": average(v[0] for v in vals),
-                    "tags_per_access": average(v[1] for v in vals),
-                    "avg_power_mw": average(v[2] for v in vals),
+                    "mab_hit_rate": average(
+                        p.counters.mab_hit_rate for p in vals
+                    ),
+                    "tags_per_access": average(
+                        p.counters.tags_per_access for p in vals
+                    ),
+                    "avg_power_mw": average(
+                        p.power.total_mw for p in vals
+                    ),
                 })
         best = min(rows, key=lambda r: r["avg_power_mw"])
         for row in rows:
@@ -181,7 +130,7 @@ def sweep_mab_size(
         )
     result.notes.append(
         f"grid: {len(tag_entries)}x{len(index_entries)} configurations "
-        f"per cache x {len(benchmarks)} benchmarks = {len(tasks)} runs"
+        f"per cache x {len(benchmarks)} benchmarks = {len(specs)} runs"
     )
     return result
 
@@ -189,25 +138,6 @@ def sweep_mab_size(
 # ----------------------------------------------------------------------
 # baseline comparison sweep
 # ----------------------------------------------------------------------
-
-def _baseline_point(
-    task: Tuple[str, str, str]
-) -> Tuple[float, float, float]:
-    """Evaluate one (cache, architecture, benchmark) point."""
-    cache_name, arch, benchmark = task
-    workload = load_workload(benchmark)
-    if cache_name == "dcache":
-        counters = dcache_counters(benchmark, arch)
-        power = dcache_power(benchmark, arch)
-    else:
-        counters = icache_counters(benchmark, arch)
-        power = icache_power(benchmark, arch)
-    return (
-        power.total_mw,
-        100.0 * counters.extra_cycles / workload.cycles,
-        counters.tags_per_access,
-    )
-
 
 def sweep_baselines(
     benchmarks: Sequence[str] = BENCHMARK_NAMES,
@@ -232,16 +162,16 @@ def sweep_baselines(
             "but add cycles; way memoization adds none"
         ),
     )
-    tasks = [
-        (cache_name, arch, benchmark)
+    specs = [
+        arch_spec(cache_name, arch, benchmark)
         for cache_name, archs in (("dcache", D_ARCHS), ("icache", I_ARCHS))
         for arch in archs
         for benchmark in benchmarks
     ]
-    values = _parallel_map(_baseline_point, tasks, workers)
+    points = evaluate_many(specs, workers=workers)
     per_arch = {}
-    for task, value in zip(tasks, values):
-        per_arch.setdefault(task[:2], []).append(value)
+    for spec, point in zip(specs, points):
+        per_arch.setdefault((spec.cache, spec.arch), []).append(point)
 
     for cache_name, archs in (("dcache", D_ARCHS), ("icache", I_ARCHS)):
         for arch in archs:
@@ -249,18 +179,34 @@ def sweep_baselines(
             result.add_row(
                 cache=cache_name,
                 architecture=arch,
-                avg_power_mw=average(v[0] for v in vals),
-                avg_slowdown_pct=average(v[1] for v in vals),
-                avg_tags_per_access=average(v[2] for v in vals),
+                avg_power_mw=average(p.power.total_mw for p in vals),
+                avg_slowdown_pct=average(
+                    100.0 * p.counters.extra_cycles / p.cycles
+                    for p in vals
+                ),
+                avg_tags_per_access=average(
+                    p.counters.tags_per_access for p in vals
+                ),
             )
     result.notes.append(
         "slowdown = extra cycles / baseline cycles; way memoization "
         "is the only technique at exactly 0"
     )
     result.notes.append(
-        f"{len(tasks)} (cache, architecture, benchmark) points"
+        f"{len(specs)} (cache, architecture, benchmark) points"
     )
     return result
+
+
+#: The sweeps ``repro sweep`` / ``repro list`` expose.
+SWEEPS = {
+    "mab-size": (
+        "full (Nt, Ns) MAB grid for both caches [sweep_mab_size]"
+    ),
+    "baselines": (
+        "every comparison baseline x workload [sweep_baselines]"
+    ),
+}
 
 
 # ----------------------------------------------------------------------

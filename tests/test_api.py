@@ -1,0 +1,262 @@
+"""Tests for the declarative ``repro.api`` evaluation layer.
+
+Locks down the tentpole contracts: the central registry is complete
+and constructs every architecture; specs round-trip losslessly through
+JSON and evaluate to identical counters afterwards; results are
+schema-versioned and byte-stable; ``evaluate_many`` is deterministic
+for any worker count; and the legacy registry names are thin aliases
+over the central registry.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import (
+    CACHE_SIDES,
+    RESULT_SCHEMA_VERSION,
+    RunResult,
+    RunSpec,
+    architecture_ids,
+    architectures,
+    comparison_archs,
+    evaluate,
+    evaluate_many,
+    get_architecture,
+)
+from repro.api.determinism_check import main as determinism_main
+
+#: A tiny synthetic workload per side: fast enough to drive every
+#: registered architecture through a real evaluation in unit tests.
+TINY = {
+    "dcache": "synthetic:num_accesses=512,seed=11",
+    "icache": "synthetic:num_blocks=64,block_packets=4,seed=11",
+}
+
+
+def _tiny_spec(side, info, **params):
+    return RunSpec(
+        cache=side, arch=info.id, workload=TINY[side], params=params
+    )
+
+
+# ----------------------------------------------------------------------
+# registry completeness
+# ----------------------------------------------------------------------
+
+def test_registry_covers_both_sides():
+    for side in CACHE_SIDES:
+        assert architecture_ids(side)
+    assert "way-memo-2x8" in architecture_ids("dcache")
+    assert "way-memo-2x16" in architecture_ids("icache")
+    assert "way-memo" in architecture_ids("dcache")
+
+
+def test_every_registered_architecture_constructs_and_evaluates():
+    for side in CACHE_SIDES:
+        for info in architectures(side):
+            controller = info.build()
+            assert hasattr(controller, "process"), info.id
+            result = evaluate(_tiny_spec(side, info))
+            assert result.counters.accesses > 0, (side, info.id)
+            assert result.power.total_mw > 0, (side, info.id)
+
+
+def test_mab_archs_have_geometry_others_have_none():
+    for side in CACHE_SIDES:
+        for info in architectures(side):
+            geometry = info.mab_geometry()
+            if info.uses_mab:
+                assert geometry is not None and len(geometry) == 2
+            else:
+                assert geometry is None
+
+
+def test_comparison_archs_match_paper_order():
+    assert comparison_archs("dcache") == (
+        "original", "filter-cache", "way-prediction", "two-phase",
+        "way-memo-2x8",
+    )
+    assert comparison_archs("icache") == (
+        "original", "ma-links", "filter-cache", "way-prediction",
+        "two-phase", "way-memo-2x16",
+    )
+
+
+def test_legacy_aliases_are_views_of_the_registry():
+    from repro.api.registry import (
+        AUX_BITS,
+        DCACHE_ARCHS,
+        ICACHE_ARCHS,
+        MAB_GEOMETRY,
+    )
+    from repro.experiments import runner
+
+    assert runner.DCACHE_ARCHS is DCACHE_ARCHS
+    assert runner.ICACHE_ARCHS is ICACHE_ARCHS
+    assert runner.AUX_BITS is AUX_BITS
+    assert runner.MAB_GEOMETRY is MAB_GEOMETRY
+    # The historical values survive the migration.
+    assert AUX_BITS["set-buffer"] == 2 * (2 * 18 + 9)
+    assert AUX_BITS["filter-cache"] == 8 * (32 * 8 + 27)
+    assert AUX_BITS["way-prediction"] == 512
+    assert AUX_BITS["ma-links"] == 4096
+    assert MAB_GEOMETRY["way-memo-2x8"] == (2, 8)
+    assert MAB_GEOMETRY["way-memo-2x16"] == (2, 16)
+    assert MAB_GEOMETRY["way-memo+line-buffer"] == (2, 8)
+
+
+def test_unknown_ids_raise_with_available_listing():
+    with pytest.raises(KeyError, match="available"):
+        get_architecture("dcache", "nonexistent")
+    with pytest.raises(ValueError, match="cache must be"):
+        RunSpec(cache="l3", arch="original", workload="dct")
+    with pytest.raises(KeyError, match="no parameter"):
+        RunSpec(cache="dcache", arch="way-memo", workload="dct",
+                params={"bogus": 1})
+    with pytest.raises(KeyError, match="unknown workload"):
+        RunSpec(cache="dcache", arch="original", workload="linpack")
+    with pytest.raises(ValueError, match="engine"):
+        RunSpec(cache="dcache", arch="original", workload="dct",
+                engine="simd")
+    with pytest.raises(KeyError, match="synthetic parameter"):
+        RunSpec(cache="dcache", arch="original",
+                workload="synthetic:bogus=1")
+    with pytest.raises(ValueError, match="num_accesses"):
+        RunSpec(cache="dcache", arch="original",
+                workload="synthetic:num_accesses=0")
+
+
+# ----------------------------------------------------------------------
+# spec round-tripping
+# ----------------------------------------------------------------------
+
+def test_spec_json_roundtrip_is_lossless():
+    for side in CACHE_SIDES:
+        for info in architectures(side):
+            spec = _tiny_spec(side, info)
+            clone = RunSpec.from_json(spec.to_json())
+            assert clone == spec
+            assert clone.key() == spec.key()
+
+
+def test_spec_params_are_canonicalised():
+    a = RunSpec(cache="dcache", arch="way-memo", workload="dct",
+                params={"index_entries": 4, "tag_entries": 1})
+    b = RunSpec(cache="dcache", arch="way-memo", workload="dct",
+                params={"tag_entries": 1, "index_entries": 4})
+    assert a == b
+    assert a.to_json() == b.to_json()
+    assert hash(a) == hash(b)
+
+
+def test_spec_roundtrip_evaluates_to_identical_counters():
+    """JSON-dump -> load -> evaluate must not change a single count."""
+    for side in CACHE_SIDES:
+        for info in architectures(side):
+            spec = _tiny_spec(side, info)
+            direct = evaluate(spec, use_cache=False)
+            roundtripped = evaluate(
+                RunSpec.from_json(spec.to_json()), use_cache=False
+            )
+            assert direct.to_json() == roundtripped.to_json(), (
+                side, info.id
+            )
+
+
+def test_parametric_way_memo_matches_fixed_preset():
+    """'way-memo' with explicit params is the 2x8 preset, point for point."""
+    preset = evaluate(RunSpec(
+        cache="dcache", arch="way-memo-2x8", workload=TINY["dcache"]
+    ))
+    parametric = evaluate(RunSpec(
+        cache="dcache", arch="way-memo", workload=TINY["dcache"],
+        params={"tag_entries": 2, "index_entries": 8},
+    ))
+    assert preset.counters.__dict__ == parametric.counters.__dict__
+    assert preset.power.total_mw == parametric.power.total_mw
+
+
+def test_reference_engine_agrees_with_fast_engine():
+    spec = RunSpec(cache="dcache", arch="original",
+                   workload=TINY["dcache"])
+    fast = evaluate(spec, use_cache=False)
+    ref = evaluate(RunSpec(
+        cache="dcache", arch="original", workload=TINY["dcache"],
+        engine="reference",
+    ), use_cache=False)
+    for name in ("accesses", "tag_accesses", "way_accesses",
+                 "cache_hits", "cache_misses"):
+        assert getattr(fast.counters, name) == getattr(
+            ref.counters, name
+        ), name
+
+
+# ----------------------------------------------------------------------
+# results
+# ----------------------------------------------------------------------
+
+def test_result_is_schema_versioned_and_roundtrips():
+    spec = RunSpec(cache="icache", arch="panwar",
+                   workload=TINY["icache"])
+    result = evaluate(spec)
+    payload = result.to_dict()
+    assert payload["schema_version"] == RESULT_SCHEMA_VERSION
+    clone = RunResult.from_json(result.to_json())
+    assert clone.to_json() == result.to_json()
+    assert clone.counters.accesses == result.counters.accesses
+    assert clone.power.total_mw == pytest.approx(result.power.total_mw)
+
+
+def test_result_refuses_foreign_schema_version():
+    spec = RunSpec(cache="dcache", arch="original",
+                   workload=TINY["dcache"])
+    payload = evaluate(spec).to_dict()
+    payload["schema_version"] = RESULT_SCHEMA_VERSION + 1
+    with pytest.raises(ValueError, match="schema_version"):
+        RunResult.from_dict(payload)
+
+
+def test_evaluate_cache_returns_same_object():
+    spec = RunSpec(cache="dcache", arch="original",
+                   workload=TINY["dcache"])
+    assert evaluate(spec) is evaluate(spec)
+
+
+# ----------------------------------------------------------------------
+# evaluate_many determinism
+# ----------------------------------------------------------------------
+
+def _batch():
+    return [
+        RunSpec(cache=side, arch=arch, workload=TINY[side])
+        for side in CACHE_SIDES
+        for arch in ("original", "way-memo-2x8")
+    ] + [
+        RunSpec(cache="dcache", arch="way-memo", workload=TINY["dcache"],
+                params={"tag_entries": 1, "index_entries": 4}),
+    ]
+
+
+def test_evaluate_many_byte_identical_for_any_worker_count():
+    serial = evaluate_many(_batch(), workers=1, use_cache=False)
+    pooled = evaluate_many(_batch(), workers=3, use_cache=False)
+    assert [r.to_json() for r in serial] == [r.to_json() for r in pooled]
+
+
+def test_evaluate_many_preserves_order_and_dedups():
+    spec = RunSpec(cache="dcache", arch="original",
+                   workload=TINY["dcache"])
+    other = RunSpec(cache="dcache", arch="two-phase",
+                    workload=TINY["dcache"])
+    results = evaluate_many([spec, other, spec], workers=2)
+    assert results[0] is results[2]
+    assert results[0].spec == spec
+    assert results[1].spec == other
+
+
+def test_determinism_check_module_passes(capsys):
+    assert determinism_main(["--workers", "2"]) == 0
+    assert "byte-identical" in capsys.readouterr().out

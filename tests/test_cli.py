@@ -11,6 +11,17 @@ def test_list(capsys):
     assert "mpeg2enc" in out
 
 
+def test_list_shows_architectures_and_sweeps(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "architectures:" in out
+    assert "dcache/way-memo-2x8" in out
+    assert "icache/way-memo-2x16" in out
+    assert "tag_entries=2" in out          # parameter defaults shown
+    assert "sweeps:" in out
+    assert "mab-size" in out and "baselines" in out
+
+
 def test_run_single_experiment(capsys):
     assert main(["run", "table2_delay"]) == 0
     out = capsys.readouterr().out
@@ -27,6 +38,64 @@ def test_run_multiple_experiments(capsys):
 def test_run_unknown_experiment(capsys):
     assert main(["run", "figure99"]) == 2
     assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_run_json_is_schema_versioned_and_machine_readable(capsys):
+    import json
+
+    from repro.api import RESULT_SCHEMA_VERSION
+
+    assert main(["run", "table2_delay", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema_version"] == RESULT_SCHEMA_VERSION
+    (result,) = payload["results"]
+    assert result["name"] == "table2_delay"
+    assert result["rows"] and result["columns"]
+    assert result["rendered"].startswith("== Table 2")
+
+
+def test_eval_single_spec(capsys):
+    import json
+
+    spec = {"cache": "dcache", "arch": "way-memo-2x8",
+            "workload": "dct"}
+    assert main(["eval", json.dumps(spec)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["spec"]["arch"] == "way-memo-2x8"
+    assert payload["counters"]["accesses"] > 0
+    assert payload["power_mw"]["total"] > 0
+
+
+def test_eval_batch_from_file(tmp_path, capsys):
+    import json
+
+    specs = [
+        {"cache": "icache", "arch": "panwar", "workload": "dct"},
+        {"cache": "dcache", "arch": "way-memo", "workload": "dct",
+         "params": {"tag_entries": 1, "index_entries": 4}},
+    ]
+    path = tmp_path / "specs.json"
+    path.write_text(json.dumps(specs))
+    assert main(["eval", f"@{path}", "--workers", "2"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert [p["spec"]["arch"] for p in payload] == ["panwar", "way-memo"]
+
+
+def test_eval_rejects_garbage(capsys):
+    assert main(["eval", "{not json"]) == 2
+    assert "invalid spec JSON" in capsys.readouterr().err
+    assert main(["eval", '{"cache": "dcache"}']) == 2
+    assert "invalid spec" in capsys.readouterr().err
+    assert main(
+        ["eval", '{"cache": "dcache", "arch": "nope", "workload": "dct"}']
+    ) == 2
+    assert "invalid spec" in capsys.readouterr().err
+    assert main(["eval", "[1]"]) == 2
+    assert "array of" in capsys.readouterr().err
+    assert main(["eval", '"just a string"']) == 2
+    assert "array of" in capsys.readouterr().err
+    assert main(["eval", "@/nonexistent/specs.json"]) == 2
+    assert "cannot read spec file" in capsys.readouterr().err
 
 
 def test_bench_runs_and_verifies(capsys):

@@ -1,0 +1,41 @@
+"""Byte-identity of the rewired experiments vs pre-refactor output.
+
+``tests/golden/*.txt`` snapshots the rendered tables of every figure
+and ablation experiment as produced by the pre-``repro.api`` code
+(four separate registries, serial per-module plumbing).  The rewired
+experiments must reproduce those bytes exactly: the api layer is a
+re-plumbing, not a re-modelling.
+
+If a deliberate model change shifts a number, regenerate the
+snapshots (render ``run()`` + trailing newline) in the same commit
+and say so in the commit message.
+"""
+
+from __future__ import annotations
+
+import importlib
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.reporting import render
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+GOLDEN_EXPERIMENTS = sorted(
+    path.stem for path in GOLDEN_DIR.glob("*.txt")
+)
+
+
+def test_golden_snapshots_exist():
+    assert len(GOLDEN_EXPERIMENTS) >= 9
+
+
+@pytest.mark.parametrize("name", GOLDEN_EXPERIMENTS)
+def test_experiment_table_matches_pre_refactor_bytes(name):
+    module = importlib.import_module(f"repro.experiments.{name}")
+    rendered = render(module.run()) + "\n"
+    golden = (GOLDEN_DIR / f"{name}.txt").read_text()
+    assert rendered == golden, (
+        f"{name} drifted from its pre-refactor snapshot"
+    )
