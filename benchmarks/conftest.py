@@ -9,9 +9,21 @@ timing documents the cost of regenerating it.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.workloads import BENCHMARK_NAMES, load_workload
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_store(tmp_path_factory):
+    """Keep benchmark runs off the developer's persistent result store
+    (timing artefacts must measure simulation, not store reads)."""
+    if "REPRO_RESULT_STORE" not in os.environ:
+        path = tmp_path_factory.mktemp("result-store") / "results.sqlite"
+        os.environ["REPRO_RESULT_STORE"] = str(path)
+    yield
 
 
 @pytest.fixture(scope="session", autouse=True)

@@ -34,6 +34,11 @@ The report schema::
 baseline's fast ``process`` against its retained object-API
 ``process_reference`` *in the same run*, so the ratio is
 machine-independent and CI can put regression floors under it.
+
+Besides overwriting ``BENCH_report.json`` (the *latest* numbers), each
+run appends one line to ``BENCH_history.jsonl`` — commit, UTC
+timestamp, mode and the measured metrics — so the perf trajectory
+across PRs accumulates in-repo instead of being lost to the diff.
 """
 
 from __future__ import annotations
@@ -41,8 +46,10 @@ from __future__ import annotations
 import argparse
 import json
 import platform
+import subprocess
 import sys
 import time
+from datetime import datetime, timezone
 from pathlib import Path
 
 from repro.baselines import (
@@ -235,6 +242,40 @@ def check_equivalence() -> None:
         raise AssertionError("ISS fast/interp divergence")
 
 
+def git_commit() -> str:
+    """The current commit hash, or "unknown" outside a git checkout."""
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True, text=True, timeout=10, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def append_history(report: dict, path: Path) -> None:
+    """Append one trajectory line (best-effort: never fails the run)."""
+    entry = {
+        "commit": git_commit(),
+        "timestamp": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "mode": report["mode"],
+        "python": report["python"],
+        "metrics_us": report["metrics_us"],
+        "speedup": report["speedup"],
+        "baseline_speedup_vs_reference":
+            report["baseline_speedup_vs_reference"],
+    }
+    try:
+        with path.open("a") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    except OSError as exc:
+        print(f"warning: could not append {path}: {exc}",
+              file=sys.stderr)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -244,6 +285,10 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--output", default=None,
         help="report path (default: BENCH_report.json at the repo root)",
+    )
+    parser.add_argument(
+        "--no-history", action="store_true",
+        help="skip the BENCH_history.jsonl trajectory append",
     )
     args = parser.parse_args(argv)
 
@@ -275,6 +320,14 @@ def main(argv=None) -> int:
         Path(__file__).resolve().parent.parent / "BENCH_report.json"
     )
     out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    if not args.no_history:
+        # Anchored at the repo root regardless of --output: the
+        # trajectory accumulates in-repo even for scratch reports.
+        append_history(
+            report,
+            Path(__file__).resolve().parent.parent
+            / "BENCH_history.jsonl",
+        )
 
     print(f"wrote {out}")
     for name, us in sorted(report["metrics_us"].items()):

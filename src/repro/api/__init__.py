@@ -28,7 +28,14 @@ CLI                                            library
 ``repro list`` (architectures section)         ``architectures(side)``
 ``repro run <experiment> --json``              ``experiments.<mod>.run()``
 ``repro sweep ...``                            ``experiments.sweep.*``
+``repro serve`` / ``repro submit``             ``repro.service``
+``repro store stats``                          ``repro.store.default_store()``
 =============================================  =========================
+
+``evaluate``/``evaluate_many`` read through the persistent result
+store (:mod:`repro.store`) — identical questions asked of identical
+code are answered from SQLite without simulating, across processes
+and machines.
 """
 
 from repro.api.evaluate import (

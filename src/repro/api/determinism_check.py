@@ -1,18 +1,25 @@
-"""Determinism self-check: ``evaluate_many`` with 1 vs N workers.
+"""Determinism self-check: 1 vs N workers vs the HTTP service.
 
 Run as ``python -m repro.api.determinism_check [--workers N]``.  Builds
 a small cross-section of the design space (both cache sides, the
-comparison baselines, a parametric way-memo point and a synthetic
-workload), evaluates it serially and with a worker pool, and fails
-(exit 1) unless the serialized result batches are byte-identical.
-CI runs this against a warm trace cache; it also reproduces the
-guarantee locally in a few seconds.
+comparison baselines, a parametric way-memo point, a scaled benchmark
+and a synthetic workload), evaluates it three ways —
+
+* serially in this process (``workers=1``),
+* over a worker pool (``workers=N``), and
+* through an in-process instance of the HTTP batch service
+  (``repro.service``, unless ``--no-service``) —
+
+and fails (exit 1) unless all serialized result batches are
+byte-identical.  CI runs this against a warm trace cache; it also
+reproduces the guarantee locally in a few seconds.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import threading
 from typing import List, Optional
 
 from repro.api.evaluate import evaluate_many
@@ -40,36 +47,91 @@ def check_specs() -> List[RunSpec]:
         cache="dcache", arch="way-memo-2x8",
         workload="synthetic:num_accesses=4096,seed=7",
     ))
+    specs.append(RunSpec(
+        cache="dcache", arch="way-memo-2x8", workload="dct:scale=1",
+    ))
     return specs
+
+
+def _service_batch(
+    specs: List[RunSpec], workers: int
+) -> List[str]:
+    """Evaluate ``specs`` through a live in-process HTTP service."""
+    from repro.service import ServiceClient, create_server
+
+    server = create_server(port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        client = ServiceClient(
+            f"http://127.0.0.1:{server.server_address[1]}"
+        )
+        results = client.evaluate_many(specs, workers=workers)
+        return [r.to_json() for r in results]
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def _report_mismatch(
+    label: str, specs: List[RunSpec], a: List[str], b: List[str]
+) -> None:
+    if len(a) != len(b):
+        print(
+            f"MISMATCH ({label}): {len(a)} vs {len(b)} results for "
+            f"{len(specs)} specs",
+            file=sys.stderr,
+        )
+    for i, (left, right) in enumerate(zip(a, b)):
+        if left != right:
+            print(
+                f"MISMATCH ({label}) at spec {i}: {specs[i].key()}",
+                file=sys.stderr,
+            )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.api.determinism_check",
-        description="evaluate_many 1-vs-N-worker byte-identity check",
+        description=(
+            "evaluate_many 1-vs-N-worker and in-process-vs-service "
+            "byte-identity check"
+        ),
     )
     parser.add_argument(
         "--workers", type=int, default=4, metavar="N",
         help="pool size for the parallel run (default: 4)",
     )
+    parser.add_argument(
+        "--no-service", action="store_true",
+        help="skip the HTTP-service leg of the check",
+    )
     args = parser.parse_args(argv)
 
     specs = check_specs()
-    serial = evaluate_many(specs, workers=1, use_cache=False)
-    pooled = evaluate_many(specs, workers=args.workers, use_cache=False)
-    serial_doc = "\n".join(r.to_json() for r in serial)
-    pooled_doc = "\n".join(r.to_json() for r in pooled)
-    if serial_doc != pooled_doc:
-        for i, (a, b) in enumerate(zip(serial, pooled)):
-            if a.to_json() != b.to_json():
-                print(
-                    f"MISMATCH at spec {i}: {specs[i].key()}",
-                    file=sys.stderr,
-                )
+    serial = [
+        r.to_json()
+        for r in evaluate_many(specs, workers=1, use_cache=False)
+    ]
+    pooled = [
+        r.to_json()
+        for r in evaluate_many(specs, workers=args.workers,
+                               use_cache=False)
+    ]
+    if serial != pooled:
+        _report_mismatch("1 vs N workers", specs, serial, pooled)
         return 1
+    legs = f"1 vs {args.workers} workers"
+    if not args.no_service:
+        service = _service_batch(specs, args.workers)
+        if serial != service:
+            _report_mismatch("in-process vs service", specs, serial,
+                             service)
+            return 1
+        legs += " vs HTTP service"
     print(
         f"evaluate_many determinism ok: {len(specs)} specs, "
-        f"1 vs {args.workers} workers byte-identical"
+        f"{legs} byte-identical"
     )
     return 0
 

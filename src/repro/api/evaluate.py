@@ -11,11 +11,18 @@ any worker count and for cold vs. warm trace caches.
 
 Results are cached per process by canonical spec key, so the figure
 experiments, the report generator and ad-hoc library callers share
-one computation per design point.
+one computation per design point.  Behind the per-process cache sits
+the **persistent result store** (:mod:`repro.store`): misses read
+through to the SQLite store (keyed by canonical spec JSON + result
+schema version + code fingerprint) and fresh computations are written
+back, so a warm store skips simulation entirely across processes, CI
+runs and service restarts.  ``use_cache=False`` bypasses both layers —
+that is what the determinism checks use to force real recomputation.
 """
 
 from __future__ import annotations
 
+import sys
 from functools import lru_cache
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -92,14 +99,48 @@ def _run(spec: RunSpec) -> RunResult:
     )
 
 
+def _default_store():
+    """The persistent result store, or None (lazy import: repro.store
+    depends on this package's result/spec modules)."""
+    from repro.store import default_store
+
+    return default_store()
+
+
+def _store_op(fn, fallback):
+    """Best-effort persistence: a failing store (lock starvation, full
+    or read-only disk) degrades to a warning — it must never fail an
+    evaluation whose simulation already succeeded."""
+    import sqlite3
+
+    try:
+        return fn()
+    except (sqlite3.Error, OSError) as exc:
+        print(f"warning: result store unavailable: {exc}",
+              file=sys.stderr)
+        return fallback
+
+
 def evaluate(spec: RunSpec, use_cache: bool = True) -> RunResult:
-    """Evaluate one design point (cached per process by spec key)."""
+    """Evaluate one design point (cached per process by spec key).
+
+    Misses read through to the persistent result store and fresh
+    computations are written back, so a later process asking the same
+    question of the same code skips the simulation entirely.
+    """
     if not use_cache:
         return _run(spec)
     key = spec.key()
     result = _RESULTS.get(key)
     if result is None:
-        result = _RESULTS[key] = _run(spec)
+        store = _default_store()
+        if store is not None:
+            result = _store_op(lambda: store.get(spec), None)
+        if result is None:
+            result = _run(spec)
+            if store is not None:
+                _store_op(lambda: store.put(result), None)
+        _RESULTS[key] = result
     return result
 
 
@@ -131,6 +172,14 @@ def evaluate_many(
     for spec, key in zip(specs, keys):
         if key not in fresh and not (use_cache and key in _RESULTS):
             fresh[key] = spec
+    store = _default_store() if use_cache else None
+    stored: Dict[str, RunResult] = {}
+    if fresh and store is not None:
+        stored = _store_op(
+            lambda: store.get_many(list(fresh.values())), {}
+        )
+        for key in stored:
+            fresh.pop(key, None)
     if fresh:
         warm_trace_cache(tuple(dict.fromkeys(
             spec.workload for spec in fresh.values()
@@ -142,8 +191,11 @@ def evaluate_many(
             workers,
         )
         computed = dict(zip(fresh, results))
+        if store is not None:
+            _store_op(lambda: store.put_many(computed.values()), None)
     else:
         computed = {}
+    computed.update(stored)
     if use_cache:
         _RESULTS.update(computed)
         return [_RESULTS[key] for key in keys]

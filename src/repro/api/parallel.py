@@ -19,15 +19,26 @@ import multiprocessing
 import os
 from typing import Callable, List, Optional, Sequence
 
-from repro.workloads import BENCHMARK_NAMES, load_workload
+from repro.workloads import BENCHMARK_NAMES, load_workload, parse_workload
 
 
 def warm_trace_cache(
     benchmarks: Sequence[str] = BENCHMARK_NAMES,
 ) -> None:
-    """Run every benchmark once so workers skip the ISS entirely."""
+    """Run every benchmark once so workers skip the ISS entirely.
+
+    Accepts scaled workload strings (``compress:scale=4``) and
+    normalizes redundant spellings (``compress:scale=1`` warms the
+    same archive as ``compress``), so one batch never executes a
+    program twice.
+    """
+    seen = set()
     for name in benchmarks:
-        load_workload(name)
+        base, scale = parse_workload(name)
+        canonical = base if scale == 1 else name
+        if canonical not in seen:
+            seen.add(canonical)
+            load_workload(canonical)
 
 
 def parallel_map(

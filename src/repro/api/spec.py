@@ -24,7 +24,7 @@ from repro.api.registry import (
     TECHNOLOGIES,
     get_architecture,
 )
-from repro.workloads import BENCHMARK_NAMES
+from repro.workloads import BENCHMARK_NAMES, parse_workload
 
 #: Version of the serialized spec layout.
 SPEC_SCHEMA_VERSION = 1
@@ -122,7 +122,27 @@ class RunSpec:
             items = tuple(params)
         canonical = tuple(sorted((str(k), v) for k, v in items))
         object.__setattr__(self, "params", canonical)
+        self._canonicalise_workload()
         self._validate()
+
+    def _canonicalise_workload(self) -> None:
+        """Collapse redundant ``:scale=1`` spellings to the base name.
+
+        ``spec.key()`` is the content address for dedup and the
+        persistent store, so two spellings of the same design point
+        must serialize identically; malformed names are left for
+        ``_validate`` to reject with its usual messages.
+        """
+        workload = self.workload
+        if (not isinstance(workload, str) or ":" not in workload
+                or self.is_synthetic):
+            return
+        try:
+            base, scale = parse_workload(workload)
+        except (KeyError, ValueError):
+            return
+        if scale == 1:
+            object.__setattr__(self, "workload", base)
 
     # -- validation ----------------------------------------------------
 
@@ -149,13 +169,19 @@ class RunSpec:
         # Raises KeyError listing valid ids / parameter names.
         info = get_architecture(self.cache, self.arch)
         info.merged_params(self.param_dict)
-        if not self.is_synthetic and self.workload not in BENCHMARK_NAMES:
-            raise KeyError(
-                f"unknown workload {self.workload!r}; available: "
-                f"{BENCHMARK_NAMES} or '{SYNTHETIC_PREFIX}:...'"
-            )
         if self.is_synthetic:
             _validate_synthetic(self.cache, self.workload)
+        else:
+            # Benchmark names, optionally scaled ('compress:scale=4').
+            # ValueError (bad suffix/scale) propagates with its message.
+            try:
+                parse_workload(self.workload)
+            except KeyError:
+                raise KeyError(
+                    f"unknown workload {self.workload!r}; available: "
+                    f"{BENCHMARK_NAMES} (':scale=N' for scalable ones) "
+                    f"or '{SYNTHETIC_PREFIX}:...'"
+                ) from None
 
     # -- accessors -----------------------------------------------------
 

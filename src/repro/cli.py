@@ -25,6 +25,14 @@ Subcommands
 ``repro sweep [--experiment ...] [--workers N] [--grid paper|full]``
     Parallel design-space sweeps (full MAB grid, baseline matrix)
     over the shared on-disk trace cache.
+``repro serve [--host H] [--port P] [--workers N] [--port-file F]``
+    Run the HTTP batch-evaluation service (``repro.service``).
+``repro submit <spec.json> [--url URL] [--workers N]``
+    Evaluate run specs against a running service — same input and
+    output documents as ``repro eval``, remote execution.
+``repro store {stats,gc,export}``
+    Inspect / reclaim / dump the persistent result store
+    (``$REPRO_RESULT_STORE``).
 """
 
 from __future__ import annotations
@@ -98,20 +106,22 @@ def _read_spec_document(text: str) -> str:
     return text
 
 
-def _eval_specs(
-    document: str, workers: Optional[int], indent: int
-) -> int:
-    """``repro eval``: evaluate one spec or a batch from JSON."""
-    from repro.api import RunSpec, evaluate_many
+def _parse_specs(document: str):
+    """Shared spec parsing for ``eval``/``submit``.
+
+    Returns ``(specs, single)`` or ``None`` after printing the error
+    (single marks a bare object, echoed back as one document).
+    """
+    from repro.api import RunSpec
 
     try:
         payload = json.loads(_read_spec_document(document))
     except OSError as exc:
         print(f"cannot read spec file: {exc}", file=sys.stderr)
-        return 2
+        return None
     except json.JSONDecodeError as exc:
         print(f"invalid spec JSON: {exc}", file=sys.stderr)
-        return 2
+        return None
     single = isinstance(payload, dict)
     items = [payload] if single else payload
     if not isinstance(items, list) or not all(
@@ -119,19 +129,95 @@ def _eval_specs(
     ):
         print("invalid spec: expected a JSON object or an array of "
               "objects", file=sys.stderr)
-        return 2
+        return None
     try:
         specs = [RunSpec.from_dict(item) for item in items]
     except (KeyError, ValueError, TypeError) as exc:
         print(f"invalid spec: {exc}", file=sys.stderr)
-        return 2
-    results = evaluate_many(specs, workers=workers)
+        return None
+    return specs, single
+
+
+def _print_results(results, single: bool, indent: int) -> None:
     documents = [r.to_dict() for r in results]
     print(json.dumps(
         documents[0] if single else documents,
         indent=indent, sort_keys=True,
     ))
+
+
+def _eval_specs(
+    document: str, workers: Optional[int], indent: int
+) -> int:
+    """``repro eval``: evaluate one spec or a batch from JSON."""
+    from repro.api import evaluate_many
+
+    parsed = _parse_specs(document)
+    if parsed is None:
+        return 2
+    specs, single = parsed
+    results = evaluate_many(specs, workers=workers)
+    _print_results(results, single, indent)
     return 0
+
+
+def _submit_specs(
+    document: str, url: str, workers: Optional[int], indent: int
+) -> int:
+    """``repro submit``: like ``eval``, but against a running service."""
+    import urllib.error
+
+    from repro.service import ServiceClient, ServiceError
+
+    parsed = _parse_specs(document)
+    if parsed is None:
+        return 2
+    specs, single = parsed
+    client = ServiceClient(url)
+    try:
+        results = client.evaluate_many(specs, workers=workers)
+    except ServiceError as exc:
+        print(f"service error: {exc}", file=sys.stderr)
+        return 1
+    except urllib.error.URLError as exc:
+        print(f"cannot reach service at {url}: {exc.reason} "
+              "(start one with 'repro serve')", file=sys.stderr)
+        return 1
+    _print_results(results, single, indent)
+    return 0
+
+
+def _store_command(command: str, output: Optional[str]) -> int:
+    """``repro store {stats,gc,export}`` against the resolved store."""
+    from repro.store import default_store, store_path
+
+    if store_path() is None:
+        print("result store is disabled ($REPRO_RESULT_STORE is off)",
+              file=sys.stderr)
+        return 2
+    store = default_store()
+    if store is None:
+        print(f"result store at {store_path()} cannot be opened",
+              file=sys.stderr)
+        return 2
+    if command == "stats":
+        print(json.dumps(store.stats(), indent=2, sort_keys=True))
+        return 0
+    if command == "gc":
+        removed = store.gc()
+        print(f"removed {removed} row(s) from older code versions / "
+              f"schemas; {store.stats()['entries']} row(s) remain")
+        return 0
+    if command == "export":
+        if output:
+            with open(output, "w") as handle:
+                count = store.export(handle)
+            print(f"wrote {count} result(s) to {output}")
+        else:
+            store.export(sys.stdout)
+        return 0
+    print(f"unknown store command {command!r}", file=sys.stderr)
+    return 2
 
 
 def _list() -> int:
@@ -306,6 +392,69 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="parallel design-space sweeps (repro sweep --help)",
     )
 
+    serve_parser = sub.add_parser(
+        "serve", help="run the HTTP batch-evaluation service"
+    )
+    serve_parser.add_argument(
+        "--host", default=None,
+        help="bind address (default: loopback)",
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=None,
+        help="TCP port (default: 8323; 0 = pick a free port)",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="default pool size for batches that do not name one "
+             "(default: 0 = all cores)",
+    )
+    serve_parser.add_argument(
+        "--port-file", default=None, metavar="FILE",
+        help="write the bound port here once listening (for --port 0)",
+    )
+    serve_parser.add_argument(
+        "--verbose", action="store_true",
+        help="log each request to stderr",
+    )
+
+    submit_parser = sub.add_parser(
+        "submit", help="evaluate run specs via a running service"
+    )
+    submit_parser.add_argument(
+        "spec",
+        help="a RunSpec JSON object or array, @file, or '-' for stdin",
+    )
+    submit_parser.add_argument(
+        "--url", default=None,
+        help="service endpoint (default: http://127.0.0.1:8323)",
+    )
+    submit_parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="remote pool size for the batch (default: the server's)",
+    )
+    submit_parser.add_argument(
+        "--indent", type=int, default=2,
+        help="JSON indentation of the output (default: 2)",
+    )
+
+    store_parser = sub.add_parser(
+        "store", help="inspect the persistent result store"
+    )
+    store_sub = store_parser.add_subparsers(dest="store_command")
+    store_sub.add_parser(
+        "stats", help="entry counts, file size, process hit/miss"
+    )
+    store_sub.add_parser(
+        "gc", help="drop rows from older code versions / schemas"
+    )
+    export_parser = store_sub.add_parser(
+        "export", help="dump current-code results as JSON lines"
+    )
+    export_parser.add_argument(
+        "-o", "--output", default=None,
+        help="write to a file instead of stdout",
+    )
+
     args = parser.parse_args(argv)
     if args.command == "list":
         return _list()
@@ -331,6 +480,29 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         report.main(output=args.output, workers=args.workers)
         return 0
+    if args.command == "serve":
+        from repro.service import DEFAULT_HOST, DEFAULT_PORT, serve
+
+        serve(
+            host=DEFAULT_HOST if args.host is None else args.host,
+            port=DEFAULT_PORT if args.port is None else args.port,
+            workers=None if args.workers == 0 else args.workers,
+            verbose=args.verbose,
+            port_file=args.port_file,
+        )
+        return 0
+    if args.command == "submit":
+        from repro.service import DEFAULT_HOST, DEFAULT_PORT
+
+        url = args.url or f"http://{DEFAULT_HOST}:{DEFAULT_PORT}"
+        return _submit_specs(args.spec, url, args.workers, args.indent)
+    if args.command == "store":
+        if not args.store_command:
+            store_parser.print_help()
+            return 1
+        return _store_command(
+            args.store_command, getattr(args, "output", None)
+        )
     parser.print_help()
     return 1
 

@@ -14,7 +14,11 @@ the batch through :func:`repro.api.evaluate_many`:
 Workers never run the ISS: the parent warms the shared on-disk trace
 cache (``$REPRO_TRACE_CACHE``, see ``repro.workloads.suite``) before
 forking, so each worker just loads the ``.npz`` arrays (or inherits
-the parent's in-process cache under the fork start method).  Each
+the parent's in-process cache under the fork start method).  Since
+the batches flow through ``evaluate_many``, they also read through
+the persistent result store (``$REPRO_RESULT_STORE``, see
+:mod:`repro.store`): re-running a sweep against a warm store replays
+nothing at all and still renders identical bytes.  Each
 design point is evaluated in a single worker and the parent reduces
 the per-point values in a fixed order, so the result — rendered table
 and raw rows — is byte-identical for any worker count and for cold

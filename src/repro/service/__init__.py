@@ -1,0 +1,30 @@
+"""``repro.service`` — simulation as a service.
+
+An HTTP front-end (:mod:`repro.service.server`, stdlib only) and a
+thin client (:mod:`repro.service.client`) over the declarative
+``RunSpec``/``evaluate_many`` layer.  Batches are deduplicated, fanned
+out over the shared worker pool and backed by the persistent result
+store, and responses are byte-identical to in-process evaluation —
+the service adds transport, never semantics.
+
+CLI: ``repro serve`` starts it, ``repro submit`` talks to it.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.server import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    EvaluationServer,
+    create_server,
+    serve,
+)
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "EvaluationServer",
+    "ServiceClient",
+    "ServiceError",
+    "create_server",
+    "serve",
+]

@@ -1,0 +1,109 @@
+"""Thin stdlib client for the evaluation service.
+
+Speaks exactly the documents :mod:`repro.service.server` serves:
+specs go out as ``RunSpec.to_dict()``, results come back as
+schema-versioned ``RunResult`` documents and are re-hydrated through
+``RunResult.from_dict`` — so a remote evaluation is interchangeable,
+byte for byte, with a local :func:`repro.api.evaluate_many` call.
+Used by ``repro submit`` and the determinism/CI smoke checks.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.api import RunResult, RunSpec
+
+from repro.service.server import DEFAULT_HOST, DEFAULT_PORT
+
+SpecLike = Union[RunSpec, Mapping[str, Any]]
+
+
+class ServiceError(RuntimeError):
+    """An HTTP error response from the service (status + message)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"service returned {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+def _spec_dict(spec: SpecLike) -> Dict[str, Any]:
+    if isinstance(spec, RunSpec):
+        return spec.to_dict()
+    return dict(spec)
+
+
+class ServiceClient:
+    """One service endpoint, e.g. ``ServiceClient("http://host:8323")``."""
+
+    def __init__(
+        self,
+        base_url: str = f"http://{DEFAULT_HOST}:{DEFAULT_PORT}",
+        timeout: float = 300.0,
+    ):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------
+
+    def _request(
+        self, path: str, payload: Optional[Any] = None
+    ) -> Any:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload, sort_keys=True).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers)
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read()).get("error", str(exc))
+            except (json.JSONDecodeError, ValueError):
+                message = str(exc)
+            raise ServiceError(exc.code, message) from None
+
+    # -- GET endpoints -------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("/v1/healthz")
+
+    def architectures(self) -> Dict[str, Any]:
+        return self._request("/v1/architectures")
+
+    def store_stats(self) -> Dict[str, Any]:
+        return self._request("/v1/store/stats")
+
+    # -- evaluation ----------------------------------------------------
+
+    def evaluate(self, spec: SpecLike) -> RunResult:
+        """``POST /v1/eval``: one spec, one re-hydrated result."""
+        return RunResult.from_dict(
+            self._request("/v1/eval", _spec_dict(spec))
+        )
+
+    def evaluate_many(
+        self,
+        specs: Sequence[SpecLike],
+        workers: Optional[int] = None,
+    ) -> List[RunResult]:
+        """``POST /v1/batch``: results in input order, deduped remotely."""
+        payload: Dict[str, Any] = {
+            "specs": [_spec_dict(spec) for spec in specs],
+        }
+        if workers is not None:
+            payload["workers"] = workers
+        response = self._request("/v1/batch", payload)
+        return [
+            RunResult.from_dict(document)
+            for document in response["results"]
+        ]

@@ -1,0 +1,293 @@
+"""HTTP batch-evaluation service on top of the RunSpec layer.
+
+A zero-dependency (stdlib ``http.server``) front-end that turns this
+repository into "many users, one simulator": every request body is the
+same declarative JSON the library and ``repro eval`` speak, every
+response is the same schema-versioned ``RunResult`` document, and the
+whole service sits behind :func:`repro.api.evaluate_many` — so batches
+are deduplicated, fanned out over the shared ``parallel_map`` worker
+pool, served from the persistent result store when warm, and
+**byte-identical** to an in-process evaluation of the same specs
+(``python -m repro.api.determinism_check`` proves it on every CI run).
+
+Routes (all JSON):
+
+* ``GET  /v1/healthz``       — liveness + code fingerprint/schemas
+* ``GET  /v1/architectures`` — the central registry (ids, defaults),
+  benchmarks, engines, technologies
+* ``GET  /v1/store/stats``   — persistent-store shape and traffic
+* ``POST /v1/eval``          — one ``RunSpec`` object → one result
+* ``POST /v1/batch``         — ``{"specs": [...], "workers": N?}`` →
+  ``{"results": [...]}`` in input order
+
+Run it with ``repro serve`` (see :mod:`repro.cli`); talk to it with
+:mod:`repro.service.client`, ``repro submit`` or plain ``curl``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.api import (
+    ENGINES,
+    RESULT_SCHEMA_VERSION,
+    SPEC_SCHEMA_VERSION,
+    TECHNOLOGIES,
+    RunSpec,
+    architectures,
+    cached_results,
+    clear_result_cache,
+    evaluate_many,
+)
+from repro.store import code_fingerprint, default_store
+from repro.workloads import BENCHMARK_NAMES
+from repro.workloads.suite import SCALABLE_BENCHMARKS
+
+#: Default bind address of ``repro serve`` (loopback: the service has
+#: no authentication — put a real proxy in front for anything public).
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8323
+
+#: Hard cap on request bodies (a full-grid sweep batch is ~100 KiB).
+MAX_BODY_BYTES = 32 << 20
+
+#: Ceiling on the per-process result cache while serving.  The
+#: process is long-lived and every result is already durable in the
+#: store, so the in-memory layer is a bounded accelerator, not the
+#: system of record: past this many entries it is dropped wholesale
+#: (the next hit re-reads SQLite) instead of growing until OOM.
+MEMORY_CACHE_LIMIT = 4096
+
+
+def _bound_result_cache() -> None:
+    if len(cached_results()) > MEMORY_CACHE_LIMIT:
+        clear_result_cache()
+
+
+def _registry_payload() -> Dict[str, Any]:
+    """The central registry as one JSON document (``/v1/architectures``)."""
+    listing: Dict[str, List[Dict[str, Any]]] = {}
+    for side in ("dcache", "icache"):
+        listing[side] = [
+            {
+                "id": info.id,
+                "description": info.description,
+                "defaults": dict(info.defaults),
+                "uses_mab": info.uses_mab,
+                "parametric": info.parametric,
+            }
+            for info in architectures(side)
+        ]
+    return {
+        "spec_version": SPEC_SCHEMA_VERSION,
+        "architectures": listing,
+        "benchmarks": list(BENCHMARK_NAMES),
+        "scalable_benchmarks": list(SCALABLE_BENCHMARKS),
+        "engines": list(ENGINES),
+        "technologies": sorted(TECHNOLOGIES),
+    }
+
+
+def _parse_specs(items: List[Any]) -> List[RunSpec]:
+    if not all(isinstance(item, dict) for item in items):
+        raise ValueError("specs must be JSON objects")
+    return [RunSpec.from_dict(item) for item in items]
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """One request: decode JSON, dispatch, encode JSON."""
+
+    server_version = "repro-service/1"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:
+        if getattr(self.server, "verbose", False):
+            sys.stderr.write(
+                "%s - %s\n" % (self.client_address[0], format % args)
+            )
+
+    def _send_json(self, status: int, payload: Any) -> None:
+        body = json.dumps(payload, sort_keys=True).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    def _read_body(self) -> Optional[bytes]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            # The unread body would be parsed as the next request on
+            # this keep-alive connection; drop the connection instead.
+            self.close_connection = True
+            self._send_error_json(
+                413, f"request body over {MAX_BODY_BYTES} bytes"
+            )
+            return None
+        return self.rfile.read(length)
+
+    # -- GET routes ----------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        if self.path == "/v1/healthz":
+            self._send_json(200, {
+                "status": "ok",
+                "fingerprint": code_fingerprint(),
+                "spec_version": SPEC_SCHEMA_VERSION,
+                "result_schema": RESULT_SCHEMA_VERSION,
+                "store": default_store() is not None,
+            })
+        elif self.path == "/v1/architectures":
+            self._send_json(200, _registry_payload())
+        elif self.path == "/v1/store/stats":
+            store = default_store()
+            if store is None:
+                self._send_json(200, {"enabled": False})
+            else:
+                self._send_json(200, {"enabled": True, **store.stats()})
+        else:
+            self._send_error_json(404, f"unknown route {self.path!r}")
+
+    # -- POST routes ---------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        body = self._read_body()
+        if body is None:
+            return
+        try:
+            payload = json.loads(body or b"null")
+        except json.JSONDecodeError as exc:
+            self._send_error_json(400, f"invalid JSON: {exc}")
+            return
+        if self.path == "/v1/eval":
+            self._handle_eval(payload)
+        elif self.path == "/v1/batch":
+            self._handle_batch(payload)
+        else:
+            self._send_error_json(404, f"unknown route {self.path!r}")
+
+    def _handle_eval(self, payload: Any) -> None:
+        if not isinstance(payload, dict):
+            self._send_error_json(400, "expected one RunSpec object")
+            return
+        try:
+            (spec,) = _parse_specs([payload])
+        except (KeyError, ValueError, TypeError) as exc:
+            self._send_error_json(400, f"invalid spec: {exc}")
+            return
+        try:
+            with self.server.eval_lock:
+                (result,) = evaluate_many([spec], workers=1)
+                _bound_result_cache()
+        except Exception as exc:   # noqa: BLE001 — must answer, not hang
+            self._send_error_json(500, f"evaluation failed: {exc}")
+            return
+        self._send_json(200, result.to_dict())
+
+    def _handle_batch(self, payload: Any) -> None:
+        if isinstance(payload, list):
+            payload = {"specs": payload}
+        if not isinstance(payload, dict) or not isinstance(
+            payload.get("specs"), list
+        ):
+            self._send_error_json(
+                400, 'expected {"specs": [...], "workers": N?} '
+                     "or a bare spec array"
+            )
+            return
+        workers = payload.get("workers", self.server.default_workers)
+        if workers is not None and not isinstance(workers, int):
+            self._send_error_json(400, "workers must be an integer")
+            return
+        try:
+            specs = _parse_specs(payload["specs"])
+        except (KeyError, ValueError, TypeError) as exc:
+            self._send_error_json(400, f"invalid spec: {exc}")
+            return
+        try:
+            with self.server.eval_lock:
+                results = evaluate_many(specs, workers=workers or None)
+                _bound_result_cache()
+        except Exception as exc:   # noqa: BLE001 — must answer, not hang
+            self._send_error_json(500, f"evaluation failed: {exc}")
+            return
+        self._send_json(200, {
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "count": len(results),
+            "results": [result.to_dict() for result in results],
+        })
+
+
+class EvaluationServer(ThreadingHTTPServer):
+    """Threaded HTTP server with service configuration attached."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        default_workers: Optional[int] = None,
+        verbose: bool = False,
+    ):
+        super().__init__(address, ServiceHandler)
+        #: Pool size for batches that do not name their own ``workers``
+        #: (None = all cores, parallel_map caps at the batch size).
+        self.default_workers = default_workers
+        self.verbose = verbose
+        #: One evaluation fan-out at a time: ``parallel_map`` forks a
+        #: multiprocessing pool, and forking from several handler
+        #: threads at once both oversubscribes the machine (each batch
+        #: would claim all cores) and risks inheriting another thread's
+        #: held locks in the children.  GETs and request parsing stay
+        #: fully concurrent; only the compute is serialized.
+        self.eval_lock = threading.Lock()
+
+
+def create_server(
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    workers: Optional[int] = None,
+    verbose: bool = False,
+) -> EvaluationServer:
+    """Bind (``port=0`` picks a free port) without starting to serve."""
+    return EvaluationServer((host, port), workers, verbose)
+
+
+def serve(
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    workers: Optional[int] = None,
+    verbose: bool = False,
+    port_file: Optional[str] = None,
+) -> None:
+    """Run the service until interrupted (the ``repro serve`` body).
+
+    ``port_file`` gets the bound port written to it once listening —
+    how scripts (and the CI smoke job) find a ``--port 0`` service.
+    """
+    server = create_server(host, port, workers, verbose)
+    bound_port = server.server_address[1]
+    if port_file:
+        with open(port_file, "w") as handle:
+            handle.write(f"{bound_port}\n")
+    print(
+        f"repro service listening on http://{host}:{bound_port} "
+        f"(fingerprint {code_fingerprint()}, store "
+        f"{'on' if default_store() is not None else 'off'})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()

@@ -1,0 +1,33 @@
+"""``repro.store`` — the persistent, content-addressed result store.
+
+Process-level result caching (``repro.api.evaluate``'s ``_RESULTS``)
+dies with the process; this package makes every evaluated design point
+durable.  Results live in one SQLite file (WAL mode, safe for
+concurrent CI shards / sweep workers / service threads), keyed by the
+canonical spec JSON + the result schema version + a fingerprint of the
+``repro`` sources — so a warm store answers only the *identical*
+question asked of the *identical* code, and a warm ``repro report`` /
+``repro sweep`` / service batch performs zero simulations.
+
+Location: ``$REPRO_RESULT_STORE`` (a file path, or ``0``/``off`` to
+disable), default ``~/.cache/repro-results/results.sqlite``.  CLI:
+``repro store {stats,gc,export}``.
+"""
+
+from repro.store.fingerprint import code_fingerprint
+from repro.store.store import (
+    STORE_ENV,
+    ResultStore,
+    default_store,
+    reset_default_stores,
+    store_path,
+)
+
+__all__ = [
+    "STORE_ENV",
+    "ResultStore",
+    "code_fingerprint",
+    "default_store",
+    "reset_default_stores",
+    "store_path",
+]

@@ -1,0 +1,335 @@
+"""Durable, content-addressed result store (SQLite, WAL mode).
+
+Every evaluated design point can be persisted as one row keyed by
+
+* the **canonical spec serialization** (``RunSpec.key()`` — sorted
+  keys, compact separators, versioned layout),
+* the **result schema version** (:data:`~repro.api.result.RESULT_SCHEMA_VERSION`), and
+* the **code-version fingerprint**
+  (:func:`~repro.store.fingerprint.code_fingerprint`),
+
+so a stored result is returned only when the identical question would
+be answered by the identical code — content addressing, never staleness.
+The stored value is the result's canonical JSON document, which
+round-trips byte-identically (``RunResult.from_json(x).to_json() == x``),
+so warm reads are indistinguishable from fresh simulations.
+
+Concurrency and durability:
+
+* the database runs in WAL mode with a generous busy timeout, so many
+  processes (CI shards, sweep workers, service threads) read and write
+  the same file safely;
+* writes are ``INSERT OR IGNORE`` — two processes racing on the same
+  key both succeed, and since equal keys imply equal bytes the winner
+  is irrelevant;
+* a truncated or corrupt store file is detected (``sqlite3`` raises
+  ``DatabaseError``), quarantined to ``<name>.corrupt`` and rebuilt
+  empty — corruption costs re-simulation, never a crash or a wrong
+  result.
+
+The location is ``$REPRO_RESULT_STORE`` when set (a file path, or
+``0``/``off``/``none`` to disable persistence entirely), otherwise
+``$XDG_CACHE_HOME/repro-results/results.sqlite`` (default
+``~/.cache/repro-results/results.sqlite``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+import time
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Sequence, TextIO, Union
+
+from repro.api.result import RESULT_SCHEMA_VERSION, RunResult
+from repro.api.spec import RunSpec
+from repro.store.fingerprint import code_fingerprint
+
+#: Environment variable overriding the store location (or 0/off/none).
+STORE_ENV = "REPRO_RESULT_STORE"
+
+#: Values of :data:`STORE_ENV` that disable persistence.
+_DISABLED_TOKENS = ("", "0", "off", "none", "disable")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS results (
+    spec_key      TEXT    NOT NULL,
+    result_schema INTEGER NOT NULL,
+    fingerprint   TEXT    NOT NULL,
+    result_json   TEXT    NOT NULL,
+    created_at    REAL    NOT NULL,
+    PRIMARY KEY (spec_key, result_schema, fingerprint)
+)
+"""
+
+
+def store_path() -> Optional[Path]:
+    """Resolved store file path, or ``None`` when persistence is off."""
+    env = os.environ.get(STORE_ENV)
+    if env is not None:
+        if env.strip().lower() in _DISABLED_TOKENS:
+            return None
+        return Path(env).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro-results" / "results.sqlite"
+
+
+class ResultStore:
+    """One SQLite-backed result store file.
+
+    Operations open a short-lived connection each, so a single instance
+    is safe to share between threads (the service) and the file between
+    processes (CI shards, sweep workers).  The instance keeps
+    process-local ``hits`` / ``misses`` / ``puts`` counters — the
+    assertable evidence that a warm run performed zero simulations.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self.fingerprint = code_fingerprint()
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self._lock = threading.Lock()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._execute(lambda conn: None)   # create schema / verify file
+
+    # -- connection plumbing -------------------------------------------
+
+    def _connect(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(str(self.path), timeout=30.0)
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        conn.execute(_SCHEMA)
+        return conn
+
+    @staticmethod
+    def _is_corruption(exc: sqlite3.DatabaseError) -> bool:
+        """Corrupt/truncated file vs a transient operational failure.
+
+        Only genuine corruption justifies quarantining the file; lock
+        timeouts, full disks and programming errors (all raised as
+        ``DatabaseError`` subclasses too) must surface unchanged —
+        quarantining a merely *busy* shared store would destroy every
+        other process's accumulated results.
+        """
+        if isinstance(exc, (sqlite3.OperationalError,
+                            sqlite3.ProgrammingError,
+                            sqlite3.IntegrityError,
+                            sqlite3.InterfaceError,
+                            sqlite3.DataError)):
+            message = str(exc).lower()
+            return "malformed" in message or "not a database" in message
+        return True      # bare DatabaseError: NOTADB / CORRUPT family
+
+    def _quarantine(self) -> None:
+        """Move a corrupt store aside and start from an empty file."""
+        for suffix in ("-wal", "-shm"):
+            side = Path(str(self.path) + suffix)
+            if side.exists():
+                side.unlink()
+        if self.path.exists():
+            os.replace(self.path, str(self.path) + ".corrupt")
+
+    def _execute(self, fn, _retried: bool = False):
+        """Run ``fn(conn)``; quarantine + retry once on corruption."""
+        try:
+            conn = self._connect()
+            try:
+                with conn:
+                    return fn(conn)
+            finally:
+                conn.close()
+        except sqlite3.DatabaseError as exc:
+            if _retried or not self._is_corruption(exc):
+                raise
+            with self._lock:
+                self._quarantine()
+            return self._execute(fn, _retried=True)
+
+    # -- read side ------------------------------------------------------
+
+    def get(self, spec: RunSpec) -> Optional[RunResult]:
+        """The stored result for ``spec`` under the current code, or None."""
+        found = self.get_many([spec])
+        return found.get(spec.key())
+
+    def get_many(
+        self, specs: Sequence[RunSpec]
+    ) -> Dict[str, RunResult]:
+        """Bulk lookup: ``{spec.key(): RunResult}`` for every stored hit."""
+        keys = [spec.key() for spec in specs]
+        unique = list(dict.fromkeys(keys))
+        rows: Dict[str, str] = {}
+        if unique:
+            def query(conn: sqlite3.Connection):
+                placeholders = ",".join("?" for _ in unique)
+                return conn.execute(
+                    f"SELECT spec_key, result_json FROM results "
+                    f"WHERE result_schema = ? AND fingerprint = ? "
+                    f"AND spec_key IN ({placeholders})",
+                    [RESULT_SCHEMA_VERSION, self.fingerprint, *unique],
+                ).fetchall()
+
+            rows = dict(self._execute(query))
+        found = {
+            key: RunResult.from_json(document)
+            for key, document in rows.items()
+        }
+        with self._lock:
+            self.hits += len(found)
+            self.misses += len(unique) - len(found)
+        return found
+
+    # -- write side -----------------------------------------------------
+
+    def put(self, result: RunResult) -> None:
+        self.put_many([result])
+
+    def put_many(self, results: Iterable[RunResult]) -> int:
+        """Persist a batch in one transaction; racing writers are safe
+        (equal keys imply equal bytes, so OR IGNORE loses nothing)."""
+        now = time.time()
+        rows = [
+            (
+                result.spec.key(), RESULT_SCHEMA_VERSION,
+                self.fingerprint, result.to_json(), now,
+            )
+            for result in results
+        ]
+        if not rows:
+            return 0
+
+        def insert(conn: sqlite3.Connection):
+            conn.executemany(
+                "INSERT OR IGNORE INTO results "
+                "(spec_key, result_schema, fingerprint, result_json, "
+                "created_at) VALUES (?, ?, ?, ?, ?)",
+                rows,
+            )
+
+        self._execute(insert)
+        with self._lock:
+            self.puts += len(rows)
+        return len(rows)
+
+    # -- maintenance ----------------------------------------------------
+
+    def reset_counters(self) -> None:
+        """Zero the process-local hit/miss/put counters (tests)."""
+        with self._lock:
+            self.hits = self.misses = self.puts = 0
+
+    def stats(self) -> Dict[str, object]:
+        """Store shape + this process's traffic, as one JSON-able dict."""
+        def query(conn: sqlite3.Connection):
+            total = conn.execute(
+                "SELECT COUNT(*) FROM results"
+            ).fetchone()[0]
+            current = conn.execute(
+                "SELECT COUNT(*) FROM results "
+                "WHERE result_schema = ? AND fingerprint = ?",
+                (RESULT_SCHEMA_VERSION, self.fingerprint),
+            ).fetchone()[0]
+            return total, current
+
+        total, current = self._execute(query)
+        size = self.path.stat().st_size if self.path.exists() else 0
+        return {
+            "path": str(self.path),
+            "fingerprint": self.fingerprint,
+            "result_schema": RESULT_SCHEMA_VERSION,
+            "entries": total,
+            "entries_current_code": current,
+            "file_bytes": size,
+            "process_hits": self.hits,
+            "process_misses": self.misses,
+            "process_puts": self.puts,
+        }
+
+    def gc(self) -> int:
+        """Drop rows from other code versions / result schemas.
+
+        Content addressing means such rows can never be served again by
+        this build; reclaiming them keeps the file proportional to the
+        live design space.  Returns the number of rows removed.
+        """
+        def delete(conn: sqlite3.Connection):
+            cursor = conn.execute(
+                "DELETE FROM results "
+                "WHERE result_schema != ? OR fingerprint != ?",
+                (RESULT_SCHEMA_VERSION, self.fingerprint),
+            )
+            return cursor.rowcount
+
+        removed = self._execute(delete)
+        # VACUUM cannot run inside the _execute transaction.
+        conn = self._connect()
+        try:
+            conn.execute("VACUUM")
+        finally:
+            conn.close()
+        return removed
+
+    def export(self, handle: TextIO) -> int:
+        """Write every current-code row as JSON lines; returns the count.
+
+        Each line is ``{"spec_key": ..., "result": {...}}`` in
+        ``spec_key`` order, so exports diff cleanly across stores.
+        """
+        def query(conn: sqlite3.Connection):
+            return conn.execute(
+                "SELECT spec_key, result_json FROM results "
+                "WHERE result_schema = ? AND fingerprint = ? "
+                "ORDER BY spec_key",
+                (RESULT_SCHEMA_VERSION, self.fingerprint),
+            ).fetchall()
+
+        rows = self._execute(query)
+        for key, document in rows:
+            handle.write(json.dumps(
+                {"spec_key": key, "result": json.loads(document)},
+                sort_keys=True, separators=(",", ":"),
+            ) + "\n")
+        return len(rows)
+
+
+# ----------------------------------------------------------------------
+# process-wide default store
+# ----------------------------------------------------------------------
+
+#: Memoized stores keyed by resolved path, so counters accumulate per
+#: process while $REPRO_RESULT_STORE changes (tests) take effect
+#: immediately.
+_STORES: Dict[Path, ResultStore] = {}
+_STORES_LOCK = threading.Lock()
+
+
+def default_store() -> Optional[ResultStore]:
+    """The store at the environment-resolved path, or None when off.
+
+    A store that cannot be opened at all (unwritable directory, broken
+    filesystem) disables persistence for the process rather than
+    failing the evaluation that asked for it.
+    """
+    path = store_path()
+    if path is None:
+        return None
+    with _STORES_LOCK:
+        store = _STORES.get(path)
+        if store is None:
+            try:
+                store = ResultStore(path)
+            except (OSError, sqlite3.Error):
+                return None
+            _STORES[path] = store
+        return store
+
+
+def reset_default_stores() -> None:
+    """Forget memoized stores (tests switching $REPRO_RESULT_STORE)."""
+    with _STORES_LOCK:
+        _STORES.clear()

@@ -15,9 +15,11 @@ for unit tests and ablations.
 
 from repro.workloads.suite import (
     BENCHMARK_NAMES,
+    SCALABLE_BENCHMARKS,
     Benchmark,
     get_benchmark,
     load_workload,
+    parse_workload,
     run_benchmark,
 )
 from repro.workloads.synthetic import (
@@ -27,9 +29,11 @@ from repro.workloads.synthetic import (
 
 __all__ = [
     "BENCHMARK_NAMES",
+    "SCALABLE_BENCHMARKS",
     "Benchmark",
     "get_benchmark",
     "load_workload",
+    "parse_workload",
     "run_benchmark",
     "synthetic_data_trace",
     "synthetic_fetch_stream",

@@ -31,16 +31,22 @@ _WORDS = (
 )
 
 
-def input_text() -> bytes:
-    """Deterministic English-like text with heavy word repetition."""
+def input_text(scale: int = 1) -> bytes:
+    """Deterministic English-like text with heavy word repetition.
+
+    ``scale`` multiplies the input length; scale=1 is the paper-sized
+    4 KiB input, bit-for-bit unchanged (larger scales extend the same
+    generator stream, so every scaled input shares its prefix).
+    """
+    length = INPUT_LEN * scale
     rng = LCG(SEED)
     out = bytearray()
-    while len(out) < INPUT_LEN:
+    while len(out) < length:
         out += rng.choice(_WORDS)
         out += b" "
         if rng.next_range(0, 12) == 0:
             out += b"\n"
-    return bytes(out[:INPUT_LEN])
+    return bytes(out[:length])
 
 
 def _hash(key: int) -> int:
@@ -76,9 +82,9 @@ def lzw_compress(data: bytes) -> List[int]:
     return codes
 
 
-def golden_output() -> Tuple[int, int]:
+def golden_output(scale: int = 1) -> Tuple[int, int]:
     """(number of output codes, 32-bit checksum of the code stream)."""
-    codes = lzw_compress(input_text())
+    codes = lzw_compress(input_text(scale))
     checksum = 0
     for code in codes:
         checksum = (checksum * 31 + code) & 0xFFFFFFFF
@@ -89,10 +95,12 @@ def golden_output() -> Tuple[int, int]:
 # program
 # ----------------------------------------------------------------------
 
-def build() -> Program:
-    text = input_text()
+def build(scale: int = 1) -> Program:
+    text = input_text(scale)
+    input_len = INPUT_LEN * scale
+    name = "compress" if scale == 1 else f"compress-x{scale}"
     source = f"""
-# LZW compression of {INPUT_LEN} bytes, {HASH_SIZE}-entry hash dictionary.
+# LZW compression of {input_len} bytes, {HASH_SIZE}-entry hash dictionary.
 .data
 lzw_input:
 {bytes_directive(text)}
@@ -102,7 +110,7 @@ lzw_htkey:
 lzw_htcode:
     .space {4 * HASH_SIZE}
 lzw_output:
-    .space {4 * INPUT_LEN}
+    .space {4 * input_len}
 lzw_result:
     .space 8
 
@@ -126,7 +134,7 @@ init_loop:
     li   s5, 0               # emitted count
     lbu  s6, 0(s0)           # w = first byte
     addi s0, s0, 1
-    li   s7, {INPUT_LEN - 1} # remaining bytes
+    li   s7, {input_len - 1} # remaining bytes
 byte_loop:
     lbu  t0, 0(s0)           # c
     addi s0, s0, 1
@@ -193,12 +201,12 @@ cksum_loop:
     sw   t1, 4(t6)           # checksum
     halt
 """
-    return assemble(source, name="compress")
+    return assemble(source, name=name)
 
 
-def check(result) -> None:
-    prog = build()
-    count, checksum = golden_output()
+def check(result, scale: int = 1) -> None:
+    prog = build(scale)
+    count, checksum = golden_output(scale)
     actual = read_words(result.memory, prog.symbol("lzw_result"), 2)
     if actual != [count, checksum]:
         raise AssertionError(

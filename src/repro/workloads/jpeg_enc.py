@@ -42,11 +42,16 @@ ZIGZAG = [
 ]
 
 
-def input_blocks() -> List[int]:
-    """Smooth-ish pseudo image data (mixes a gradient with noise)."""
+def input_blocks(scale: int = 1) -> List[int]:
+    """Smooth-ish pseudo image data (mixes a gradient with noise).
+
+    ``scale`` multiplies the number of 8x8 blocks; scale=1 is the
+    paper-sized input, bit-for-bit unchanged (the generator stream
+    simply continues for the extra blocks).
+    """
     rng = LCG(SEED)
     pixels = []
-    for blk in range(NUM_BLOCKS):
+    for blk in range(NUM_BLOCKS * scale):
         for y in range(8):
             for x in range(8):
                 base = (blk * 11 + y * 9 + x * 5) % 160 + 40
@@ -85,12 +90,12 @@ def encode_block(block: List[int], table: List[int]) -> List[int]:
     return stream
 
 
-def golden_output() -> List[int]:
+def golden_output(scale: int = 1) -> List[int]:
     """(stream length, checksum) like the assembly result block."""
     table = cosine_table()
-    pixels = input_blocks()
+    pixels = input_blocks(scale)
     stream: List[int] = []
-    for blk in range(NUM_BLOCKS):
+    for blk in range(NUM_BLOCKS * scale):
         stream.extend(
             encode_block(pixels[blk * 64 : blk * 64 + 64], table)
         )
@@ -104,12 +109,14 @@ def golden_output() -> List[int]:
 # program
 # ----------------------------------------------------------------------
 
-def build() -> Program:
+def build(scale: int = 1) -> Program:
+    num_blocks = NUM_BLOCKS * scale
+    name = "jpeg_enc" if scale == 1 else f"jpeg_enc-x{scale}"
     source = f"""
-# JPEG encoder core: {NUM_BLOCKS} blocks -> DCT -> quant -> zigzag -> RLE.
+# JPEG encoder core: {num_blocks} blocks -> DCT -> quant -> zigzag -> RLE.
 .data
 jpg_input:
-{words_directive(input_blocks())}
+{words_directive(input_blocks(scale))}
 jpg_costab:
 {words_directive(cosine_table())}
 jpg_quant:
@@ -121,7 +128,7 @@ jpg_shifted:
 jpg_coeffs:
     .space 256
 jpg_stream:
-    .space {4 * NUM_BLOCKS * 140}
+    .space {4 * num_blocks * 140}
 jpg_result:
     .space 8
 
@@ -193,7 +200,7 @@ rle_next:
 
     addi s2, s2, 256         # next input block
     addi s0, s0, 1
-    li   t0, {NUM_BLOCKS}
+    li   t0, {num_blocks}
     blt  s0, t0, jblk_loop
 
     # ---- stream length + checksum ----------------------------------------
@@ -222,12 +229,12 @@ jck_loop:
 jpg_tmp:
     .space 256
 """
-    return assemble(source, name="jpeg_enc")
+    return assemble(source, name=name)
 
 
-def check(result) -> None:
-    prog = build()
-    expected = golden_output()
+def check(result, scale: int = 1) -> None:
+    prog = build(scale)
+    expected = golden_output(scale)
     actual = read_words(result.memory, prog.symbol("jpg_result"), 2)
     if actual != expected:
         raise AssertionError(

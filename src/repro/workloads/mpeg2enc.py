@@ -34,6 +34,25 @@ MB_ORIGINS = ((8, 8), (8, 24), (24, 8), (24, 24))
 SEED = 0x3BE6
 
 
+def mb_origins(scale: int = 1) -> List[Tuple[int, int]]:
+    """Macroblock origins searched at ``scale``.
+
+    scale=1 is exactly the paper-sized :data:`MB_ORIGINS`; larger
+    scales append ``(scale - 1) * 4`` deterministic extra origins
+    drawn from the valid window (the search stays inside the frame:
+    origin + motion + block edge never leaves ``FRAME_DIM``), so the
+    motion-estimation work grows linearly while the frames stay put.
+    """
+    origins = list(MB_ORIGINS)
+    rng = LCG(SEED ^ 0x5CA1E)
+    lo, hi = SEARCH, FRAME_DIM - MB_SIZE - SEARCH
+    for _ in range((scale - 1) * len(MB_ORIGINS)):
+        origins.append(
+            (rng.next_range(lo, hi + 1), rng.next_range(lo, hi + 1))
+        )
+    return origins
+
+
 def frames() -> Tuple[bytes, bytes]:
     """(reference, current): current is reference shifted by the true
     motion vector with +-2 greylevel noise."""
@@ -80,10 +99,10 @@ def motion_search(cur: bytes, ref: bytes, my: int, mx: int
     return best, best_dy, best_dx
 
 
-def golden_output() -> List[int]:
+def golden_output(scale: int = 1) -> List[int]:
     ref, cur = frames()
     out: List[int] = []
-    for my, mx in MB_ORIGINS:
+    for my, mx in mb_origins(scale):
         best, dy, dx = motion_search(cur, ref, my, mx)
         residual = 0
         for y in range(MB_SIZE):
@@ -99,13 +118,15 @@ def golden_output() -> List[int]:
 # program
 # ----------------------------------------------------------------------
 
-def build() -> Program:
+def build(scale: int = 1) -> Program:
     ref, cur = frames()
+    macroblocks = mb_origins(scale)
+    name = "mpeg2enc" if scale == 1 else f"mpeg2enc-x{scale}"
     origins = []
-    for my, mx in MB_ORIGINS:
+    for my, mx in macroblocks:
         origins.extend([my, mx])
     source = f"""
-# MPEG-2 motion estimation over {len(MB_ORIGINS)} macroblocks,
+# MPEG-2 motion estimation over {len(macroblocks)} macroblocks,
 # +/-{SEARCH} full search, {MB_SIZE}x{MB_SIZE} SAD.
 .data
 mpg_ref:
@@ -116,7 +137,7 @@ mpg_cur:
 mpg_origins:
 {words_directive(origins)}
 mpg_result:
-    .space {16 * len(MB_ORIGINS)}
+    .space {16 * len(macroblocks)}
 
 .text
 main:
@@ -169,7 +190,7 @@ not_better:
     sw   s10, 12(s1)
     addi s1, s1, 16
     addi s2, s2, 1
-    li   t0, {len(MB_ORIGINS)}
+    li   t0, {len(macroblocks)}
     blt  s2, t0, mb_loop
     halt
 
@@ -246,12 +267,12 @@ res_col:
     mv   a0, t4
     ret
 """
-    return assemble(source, name="mpeg2enc")
+    return assemble(source, name=name)
 
 
-def check(result) -> None:
-    prog = build()
-    expected = golden_output()
+def check(result, scale: int = 1) -> None:
+    prog = build(scale)
+    expected = golden_output(scale)
     actual = read_words(
         result.memory, prog.symbol("mpg_result"), len(expected)
     )

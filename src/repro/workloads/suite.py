@@ -67,6 +67,47 @@ _MODULES = {
 #: Environment variable holding the trace cache directory (or 0/off).
 TRACE_CACHE_ENV = "REPRO_TRACE_CACHE"
 
+#: Benchmarks whose generators take a ``scale`` multiplier (bigger
+#: inputs, same golden math at scale=1), addressable as workload
+#: strings like ``compress:scale=4``.
+SCALABLE_BENCHMARKS: Tuple[str, ...] = ("compress", "jpeg_enc", "mpeg2enc")
+
+
+def parse_workload(name: str) -> Tuple[str, int]:
+    """``'compress:scale=4'`` -> ``('compress', 4)``; plain names -> 1.
+
+    Raises ``KeyError`` for unknown base benchmarks (with the listing)
+    and ``ValueError`` for malformed suffixes, non-positive scales, or
+    scaling a benchmark whose generator is not scale-aware.
+    """
+    base, sep, tail = name.partition(":")
+    if base not in _MODULES:
+        raise KeyError(
+            f"unknown benchmark {base!r}; available: {BENCHMARK_NAMES}"
+        )
+    if not sep:
+        return base, 1
+    key, eq, value = tail.partition("=")
+    if key.strip() != "scale" or not eq:
+        raise ValueError(
+            f"malformed workload suffix {tail!r} in {name!r} "
+            "(expected scale=N)"
+        )
+    try:
+        scale = int(value)
+    except ValueError:
+        raise ValueError(
+            f"workload scale must be an integer, got {value!r}"
+        ) from None
+    if scale < 1:
+        raise ValueError(f"workload scale must be >= 1, got {scale}")
+    if scale != 1 and base not in SCALABLE_BENCHMARKS:
+        raise ValueError(
+            f"benchmark {base!r} has no scale parameter; "
+            f"scalable: {SCALABLE_BENCHMARKS}"
+        )
+    return base, scale
+
 
 @dataclass(frozen=True)
 class Benchmark:
@@ -78,13 +119,22 @@ class Benchmark:
 
 
 def get_benchmark(name: str) -> Benchmark:
-    """Look up a benchmark by its paper name."""
-    if name not in _MODULES:
-        raise KeyError(
-            f"unknown benchmark {name!r}; available: {BENCHMARK_NAMES}"
+    """Look up a benchmark by its paper name or scaled variant.
+
+    ``'compress'`` binds the generator at its paper-sized default;
+    ``'compress:scale=4'`` binds the same generator with a 4x input.
+    """
+    base, scale = parse_workload(name)
+    module = importlib.import_module(_MODULES[base])
+    if scale == 1:
+        return Benchmark(
+            name=base, build=module.build, check=module.check
         )
-    module = importlib.import_module(_MODULES[name])
-    return Benchmark(name=name, build=module.build, check=module.check)
+    return Benchmark(
+        name=name,
+        build=lambda: module.build(scale=scale),
+        check=lambda result: module.check(result, scale=scale),
+    )
 
 
 @dataclass(frozen=True)
@@ -131,8 +181,11 @@ def _trace_cache_path(
     directory = trace_cache_dir()
     if directory is None:
         return None
+    # Scaled names carry ':'/'=' — keep archive names filesystem-plain
+    # (the program digest already disambiguates the content).
+    safe = name.replace(":", "+").replace("=", "-")
     return directory / (
-        f"{name}-{program.digest()[:16]}-p{packet_bytes}"
+        f"{safe}-{program.digest()[:16]}-p{packet_bytes}"
         f"-v{FORMAT_VERSION}.npz"
     )
 
@@ -185,10 +238,7 @@ def _execute_workload(
 
 
 @lru_cache(maxsize=None)
-def load_workload(
-    name: str, packet_bytes: int = DEFAULT_FETCH_BYTES
-) -> Workload:
-    """Return ``name``'s traces, via the in-process + on-disk caches."""
+def _load_workload_cached(name: str, packet_bytes: int) -> Workload:
     bench = get_benchmark(name)
     program = bench.build()
     path = _trace_cache_path(name, program, packet_bytes)
@@ -206,3 +256,25 @@ def load_workload(
         fetch=fetch,
         cycles=len(fetch),
     )
+
+
+def load_workload(
+    name: str, packet_bytes: int = DEFAULT_FETCH_BYTES
+) -> Workload:
+    """Return ``name``'s traces, via the in-process + on-disk caches.
+
+    Accepts scaled names (``compress:scale=4``); the redundant
+    ``:scale=1`` spelling is canonicalised to the plain name first, so
+    every spelling of one workload shares one cache entry and one
+    trace archive.
+    """
+    base, scale = parse_workload(name)
+    canonical = base if scale == 1 else name
+    return _load_workload_cached(canonical, packet_bytes)
+
+
+#: The in-process cache lives on the inner function; expose its
+#: controls under the public name (tests simulate fresh processes
+#: with ``load_workload.cache_clear()``).
+load_workload.cache_clear = _load_workload_cached.cache_clear
+load_workload.cache_info = _load_workload_cached.cache_info

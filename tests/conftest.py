@@ -2,9 +2,24 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.workloads import BENCHMARK_NAMES, load_workload
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_store(tmp_path_factory):
+    """Point the persistent result store at a per-session temp file.
+
+    Keeps the suite from reading or polluting the developer's real
+    store; an explicitly exported $REPRO_RESULT_STORE still wins.
+    """
+    if "REPRO_RESULT_STORE" not in os.environ:
+        path = tmp_path_factory.mktemp("result-store") / "results.sqlite"
+        os.environ["REPRO_RESULT_STORE"] = str(path)
+    yield
 
 
 @pytest.fixture(scope="session", params=BENCHMARK_NAMES)

@@ -1,0 +1,213 @@
+"""Tests for the HTTP batch-evaluation service and its client/CLI.
+
+The service must add transport, never semantics: single evals and
+batches are byte-identical to in-process ``evaluate``/``evaluate_many``
+calls, duplicates are deduped server-side, and every malformed input
+comes back as a structured JSON error — never a traceback or a hung
+socket.  ``repro submit`` and ``repro store`` are exercised through
+the real CLI entry point.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.api import (
+    RESULT_SCHEMA_VERSION,
+    RunSpec,
+    architecture_ids,
+    evaluate_many,
+)
+from repro.cli import main as cli_main
+from repro.service import ServiceClient, ServiceError, create_server
+
+TINY_D = "synthetic:num_accesses=512,seed=11"
+TINY_I = "synthetic:num_blocks=64,block_packets=4,seed=11"
+
+
+@pytest.fixture(scope="module")
+def service():
+    """One live in-process service on an OS-assigned port."""
+    server = create_server(port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://127.0.0.1:{server.server_address[1]}"
+    server.shutdown()
+    server.server_close()
+
+
+@pytest.fixture(scope="module")
+def client(service):
+    return ServiceClient(service)
+
+
+# ----------------------------------------------------------------------
+# GET endpoints
+# ----------------------------------------------------------------------
+
+def test_healthz(client):
+    payload = client.healthz()
+    assert payload["status"] == "ok"
+    assert payload["result_schema"] == RESULT_SCHEMA_VERSION
+    assert len(payload["fingerprint"]) == 16
+
+
+def test_architectures_mirror_the_registry(client):
+    payload = client.architectures()
+    for side in ("dcache", "icache"):
+        served = tuple(
+            entry["id"] for entry in payload["architectures"][side]
+        )
+        assert served == architecture_ids(side)
+    assert "compress" in payload["benchmarks"]
+    assert "compress" in payload["scalable_benchmarks"]
+    assert payload["engines"] == ["fast", "reference"]
+
+
+def test_store_stats_endpoint(client):
+    payload = client.store_stats()
+    assert payload["enabled"] is True
+    assert "entries" in payload
+
+
+def test_unknown_route_is_404(client):
+    with pytest.raises(ServiceError) as err:
+        client._request("/v1/nope")
+    assert err.value.status == 404
+
+
+# ----------------------------------------------------------------------
+# evaluation endpoints
+# ----------------------------------------------------------------------
+
+def test_single_eval_matches_in_process(client):
+    spec = RunSpec(cache="dcache", arch="way-memo-2x8", workload=TINY_D)
+    remote = client.evaluate(spec)
+    (local,) = evaluate_many([spec], workers=1, use_cache=False)
+    assert remote.to_json() == local.to_json()
+
+
+def test_batch_is_byte_identical_deduped_and_ordered(client):
+    spec_a = RunSpec(cache="dcache", arch="original", workload=TINY_D)
+    spec_b = RunSpec(cache="icache", arch="panwar", workload=TINY_I)
+    batch = [spec_a, spec_b, spec_a]       # duplicate in the batch
+    remote = client.evaluate_many(batch, workers=2)
+    local = evaluate_many(batch, workers=2, use_cache=False)
+    assert [r.to_json() for r in remote] == [
+        r.to_json() for r in local
+    ]
+    assert remote[0].spec == spec_a
+    assert remote[1].spec == spec_b
+
+
+def test_batch_accepts_a_bare_spec_array(client, service):
+    spec = RunSpec(cache="dcache", arch="two-phase", workload=TINY_D)
+    response = client._request("/v1/batch", [spec.to_dict()])
+    assert response["count"] == 1
+    assert response["schema_version"] == RESULT_SCHEMA_VERSION
+
+
+def test_invalid_spec_is_a_400(client):
+    with pytest.raises(ServiceError) as err:
+        client.evaluate(
+            {"cache": "dcache", "arch": "nope", "workload": "dct"}
+        )
+    assert err.value.status == 400
+    assert "unknown dcache architecture" in err.value.message
+
+
+def test_malformed_json_is_a_400(client, service):
+    import urllib.request
+
+    request = urllib.request.Request(
+        f"{service}/v1/eval", data=b"{not json",
+        headers={"Content-Type": "application/json"},
+    )
+    with pytest.raises(urllib.error.HTTPError) as err:
+        urllib.request.urlopen(request, timeout=30)
+    assert err.value.code == 400
+    assert "invalid JSON" in json.loads(err.value.read())["error"]
+
+
+def test_batch_rejects_non_integer_workers(client):
+    spec = RunSpec(cache="dcache", arch="original", workload=TINY_D)
+    with pytest.raises(ServiceError) as err:
+        client._request(
+            "/v1/batch",
+            {"specs": [spec.to_dict()], "workers": "many"},
+        )
+    assert err.value.status == 400
+
+
+# ----------------------------------------------------------------------
+# CLI: repro submit / repro store
+# ----------------------------------------------------------------------
+
+def test_submit_cli_round_trips(client, service, capsys):
+    spec = {"cache": "dcache", "arch": "way-memo-2x8",
+            "workload": TINY_D}
+    assert cli_main(
+        ["submit", json.dumps(spec), "--url", service]
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["spec"]["arch"] == "way-memo-2x8"
+    assert payload["counters"]["accesses"] == 512
+
+
+def test_submit_cli_batch_matches_eval_cli(service, capsys):
+    specs = json.dumps([
+        {"cache": "icache", "arch": "panwar", "workload": TINY_I},
+        {"cache": "dcache", "arch": "original", "workload": TINY_D},
+    ])
+    assert cli_main(["submit", specs, "--url", service]) == 0
+    submitted = capsys.readouterr().out
+    assert cli_main(["eval", specs]) == 0
+    evaluated = capsys.readouterr().out
+    assert submitted == evaluated
+
+
+def test_submit_cli_rejects_garbage_before_sending(service, capsys):
+    assert cli_main(["submit", "{not json", "--url", service]) == 2
+    assert "invalid spec JSON" in capsys.readouterr().err
+
+
+def test_submit_cli_unreachable_service(capsys):
+    assert cli_main([
+        "submit", '{"cache": "dcache", "arch": "original", '
+        f'"workload": "{TINY_D}"}}',
+        "--url", "http://127.0.0.1:9",     # discard port: never open
+    ]) == 1
+    assert "cannot reach service" in capsys.readouterr().err
+
+
+def test_store_cli_stats_export_gc(tmp_path, monkeypatch, capsys):
+    from repro.store import STORE_ENV, reset_default_stores
+
+    monkeypatch.setenv(STORE_ENV, str(tmp_path / "cli.sqlite"))
+    reset_default_stores()
+    try:
+        assert cli_main(["store", "stats"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] == 0
+        out = tmp_path / "dump.jsonl"
+        assert cli_main(["store", "export", "-o", str(out)]) == 0
+        assert out.read_text() == ""
+        assert cli_main(["store", "gc"]) == 0
+        assert "0 row(s)" in capsys.readouterr().out
+    finally:
+        reset_default_stores()
+
+
+def test_store_cli_reports_disabled_store(monkeypatch, capsys):
+    from repro.store import STORE_ENV, reset_default_stores
+
+    monkeypatch.setenv(STORE_ENV, "off")
+    reset_default_stores()
+    try:
+        assert cli_main(["store", "stats"]) == 2
+        assert "disabled" in capsys.readouterr().err
+    finally:
+        reset_default_stores()

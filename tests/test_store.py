@@ -1,0 +1,294 @@
+"""Tests for the persistent content-addressed result store.
+
+Covers the tentpole contracts: byte-identical round-trips through
+SQLite; read-through in ``evaluate``/``evaluate_many`` (a warm store
+performs zero simulations, assertable via the hit/miss counters);
+content addressing by code fingerprint and schema version; safe
+concurrent writers racing on the same key; corrupt store files being
+quarantined and rebuilt rather than crashed on; and the acceptance
+criterion — a cold-store ``repro report`` followed by a warm-store one
+renders byte-identical markdown with zero simulations.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.api import (
+    RunSpec,
+    clear_result_cache,
+    evaluate,
+    evaluate_many,
+)
+from repro.store import (
+    STORE_ENV,
+    ResultStore,
+    code_fingerprint,
+    default_store,
+    reset_default_stores,
+    store_path,
+)
+
+TINY_D = "synthetic:num_accesses=512,seed=11"
+TINY_I = "synthetic:num_blocks=64,block_packets=4,seed=11"
+
+
+def _spec(arch="way-memo-2x8", workload=TINY_D, cache="dcache"):
+    return RunSpec(cache=cache, arch=arch, workload=workload)
+
+
+@pytest.fixture
+def fresh_store(tmp_path, monkeypatch):
+    """An empty store at a test-private path, active for the process."""
+    path = tmp_path / "results.sqlite"
+    monkeypatch.setenv(STORE_ENV, str(path))
+    reset_default_stores()
+    clear_result_cache()
+    store = default_store()
+    assert store is not None
+    yield store
+    clear_result_cache()
+    reset_default_stores()
+
+
+# ----------------------------------------------------------------------
+# basic round-trips and addressing
+# ----------------------------------------------------------------------
+
+def test_put_get_roundtrip_is_byte_identical(fresh_store):
+    result = evaluate(_spec(), use_cache=False)
+    fresh_store.put(result)
+    loaded = fresh_store.get(_spec())
+    assert loaded is not None
+    assert loaded.to_json() == result.to_json()
+
+
+def test_get_miss_returns_none_and_counts(fresh_store):
+    assert fresh_store.get(_spec()) is None
+    assert fresh_store.misses == 1 and fresh_store.hits == 0
+
+
+def test_env_off_disables_persistence(tmp_path, monkeypatch):
+    monkeypatch.setenv(STORE_ENV, "off")
+    reset_default_stores()
+    try:
+        assert store_path() is None
+        assert default_store() is None
+        # evaluation still works without a store behind it
+        clear_result_cache()
+        assert evaluate(_spec()).counters.accesses == 512
+    finally:
+        reset_default_stores()
+        clear_result_cache()
+
+
+def test_different_fingerprint_is_a_miss(fresh_store, tmp_path):
+    result = evaluate(_spec(), use_cache=False)
+    other = ResultStore(fresh_store.path)
+    other.fingerprint = "0" * 16          # another code version wrote it
+    other.put(result)
+    assert fresh_store.get(_spec()) is None
+    fresh_store.put(result)
+    assert fresh_store.get(_spec()) is not None
+
+
+# ----------------------------------------------------------------------
+# read-through in evaluate / evaluate_many
+# ----------------------------------------------------------------------
+
+def test_evaluate_reads_through_across_processes_simulated(fresh_store):
+    cold = evaluate(_spec())
+    assert fresh_store.misses == 1 and fresh_store.puts == 1
+    clear_result_cache()                   # "a new process"
+    fresh_store.reset_counters()
+    warm = evaluate(_spec())
+    assert fresh_store.hits == 1 and fresh_store.misses == 0
+    assert warm.to_json() == cold.to_json()
+
+
+def test_evaluate_many_warm_store_performs_zero_simulations(fresh_store):
+    batch = [
+        _spec(),
+        _spec(arch="original"),
+        _spec(arch="panwar", workload=TINY_I, cache="icache"),
+        _spec(),                           # duplicate: deduped
+    ]
+    cold = evaluate_many(batch, workers=2)
+    assert fresh_store.misses == 3         # unique design points
+    clear_result_cache()
+    fresh_store.reset_counters()
+    warm = evaluate_many(batch, workers=2)
+    assert fresh_store.misses == 0, "warm store must skip simulation"
+    assert fresh_store.hits == 3
+    assert [r.to_json() for r in warm] == [r.to_json() for r in cold]
+
+
+def test_use_cache_false_bypasses_the_store(fresh_store):
+    evaluate(_spec(), use_cache=False)
+    evaluate_many([_spec()], workers=1, use_cache=False)
+    assert fresh_store.hits == 0
+    assert fresh_store.misses == 0
+    assert fresh_store.puts == 0
+
+
+# ----------------------------------------------------------------------
+# concurrency and corruption
+# ----------------------------------------------------------------------
+
+def _racing_writer(path: str, document: str, repeats: int) -> None:
+    from repro.api.result import RunResult
+    from repro.store import ResultStore
+
+    store = ResultStore(path)
+    result = RunResult.from_json(document)
+    for _ in range(repeats):
+        store.put(result)
+
+
+def test_two_processes_racing_on_the_same_key_are_safe(fresh_store):
+    result = evaluate(_spec(), use_cache=False)
+    document = result.to_json()
+    workers = [
+        multiprocessing.Process(
+            target=_racing_writer,
+            args=(str(fresh_store.path), document, 25),
+        )
+        for _ in range(2)
+    ]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join(timeout=60)
+        assert worker.exitcode == 0
+    assert fresh_store.stats()["entries"] == 1
+    loaded = fresh_store.get(_spec())
+    assert loaded is not None and loaded.to_json() == document
+
+
+def test_corrupt_store_file_is_quarantined_and_rebuilt(fresh_store):
+    result = evaluate(_spec(), use_cache=False)
+    fresh_store.put(result)
+    # clobber the database, WAL sidecars included
+    for suffix in ("", "-wal", "-shm"):
+        side = fresh_store.path.parent / (
+            fresh_store.path.name + suffix
+        )
+        if suffix == "" or side.exists():
+            side.write_bytes(b"this is not a sqlite database" * 64)
+    assert fresh_store.get(_spec()) is None      # detected, not crashed
+    quarantined = fresh_store.path.parent / (
+        fresh_store.path.name + ".corrupt"
+    )
+    assert quarantined.exists()
+    fresh_store.put(result)                       # store usable again
+    assert fresh_store.get(_spec()).to_json() == result.to_json()
+
+
+def test_operational_errors_do_not_quarantine(fresh_store, monkeypatch):
+    """Lock timeouts / full disks must surface, never destroy the file."""
+    import sqlite3
+
+    result = evaluate(_spec(), use_cache=False)
+    fresh_store.put(result)
+
+    def busy():
+        raise sqlite3.OperationalError("database is locked")
+
+    monkeypatch.setattr(fresh_store, "_connect", busy)
+    with pytest.raises(sqlite3.OperationalError):
+        fresh_store.get(_spec())
+    quarantined = fresh_store.path.parent / (
+        fresh_store.path.name + ".corrupt"
+    )
+    assert not quarantined.exists()
+    monkeypatch.undo()
+    assert fresh_store.get(_spec()) is not None  # data survived
+
+
+def test_evaluate_degrades_gracefully_when_store_fails(
+    fresh_store, monkeypatch, capsys
+):
+    """A broken store must cost persistence, never the evaluation."""
+    import sqlite3
+
+    def broken():
+        raise sqlite3.OperationalError("database is locked")
+
+    monkeypatch.setattr(fresh_store, "_connect", broken)
+    result = evaluate(_spec())
+    assert result.counters.accesses == 512
+    results = evaluate_many([_spec(arch="original")], workers=1)
+    assert results[0].counters.accesses == 512
+    assert "result store unavailable" in capsys.readouterr().err
+
+
+def test_truncated_store_file_is_detected(fresh_store):
+    result = evaluate(_spec(), use_cache=False)
+    fresh_store.put(result)
+    raw = fresh_store.path.read_bytes()
+    fresh_store.path.write_bytes(raw[:50])
+    for suffix in ("-wal", "-shm"):
+        side = fresh_store.path.parent / (
+            fresh_store.path.name + suffix
+        )
+        if side.exists():
+            side.unlink()
+    assert fresh_store.get(_spec()) is None
+    fresh_store.put(result)
+    assert fresh_store.get(_spec()) is not None
+
+
+# ----------------------------------------------------------------------
+# maintenance: stats / gc / export
+# ----------------------------------------------------------------------
+
+def test_stats_gc_export(fresh_store, tmp_path):
+    a = evaluate(_spec(), use_cache=False)
+    b = evaluate(_spec(arch="original"), use_cache=False)
+    fresh_store.put_many([a, b])
+    stale = ResultStore(fresh_store.path)
+    stale.fingerprint = "f" * 16
+    stale.put(a)
+
+    stats = fresh_store.stats()
+    assert stats["entries"] == 3
+    assert stats["entries_current_code"] == 2
+    assert stats["fingerprint"] == code_fingerprint()
+    assert stats["file_bytes"] > 0
+
+    removed = fresh_store.gc()
+    assert removed == 1
+    assert fresh_store.stats()["entries"] == 2
+
+    out = tmp_path / "dump.jsonl"
+    with out.open("w") as handle:
+        count = fresh_store.export(handle)
+    assert count == 2
+    lines = [json.loads(line) for line in out.read_text().splitlines()]
+    keys = [line["spec_key"] for line in lines]
+    assert keys == sorted(keys)
+    assert all("result" in line for line in lines)
+
+
+# ----------------------------------------------------------------------
+# acceptance: cold vs warm `repro report`
+# ----------------------------------------------------------------------
+
+def test_report_cold_then_warm_is_byte_identical_with_zero_sims(
+    fresh_store,
+):
+    from repro.experiments import report
+
+    cold = report.generate(["figure4_dcache_accesses"])
+    assert fresh_store.misses > 0          # the cold run simulated
+    clear_result_cache()                    # "a fresh process"
+    fresh_store.reset_counters()
+    warm = report.generate(["figure4_dcache_accesses"])
+    assert warm == cold
+    assert fresh_store.misses == 0, (
+        "warm-store report must perform zero simulations"
+    )
+    assert fresh_store.hits > 0

@@ -1,0 +1,140 @@
+"""Tests for the workload ``scale`` parameter.
+
+The contract: scale=1 is bit-for-bit the paper-sized benchmark (same
+program digest, same golden outputs — the existing golden-math tests
+keep passing untouched), larger scales grow the input linearly, every
+scaled variant still passes its own golden-model check, and scaled
+names are first-class workload strings for ``load_workload`` and
+``RunSpec``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import RunSpec, evaluate
+from repro.workloads import (
+    SCALABLE_BENCHMARKS,
+    get_benchmark,
+    load_workload,
+    parse_workload,
+)
+from repro.workloads import compress, jpeg_enc, mpeg2enc
+
+_MODULES = {
+    "compress": compress, "jpeg_enc": jpeg_enc, "mpeg2enc": mpeg2enc,
+}
+
+
+# ----------------------------------------------------------------------
+# parsing
+# ----------------------------------------------------------------------
+
+def test_parse_plain_and_scaled_names():
+    assert parse_workload("dct") == ("dct", 1)
+    assert parse_workload("compress:scale=4") == ("compress", 4)
+    assert parse_workload("mpeg2enc:scale=1") == ("mpeg2enc", 1)
+
+
+def test_parse_rejects_bad_names():
+    with pytest.raises(KeyError, match="unknown benchmark"):
+        parse_workload("linpack")
+    with pytest.raises(ValueError, match="no scale parameter"):
+        parse_workload("dct:scale=2")
+    with pytest.raises(ValueError, match=">= 1"):
+        parse_workload("compress:scale=0")
+    with pytest.raises(ValueError, match="integer"):
+        parse_workload("compress:scale=big")
+    with pytest.raises(ValueError, match="scale=N"):
+        parse_workload("compress:bogus=2")
+
+
+# ----------------------------------------------------------------------
+# scale=1 is the paper benchmark, bit for bit
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", SCALABLE_BENCHMARKS)
+def test_scale_one_program_is_byte_identical(name):
+    module = _MODULES[name]
+    assert module.build().digest() == module.build(scale=1).digest()
+    assert module.golden_output() == module.golden_output(scale=1)
+
+
+def test_scale_one_workload_string_shares_the_cache_entry():
+    assert load_workload("compress:scale=1") is load_workload("compress")
+
+
+def test_scaled_inputs_extend_the_scale_one_stream():
+    base = compress.input_text()
+    assert compress.input_text(scale=2)[: len(base)] == base
+    blocks = jpeg_enc.input_blocks()
+    assert jpeg_enc.input_blocks(scale=2)[: len(blocks)] == blocks
+
+
+def test_mpeg2_origins_scale_and_stay_in_frame():
+    assert mpeg2enc.mb_origins() == list(mpeg2enc.MB_ORIGINS)
+    origins = mpeg2enc.mb_origins(scale=3)
+    assert len(origins) == 3 * len(mpeg2enc.MB_ORIGINS)
+    assert origins[: len(mpeg2enc.MB_ORIGINS)] == list(
+        mpeg2enc.MB_ORIGINS
+    )
+    lo = mpeg2enc.SEARCH
+    hi = mpeg2enc.FRAME_DIM - mpeg2enc.MB_SIZE - mpeg2enc.SEARCH
+    for my, mx in origins:
+        assert lo <= my <= hi and lo <= mx <= hi
+
+
+# ----------------------------------------------------------------------
+# scaled execution
+# ----------------------------------------------------------------------
+
+def test_scaled_compress_passes_its_golden_check():
+    from repro.sim import run_program
+
+    bench = get_benchmark("compress:scale=2")
+    result = run_program(bench.build())
+    bench.check(result)                     # golden model at scale=2
+
+
+def test_scaled_workload_grows_the_trace():
+    base = load_workload("compress")
+    scaled = load_workload("compress:scale=2")
+    assert len(scaled.trace.data) > len(base.trace.data)
+    assert scaled.cycles > base.cycles
+
+
+def test_scaled_workloads_are_valid_run_specs():
+    spec = RunSpec(
+        cache="dcache", arch="way-memo-2x8",
+        workload="compress:scale=2",
+    )
+    clone = RunSpec.from_json(spec.to_json())
+    assert clone == spec
+    result = evaluate(spec)
+    base = evaluate(RunSpec(
+        cache="dcache", arch="way-memo-2x8", workload="compress",
+    ))
+    assert result.counters.accesses > base.counters.accesses
+
+
+def test_scale_one_spec_canonicalises_to_the_base_name():
+    """':scale=1' spellings must share one spec key (store address)."""
+    plain = RunSpec(cache="dcache", arch="original", workload="dct")
+    spelled = RunSpec(cache="dcache", arch="original",
+                      workload="dct:scale=1")
+    assert spelled.workload == "dct"
+    assert spelled == plain
+    assert spelled.key() == plain.key()
+    scaled = RunSpec(cache="dcache", arch="original",
+                     workload="compress:scale=2")
+    assert scaled.workload == "compress:scale=2"   # real scales survive
+
+
+def test_run_spec_rejects_bad_scales():
+    with pytest.raises(ValueError, match="no scale parameter"):
+        RunSpec(cache="dcache", arch="original", workload="dct:scale=2")
+    with pytest.raises(ValueError, match=">= 1"):
+        RunSpec(cache="dcache", arch="original",
+                workload="compress:scale=0")
+    with pytest.raises(KeyError, match="unknown workload"):
+        RunSpec(cache="dcache", arch="original", workload="linpack")
