@@ -13,7 +13,7 @@ from repro.experiments import (
 
 def test_ablation_consistency(benchmark):
     result = benchmark.pedantic(
-        ablation_consistency.run, rounds=1, iterations=1
+        ablation_consistency.EXPERIMENT.run, rounds=1, iterations=1
     )
     print()
     print(render(result))
@@ -23,7 +23,7 @@ def test_ablation_consistency(benchmark):
 
 def test_ablation_adder_width(benchmark):
     result = benchmark.pedantic(
-        ablation_adder_width.run, rounds=1, iterations=1
+        ablation_adder_width.EXPERIMENT.run, rounds=1, iterations=1
     )
     print()
     print(render(result))
@@ -32,7 +32,7 @@ def test_ablation_adder_width(benchmark):
 
 def test_ablation_policies(benchmark):
     result = benchmark.pedantic(
-        ablation_policies.run, rounds=1, iterations=1
+        ablation_policies.EXPERIMENT.run, rounds=1, iterations=1
     )
     print()
     print(render(result))
@@ -42,7 +42,7 @@ def test_ablation_policies(benchmark):
 
 def test_ablation_mab_size(benchmark):
     result = benchmark.pedantic(
-        ablation_mab_size.run, rounds=1, iterations=1
+        ablation_mab_size.EXPERIMENT.run, rounds=1, iterations=1
     )
     print()
     print(render(result))
@@ -51,7 +51,7 @@ def test_ablation_mab_size(benchmark):
 
 def test_extension_line_buffer(benchmark):
     result = benchmark.pedantic(
-        extension_line_buffer.run, rounds=1, iterations=1
+        extension_line_buffer.EXPERIMENT.run, rounds=1, iterations=1
     )
     print()
     print(render(result))
@@ -59,7 +59,7 @@ def test_extension_line_buffer(benchmark):
 
 def test_extension_baselines(benchmark):
     result = benchmark.pedantic(
-        extension_baselines.run, rounds=1, iterations=1
+        extension_baselines.EXPERIMENT.run, rounds=1, iterations=1
     )
     print()
     print(render(result))
@@ -72,7 +72,7 @@ def test_extension_baselines(benchmark):
 def test_extension_associativity(benchmark):
     from repro.experiments import extension_associativity
     result = benchmark.pedantic(
-        extension_associativity.run, rounds=1, iterations=1
+        extension_associativity.EXPERIMENT.run, rounds=1, iterations=1
     )
     print()
     print(render(result))
@@ -83,7 +83,7 @@ def test_extension_associativity(benchmark):
 def test_ablation_stack_traffic(benchmark):
     from repro.experiments import ablation_stack_traffic
     result = benchmark.pedantic(
-        ablation_stack_traffic.run, rounds=1, iterations=1
+        ablation_stack_traffic.EXPERIMENT.run, rounds=1, iterations=1
     )
     print()
     print(render(result))
@@ -94,7 +94,7 @@ def test_ablation_stack_traffic(benchmark):
 def test_ablation_fetch_width(benchmark):
     from repro.experiments import ablation_fetch_width
     result = benchmark.pedantic(
-        ablation_fetch_width.run, rounds=1, iterations=1
+        ablation_fetch_width.EXPERIMENT.run, rounds=1, iterations=1
     )
     print()
     print(render(result))
@@ -103,7 +103,7 @@ def test_ablation_fetch_width(benchmark):
 def test_ablation_energy_model(benchmark):
     from repro.experiments import ablation_energy_model
     result = benchmark.pedantic(
-        ablation_energy_model.run, rounds=1, iterations=1
+        ablation_energy_model.EXPERIMENT.run, rounds=1, iterations=1
     )
     print()
     print(render(result))

@@ -6,7 +6,7 @@ from repro.experiments.runner import average
 
 def test_figure4_dcache_accesses(benchmark):
     result = benchmark.pedantic(
-        figure4_dcache_accesses.run, rounds=1, iterations=1
+        figure4_dcache_accesses.EXPERIMENT.run, rounds=1, iterations=1
     )
     print()
     print(render(result))

@@ -6,7 +6,7 @@ from repro.experiments.runner import average
 
 def test_figure5_dcache_power(benchmark):
     result = benchmark.pedantic(
-        figure5_dcache_power.run, rounds=1, iterations=1
+        figure5_dcache_power.EXPERIMENT.run, rounds=1, iterations=1
     )
     print()
     print(render(result))

@@ -6,7 +6,7 @@ from repro.experiments.runner import average
 
 def test_figure6_icache_accesses(benchmark):
     result = benchmark.pedantic(
-        figure6_icache_accesses.run, rounds=1, iterations=1
+        figure6_icache_accesses.EXPERIMENT.run, rounds=1, iterations=1
     )
     print()
     print(render(result))

@@ -6,7 +6,7 @@ from repro.experiments.runner import average
 
 def test_figure7_icache_power(benchmark):
     result = benchmark.pedantic(
-        figure7_icache_power.run, rounds=1, iterations=1
+        figure7_icache_power.EXPERIMENT.run, rounds=1, iterations=1
     )
     print()
     print(render(result))

@@ -7,7 +7,7 @@ from repro.experiments.runner import average
 
 def test_figure8_total_power(benchmark):
     result = benchmark.pedantic(
-        figure8_total_power.run, rounds=1, iterations=1
+        figure8_total_power.EXPERIMENT.run, rounds=1, iterations=1
     )
     print()
     print(render(result))

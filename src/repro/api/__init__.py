@@ -26,7 +26,7 @@ CLI                                            library
 ``repro eval '<spec.json>'``                   ``evaluate(RunSpec(...))``
 ``repro eval @specs.json --workers 8``         ``evaluate_many(specs, 8)``
 ``repro list`` (architectures section)         ``architectures(side)``
-``repro run <experiment> --json``              ``experiments.<mod>.run()``
+``repro run <experiment> --json``              ``run_experiment(name)``
 ``repro sweep ...``                            ``experiments.sweep.*``
 ``repro serve`` / ``repro submit``             ``repro.service``
 ``repro store stats``                          ``repro.store.default_store()``
@@ -43,6 +43,7 @@ from repro.api.evaluate import (
     clear_result_cache,
     evaluate,
     evaluate_many,
+    simulation_count,
 )
 from repro.api.parallel import parallel_map, warm_trace_cache
 from repro.api.registry import (
@@ -77,5 +78,6 @@ __all__ = [
     "get_architecture",
     "parallel_map",
     "register",
+    "simulation_count",
     "warm_trace_cache",
 ]

@@ -11,8 +11,12 @@ and a synthetic workload), evaluates it three ways —
   (``repro.service``, unless ``--no-service``) —
 
 and fails (exit 1) unless all serialized result batches are
-byte-identical.  CI runs this against a warm trace cache; it also
-reproduces the guarantee locally in a few seconds.
+byte-identical.  The service leg also renders a markdown report
+remotely (``repro report --url`` semantics: a fingerprint-checked
+deduplicated spec batch is evaluated server-side, this process
+tabulates) and compares it byte-for-byte against the locally
+generated document.  CI runs this against a warm trace cache; it
+also reproduces the guarantee locally in a few seconds.
 """
 
 from __future__ import annotations
@@ -20,7 +24,7 @@ from __future__ import annotations
 import argparse
 import sys
 import threading
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.api.evaluate import evaluate_many
 from repro.api.registry import comparison_archs
@@ -53,21 +57,31 @@ def check_specs() -> List[RunSpec]:
     return specs
 
 
+#: The experiments the remote-report leg renders: one spec-driven
+#: figure plus one analytic table keeps the check representative and
+#: fast (the figure's points land in the store for later legs).
+REPORT_EXPERIMENTS = ("figure4_dcache_accesses", "table2_delay")
+
+
 def _service_batch(
     specs: List[RunSpec], workers: int
-) -> List[str]:
-    """Evaluate ``specs`` through a live in-process HTTP service."""
+) -> Tuple[List[str], str]:
+    """Evaluate ``specs`` — and render a remote report — through a
+    live in-process HTTP service."""
+    from repro.experiments import report
     from repro.service import ServiceClient, create_server
 
     server = create_server(port=0)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     try:
-        client = ServiceClient(
-            f"http://127.0.0.1:{server.server_address[1]}"
-        )
+        url = f"http://127.0.0.1:{server.server_address[1]}"
+        client = ServiceClient(url)
         results = client.evaluate_many(specs, workers=workers)
-        return [r.to_json() for r in results]
+        remote_report = report.generate(
+            list(REPORT_EXPERIMENTS), url=url, workers=workers
+        )
+        return [r.to_json() for r in results], remote_report
     finally:
         server.shutdown()
         server.server_close()
@@ -123,12 +137,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 1
     legs = f"1 vs {args.workers} workers"
     if not args.no_service:
-        service = _service_batch(specs, args.workers)
+        from repro.experiments import report
+
+        service, remote_report = _service_batch(specs, args.workers)
         if serial != service:
             _report_mismatch("in-process vs service", specs, serial,
                              service)
             return 1
-        legs += " vs HTTP service"
+        local_report = report.generate(
+            list(REPORT_EXPERIMENTS), workers=args.workers
+        )
+        if local_report != remote_report:
+            print(
+                "MISMATCH (report --url vs local): remote and local "
+                f"markdown differ for {REPORT_EXPERIMENTS}",
+                file=sys.stderr,
+            )
+            return 1
+        legs += " vs HTTP service (incl. remote report render)"
     print(
         f"evaluate_many determinism ok: {len(specs)} specs, "
         f"{legs} byte-identical"

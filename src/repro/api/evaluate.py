@@ -43,6 +43,17 @@ from repro.api.spec import RunSpec, parse_synthetic_params
 #: Per-process result cache, keyed by canonical spec serialization.
 _RESULTS: Dict[str, RunResult] = {}
 
+#: Count of real simulations (``_run`` calls) in this process — the
+#: assertable evidence that warm paths and pure tabulations never
+#: simulate.  Pool workers count in their own processes, so a parent
+#: that only fans out keeps its own count at zero.
+_SIMULATIONS = 0
+
+
+def simulation_count() -> int:
+    """How many evaluations actually simulated in this process."""
+    return _SIMULATIONS
+
 
 @lru_cache(maxsize=None)
 def _power_model(cache: str, technology: str) -> CachePowerModel:
@@ -72,6 +83,8 @@ def _resolve_stream(spec: RunSpec) -> Tuple[object, int]:
 
 
 def _run(spec: RunSpec) -> RunResult:
+    global _SIMULATIONS
+    _SIMULATIONS += 1
     info = get_architecture(spec.cache, spec.arch)
     params = spec.param_dict
     controller = info.build(params)

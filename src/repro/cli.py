@@ -5,9 +5,11 @@ Subcommands
 ``repro list``
     Show available experiments, benchmarks, registered architectures
     (with cache side and parameter defaults) and sweeps.
-``repro run <experiment> [...] [--json] [--workers N]``
+``repro run <experiment> [...] [--json] [--workers N] [--url URL]``
     Run one or more experiments (or ``all``) and print their tables,
-    or a schema-versioned JSON document with ``--json``.
+    or a schema-versioned JSON document with ``--json``.  With
+    ``--url`` the design points are evaluated on a running service
+    and only the (pure) tabulation happens locally.
 ``repro eval <spec.json> [--workers N]``
     Evaluate declarative run specs (inline JSON, ``@file`` or ``-``
     for stdin) and print serialized ``RunResult`` documents.
@@ -20,8 +22,10 @@ Subcommands
     Print a hot-block / working-set profile and a MAB size suggestion.
 ``repro trace <benchmark> -o out.npz``
     Export the benchmark's traces for external tooling.
-``repro report [-o FILE] [--workers N]``
-    Run every experiment into one markdown report (parallel prefetch).
+``repro report [-o FILE] [--workers N] [--url URL] [EXPERIMENT ...]``
+    Run every experiment (or a subset) into one markdown report
+    (parallel prefetch; ``--url`` evaluates on a running service and
+    renders locally, byte-identical).
 ``repro sweep [--experiment ...] [--workers N] [--grid paper|full]``
     Parallel design-space sweeps (full MAB grid, baseline matrix)
     over the shared on-disk trace cache.
@@ -30,36 +34,74 @@ Subcommands
 ``repro submit <spec.json> [--url URL] [--workers N]``
     Evaluate run specs against a running service — same input and
     output documents as ``repro eval``, remote execution.
-``repro store {stats,gc,export}``
-    Inspect / reclaim / dump the persistent result store
-    (``$REPRO_RESULT_STORE``).
+``repro store {stats,gc,export,import}``
+    Inspect / reclaim / dump / merge the persistent result store
+    (``$REPRO_RESULT_STORE``).  ``gc`` takes ``--max-rows`` /
+    ``--max-age`` for least-recently-used eviction; ``import`` merges
+    another store's ``export`` archive.
 """
 
 from __future__ import annotations
 
 import argparse
-import importlib
-import inspect
 import json
 import sys
 from typing import List, Optional
 
-from repro.experiments import EXPERIMENTS, render
+from repro.experiments import EXPERIMENTS, render, run_experiment
 from repro.workloads import BENCHMARK_NAMES, get_benchmark, run_benchmark
 
 
-def _run_one(name: str, workers: Optional[int]):
-    """Run one experiment, passing ``workers`` where supported."""
-    module = importlib.import_module(f"repro.experiments.{name}")
-    if "workers" in inspect.signature(module.run).parameters:
-        return module.run(workers=workers)
-    return module.run()
+def _remote_results(
+    names: List[str], workers: Optional[int], url: str
+):
+    """One deduplicated remote batch covering ``names``' specs.
+
+    Shares ``report.fetch_results`` with the report generator, so
+    ``repro run all --url`` transfers design points declared by
+    several experiments once, after a single fingerprint check.
+    """
+    from repro.experiments import get_experiment
+    from repro.experiments.report import fetch_results
+
+    return fetch_results(
+        [get_experiment(name) for name in names],
+        workers=workers, url=url,
+    )
+
+
+def _report_service_failure(url: str, exc: Exception) -> int:
+    """Print a usable message for a failed remote call; exit code 1.
+
+    Only transport-shaped failures are claimed for the service; a
+    local OSError (unwritable ``-o`` path, say) must keep its own
+    traceback rather than slander a healthy server.
+    """
+    import http.client
+    import urllib.error
+
+    from repro.service import ServiceError
+
+    if isinstance(exc, ServiceError):
+        print(f"service error: {exc}", file=sys.stderr)
+    elif isinstance(exc, urllib.error.URLError):
+        print(f"cannot reach service at {url}: {exc.reason} "
+              "(start one with 'repro serve')", file=sys.stderr)
+    elif isinstance(exc, (TimeoutError, ConnectionError,
+                          http.client.HTTPException)):
+        # Socket read timeouts / resets mid-response are not URLErrors.
+        print(f"service at {url} failed mid-request: {exc}",
+              file=sys.stderr)
+    else:
+        raise exc
+    return 1
 
 
 def _run_experiments(
     names: List[str],
     as_json: bool = False,
     workers: Optional[int] = 1,
+    url: Optional[str] = None,
 ) -> int:
     if names == ["all"]:
         names = list(EXPERIMENTS)
@@ -69,10 +111,23 @@ def _run_experiments(
               file=sys.stderr)
         print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
+    # Only the remote fetch gets the service-failure translation;
+    # tabulation and rendering below are local work whose errors
+    # should surface as their own tracebacks.
+    try:
+        fetched = (
+            _remote_results(names, workers, url)
+            if url is not None else None
+        )
+    except Exception as exc:   # noqa: BLE001 — remote failures only
+        return _report_service_failure(url, exc)
     if as_json:
         from repro.api import RESULT_SCHEMA_VERSION
 
-        results = [_run_one(name, workers) for name in names]
+        results = [
+            run_experiment(name, workers=workers, results=fetched)
+            for name in names
+        ]
         payload = {
             "schema_version": RESULT_SCHEMA_VERSION,
             "results": [
@@ -91,7 +146,9 @@ def _run_experiments(
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
     for pos, name in enumerate(names):
-        print(render(_run_one(name, workers)))
+        print(render(run_experiment(
+            name, workers=workers, results=fetched,
+        )))
         if pos + 1 != len(names):
             print()
     return 0
@@ -187,10 +244,11 @@ def _submit_specs(
     return 0
 
 
-def _store_command(command: str, output: Optional[str]) -> int:
-    """``repro store {stats,gc,export}`` against the resolved store."""
+def _store_command(args) -> int:
+    """``repro store {stats,gc,export,import}`` on the resolved store."""
     from repro.store import default_store, store_path
 
+    command = args.store_command
     if store_path() is None:
         print("result store is disabled ($REPRO_RESULT_STORE is off)",
               file=sys.stderr)
@@ -204,11 +262,21 @@ def _store_command(command: str, output: Optional[str]) -> int:
         print(json.dumps(store.stats(), indent=2, sort_keys=True))
         return 0
     if command == "gc":
-        removed = store.gc()
-        print(f"removed {removed} row(s) from older code versions / "
-              f"schemas; {store.stats()['entries']} row(s) remain")
+        try:
+            removed = store.gc(
+                max_rows=args.max_rows, max_age_days=args.max_age
+            )
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        scope = "older code versions / schemas"
+        if args.max_rows is not None or args.max_age is not None:
+            scope += " and least-recently-used rows"
+        print(f"removed {removed} row(s) from {scope}; "
+              f"{store.stats()['entries']} row(s) remain")
         return 0
     if command == "export":
+        output = args.output
         if output:
             with open(output, "w") as handle:
                 count = store.export(handle)
@@ -216,17 +284,38 @@ def _store_command(command: str, output: Optional[str]) -> int:
         else:
             store.export(sys.stdout)
         return 0
+    if command == "import":
+        try:
+            with open(args.archive) as handle:
+                merged = store.import_archive(handle)
+        except OSError as exc:
+            print(f"cannot read archive: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"merged {merged.merged} row(s) from {args.archive}; "
+            f"skipped {merged.skipped_version} (other code version / "
+            f"schema), {merged.skipped_invalid} invalid, "
+            f"{merged.skipped_existing} already present"
+        )
+        return 0
     print(f"unknown store command {command!r}", file=sys.stderr)
     return 2
 
 
 def _list() -> int:
     from repro.api import architectures
+    from repro.experiments import all_experiments
     from repro.experiments.sweep import SWEEPS
 
     print("experiments:")
-    for name in EXPERIMENTS:
-        print(f"  {name}")
+    for experiment in all_experiments():
+        points = len(experiment.specs())
+        suffix = (
+            f"[{points} design points]" if points
+            else f"[{experiment.category}]"
+        )
+        print(f"  {experiment.name}  {suffix}")
+        print(f"      {experiment.title}")
     print("benchmarks:")
     for name in BENCHMARK_NAMES:
         print(f"  {name}")
@@ -333,6 +422,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="prefetch pool size for spec-declaring experiments "
              "(default: 1 = serial; 0 = all cores)",
     )
+    run_parser.add_argument(
+        "--url", default=None, metavar="URL",
+        help="evaluate design points on a running service "
+             "(repro serve) and tabulate locally",
+    )
 
     eval_parser = sub.add_parser(
         "eval", help="evaluate declarative run specs (JSON)"
@@ -379,12 +473,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report", help="run every experiment into a markdown report"
     )
     report_parser.add_argument(
+        "experiments", nargs="*", metavar="EXPERIMENT",
+        help="experiment subset (default: every registered experiment)",
+    )
+    report_parser.add_argument(
         "-o", "--output", default=None,
         help="write to a file instead of stdout",
     )
     report_parser.add_argument(
         "--workers", type=int, default=None, metavar="N",
         help="prefetch pool size (default: all cores; 1 = serial)",
+    )
+    report_parser.add_argument(
+        "--url", default=None, metavar="URL",
+        help="evaluate design points on a running service "
+             "(repro serve) and render locally (byte-identical)",
     )
 
     sub.add_parser(
@@ -444,8 +547,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     store_sub.add_parser(
         "stats", help="entry counts, file size, process hit/miss"
     )
-    store_sub.add_parser(
-        "gc", help="drop rows from older code versions / schemas"
+    gc_parser = store_sub.add_parser(
+        "gc", help="drop rows from older code versions / schemas "
+                   "(plus LRU eviction with --max-rows / --max-age)"
+    )
+    gc_parser.add_argument(
+        "--max-rows", type=int, default=None, metavar="N",
+        help="additionally evict least-recently-used rows beyond N",
+    )
+    gc_parser.add_argument(
+        "--max-age", type=float, default=None, metavar="DAYS",
+        help="additionally evict rows not used for DAYS days",
     )
     export_parser = store_sub.add_parser(
         "export", help="dump current-code results as JSON lines"
@@ -454,6 +566,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "-o", "--output", default=None,
         help="write to a file instead of stdout",
     )
+    import_parser = store_sub.add_parser(
+        "import", help="merge a 'store export' archive into this store"
+    )
+    import_parser.add_argument(
+        "archive", help="path to a JSON-lines export archive"
+    )
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -461,7 +579,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "run":
         workers = None if args.workers == 0 else args.workers
         return _run_experiments(
-            args.experiments, as_json=args.as_json, workers=workers
+            args.experiments, as_json=args.as_json, workers=workers,
+            url=args.url,
         )
     if args.command == "eval":
         workers = None if args.workers == 0 else args.workers
@@ -478,7 +597,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "report":
         from repro.experiments import report
 
-        report.main(output=args.output, workers=args.workers)
+        unknown = [
+            n for n in args.experiments if n not in EXPERIMENTS
+        ]
+        if unknown:
+            print(f"unknown experiment(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+        try:
+            report.main(
+                output=args.output, workers=args.workers,
+                url=args.url, experiments=args.experiments or None,
+            )
+        except Exception as exc:   # noqa: BLE001 — remote failures only
+            if args.url is None:
+                raise
+            return _report_service_failure(args.url, exc)
         return 0
     if args.command == "serve":
         from repro.service import DEFAULT_HOST, DEFAULT_PORT, serve
@@ -500,9 +634,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         if not args.store_command:
             store_parser.print_help()
             return 1
-        return _store_command(
-            args.store_command, getattr(args, "output", None)
-        )
+        return _store_command(args)
     parser.print_help()
     return 1
 

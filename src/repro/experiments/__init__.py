@@ -1,8 +1,12 @@
 """Experiment harness: one module per paper table / figure + ablations.
 
-Every module exposes ``run()`` returning an
-:class:`~repro.experiments.reporting.ExperimentResult` and ``main()``
-that prints it; ``python -m repro <experiment>`` dispatches here.
+Every module declares an :class:`~repro.experiments.registry.Experiment`
+— its run specs (``specs() -> list[RunSpec]``) and a **pure**
+tabulation (``tabulate({spec_key: RunResult}) -> ExperimentResult``) —
+and self-registers in the central registry at import, exactly as
+architectures do in :mod:`repro.api.registry`.  The registry is the
+one enumeration the report generator, ``repro run``/``repro report``,
+``repro list`` and the HTTP service's experiments endpoints share.
 
 Programmatic use
 ----------------
@@ -13,13 +17,16 @@ a design point is three lines from the library::
     spec = RunSpec(cache="dcache", arch="way-memo-2x8", workload="dct")
     result = evaluate(spec)   # .counters, .power, .cycles
 
-The same spec runs from the CLI as ``repro eval`` with the spec's
-JSON (``spec.to_json()``), and batches fan out over the worker pool
-via :func:`repro.api.evaluate_many`.  Experiment modules that declare
-their design points expose ``specs() -> list[RunSpec]``; ``run()``
-accepts ``workers=`` and prefetches those points through the shared
-pool, so ``repro run --workers N`` and ``repro report`` parallelize
-without changing a byte of output.
+A finished table is one more line::
+
+    from repro.experiments.registry import run_experiment
+    table = run_experiment("figure4_dcache_accesses", workers=4)
+
+Because ``tabulate`` is a pure function of JSON-serializable results,
+the evaluation can also happen remotely: ``repro report --url`` /
+``repro run --url`` fetch the results from a running service
+(``POST /v1/experiments/{name}``) and tabulate locally, byte-identical
+to the in-process output.
 
 Paper artefacts
 ---------------
@@ -50,27 +57,21 @@ Ablations / extensions (beyond the paper's artefacts)
 ``extension_associativity`` way-count sweep + the Nt<=ways condition
 """
 
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    Experiment,
+    all_experiments,
+    get_experiment,
+    run_experiment,
+)
 from repro.experiments.reporting import ExperimentResult, render
 
-EXPERIMENTS = (
-    "table1_area",
-    "table2_delay",
-    "table3_power",
-    "figure4_dcache_accesses",
-    "figure5_dcache_power",
-    "figure6_icache_accesses",
-    "figure7_icache_power",
-    "figure8_total_power",
-    "ablation_consistency",
-    "ablation_mab_size",
-    "ablation_adder_width",
-    "ablation_policies",
-    "ablation_stack_traffic",
-    "ablation_fetch_width",
-    "ablation_energy_model",
-    "extension_line_buffer",
-    "extension_baselines",
-    "extension_associativity",
-)
-
-__all__ = ["EXPERIMENTS", "ExperimentResult", "render"]
+__all__ = [
+    "EXPERIMENTS",
+    "Experiment",
+    "ExperimentResult",
+    "all_experiments",
+    "get_experiment",
+    "render",
+    "run_experiment",
+]

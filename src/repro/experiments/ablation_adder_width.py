@@ -8,14 +8,21 @@ benchmark, the fraction of data accesses whose displacement exceeds
 each candidate width — i.e. the MAB bypass rate a ``w``-bit adder
 would suffer — directly testing the small-displacement claim the
 whole technique rests on.
+
+This is trace analysis, not simulation: it declares no run specs and
+its ``tabulate`` reads the cached workload traces directly.
 """
 
 from __future__ import annotations
 
+from typing import List
+
 import numpy as np
 
+from repro.api import RunSpec
 from repro.core.address import SignClass, displacement_sign_class
-from repro.experiments.reporting import ExperimentResult, render
+from repro.experiments.registry import Experiment, ResultMap, register
+from repro.experiments.reporting import ExperimentResult
 from repro.workloads import BENCHMARK_NAMES, load_workload
 
 WIDTHS = (8, 10, 12, 14, 16)
@@ -33,15 +40,14 @@ def bypass_rate(disps: np.ndarray, width: int) -> float:
     return bad / total
 
 
-def run() -> ExperimentResult:
-    result = ExperimentResult(
-        name="ablation_adder_width",
-        title="Ablation: MAB bypass rate vs narrow-adder width",
-        columns=("benchmark",) + tuple(f"w{w}_pct" for w in WIDTHS),
-        paper_reference=(
-            "paper: <1% of displacements exceed the 14-bit adder "
-            "(|disp| >= 2^13)"
-        ),
+def specs() -> List[RunSpec]:
+    """Pure trace analysis — no simulation design points."""
+    return []
+
+
+def tabulate(results: ResultMap) -> ExperimentResult:
+    result = EXPERIMENT.new_result(
+        columns=("benchmark",) + tuple(f"w{w}_pct" for w in WIDTHS)
     )
     worst_w14 = 0.0
     for benchmark in BENCHMARK_NAMES:
@@ -60,9 +66,14 @@ def run() -> ExperimentResult:
     return result
 
 
-def main() -> None:
-    print(render(run()))
-
-
-if __name__ == "__main__":
-    main()
+EXPERIMENT = register(Experiment(
+    name="ablation_adder_width",
+    title="Ablation: MAB bypass rate vs narrow-adder width",
+    specs=specs,
+    tabulate=tabulate,
+    category="trace-derived",
+    paper_reference=(
+        "paper: <1% of displacements exceed the 14-bit adder "
+        "(|disp| >= 2^13)"
+    ),
+))

@@ -16,15 +16,17 @@ conservative hook costs.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
-from repro.api import RunSpec, evaluate_many
-from repro.experiments.reporting import ExperimentResult, render
-from repro.experiments.runner import (
-    arch_spec,
-    dcache_counters,
-    icache_counters,
+from repro.api import RunSpec
+from repro.experiments.registry import (
+    Experiment,
+    ResultMap,
+    register,
+    spec_result,
 )
+from repro.experiments.reporting import ExperimentResult
+from repro.experiments.runner import arch_spec
 from repro.workloads import BENCHMARK_NAMES
 
 PAIRS = (
@@ -43,28 +45,19 @@ def specs() -> List[RunSpec]:
     ]
 
 
-def run(workers: Optional[int] = 1) -> ExperimentResult:
-    evaluate_many(specs(), workers=workers)
-    result = ExperimentResult(
-        name="ablation_consistency",
-        title="Ablation: MAB consistency — paper rules vs eviction hook",
-        columns=(
-            "benchmark", "cache", "mode", "mab_hit_rate", "stale_hits",
-            "tags_per_access",
-        ),
-        paper_reference=(
-            "the paper claims its update rules alone guarantee "
-            "consistency (no stale hits)"
-        ),
-    )
+def tabulate(results: ResultMap) -> ExperimentResult:
+    result = EXPERIMENT.new_result(columns=(
+        "benchmark", "cache", "mode", "mab_hit_rate", "stale_hits",
+        "tags_per_access",
+    ))
     total_stale_paper = 0
     for benchmark in BENCHMARK_NAMES:
         for cache, paper_arch, hook_arch in PAIRS:
-            fetch = cache == "icache"
-            runner = icache_counters if fetch else dcache_counters
             for mode, arch in (("paper", paper_arch),
                                ("evict_hook", hook_arch)):
-                c = runner(benchmark, arch)
+                c = spec_result(
+                    results, arch_spec(cache, arch, benchmark)
+                ).counters
                 if mode == "paper":
                     total_stale_paper += c.stale_hits
                 result.add_row(
@@ -86,9 +79,13 @@ def run(workers: Optional[int] = 1) -> ExperimentResult:
     return result
 
 
-def main() -> None:
-    print(render(run()))
-
-
-if __name__ == "__main__":
-    main()
+EXPERIMENT = register(Experiment(
+    name="ablation_consistency",
+    title="Ablation: MAB consistency — paper rules vs eviction hook",
+    specs=specs,
+    tabulate=tabulate,
+    paper_reference=(
+        "the paper claims its update rules alone guarantee "
+        "consistency (no stale hits)"
+    ),
+))

@@ -11,24 +11,39 @@ order of magnitude, by scaling the tag energy.
 If the conclusion "way memoization saves roughly a quarter to a third
 of cache power" holds across the sweep, the reproduction does not
 stand on the calibration's exact values.
+
+The declared specs are the Figure-8 design points; ``tabulate``
+re-prices their counters (and cycle bases) with the scaled models —
+a pure function of the results, no re-simulation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List
 
+from repro.api import RunSpec
 from repro.cache.config import FRV_DCACHE, FRV_ICACHE
 from repro.energy import CachePowerModel, MABHardwareModel
-from repro.experiments.reporting import ExperimentResult, render
-from repro.experiments.runner import (
-    average,
-    dcache_counters,
-    icache_counters,
-    savings,
+from repro.experiments.registry import (
+    Experiment,
+    ResultMap,
+    register,
+    spec_result,
 )
-from repro.workloads import BENCHMARK_NAMES, load_workload
+from repro.experiments.reporting import ExperimentResult
+from repro.experiments.runner import arch_spec, average, savings
+from repro.workloads import BENCHMARK_NAMES
 
 TAG_SCALES = (0.5, 1.0, 2.0, 4.0)
+
+#: The Figure-8 configuration this sweep re-prices.
+POINTS = (
+    ("dcache", "original"),
+    ("icache", "panwar"),
+    ("dcache", "way-memo-2x8"),
+    ("icache", "way-memo-2x16"),
+)
 
 
 @dataclass
@@ -61,42 +76,49 @@ def _scaled_model(config, scale: float) -> CachePowerModel:
     return model
 
 
-def run() -> ExperimentResult:
-    result = ExperimentResult(
-        name="ablation_energy_model",
-        title=(
-            "Ablation: total saving vs tag/way energy ratio "
-            "(Figure-8 configuration)"
-        ),
-        columns=(
-            "tag_scale", "tag_to_way_ratio", "avg_total_saving_pct",
-        ),
-        paper_reference=(
-            "the ~30% headline must not hinge on the SRAM model's "
-            "exact calibration"
-        ),
-    )
+def specs() -> List[RunSpec]:
+    """Every design point this experiment evaluates."""
+    return [
+        arch_spec(cache_name, arch, benchmark)
+        for benchmark in BENCHMARK_NAMES
+        for cache_name, arch in POINTS
+    ]
+
+
+def tabulate(results: ResultMap) -> ExperimentResult:
+    def point(cache_name: str, arch: str, benchmark: str):
+        return spec_result(
+            results, arch_spec(cache_name, arch, benchmark)
+        )
+
+    result = EXPERIMENT.new_result(columns=(
+        "tag_scale", "tag_to_way_ratio", "avg_total_saving_pct",
+    ))
     for scale in TAG_SCALES:
         d_model = _scaled_model(FRV_DCACHE, scale)
         i_model = _scaled_model(FRV_ICACHE, scale)
         per_bench = []
         for benchmark in BENCHMARK_NAMES:
-            cycles = load_workload(benchmark).cycles
+            cycles = point("dcache", "original", benchmark).cycles
             base = (
                 d_model.power(
-                    dcache_counters(benchmark, "original"), cycles
+                    point("dcache", "original", benchmark).counters,
+                    cycles,
                 ).total_mw
                 + i_model.power(
-                    icache_counters(benchmark, "panwar"), cycles
+                    point("icache", "panwar", benchmark).counters,
+                    cycles,
                 ).total_mw
             )
             ours = (
                 d_model.power(
-                    dcache_counters(benchmark, "way-memo-2x8"), cycles,
+                    point("dcache", "way-memo-2x8", benchmark).counters,
+                    cycles,
                     mab_model=MABHardwareModel(2, 8),
                 ).total_mw
                 + i_model.power(
-                    icache_counters(benchmark, "way-memo-2x16"), cycles,
+                    point("icache", "way-memo-2x16", benchmark).counters,
+                    cycles,
                     mab_model=MABHardwareModel(2, 16),
                 ).total_mw
             )
@@ -116,9 +138,16 @@ def run() -> ExperimentResult:
     return result
 
 
-def main() -> None:
-    print(render(run()))
-
-
-if __name__ == "__main__":
-    main()
+EXPERIMENT = register(Experiment(
+    name="ablation_energy_model",
+    title=(
+        "Ablation: total saving vs tag/way energy ratio "
+        "(Figure-8 configuration)"
+    ),
+    specs=specs,
+    tabulate=tabulate,
+    paper_reference=(
+        "the ~30% headline must not hinge on the SRAM model's "
+        "exact calibration"
+    ),
+))

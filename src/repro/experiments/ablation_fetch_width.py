@@ -7,13 +7,22 @@ a different intra-line/inter-line split.  This ablation re-derives
 the fetch stream at 4, 8 and 16 bytes per packet and re-measures the
 Figure-6 quantities — checking that the paper's qualitative I-cache
 conclusions do not hinge on the packet-width guess.
+
+Re-derived fetch streams are not addressable run specs (a workload's
+stream is fixed at the modelled 8-byte packet), so this experiment
+declares no specs and replays the alternative streams inside
+``tabulate``.
 """
 
 from __future__ import annotations
 
+from typing import List
+
+from repro.api import RunSpec
 from repro.baselines import PanwarICache
 from repro.core import MABConfig, WayMemoICache
-from repro.experiments.reporting import ExperimentResult, render
+from repro.experiments.registry import Experiment, ResultMap, register
+from repro.experiments.reporting import ExperimentResult
 from repro.experiments.runner import average
 from repro.sim import fetch_stream
 from repro.workloads import BENCHMARK_NAMES, load_workload
@@ -21,19 +30,16 @@ from repro.workloads import BENCHMARK_NAMES, load_workload
 PACKET_BYTES = (4, 8, 16)
 
 
-def run() -> ExperimentResult:
-    result = ExperimentResult(
-        name="ablation_fetch_width",
-        title="Ablation: fetch packet width vs I-cache results",
-        columns=(
-            "packet_bytes", "accesses_per_kinstr", "intra_line_pct",
-            "panwar_tags", "memo_tags", "memo_vs_panwar_pct",
-        ),
-        paper_reference=(
-            "the FR-V fetches 8-byte packets; the reproduction's "
-            "conclusions should survive other widths"
-        ),
-    )
+def specs() -> List[RunSpec]:
+    """Re-derived fetch streams — no declarative design points."""
+    return []
+
+
+def tabulate(results: ResultMap) -> ExperimentResult:
+    result = EXPERIMENT.new_result(columns=(
+        "packet_bytes", "accesses_per_kinstr", "intra_line_pct",
+        "panwar_tags", "memo_tags", "memo_vs_panwar_pct",
+    ))
     for packet in PACKET_BYTES:
         access_rates, intra, panwar_tags, memo_tags = [], [], [], []
         for benchmark in BENCHMARK_NAMES:
@@ -65,9 +71,14 @@ def run() -> ExperimentResult:
     return result
 
 
-def main() -> None:
-    print(render(run()))
-
-
-if __name__ == "__main__":
-    main()
+EXPERIMENT = register(Experiment(
+    name="ablation_fetch_width",
+    title="Ablation: fetch packet width vs I-cache results",
+    specs=specs,
+    tabulate=tabulate,
+    category="trace-derived",
+    paper_reference=(
+        "the FR-V fetches 8-byte packets; the reproduction's "
+        "conclusions should survive other widths"
+    ),
+))

@@ -14,10 +14,16 @@ specs (on a wider grid) over a worker pool.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
-from repro.api import RunSpec, evaluate, evaluate_many
-from repro.experiments.reporting import ExperimentResult, render
+from repro.api import RunSpec
+from repro.experiments.registry import (
+    Experiment,
+    ResultMap,
+    register,
+    spec_result,
+)
+from repro.experiments.reporting import ExperimentResult
 from repro.experiments.runner import average
 from repro.workloads import BENCHMARK_NAMES
 
@@ -44,26 +50,19 @@ def specs() -> List[RunSpec]:
     ]
 
 
-def run(workers: Optional[int] = 1) -> ExperimentResult:
-    result = ExperimentResult(
-        name="ablation_mab_size",
-        title="Ablation: MAB size sweep (average over all benchmarks)",
-        columns=(
-            "cache", "mab", "mab_hit_rate", "tags_per_access",
-            "avg_power_mw", "optimal",
-        ),
-        paper_reference=(
-            "paper: 2x8 optimal for D-cache; 2x8 or 2x16 for I-cache "
-            "depending on the program"
-        ),
-    )
-    evaluate_many(specs(), workers=workers)
+def tabulate(results: ResultMap) -> ExperimentResult:
+    result = EXPERIMENT.new_result(columns=(
+        "cache", "mab", "mab_hit_rate", "tags_per_access",
+        "avg_power_mw", "optimal",
+    ))
     for cache_name in ("dcache", "icache"):
         rows = []
         for nt in TAG_ENTRIES:
             for ns in INDEX_ENTRIES:
                 points = [
-                    evaluate(mab_spec(cache_name, nt, ns, benchmark))
+                    spec_result(
+                        results, mab_spec(cache_name, nt, ns, benchmark)
+                    )
                     for benchmark in BENCHMARK_NAMES
                 ]
                 rows.append({
@@ -90,9 +89,13 @@ def run(workers: Optional[int] = 1) -> ExperimentResult:
     return result
 
 
-def main() -> None:
-    print(render(run()))
-
-
-if __name__ == "__main__":
-    main()
+EXPERIMENT = register(Experiment(
+    name="ablation_mab_size",
+    title="Ablation: MAB size sweep (average over all benchmarks)",
+    specs=specs,
+    tabulate=tabulate,
+    paper_reference=(
+        "paper: 2x8 optimal for D-cache; 2x8 or 2x16 for I-cache "
+        "depending on the program"
+    ),
+))

@@ -6,63 +6,82 @@ pseudo-LRU / FIFO / random) under the paper-mode MAB and reports the
 stale-hit count and hit rates — checking whether the guarantee is an
 LRU artefact and how much the technique's benefit depends on the
 policy.
+
+Each point is a declarative ``RunSpec`` over the parametric
+``way-memo`` architecture (2x8 on the D-cache, 2x16 on the I-cache —
+the registry defaults) with the ``policy`` parameter overridden.
 """
 
 from __future__ import annotations
 
-from repro.core import MABConfig, WayMemoDCache, WayMemoICache
-from repro.experiments.reporting import ExperimentResult, render
-from repro.workloads import BENCHMARK_NAMES, load_workload
+from typing import List
+
+from repro.api import RunSpec
+from repro.experiments.registry import (
+    Experiment,
+    ResultMap,
+    register,
+    spec_result,
+)
+from repro.experiments.reporting import ExperimentResult
+from repro.experiments.runner import average
+from repro.workloads import BENCHMARK_NAMES
 
 POLICIES = ("lru", "plru", "fifo", "random")
 
 
-def run() -> ExperimentResult:
-    result = ExperimentResult(
-        name="ablation_policies",
-        title="Ablation: replacement policy vs MAB consistency",
-        columns=(
-            "cache", "policy", "total_stale_hits", "avg_mab_hit_rate",
-            "avg_cache_hit_rate",
-        ),
-        paper_reference=(
-            "the paper's argument assumes LRU; non-LRU caches may "
-            "evict lines the MAB still memoizes"
-        ),
+def policy_spec(cache: str, policy: str, benchmark: str) -> RunSpec:
+    """One way-memo point with the cache replacement policy swapped."""
+    return RunSpec(
+        cache=cache, arch="way-memo", workload=benchmark,
+        params={"policy": policy},
     )
-    for cache_name, make in (
-        ("dcache", lambda policy: WayMemoDCache(
-            mab_config=MABConfig(2, 8), policy=policy)),
-        ("icache", lambda policy: WayMemoICache(
-            mab_config=MABConfig(2, 16), policy=policy)),
-    ):
+
+
+def specs() -> List[RunSpec]:
+    """Every design point this experiment evaluates."""
+    return [
+        policy_spec(cache_name, policy, benchmark)
+        for cache_name in ("dcache", "icache")
+        for policy in POLICIES
+        for benchmark in BENCHMARK_NAMES
+    ]
+
+
+def tabulate(results: ResultMap) -> ExperimentResult:
+    result = EXPERIMENT.new_result(columns=(
+        "cache", "policy", "total_stale_hits", "avg_mab_hit_rate",
+        "avg_cache_hit_rate",
+    ))
+    for cache_name in ("dcache", "icache"):
         for policy in POLICIES:
-            stale = 0
-            mab_rates, cache_rates = [], []
-            for benchmark in BENCHMARK_NAMES:
-                workload = load_workload(benchmark)
-                controller = make(policy)
-                stream = (
-                    workload.fetch if cache_name == "icache"
-                    else workload.trace.data
-                )
-                c = controller.process(stream)
-                stale += c.stale_hits
-                mab_rates.append(c.mab_hit_rate)
-                cache_rates.append(c.cache_hit_rate)
+            points = [
+                spec_result(
+                    results, policy_spec(cache_name, policy, benchmark)
+                ).counters
+                for benchmark in BENCHMARK_NAMES
+            ]
             result.add_row(
                 cache=cache_name,
                 policy=policy,
-                total_stale_hits=stale,
-                avg_mab_hit_rate=sum(mab_rates) / len(mab_rates),
-                avg_cache_hit_rate=sum(cache_rates) / len(cache_rates),
+                total_stale_hits=sum(c.stale_hits for c in points),
+                avg_mab_hit_rate=average(
+                    c.mab_hit_rate for c in points
+                ),
+                avg_cache_hit_rate=average(
+                    c.cache_hit_rate for c in points
+                ),
             )
     return result
 
 
-def main() -> None:
-    print(render(run()))
-
-
-if __name__ == "__main__":
-    main()
+EXPERIMENT = register(Experiment(
+    name="ablation_policies",
+    title="Ablation: replacement policy vs MAB consistency",
+    specs=specs,
+    tabulate=tabulate,
+    paper_reference=(
+        "the paper's argument assumes LRU; non-LRU caches may "
+        "evict lines the MAB still memoizes"
+    ),
+))

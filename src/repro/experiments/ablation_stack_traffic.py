@@ -12,12 +12,21 @@ real benchmark traces at increasing rates and re-measures the 2x8
 MAB.  If the hypothesis is right, the tag reduction approaches the
 paper's number as the stack share approaches the 30-50 % typical of
 compiled embedded code.
+
+The injected streams are synthetic derivations of the cached traces,
+not addressable run specs, so this experiment declares no specs and
+replays the modified traces inside ``tabulate`` (deterministically —
+the injector is seeded).
 """
 
 from __future__ import annotations
 
+from typing import List
+
+from repro.api import RunSpec
 from repro.core import MABConfig, WayMemoDCache
-from repro.experiments.reporting import ExperimentResult, render
+from repro.experiments.registry import Experiment, ResultMap, register
+from repro.experiments.reporting import ExperimentResult
 from repro.experiments.runner import average
 from repro.workloads import BENCHMARK_NAMES, load_workload
 from repro.workloads.synthetic import inject_stack_traffic
@@ -25,22 +34,16 @@ from repro.workloads.synthetic import inject_stack_traffic
 FRACTIONS = (0.0, 0.2, 0.4)
 
 
-def run() -> ExperimentResult:
-    result = ExperimentResult(
-        name="ablation_stack_traffic",
-        title=(
-            "Ablation: injected stack traffic vs MAB effectiveness "
-            "(D-cache, 2x8 MAB)"
-        ),
-        columns=(
-            "stack_fraction", "avg_mab_hit_rate", "avg_tags_per_access",
-            "tag_reduction_pct",
-        ),
-        paper_reference=(
-            "paper reports ~90% tag reduction on compiled binaries; "
-            "our stack-free kernels reach 78%"
-        ),
-    )
+def specs() -> List[RunSpec]:
+    """Derived (injected) streams — no declarative design points."""
+    return []
+
+
+def tabulate(results: ResultMap) -> ExperimentResult:
+    result = EXPERIMENT.new_result(columns=(
+        "stack_fraction", "avg_mab_hit_rate", "avg_tags_per_access",
+        "tag_reduction_pct",
+    ))
     for fraction in FRACTIONS:
         hits, tags = [], []
         for benchmark in BENCHMARK_NAMES:
@@ -66,9 +69,17 @@ def run() -> ExperimentResult:
     return result
 
 
-def main() -> None:
-    print(render(run()))
-
-
-if __name__ == "__main__":
-    main()
+EXPERIMENT = register(Experiment(
+    name="ablation_stack_traffic",
+    title=(
+        "Ablation: injected stack traffic vs MAB effectiveness "
+        "(D-cache, 2x8 MAB)"
+    ),
+    specs=specs,
+    tabulate=tabulate,
+    category="trace-derived",
+    paper_reference=(
+        "paper reports ~90% tag reduction on compiled binaries; "
+        "our stack-free kernels reach 78%"
+    ),
+))

@@ -14,13 +14,21 @@ Two questions the paper leaves open:
    2-way cache and on a direct-mapped cache) in paper mode and count
    stale hits — if the condition matters, violations appear here and
    only here.
+
+The swept cache geometries are not registered architectures, so this
+experiment declares no run specs and replays the custom
+configurations inside ``tabulate``.
 """
 
 from __future__ import annotations
 
+from typing import List
+
+from repro.api import RunSpec
 from repro.cache.config import CacheConfig
 from repro.core import MABConfig, WayMemoDCache
-from repro.experiments.reporting import ExperimentResult, render
+from repro.experiments.registry import Experiment, ResultMap, register
+from repro.experiments.reporting import ExperimentResult
 from repro.experiments.runner import average
 from repro.workloads import BENCHMARK_NAMES, load_workload
 
@@ -29,22 +37,16 @@ CACHE_BYTES = 32 * 1024
 LINE_BYTES = 32
 
 
-def run() -> ExperimentResult:
-    result = ExperimentResult(
-        name="extension_associativity",
-        title=(
-            "Extension: associativity sweep and the tag-entries<=ways "
-            "consistency condition (D-cache, averages over the suite)"
-        ),
-        columns=(
-            "ways", "mab", "tag_reduction_pct", "way_reduction_pct",
-            "stale_hits", "condition_met",
-        ),
-        paper_reference=(
-            "Sec 3.3: consistency guaranteed while MAB tag entries do "
-            "not exceed the cache way count"
-        ),
-    )
+def specs() -> List[RunSpec]:
+    """Custom cache geometries — no declarative design points."""
+    return []
+
+
+def tabulate(results: ResultMap) -> ExperimentResult:
+    result = EXPERIMENT.new_result(columns=(
+        "ways", "mab", "tag_reduction_pct", "way_reduction_pct",
+        "stale_hits", "condition_met",
+    ))
     for ways in WAY_SWEEP:
         cache_config = CacheConfig(CACHE_BYTES, ways, LINE_BYTES)
         for tag_entries in (2, 4):
@@ -88,9 +90,17 @@ def run() -> ExperimentResult:
     return result
 
 
-def main() -> None:
-    print(render(run()))
-
-
-if __name__ == "__main__":
-    main()
+EXPERIMENT = register(Experiment(
+    name="extension_associativity",
+    title=(
+        "Extension: associativity sweep and the tag-entries<=ways "
+        "consistency condition (D-cache, averages over the suite)"
+    ),
+    specs=specs,
+    tabulate=tabulate,
+    category="trace-derived",
+    paper_reference=(
+        "Sec 3.3: consistency guaranteed while MAB tag entries do "
+        "not exceed the cache way count"
+    ),
+))

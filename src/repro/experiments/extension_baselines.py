@@ -11,10 +11,16 @@ performance penalty.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
-from repro.api import RunSpec, comparison_archs, evaluate, evaluate_many
-from repro.experiments.reporting import ExperimentResult, render
+from repro.api import RunSpec, comparison_archs
+from repro.experiments.registry import (
+    Experiment,
+    ResultMap,
+    register,
+    spec_result,
+)
+from repro.experiments.reporting import ExperimentResult
 from repro.experiments.runner import arch_spec, average
 from repro.workloads import BENCHMARK_NAMES
 
@@ -34,28 +40,18 @@ def specs() -> List[RunSpec]:
     ]
 
 
-def run(workers: Optional[int] = 1) -> ExperimentResult:
-    result = ExperimentResult(
-        name="extension_baselines",
-        title=(
-            "Extension: penalty-laden alternatives vs way memoization "
-            "(averages over the suite)"
-        ),
-        columns=(
-            "cache", "architecture", "avg_power_mw",
-            "avg_slowdown_pct", "avg_tags_per_access",
-        ),
-        paper_reference=(
-            "filter cache / way prediction / two-phase save energy "
-            "but add cycles; way memoization adds none"
-        ),
-    )
-    evaluate_many(specs(), workers=workers)
+def tabulate(results: ResultMap) -> ExperimentResult:
+    result = EXPERIMENT.new_result(columns=(
+        "cache", "architecture", "avg_power_mw",
+        "avg_slowdown_pct", "avg_tags_per_access",
+    ))
     for cache_name, archs in (("dcache", D_ARCHS), ("icache", I_ARCHS)):
         for arch in archs:
             powers, slowdowns, tag_rates = [], [], []
             for benchmark in BENCHMARK_NAMES:
-                point = evaluate(arch_spec(cache_name, arch, benchmark))
+                point = spec_result(
+                    results, arch_spec(cache_name, arch, benchmark)
+                )
                 c, p = point.counters, point.power
                 powers.append(p.total_mw)
                 slowdowns.append(100.0 * c.extra_cycles / point.cycles)
@@ -74,9 +70,16 @@ def run(workers: Optional[int] = 1) -> ExperimentResult:
     return result
 
 
-def main() -> None:
-    print(render(run()))
-
-
-if __name__ == "__main__":
-    main()
+EXPERIMENT = register(Experiment(
+    name="extension_baselines",
+    title=(
+        "Extension: penalty-laden alternatives vs way memoization "
+        "(averages over the suite)"
+    ),
+    specs=specs,
+    tabulate=tabulate,
+    paper_reference=(
+        "filter cache / way prediction / two-phase save energy "
+        "but add cycles; way memoization adds none"
+    ),
+))

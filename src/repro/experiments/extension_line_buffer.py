@@ -9,17 +9,17 @@ quantifies the additional D-cache saving over plain way memoization.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
-from repro.api import RunSpec, evaluate_many
-from repro.experiments.reporting import ExperimentResult, render
-from repro.experiments.runner import (
-    arch_spec,
-    average,
-    dcache_counters,
-    dcache_power,
-    savings,
+from repro.api import RunSpec
+from repro.experiments.registry import (
+    Experiment,
+    ResultMap,
+    register,
+    spec_result,
 )
+from repro.experiments.reporting import ExperimentResult
+from repro.experiments.runner import arch_spec, average, savings
 from repro.workloads import BENCHMARK_NAMES
 
 ARCHS = ("original", "way-memo-2x8", "way-memo+line-buffer")
@@ -34,31 +34,27 @@ def specs() -> List[RunSpec]:
     ]
 
 
-def run(workers: Optional[int] = 1) -> ExperimentResult:
-    evaluate_many(specs(), workers=workers)
-    result = ExperimentResult(
-        name="extension_line_buffer",
-        title="Extension: way memoization + line buffer (D-cache)",
-        columns=(
-            "benchmark", "architecture", "ways_per_access",
-            "total_mw", "saving_pct",
-        ),
-        paper_reference=(
-            "the paper's stated future work; expected to add savings "
-            "on top of plain way memoization"
-        ),
-    )
+def tabulate(results: ResultMap) -> ExperimentResult:
+    result = EXPERIMENT.new_result(columns=(
+        "benchmark", "architecture", "ways_per_access",
+        "total_mw", "saving_pct",
+    ))
     for benchmark in BENCHMARK_NAMES:
-        baseline = dcache_power(benchmark, "original").total_mw
+        baseline = spec_result(
+            results, arch_spec("dcache", "original", benchmark)
+        ).power.total_mw
         for arch in ARCHS:
-            c = dcache_counters(benchmark, arch)
-            p = dcache_power(benchmark, arch)
+            point = spec_result(
+                results, arch_spec("dcache", arch, benchmark)
+            )
             result.add_row(
                 benchmark=benchmark,
                 architecture=arch,
-                ways_per_access=c.ways_per_access,
-                total_mw=p.total_mw,
-                saving_pct=100.0 * savings(baseline, p.total_mw),
+                ways_per_access=point.counters.ways_per_access,
+                total_mw=point.power.total_mw,
+                saving_pct=100.0 * savings(
+                    baseline, point.power.total_mw
+                ),
             )
     plain = average(
         row["saving_pct"] for row in result.rows
@@ -75,9 +71,13 @@ def run(workers: Optional[int] = 1) -> ExperimentResult:
     return result
 
 
-def main() -> None:
-    print(render(run()))
-
-
-if __name__ == "__main__":
-    main()
+EXPERIMENT = register(Experiment(
+    name="extension_line_buffer",
+    title="Extension: way memoization + line buffer (D-cache)",
+    specs=specs,
+    tabulate=tabulate,
+    paper_reference=(
+        "the paper's stated future work; expected to add savings "
+        "on top of plain way memoization"
+    ),
+))

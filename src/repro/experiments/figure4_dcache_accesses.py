@@ -10,11 +10,17 @@ always read).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
-from repro.api import RunSpec, evaluate_many
-from repro.experiments.reporting import ExperimentResult, render
-from repro.experiments.runner import arch_spec, average, dcache_counters
+from repro.api import RunSpec
+from repro.experiments.registry import (
+    Experiment,
+    ResultMap,
+    register,
+    spec_result,
+)
+from repro.experiments.reporting import ExperimentResult
+from repro.experiments.runner import arch_spec, average
 from repro.workloads import BENCHMARK_NAMES
 
 ARCHS = ("original", "set-buffer", "way-memo-2x8")
@@ -29,24 +35,16 @@ def specs() -> List[RunSpec]:
     ]
 
 
-def run(workers: Optional[int] = 1) -> ExperimentResult:
-    evaluate_many(specs(), workers=workers)
-    result = ExperimentResult(
-        name="figure4_dcache_accesses",
-        title="Figure 4: tag/way accesses per D-cache access",
-        columns=(
-            "benchmark", "architecture", "tags_per_access",
-            "ways_per_access", "mab_hit_rate", "stale_hits",
-        ),
-        paper_reference=(
-            "tag accesses cut ~90% vs original; ways/access in (1, 2) "
-            "because stores hit a single way and at least one way is "
-            "always read"
-        ),
-    )
+def tabulate(results: ResultMap) -> ExperimentResult:
+    result = EXPERIMENT.new_result(columns=(
+        "benchmark", "architecture", "tags_per_access",
+        "ways_per_access", "mab_hit_rate", "stale_hits",
+    ))
     for benchmark in BENCHMARK_NAMES:
         for arch in ARCHS:
-            c = dcache_counters(benchmark, arch)
+            c = spec_result(
+                results, arch_spec("dcache", arch, benchmark)
+            ).counters
             result.add_row(
                 benchmark=benchmark,
                 architecture=arch,
@@ -73,9 +71,14 @@ def run(workers: Optional[int] = 1) -> ExperimentResult:
     return result
 
 
-def main() -> None:
-    print(render(run()))
-
-
-if __name__ == "__main__":
-    main()
+EXPERIMENT = register(Experiment(
+    name="figure4_dcache_accesses",
+    title="Figure 4: tag/way accesses per D-cache access",
+    specs=specs,
+    tabulate=tabulate,
+    paper_reference=(
+        "tag accesses cut ~90% vs original; ways/access in (1, 2) "
+        "because stores hit a single way and at least one way is "
+        "always read"
+    ),
+))

@@ -8,16 +8,17 @@ nearly eliminated and a small MAB adder.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
-from repro.api import RunSpec, evaluate_many
-from repro.experiments.reporting import ExperimentResult, render
-from repro.experiments.runner import (
-    arch_spec,
-    average,
-    dcache_power,
-    savings,
+from repro.api import RunSpec
+from repro.experiments.registry import (
+    Experiment,
+    ResultMap,
+    register,
+    spec_result,
 )
+from repro.experiments.reporting import ExperimentResult
+from repro.experiments.runner import arch_spec, average, savings
 from repro.workloads import BENCHMARK_NAMES
 
 ARCHS = ("original", "set-buffer", "way-memo-2x8")
@@ -32,21 +33,19 @@ def specs() -> List[RunSpec]:
     ]
 
 
-def run(workers: Optional[int] = 1) -> ExperimentResult:
-    evaluate_many(specs(), workers=workers)
-    result = ExperimentResult(
-        name="figure5_dcache_power",
-        title="Figure 5: D-cache power consumption (mW)",
-        columns=(
-            "benchmark", "architecture", "data_mw", "tag_mw",
-            "aux_mw", "leak_mw", "total_mw", "saving_pct",
-        ),
-        paper_reference="way memoization saves ~35% on average",
-    )
+def tabulate(results: ResultMap) -> ExperimentResult:
+    result = EXPERIMENT.new_result(columns=(
+        "benchmark", "architecture", "data_mw", "tag_mw",
+        "aux_mw", "leak_mw", "total_mw", "saving_pct",
+    ))
     for benchmark in BENCHMARK_NAMES:
-        baseline = dcache_power(benchmark, "original").total_mw
+        baseline = spec_result(
+            results, arch_spec("dcache", "original", benchmark)
+        ).power.total_mw
         for arch in ARCHS:
-            p = dcache_power(benchmark, arch)
+            p = spec_result(
+                results, arch_spec("dcache", arch, benchmark)
+            ).power
             result.add_row(
                 benchmark=benchmark,
                 architecture=arch,
@@ -67,9 +66,10 @@ def run(workers: Optional[int] = 1) -> ExperimentResult:
     return result
 
 
-def main() -> None:
-    print(render(run()))
-
-
-if __name__ == "__main__":
-    main()
+EXPERIMENT = register(Experiment(
+    name="figure5_dcache_power",
+    title="Figure 5: D-cache power consumption (mW)",
+    specs=specs,
+    tabulate=tabulate,
+    paper_reference="way memoization saves ~35% on average",
+))

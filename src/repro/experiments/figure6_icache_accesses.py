@@ -9,11 +9,17 @@ further ~20% cut, improving with MAB size).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
-from repro.api import RunSpec, evaluate_many
-from repro.experiments.reporting import ExperimentResult, render
-from repro.experiments.runner import arch_spec, average, icache_counters
+from repro.api import RunSpec
+from repro.experiments.registry import (
+    Experiment,
+    ResultMap,
+    register,
+    spec_result,
+)
+from repro.experiments.reporting import ExperimentResult
+from repro.experiments.runner import arch_spec, average
 from repro.workloads import BENCHMARK_NAMES
 
 ARCHS = ("panwar", "way-memo-2x8", "way-memo-2x16", "way-memo-2x32")
@@ -28,24 +34,17 @@ def specs() -> List[RunSpec]:
     ]
 
 
-def run(workers: Optional[int] = 1) -> ExperimentResult:
-    evaluate_many(specs(), workers=workers)
-    result = ExperimentResult(
-        name="figure6_icache_accesses",
-        title="Figure 6: tag/way accesses per I-cache access",
-        columns=(
-            "benchmark", "architecture", "tags_per_access",
-            "ways_per_access", "intra_line_pct", "mab_hit_rate",
-            "stale_hits",
-        ),
-        paper_reference=(
-            "[4] cuts ~60% of tag accesses; our 2x8 MAB reduces the "
-            "remaining tag accesses to ~80% of [4]"
-        ),
-    )
+def tabulate(results: ResultMap) -> ExperimentResult:
+    result = EXPERIMENT.new_result(columns=(
+        "benchmark", "architecture", "tags_per_access",
+        "ways_per_access", "intra_line_pct", "mab_hit_rate",
+        "stale_hits",
+    ))
     for benchmark in BENCHMARK_NAMES:
         for arch in ARCHS:
-            c = icache_counters(benchmark, arch)
+            c = spec_result(
+                results, arch_spec("icache", arch, benchmark)
+            ).counters
             result.add_row(
                 benchmark=benchmark,
                 architecture=arch,
@@ -73,9 +72,13 @@ def run(workers: Optional[int] = 1) -> ExperimentResult:
     return result
 
 
-def main() -> None:
-    print(render(run()))
-
-
-if __name__ == "__main__":
-    main()
+EXPERIMENT = register(Experiment(
+    name="figure6_icache_accesses",
+    title="Figure 6: tag/way accesses per I-cache access",
+    specs=specs,
+    tabulate=tabulate,
+    paper_reference=(
+        "[4] cuts ~60% of tag accesses; our 2x8 MAB reduces the "
+        "remaining tag accesses to ~80% of [4]"
+    ),
+))

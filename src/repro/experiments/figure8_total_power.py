@@ -9,17 +9,17 @@ the I-cache.  Expected shape: ~30% average saving, best case ~40%
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
-from repro.api import RunSpec, evaluate_many
-from repro.experiments.reporting import ExperimentResult, render
-from repro.experiments.runner import (
-    arch_spec,
-    average,
-    dcache_power,
-    icache_power,
-    savings,
+from repro.api import RunSpec
+from repro.experiments.registry import (
+    Experiment,
+    ResultMap,
+    register,
+    spec_result,
 )
+from repro.experiments.reporting import ExperimentResult
+from repro.experiments.runner import arch_spec, average, savings
 from repro.workloads import BENCHMARK_NAMES
 
 #: (cache, architecture) pairs of the baseline and our configuration.
@@ -40,26 +40,22 @@ def specs() -> List[RunSpec]:
     ]
 
 
-def run(workers: Optional[int] = 1) -> ExperimentResult:
-    evaluate_many(specs(), workers=workers)
-    result = ExperimentResult(
-        name="figure8_total_power",
-        title="Figure 8: total cache power (mW), I + D",
-        columns=(
-            "benchmark", "architecture", "icache_mw", "dcache_mw",
-            "total_mw", "saving_pct",
-        ),
-        paper_reference=(
-            "average saving ~30%, maximum ~40% (mpeg2enc), vs "
-            "original D-cache + [4] I-cache"
-        ),
-    )
+def tabulate(results: ResultMap) -> ExperimentResult:
+    def power_mw(cache_name: str, arch: str, benchmark: str) -> float:
+        return spec_result(
+            results, arch_spec(cache_name, arch, benchmark)
+        ).power.total_mw
+
+    result = EXPERIMENT.new_result(columns=(
+        "benchmark", "architecture", "icache_mw", "dcache_mw",
+        "total_mw", "saving_pct",
+    ))
     savings_list = []
     for benchmark in BENCHMARK_NAMES:
-        base_i = icache_power(benchmark, "panwar").total_mw
-        base_d = dcache_power(benchmark, "original").total_mw
-        ours_i = icache_power(benchmark, "way-memo-2x16").total_mw
-        ours_d = dcache_power(benchmark, "way-memo-2x8").total_mw
+        base_i = power_mw("icache", "panwar", benchmark)
+        base_d = power_mw("dcache", "original", benchmark)
+        ours_i = power_mw("icache", "way-memo-2x16", benchmark)
+        ours_d = power_mw("dcache", "way-memo-2x8", benchmark)
         baseline_total = base_i + base_d
         ours_total = ours_i + ours_d
         saving = 100.0 * savings(baseline_total, ours_total)
@@ -89,9 +85,13 @@ def run(workers: Optional[int] = 1) -> ExperimentResult:
     return result
 
 
-def main() -> None:
-    print(render(run()))
-
-
-if __name__ == "__main__":
-    main()
+EXPERIMENT = register(Experiment(
+    name="figure8_total_power",
+    title="Figure 8: total cache power (mW), I + D",
+    specs=specs,
+    tabulate=tabulate,
+    paper_reference=(
+        "average saving ~30%, maximum ~40% (mpeg2enc), vs "
+        "original D-cache + [4] I-cache"
+    ),
+))

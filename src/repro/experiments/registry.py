@@ -1,0 +1,200 @@
+"""The central experiment registry: every paper artefact, first-class.
+
+Mirroring the architecture registry (:mod:`repro.api.registry`), every
+reproduced table / figure / ablation is one declarative
+:class:`Experiment` record registered here exactly once:
+
+* ``specs()`` declares the design points the experiment consumes, as
+  plain :class:`~repro.api.spec.RunSpec` objects — the same documents
+  the CLI, the sweeps and the HTTP service speak;
+* ``tabulate(results)`` turns ``{spec.key(): RunResult}`` into the
+  finished :class:`~repro.experiments.reporting.ExperimentResult`,
+  **purely**: no simulation, no evaluation, no hidden state — calling
+  it twice on the same results yields identical bytes
+  (``tests/test_experiment_registry.py`` asserts this for every
+  registered experiment).
+
+Because a finished table is a deterministic function of
+JSON-serializable results, the *evaluation* can happen anywhere — this
+process (:func:`run_experiment`), a worker pool, or a remote service
+(``repro report --url`` / ``POST /v1/experiments/{name}``) — and the
+rendered artefact is byte-identical either way.
+
+A few experiments (the analytic Tables 1–3, and the ablations that
+re-derive access streams: adder width, fetch width, stack traffic,
+associativity) consume no run specs; they declare ``specs() == []``
+and their ``tabulate`` computes from the hardware model or the cached
+workload traces directly.  They still register, enumerate and render
+through the same machinery.
+
+Experiment modules self-register at import; :data:`EXPERIMENTS` names
+them in report order and :func:`get_experiment` imports lazily, so
+``registry.all_experiments()`` is the one enumeration the report
+generator, the CLI and the service share.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.api import RunSpec, evaluate_many
+from repro.api.result import RunResult
+from repro.experiments.reporting import ExperimentResult
+
+#: Every experiment module, in report order.  Each module registers an
+#: :class:`Experiment` of the same name at import time.
+EXPERIMENTS: Tuple[str, ...] = (
+    "table1_area",
+    "table2_delay",
+    "table3_power",
+    "figure4_dcache_accesses",
+    "figure5_dcache_power",
+    "figure6_icache_accesses",
+    "figure7_icache_power",
+    "figure8_total_power",
+    "ablation_consistency",
+    "ablation_mab_size",
+    "ablation_adder_width",
+    "ablation_policies",
+    "ablation_stack_traffic",
+    "ablation_fetch_width",
+    "ablation_energy_model",
+    "extension_line_buffer",
+    "extension_baselines",
+    "extension_associativity",
+)
+
+#: ``{spec.key(): RunResult}`` — what ``tabulate`` consumes.
+ResultMap = Mapping[str, RunResult]
+
+
+@dataclass(frozen=True, eq=False)
+class Experiment:
+    """One registered experiment: declared specs + pure tabulation.
+
+    ``title`` and ``paper_reference`` live on the record (not inside
+    ``tabulate``) so the registry can enumerate finished-artefact
+    metadata — ``repro list``, ``GET /v1/experiments`` — without
+    evaluating anything.
+    """
+
+    name: str
+    title: str
+    specs: Callable[[], List[RunSpec]]
+    tabulate: Callable[[ResultMap], ExperimentResult]
+    paper_reference: Optional[str] = None
+    #: What powers the table: ``spec-driven`` (declared RunSpecs, the
+    #: default), ``analytic`` (hardware model only — instant), or
+    #: ``trace-derived`` (replays modified/re-derived streams inside
+    #: ``tabulate`` — local compute even with ``--url``).
+    category: str = "spec-driven"
+
+    def new_result(self, columns: Sequence[str]) -> ExperimentResult:
+        """The empty result shell every ``tabulate`` starts from."""
+        return ExperimentResult(
+            name=self.name,
+            title=self.title,
+            columns=columns,
+            paper_reference=self.paper_reference,
+        )
+
+    def run(
+        self,
+        workers: Optional[int] = 1,
+        results: Optional[ResultMap] = None,
+    ) -> ExperimentResult:
+        """Evaluate the declared specs (unless ``results`` is given)
+        and tabulate.  ``results`` may hold results for *more* specs
+        than this experiment declares (e.g. one prefetched report
+        batch, or a remote fetch); lookups are by canonical spec key.
+        """
+        if results is None:
+            specs = self.specs()
+            results = keyed_results(
+                specs, evaluate_many(specs, workers=workers)
+            )
+        return self.tabulate(results)
+
+
+_REGISTRY: Dict[str, Experiment] = {}
+
+
+def register(experiment: Experiment) -> Experiment:
+    """Add ``experiment`` to the registry (duplicate names are an error)."""
+    if experiment.name in _REGISTRY:
+        raise ValueError(
+            f"experiment {experiment.name!r} already registered"
+        )
+    _REGISTRY[experiment.name] = experiment
+    return experiment
+
+
+def get_experiment(name: str) -> Experiment:
+    """Look up one experiment, importing its module on first use."""
+    if name not in _REGISTRY and name in EXPERIMENTS:
+        importlib.import_module(f"repro.experiments.{name}")
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {EXPERIMENTS}"
+        ) from None
+
+
+def experiment_names() -> Tuple[str, ...]:
+    """Registered experiment names, in report order."""
+    return EXPERIMENTS
+
+
+def all_experiments() -> Tuple[Experiment, ...]:
+    """Every experiment record, in report order (imports them all)."""
+    return tuple(get_experiment(name) for name in EXPERIMENTS)
+
+
+def run_experiment(
+    experiment: Union[str, Experiment],
+    workers: Optional[int] = 1,
+    results: Optional[ResultMap] = None,
+) -> ExperimentResult:
+    """Run one experiment by name or record (see :meth:`Experiment.run`)."""
+    if isinstance(experiment, str):
+        experiment = get_experiment(experiment)
+    return experiment.run(workers=workers, results=results)
+
+
+def keyed_results(
+    specs: Sequence[RunSpec], results: Sequence[RunResult]
+) -> Dict[str, RunResult]:
+    """The ``{spec.key(): RunResult}`` mapping ``tabulate`` consumes.
+
+    The single defining site of the ResultMap shape: keys are
+    canonical spec serializations, values align with the spec order.
+    """
+    return dict(zip((s.key() for s in specs), results))
+
+
+def spec_result(results: ResultMap, spec: RunSpec) -> RunResult:
+    """The result for ``spec``, with a usable error on a missing key.
+
+    The helper ``tabulate`` implementations use to consume their
+    declared design points; a miss means the caller evaluated a
+    different spec set than the experiment declared.
+    """
+    try:
+        return results[spec.key()]
+    except KeyError:
+        raise KeyError(
+            f"tabulate is missing a result for declared spec "
+            f"{spec.key()} (got {len(results)} results)"
+        ) from None

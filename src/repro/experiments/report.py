@@ -1,32 +1,50 @@
 """Full reproduction report generator.
 
-``repro report [-o FILE] [--workers N]`` runs every registered
-experiment and renders one self-contained markdown document: the
-reproduced tables and figures, each with its paper reference and
-notes.  This is the artefact to diff across code changes — if an
-optimisation or fix shifts any reproduced number, the report shows
-where.
+``repro report [-o FILE] [--workers N] [--url URL]`` runs every
+registered experiment and renders one self-contained markdown
+document: the reproduced tables and figures, each with its paper
+reference and notes.  This is the artefact to diff across code
+changes — if an optimisation or fix shifts any reproduced number, the
+report shows where.
 
-Before rendering, every experiment that declares its design points
-(a module-level ``specs()``) contributes them to one deduplicated
-``evaluate_many`` batch, fanned out over the shared worker pool —
-so the expensive controller replays run in parallel while the
-rendering stays serial and byte-deterministic.  The batch reads
-through the persistent result store (:mod:`repro.store`): a warm
-store regenerates the whole report with **zero simulations**, and the
-output bytes are identical either way (timing is reported on the
-progress stream, never in the document).
+The generator iterates the central experiment registry
+(:mod:`repro.experiments.registry`): every experiment's declared
+design points go into one deduplicated batch, and each finished table
+is that experiment's pure ``tabulate`` over the evaluated results.
+Where the batch is evaluated is a transport choice:
+
+* **locally** (default), through :func:`repro.api.evaluate_many` —
+  fanned over the shared worker pool and read through the persistent
+  result store, so a warm store regenerates the whole report with
+  **zero simulations**;
+* **remotely** (``url=...`` / ``repro report --url``), against a
+  running evaluation service: after a ``GET /v1/healthz`` code-
+  fingerprint check (a version-skewed server is refused with a 409),
+  the same deduplicated union goes through one ``POST /v1/batch`` —
+  the server evaluates through *its* store and this process only
+  tabulates and renders.  (Per-experiment mappings are also served
+  directly at ``POST /v1/experiments/{name}`` for external clients —
+  :meth:`repro.service.client.ServiceClient.run_experiment`.)
+
+Either way the output bytes are identical (timing is reported on the
+progress stream, never in the document); ``python -m
+repro.api.determinism_check`` proves the local/remote identity.
 """
 
 from __future__ import annotations
 
-import importlib
 import time
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.api import evaluate_many
-from repro.experiments import EXPERIMENTS
-from repro.experiments.reporting import ExperimentResult
+from repro.api.result import RunResult
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    Experiment,
+    get_experiment,
+    keyed_results,
+)
+from repro.experiments.reporting import ExperimentResult, format_cell
 
 
 def _to_markdown(result: ExperimentResult) -> str:
@@ -37,12 +55,7 @@ def _to_markdown(result: ExperimentResult) -> str:
     lines.append("| " + " | ".join(header) + " |")
     lines.append("|" + "|".join("---" for _ in header) + "|")
     for row in result.rows:
-        cells = []
-        for col in header:
-            value = row.get(col, "")
-            cells.append(
-                f"{value:.3f}" if isinstance(value, float) else str(value)
-            )
+        cells = [format_cell(row.get(col, "")) for col in header]
         lines.append("| " + " | ".join(cells) + " |")
     for note in result.notes:
         lines += ["", f"> {note}"]
@@ -50,36 +63,69 @@ def _to_markdown(result: ExperimentResult) -> str:
     return "\n".join(lines)
 
 
-def prefetch_specs(names: List[str]) -> List:
-    """The union of design points declared by ``names``' modules."""
-    specs = []
-    for name in names:
-        module = importlib.import_module(f"repro.experiments.{name}")
-        declared = getattr(module, "specs", None)
-        if declared is not None:
-            specs.extend(declared())
-    return specs
+def fetch_results(
+    experiments: List[Experiment],
+    workers: Optional[int] = None,
+    url: Optional[str] = None,
+    progress: bool = False,
+) -> Dict[str, RunResult]:
+    """Every declared design point, evaluated locally or remotely.
+
+    Both transports move ONE deduplicated batch: design points shared
+    between experiments (e.g. ``ablation_energy_model`` re-prices the
+    Figure-8 points) are evaluated and transferred once.  ``repro
+    run --url`` shares this path with the report generator.
+    """
+    specs = [s for exp in experiments for s in exp.specs()]
+    unique = list({s.key(): s for s in specs}.values())
+    if not unique:
+        return {}
+    if url is not None:
+        from repro.service import ServiceClient
+
+        client = ServiceClient(url)
+        # Refuse a version-skewed server up front (usable error before
+        # any waiting); the claim sent with the batch re-checks it
+        # atomically in case the server is redeployed in between.
+        client.verify_fingerprint()
+        if progress:
+            print(
+                f"  fetching {len(unique)} design points from "
+                f"{url} ...", flush=True,
+            )
+        return keyed_results(
+            unique,
+            client.evaluate_many(
+                unique, workers=workers, claim_fingerprint=True
+            ),
+        )
+    if progress:
+        print(
+            f"  prefetching {len(unique)} design points "
+            f"(workers={workers or 'all'}) ...", flush=True,
+        )
+    return keyed_results(
+        unique, evaluate_many(unique, workers=workers)
+    )
 
 
 def generate(
     experiments: Optional[List[str]] = None,
     progress: bool = False,
     workers: Optional[int] = 1,
+    url: Optional[str] = None,
 ) -> str:
     """Run ``experiments`` (default: all) and return the markdown.
 
-    ``workers`` sizes the prefetch pool (None = all cores); rendering
-    order and output bytes are independent of it.
+    ``workers`` sizes the prefetch pool (None = all cores); ``url``
+    evaluates on a running service instead of in this process.
+    Rendering order and output bytes are independent of both.
     """
     names = list(experiments or EXPERIMENTS)
-    specs = prefetch_specs(names)
-    if specs:
-        if progress:
-            print(
-                f"  prefetching {len(specs)} design points "
-                f"(workers={workers or 'all'}) ...", flush=True,
-            )
-        evaluate_many(specs, workers=workers)
+    records = [get_experiment(name) for name in names]
+    results = fetch_results(
+        records, workers=workers, url=url, progress=progress
+    )
     sections = [
         "# Reproduction report",
         "",
@@ -90,22 +136,26 @@ def generate(
         f"Experiments: {', '.join(names)}",
         "",
     ]
-    for name in names:
+    for record in records:
         started = time.perf_counter()
-        module = importlib.import_module(f"repro.experiments.{name}")
-        result = module.run()
+        result = record.tabulate(results)
         elapsed = time.perf_counter() - started
         if progress:
-            print(f"  {name} done in {elapsed:.1f} s", flush=True)
+            print(f"  {record.name} done in {elapsed:.1f} s", flush=True)
         sections.append(_to_markdown(result))
         sections.append("")
     return "\n".join(sections)
 
 
 def main(
-    output: Optional[str] = None, workers: Optional[int] = None
+    output: Optional[str] = None,
+    workers: Optional[int] = None,
+    url: Optional[str] = None,
+    experiments: Optional[List[str]] = None,
 ) -> None:
-    markdown = generate(progress=True, workers=workers)
+    markdown = generate(
+        experiments=experiments, progress=True, workers=workers, url=url
+    )
     from repro.store import default_store
 
     store = default_store()

@@ -35,7 +35,14 @@ class ExperimentResult:
         raise KeyError(f"no row matching {match}")
 
 
-def _format_cell(value: Any) -> str:
+def format_cell(value: Any) -> str:
+    """The one cell formatter every table renderer shares.
+
+    Floats print with three decimals, everything else verbatim; both
+    the aligned text tables (:func:`render`) and the markdown report
+    (:mod:`repro.experiments.report`) format through here, so the two
+    surfaces can never drift apart.
+    """
     if isinstance(value, float):
         return f"{value:.3f}"
     return str(value)
@@ -45,7 +52,7 @@ def render(result: ExperimentResult) -> str:
     """Render an :class:`ExperimentResult` as an aligned text table."""
     header = list(result.columns)
     body = [
-        [_format_cell(row.get(col, "")) for col in header]
+        [format_cell(row.get(col, "")) for col in header]
         for row in result.rows
     ]
     widths = [

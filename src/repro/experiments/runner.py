@@ -11,8 +11,14 @@ experiment modules (and external callers) grew up with:
   ``MAB_GEOMETRY`` — legacy alias views re-exported from
   :mod:`repro.api.registry`, the single defining site.
 * ``arch_spec`` — the canonical :class:`~repro.api.spec.RunSpec` for a
-  (cache, architecture, benchmark) point; experiments use it to
-  declare their design points for parallel prefetching.
+  (cache, architecture, benchmark) point; the registered experiments
+  (:mod:`repro.experiments.registry`) build their declared ``specs()``
+  and their ``tabulate`` lookups from it.
+
+Note the cached ``*_counters`` / ``*_power`` helpers evaluate on
+miss; experiment ``tabulate`` implementations must consume their
+declared results mapping instead (purity is tested), so these helpers
+are for library users, examples and tests.
 """
 
 from __future__ import annotations

@@ -2,27 +2,28 @@
 
 from __future__ import annotations
 
+from typing import List
+
+from repro.api import RunSpec
 from repro.energy.mab_model import (
     MABHardwareModel,
     PAPER_GRID,
     PAPER_TABLE1_AREA_MM2,
 )
-from repro.experiments.reporting import ExperimentResult, render
+from repro.experiments.registry import Experiment, ResultMap, register
+from repro.experiments.reporting import ExperimentResult
 
 
-def run() -> ExperimentResult:
-    result = ExperimentResult(
-        name="table1_area",
-        title="Table 1: MAB area overhead (mm^2)",
-        columns=(
-            "tag_entries", "index_entries", "area_mm2", "paper_mm2",
-            "overhead_pct", "storage_bits",
-        ),
-        paper_reference=(
-            "2x8 D-cache MAB costs ~3% of the cache macro; "
-            "2x16 vs 2x32 I-cache MABs cost 7.5% vs 27.5%"
-        ),
-    )
+def specs() -> List[RunSpec]:
+    """Analytic hardware model only — no simulation design points."""
+    return []
+
+
+def tabulate(results: ResultMap) -> ExperimentResult:
+    result = EXPERIMENT.new_result(columns=(
+        "tag_entries", "index_entries", "area_mm2", "paper_mm2",
+        "overhead_pct", "storage_bits",
+    ))
     for nt, ns in PAPER_GRID:
         model = MABHardwareModel(nt, ns)
         result.add_row(
@@ -44,9 +45,14 @@ def run() -> ExperimentResult:
     return result
 
 
-def main() -> None:
-    print(render(run()))
-
-
-if __name__ == "__main__":
-    main()
+EXPERIMENT = register(Experiment(
+    name="table1_area",
+    title="Table 1: MAB area overhead (mm^2)",
+    specs=specs,
+    tabulate=tabulate,
+    category="analytic",
+    paper_reference=(
+        "2x8 D-cache MAB costs ~3% of the cache macro; "
+        "2x16 vs 2x32 I-cache MABs cost 7.5% vs 27.5%"
+    ),
+))

@@ -2,31 +2,32 @@
 
 from __future__ import annotations
 
+from typing import List
+
+from repro.api import RunSpec
 from repro.energy.mab_model import (
     MABHardwareModel,
     PAPER_GRID,
     PAPER_TABLE2_DELAY_NS,
 )
 from repro.energy.technology import FRV_TECH
-from repro.experiments.reporting import ExperimentResult, render
+from repro.experiments.registry import Experiment, ResultMap, register
+from repro.experiments.reporting import ExperimentResult
 
 #: The FR-V's maximum clock is 400 MHz -> 2.5 ns cycle (paper Sec. 4).
 CYCLE_TIME_NS = 2.5
 
 
-def run() -> ExperimentResult:
-    result = ExperimentResult(
-        name="table2_delay",
-        title="Table 2: delay of the added MAB circuit (ns)",
-        columns=(
-            "tag_entries", "index_entries", "delay_ns", "paper_ns",
-            "fits_400mhz",
-        ),
-        paper_reference=(
-            "all configurations well under the 2.5 ns cycle -> "
-            "zero performance penalty"
-        ),
-    )
+def specs() -> List[RunSpec]:
+    """Analytic hardware model only — no simulation design points."""
+    return []
+
+
+def tabulate(results: ResultMap) -> ExperimentResult:
+    result = EXPERIMENT.new_result(columns=(
+        "tag_entries", "index_entries", "delay_ns", "paper_ns",
+        "fits_400mhz",
+    ))
     for nt, ns in PAPER_GRID:
         model = MABHardwareModel(nt, ns)
         result.add_row(
@@ -43,9 +44,14 @@ def run() -> ExperimentResult:
     return result
 
 
-def main() -> None:
-    print(render(run()))
-
-
-if __name__ == "__main__":
-    main()
+EXPERIMENT = register(Experiment(
+    name="table2_delay",
+    title="Table 2: delay of the added MAB circuit (ns)",
+    specs=specs,
+    tabulate=tabulate,
+    category="analytic",
+    paper_reference=(
+        "all configurations well under the 2.5 ns cycle -> "
+        "zero performance penalty"
+    ),
+))

@@ -2,29 +2,30 @@
 
 from __future__ import annotations
 
+from typing import List
+
+from repro.api import RunSpec
 from repro.energy.mab_model import (
     MABHardwareModel,
     PAPER_GRID,
     PAPER_TABLE3_POWER_ACTIVE_MW,
     PAPER_TABLE3_POWER_SLEEP_MW,
 )
-from repro.experiments.reporting import ExperimentResult, render
+from repro.experiments.registry import Experiment, ResultMap, register
+from repro.experiments.reporting import ExperimentResult
 
 
-def run() -> ExperimentResult:
-    result = ExperimentResult(
-        name="table3_power",
-        title="Table 3: MAB power consumption (mW)",
-        columns=(
-            "tag_entries", "index_entries",
-            "active_mw", "paper_active_mw",
-            "sleep_mw", "paper_sleep_mw",
-        ),
-        paper_reference=(
-            "clock gating keeps unused-cycle power small "
-            "(sleep << active in every configuration)"
-        ),
-    )
+def specs() -> List[RunSpec]:
+    """Analytic hardware model only — no simulation design points."""
+    return []
+
+
+def tabulate(results: ResultMap) -> ExperimentResult:
+    result = EXPERIMENT.new_result(columns=(
+        "tag_entries", "index_entries",
+        "active_mw", "paper_active_mw",
+        "sleep_mw", "paper_sleep_mw",
+    ))
     for nt, ns in PAPER_GRID:
         model = MABHardwareModel(nt, ns)
         result.add_row(
@@ -38,9 +39,14 @@ def run() -> ExperimentResult:
     return result
 
 
-def main() -> None:
-    print(render(run()))
-
-
-if __name__ == "__main__":
-    main()
+EXPERIMENT = register(Experiment(
+    name="table3_power",
+    title="Table 3: MAB power consumption (mW)",
+    specs=specs,
+    tabulate=tabulate,
+    category="analytic",
+    paper_reference=(
+        "clock gating keeps unused-cycle power small "
+        "(sleep << active in every configuration)"
+    ),
+))

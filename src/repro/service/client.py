@@ -77,8 +77,35 @@ class ServiceClient:
     def healthz(self) -> Dict[str, Any]:
         return self._request("/v1/healthz")
 
+    def verify_fingerprint(self, remote: Optional[str] = None) -> str:
+        """Refuse a version-skewed server (the one defining site).
+
+        A server running different code could answer with numbers
+        that differ from a local run — and nothing would look wrong.
+        Checks ``remote`` (or ``GET /v1/healthz``'s fingerprint when
+        not given) against this client's and raises a 409-coded
+        :class:`ServiceError` on mismatch; returns the fingerprint.
+        """
+        from repro.store import code_fingerprint
+
+        local = code_fingerprint()
+        if remote is None:
+            remote = self.healthz().get("fingerprint")
+        if remote != local:
+            raise ServiceError(
+                409,
+                f"server runs code fingerprint {remote}, this client "
+                f"runs {local}; remote results would not be "
+                "byte-identical — update one side",
+            )
+        return local
+
     def architectures(self) -> Dict[str, Any]:
         return self._request("/v1/architectures")
+
+    def experiments(self) -> List[Dict[str, Any]]:
+        """``GET /v1/experiments``: the registered experiment records."""
+        return self._request("/v1/experiments")["experiments"]
 
     def store_stats(self) -> Dict[str, Any]:
         return self._request("/v1/store/stats")
@@ -95,11 +122,23 @@ class ServiceClient:
         self,
         specs: Sequence[SpecLike],
         workers: Optional[int] = None,
+        claim_fingerprint: bool = False,
     ) -> List[RunResult]:
-        """``POST /v1/batch``: results in input order, deduped remotely."""
+        """``POST /v1/batch``: results in input order, deduped remotely.
+
+        ``claim_fingerprint`` sends this client's code fingerprint
+        with the batch, making the server refuse (409) before
+        evaluating if it runs different code — closing the window
+        between a ``healthz`` pre-check and the batch itself.  Raw
+        spec batches (``repro submit``) stay version-agnostic.
+        """
         payload: Dict[str, Any] = {
             "specs": [_spec_dict(spec) for spec in specs],
         }
+        if claim_fingerprint:
+            from repro.store import code_fingerprint
+
+            payload["fingerprint"] = code_fingerprint()
         if workers is not None:
             payload["workers"] = workers
         response = self._request("/v1/batch", payload)
@@ -107,3 +146,31 @@ class ServiceClient:
             RunResult.from_dict(document)
             for document in response["results"]
         ]
+
+    def run_experiment(
+        self, name: str, workers: Optional[int] = None
+    ) -> Dict[str, RunResult]:
+        """``POST /v1/experiments/{name}``: evaluate server-side.
+
+        Returns ``{spec.key(): RunResult}`` — the mapping the
+        experiment's pure ``tabulate`` consumes, so
+        ``get_experiment(name).tabulate(client.run_experiment(name))``
+        is byte-identical to running the experiment in-process.  A
+        server running different code is refused: its numbers could
+        differ from a local run, and the whole point of the remote
+        path is that nobody can tell where the table was evaluated.
+        """
+        from repro.store import code_fingerprint
+
+        payload: Dict[str, Any] = {"fingerprint": code_fingerprint()}
+        if workers is not None:
+            payload["workers"] = workers
+        # The server checks the claimed fingerprint BEFORE evaluating
+        # (409 on skew, no wasted computation); the response echo is
+        # re-checked here in case an intermediary stripped the claim.
+        response = self._request(f"/v1/experiments/{name}", payload)
+        self.verify_fingerprint(response.get("fingerprint"))
+        return {
+            key: RunResult.from_dict(document)
+            for key, document in response["results"].items()
+        }

@@ -15,10 +15,16 @@ Routes (all JSON):
 * ``GET  /v1/healthz``       — liveness + code fingerprint/schemas
 * ``GET  /v1/architectures`` — the central registry (ids, defaults),
   benchmarks, engines, technologies
+* ``GET  /v1/experiments``   — the experiment registry (names,
+  titles, paper references, declared spec counts)
 * ``GET  /v1/store/stats``   — persistent-store shape and traffic
 * ``POST /v1/eval``          — one ``RunSpec`` object → one result
 * ``POST /v1/batch``         — ``{"specs": [...], "workers": N?}`` →
   ``{"results": [...]}`` in input order
+* ``POST /v1/experiments/{name}`` — evaluate one registered
+  experiment's declared design points server-side (through the
+  store) → ``{"results": {spec_key: result}}`` keyed by canonical
+  spec JSON; the client tabulates locally (``repro report --url``)
 
 Run it with ``repro serve`` (see :mod:`repro.cli`); talk to it with
 :mod:`repro.service.client`, ``repro submit`` or plain ``curl``.
@@ -42,6 +48,11 @@ from repro.api import (
     cached_results,
     clear_result_cache,
     evaluate_many,
+)
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    all_experiments,
+    get_experiment,
 )
 from repro.store import code_fingerprint, default_store
 from repro.workloads import BENCHMARK_NAMES
@@ -98,6 +109,24 @@ def _parse_specs(items: List[Any]) -> List[RunSpec]:
     return [RunSpec.from_dict(item) for item in items]
 
 
+def _experiments_payload() -> Dict[str, Any]:
+    """The experiment registry as one JSON document
+    (``/v1/experiments``)."""
+    return {
+        "schema_version": RESULT_SCHEMA_VERSION,
+        "experiments": [
+            {
+                "name": experiment.name,
+                "title": experiment.title,
+                "paper_reference": experiment.paper_reference,
+                "category": experiment.category,
+                "spec_count": len(experiment.specs()),
+            }
+            for experiment in all_experiments()
+        ],
+    }
+
+
 class ServiceHandler(BaseHTTPRequestHandler):
     """One request: decode JSON, dispatch, encode JSON."""
 
@@ -148,6 +177,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
             })
         elif self.path == "/v1/architectures":
             self._send_json(200, _registry_payload())
+        elif self.path == "/v1/experiments":
+            self._send_json(200, _experiments_payload())
         elif self.path == "/v1/store/stats":
             store = default_store()
             if store is None:
@@ -172,8 +203,54 @@ class ServiceHandler(BaseHTTPRequestHandler):
             self._handle_eval(payload)
         elif self.path == "/v1/batch":
             self._handle_batch(payload)
+        elif self.path.startswith("/v1/experiments/"):
+            name = self.path[len("/v1/experiments/"):]
+            self._handle_experiment(name, payload)
         else:
             self._send_error_json(404, f"unknown route {self.path!r}")
+
+    def _parse_workers(self, payload: Dict[str, Any]) -> Optional[int]:
+        """Pool size from the request, defaulting to the server's.
+
+        Raises ``ValueError`` (for a 400) on non-integer values.
+        """
+        workers = payload.get("workers", self.server.default_workers)
+        if workers is not None and not isinstance(workers, int):
+            raise ValueError("workers must be an integer")
+        return workers
+
+    def _refuse_fingerprint_skew(self, payload: Dict[str, Any]) -> bool:
+        """409 a mismatched client fingerprint claim BEFORE evaluating.
+
+        The claim is optional (raw spec batches from `repro submit`
+        are version-agnostic by design), but when a client sends one
+        — the byte-identity paths do — skew is refused atomically
+        with the evaluation, with no wasted computation.  Returns
+        True when the request was answered.
+        """
+        claimed = payload.get("fingerprint")
+        if claimed is not None and claimed != code_fingerprint():
+            self._send_error_json(
+                409,
+                f"server runs code fingerprint {code_fingerprint()}, "
+                f"client runs {claimed}; remote results would not be "
+                "byte-identical — update one side",
+            )
+            return True
+        return False
+
+    def _evaluate_locked(self, specs, workers: Optional[int]):
+        """The one evaluation block every POST route shares: serialize
+        pool fan-outs behind ``eval_lock`` and bound the memory cache.
+        Returns None after answering 500 if the evaluation fails."""
+        try:
+            with self.server.eval_lock:
+                results = evaluate_many(specs, workers=workers or None)
+                _bound_result_cache()
+            return results
+        except Exception as exc:   # noqa: BLE001 — must answer, not hang
+            self._send_error_json(500, f"evaluation failed: {exc}")
+            return None
 
     def _handle_eval(self, payload: Any) -> None:
         if not isinstance(payload, dict):
@@ -184,14 +261,9 @@ class ServiceHandler(BaseHTTPRequestHandler):
         except (KeyError, ValueError, TypeError) as exc:
             self._send_error_json(400, f"invalid spec: {exc}")
             return
-        try:
-            with self.server.eval_lock:
-                (result,) = evaluate_many([spec], workers=1)
-                _bound_result_cache()
-        except Exception as exc:   # noqa: BLE001 — must answer, not hang
-            self._send_error_json(500, f"evaluation failed: {exc}")
-            return
-        self._send_json(200, result.to_dict())
+        results = self._evaluate_locked([spec], workers=1)
+        if results is not None:
+            self._send_json(200, results[0].to_dict())
 
     def _handle_batch(self, payload: Any) -> None:
         if isinstance(payload, list):
@@ -204,26 +276,72 @@ class ServiceHandler(BaseHTTPRequestHandler):
                      "or a bare spec array"
             )
             return
-        workers = payload.get("workers", self.server.default_workers)
-        if workers is not None and not isinstance(workers, int):
-            self._send_error_json(400, "workers must be an integer")
+        try:
+            workers = self._parse_workers(payload)
+        except ValueError as exc:
+            self._send_error_json(400, str(exc))
+            return
+        if self._refuse_fingerprint_skew(payload):
             return
         try:
             specs = _parse_specs(payload["specs"])
         except (KeyError, ValueError, TypeError) as exc:
             self._send_error_json(400, f"invalid spec: {exc}")
             return
-        try:
-            with self.server.eval_lock:
-                results = evaluate_many(specs, workers=workers or None)
-                _bound_result_cache()
-        except Exception as exc:   # noqa: BLE001 — must answer, not hang
-            self._send_error_json(500, f"evaluation failed: {exc}")
+        results = self._evaluate_locked(specs, workers)
+        if results is None:
             return
         self._send_json(200, {
             "schema_version": RESULT_SCHEMA_VERSION,
             "count": len(results),
             "results": [result.to_dict() for result in results],
+        })
+
+    def _handle_experiment(self, name: str, payload: Any) -> None:
+        """Evaluate one registered experiment's declared specs.
+
+        The response carries raw results keyed by canonical spec JSON
+        — exactly the mapping the experiment's pure ``tabulate``
+        consumes — so any client renders the finished table locally,
+        byte-identical to an in-process run.  The code fingerprint is
+        included so clients can refuse version-skewed servers (stale
+        numbers would otherwise render with exit code 0).
+        """
+        if name not in EXPERIMENTS:
+            self._send_error_json(
+                404, f"unknown experiment {name!r}; "
+                     f"available: {list(EXPERIMENTS)}"
+            )
+            return
+        if payload is None:
+            payload = {}
+        if not isinstance(payload, dict):
+            self._send_error_json(
+                400, 'expected {"workers": N?} or an empty body'
+            )
+            return
+        try:
+            workers = self._parse_workers(payload)
+        except ValueError as exc:
+            self._send_error_json(400, str(exc))
+            return
+        if self._refuse_fingerprint_skew(payload):
+            return
+        experiment = get_experiment(name)
+        specs = experiment.specs()
+        results = self._evaluate_locked(specs, workers)
+        if results is None:
+            return
+        self._send_json(200, {
+            "name": experiment.name,
+            "title": experiment.title,
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "fingerprint": code_fingerprint(),
+            "count": len(results),
+            "results": {
+                spec.key(): result.to_dict()
+                for spec, result in zip(specs, results)
+            },
         })
 
 

@@ -11,12 +11,15 @@ question asked of the *identical* code, and a warm ``repro report`` /
 
 Location: ``$REPRO_RESULT_STORE`` (a file path, or ``0``/``off`` to
 disable), default ``~/.cache/repro-results/results.sqlite``.  CLI:
-``repro store {stats,gc,export}``.
+``repro store {stats,gc,export,import}`` (``gc --max-rows/--max-age``
+evicts least-recently-used rows; ``import`` merges another store's
+export archive for multi-machine pooling).
 """
 
 from repro.store.fingerprint import code_fingerprint
 from repro.store.store import (
     STORE_ENV,
+    ImportReport,
     ResultStore,
     default_store,
     reset_default_stores,
@@ -25,6 +28,7 @@ from repro.store.store import (
 
 __all__ = [
     "STORE_ENV",
+    "ImportReport",
     "ResultStore",
     "code_fingerprint",
     "default_store",

@@ -40,6 +40,7 @@ import os
 import sqlite3
 import threading
 import time
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, Optional, Sequence, TextIO, Union
 
@@ -60,9 +61,20 @@ CREATE TABLE IF NOT EXISTS results (
     fingerprint   TEXT    NOT NULL,
     result_json   TEXT    NOT NULL,
     created_at    REAL    NOT NULL,
+    last_used_at  REAL,
     PRIMARY KEY (spec_key, result_schema, fingerprint)
 )
 """
+
+
+@dataclass(frozen=True)
+class ImportReport:
+    """Outcome of merging an export archive into a store."""
+
+    merged: int            #: rows inserted
+    skipped_version: int   #: fingerprint / schema-version mismatch
+    skipped_invalid: int   #: malformed lines or inconsistent documents
+    skipped_existing: int  #: already present (INSERT OR IGNORE)
 
 
 def store_path() -> Optional[Path]:
@@ -93,6 +105,7 @@ class ResultStore:
         self.hits = 0
         self.misses = 0
         self.puts = 0
+        self._lru_migrated = False
         self._lock = threading.Lock()
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._execute(lambda conn: None)   # create schema / verify file
@@ -104,7 +117,39 @@ class ResultStore:
         conn.execute("PRAGMA journal_mode=WAL")
         conn.execute("PRAGMA synchronous=NORMAL")
         conn.execute(_SCHEMA)
+        if not self._lru_migrated:
+            self._migrate_lru_column(conn)
         return conn
+
+    def _migrate_lru_column(self, conn: sqlite3.Connection) -> None:
+        """Teach pre-LRU store files the ``last_used_at`` column.
+
+        Runs until it succeeds once per instance (the column can only
+        be missing on first contact with an old file).  NULL means
+        "never read since the upgrade"; gc falls back to
+        ``created_at``.  A store that cannot be written (read-only
+        share) keeps working without the column — reads never
+        reference it and every write on such a store fails anyway.
+        """
+        columns = {
+            row[1] for row in conn.execute("PRAGMA table_info(results)")
+        }
+        if "last_used_at" not in columns:
+            try:
+                conn.execute(
+                    "ALTER TABLE results ADD COLUMN last_used_at REAL"
+                )
+            except sqlite3.OperationalError as exc:
+                # Two connections can race the upgrade; the loser's
+                # "duplicate column name" means the winner already
+                # migrated.  "readonly database" degrades to
+                # no-recency-tracking.  Anything else is real.
+                message = str(exc).lower()
+                if ("duplicate column" not in message
+                        and "readonly" not in message
+                        and "read-only" not in message):
+                    raise
+        self._lru_migrated = True
 
     @staticmethod
     def _is_corruption(exc: sqlite3.DatabaseError) -> bool:
@@ -167,12 +212,14 @@ class ResultStore:
         if unique:
             def query(conn: sqlite3.Connection):
                 placeholders = ",".join("?" for _ in unique)
-                return conn.execute(
+                found = conn.execute(
                     f"SELECT spec_key, result_json FROM results "
                     f"WHERE result_schema = ? AND fingerprint = ? "
                     f"AND spec_key IN ({placeholders})",
                     [RESULT_SCHEMA_VERSION, self.fingerprint, *unique],
                 ).fetchall()
+                self._touch(conn, [key for key, _ in found])
+                return found
 
             rows = dict(self._execute(query))
         found = {
@@ -184,6 +231,32 @@ class ResultStore:
             self.misses += len(unique) - len(found)
         return found
 
+    def _touch(
+        self, conn: sqlite3.Connection, hit_keys: Sequence[str]
+    ) -> None:
+        """Stamp ``last_used_at`` on read hits, best-effort.
+
+        Runs on the read's own connection/transaction (no second WAL
+        writer round-trip per lookup batch), but recency is an
+        optimisation, never a requirement: a store that cannot be
+        written (read-only share, another machine's exported file
+        mounted read-only) must still serve its hits, so a failing
+        stamp is swallowed rather than turning every hit into a miss.
+        """
+        if not hit_keys:
+            return
+        try:
+            marks = ",".join("?" for _ in hit_keys)
+            conn.execute(
+                f"UPDATE results SET last_used_at = ? "
+                f"WHERE result_schema = ? AND fingerprint = ? "
+                f"AND spec_key IN ({marks})",
+                [time.time(), RESULT_SCHEMA_VERSION,
+                 self.fingerprint, *hit_keys],
+            )
+        except sqlite3.Error:
+            pass
+
     # -- write side -----------------------------------------------------
 
     def put(self, result: RunResult) -> None:
@@ -191,30 +264,38 @@ class ResultStore:
 
     def put_many(self, results: Iterable[RunResult]) -> int:
         """Persist a batch in one transaction; racing writers are safe
-        (equal keys imply equal bytes, so OR IGNORE loses nothing)."""
-        now = time.time()
-        rows = [
-            (
-                result.spec.key(), RESULT_SCHEMA_VERSION,
-                self.fingerprint, result.to_json(), now,
-            )
-            for result in results
-        ]
+        (equal keys imply equal bytes, so OR IGNORE loses nothing).
+        Returns — and counts into ``puts`` — only the rows actually
+        inserted, so the counter means one thing everywhere."""
+        rows = [self._row(result) for result in results]
         if not rows:
             return 0
+        inserted = self._insert_rows(rows)
+        with self._lock:
+            self.puts += inserted
+        return inserted
 
+    def _row(self, result: RunResult) -> tuple:
+        """One canonical table row (the single row-shape definition)."""
+        now = time.time()
+        return (
+            result.spec.key(), RESULT_SCHEMA_VERSION,
+            self.fingerprint, result.to_json(), now, now,
+        )
+
+    def _insert_rows(self, rows: Sequence[tuple]) -> int:
+        """``INSERT OR IGNORE`` a batch; returns how many were new."""
         def insert(conn: sqlite3.Connection):
+            before = conn.total_changes
             conn.executemany(
                 "INSERT OR IGNORE INTO results "
                 "(spec_key, result_schema, fingerprint, result_json, "
-                "created_at) VALUES (?, ?, ?, ?, ?)",
+                "created_at, last_used_at) VALUES (?, ?, ?, ?, ?, ?)",
                 rows,
             )
+            return conn.total_changes - before
 
-        self._execute(insert)
-        with self._lock:
-            self.puts += len(rows)
-        return len(rows)
+        return self._execute(insert)
 
     # -- maintenance ----------------------------------------------------
 
@@ -250,20 +331,52 @@ class ResultStore:
             "process_puts": self.puts,
         }
 
-    def gc(self) -> int:
-        """Drop rows from other code versions / result schemas.
+    def gc(
+        self,
+        max_rows: Optional[int] = None,
+        max_age_days: Optional[float] = None,
+    ) -> int:
+        """Drop rows from other code versions / result schemas, plus
+        (optionally) least-recently-used rows.
 
-        Content addressing means such rows can never be served again by
-        this build; reclaiming them keeps the file proportional to the
-        live design space.  Returns the number of rows removed.
+        Content addressing means cross-version rows can never be
+        served again by this build; reclaiming them keeps the file
+        proportional to the live design space.  ``max_rows`` keeps
+        only the N most recently used rows; ``max_age_days`` drops
+        rows not used for that many days.  Recency is
+        ``last_used_at`` (stamped on every read hit), falling back to
+        ``created_at`` for rows from pre-LRU stores.  Returns the
+        total number of rows removed.
         """
+        if max_rows is not None and max_rows < 0:
+            raise ValueError(f"max_rows must be >= 0, got {max_rows}")
+        if max_age_days is not None and max_age_days < 0:
+            raise ValueError(
+                f"max_age_days must be >= 0, got {max_age_days}"
+            )
+        recency = "COALESCE(last_used_at, created_at)"
+
         def delete(conn: sqlite3.Connection):
-            cursor = conn.execute(
+            removed = conn.execute(
                 "DELETE FROM results "
                 "WHERE result_schema != ? OR fingerprint != ?",
                 (RESULT_SCHEMA_VERSION, self.fingerprint),
-            )
-            return cursor.rowcount
+            ).rowcount
+            if max_age_days is not None:
+                cutoff = time.time() - max_age_days * 86400.0
+                removed += conn.execute(
+                    f"DELETE FROM results WHERE {recency} < ?",
+                    (cutoff,),
+                ).rowcount
+            if max_rows is not None:
+                removed += conn.execute(
+                    f"DELETE FROM results WHERE rowid IN ("
+                    f"  SELECT rowid FROM results "
+                    f"  ORDER BY {recency} DESC, spec_key "
+                    f"  LIMIT -1 OFFSET ?)",
+                    (max_rows,),
+                ).rowcount
+            return removed
 
         removed = self._execute(delete)
         # VACUUM cannot run inside the _execute transaction.
@@ -277,8 +390,10 @@ class ResultStore:
     def export(self, handle: TextIO) -> int:
         """Write every current-code row as JSON lines; returns the count.
 
-        Each line is ``{"spec_key": ..., "result": {...}}`` in
-        ``spec_key`` order, so exports diff cleanly across stores.
+        Each line is ``{"spec_key": ..., "result": {...},
+        "fingerprint": ..., "result_schema": ...}`` in ``spec_key``
+        order, so exports diff cleanly across stores — and carry the
+        content address :meth:`import_archive` checks before merging.
         """
         def query(conn: sqlite3.Connection):
             return conn.execute(
@@ -291,10 +406,72 @@ class ResultStore:
         rows = self._execute(query)
         for key, document in rows:
             handle.write(json.dumps(
-                {"spec_key": key, "result": json.loads(document)},
+                {
+                    "spec_key": key,
+                    "result": json.loads(document),
+                    "fingerprint": self.fingerprint,
+                    "result_schema": RESULT_SCHEMA_VERSION,
+                },
                 sort_keys=True, separators=(",", ":"),
             ) + "\n")
         return len(rows)
+
+    def import_archive(self, handle: TextIO) -> ImportReport:
+        """Merge a :meth:`export` archive (JSON lines) into this store.
+
+        The multi-machine pooling primitive: CI shards or co-workers
+        export their stores and everyone imports everyone else's.
+        Rows are re-keyed through ``RunResult.from_dict`` (so the
+        stored bytes are canonical regardless of the archive's
+        formatting) and inserted with ``INSERT OR IGNORE`` — racing
+        importers and already-present keys are safe.  Rows whose code
+        fingerprint or result schema version differ from this build's
+        are skipped: content addressing would never serve them here.
+        Duplicate keys *within* the archive (concatenated overlapping
+        shards) are collapsed to one row — equal keys imply equal
+        result bytes — so ``skipped_existing`` counts only rows this
+        store already had.
+        """
+        from repro.api.result import RunResult
+
+        rows: Dict[str, tuple] = {}
+        skipped_version = skipped_invalid = 0
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+                if not isinstance(entry, dict):
+                    raise ValueError("archive line is not an object")
+            except (json.JSONDecodeError, ValueError):
+                skipped_invalid += 1
+                continue
+            if (entry.get("fingerprint") != self.fingerprint
+                    or entry.get("result_schema")
+                    != RESULT_SCHEMA_VERSION):
+                skipped_version += 1
+                continue
+            try:
+                result = RunResult.from_dict(entry["result"])
+                if result.spec.key() != entry.get("spec_key"):
+                    raise ValueError("spec_key/result mismatch")
+            except (KeyError, TypeError, ValueError):
+                skipped_invalid += 1
+                continue
+            rows.setdefault(result.spec.key(), self._row(result))
+
+        merged = 0
+        if rows:
+            merged = self._insert_rows(list(rows.values()))
+            with self._lock:
+                self.puts += merged
+        return ImportReport(
+            merged=merged,
+            skipped_version=skipped_version,
+            skipped_invalid=skipped_invalid,
+            skipped_existing=len(rows) - merged,
+        )
 
 
 # ----------------------------------------------------------------------

@@ -158,3 +158,28 @@ def test_report_markdown_table_well_formed():
     lines = [l for l in md.splitlines() if l.startswith("|")]
     widths = {line.count("|") for line in lines}
     assert len(widths) == 1  # header, rule and rows all align
+
+
+def test_report_cli_accepts_experiment_subset(tmp_path, capsys):
+    out = tmp_path / "report.md"
+    assert main(["report", "table2_delay", "-o", str(out)]) == 0
+    text = out.read_text()
+    assert "# Reproduction report" in text
+    assert "## Table 2" in text
+    assert "Figure 4" not in text
+    assert main(["report", "figure99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_store_gc_cli_accepts_lru_flags(tmp_path, monkeypatch, capsys):
+    from repro.store import STORE_ENV, reset_default_stores
+
+    monkeypatch.setenv(STORE_ENV, str(tmp_path / "gc.sqlite"))
+    reset_default_stores()
+    try:
+        assert main(["store", "gc", "--max-rows", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "least-recently-used" in out
+        assert main(["store", "gc", "--max-age", "30"]) == 0
+    finally:
+        reset_default_stores()

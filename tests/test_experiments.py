@@ -3,18 +3,7 @@ paper's qualitative result (who wins, by roughly what factor)."""
 
 import pytest
 
-from repro.experiments import (
-    ablation_adder_width,
-    ablation_consistency,
-    figure4_dcache_accesses,
-    figure5_dcache_power,
-    figure6_icache_accesses,
-    figure7_icache_power,
-    figure8_total_power,
-    table1_area,
-    table2_delay,
-    table3_power,
-)
+from repro.experiments import run_experiment
 from repro.experiments.reporting import (
     ExperimentResult,
     bar_chart,
@@ -26,27 +15,27 @@ from repro.workloads import BENCHMARK_NAMES
 
 @pytest.fixture(scope="module")
 def fig4():
-    return figure4_dcache_accesses.run()
+    return run_experiment("figure4_dcache_accesses")
 
 
 @pytest.fixture(scope="module")
 def fig5():
-    return figure5_dcache_power.run()
+    return run_experiment("figure5_dcache_power")
 
 
 @pytest.fixture(scope="module")
 def fig6():
-    return figure6_icache_accesses.run()
+    return run_experiment("figure6_icache_accesses")
 
 
 @pytest.fixture(scope="module")
 def fig7():
-    return figure7_icache_power.run()
+    return run_experiment("figure7_icache_power")
 
 
 @pytest.fixture(scope="module")
 def fig8():
-    return figure8_total_power.run()
+    return run_experiment("figure8_total_power")
 
 
 # ----------------------------------------------------------------------
@@ -55,14 +44,14 @@ def fig8():
 # ----------------------------------------------------------------------
 
 def test_table_experiments_have_full_grids():
-    for module in (table1_area, table2_delay, table3_power):
-        result = module.run()
+    for name in ("table1_area", "table2_delay", "table3_power"):
+        result = run_experiment(name)
         assert len(result.rows) == 8
         assert result.notes or result.paper_reference
 
 
 def test_table1_overhead_ordering():
-    result = table1_area.run()
+    result = run_experiment("table1_area")
     overheads = result.column("overhead_pct")
     assert overheads == sorted(overheads) or all(
         a <= b for a, b in zip(overheads[:4], overheads[4:])
@@ -229,7 +218,7 @@ def test_fig8_totals_are_component_sums(fig8):
 # ----------------------------------------------------------------------
 
 def test_consistency_ablation_supports_paper_claim():
-    result = ablation_consistency.run()
+    result = run_experiment("ablation_consistency")
     paper_rows = [r for r in result.rows if r["mode"] == "paper"]
     assert all(r["stale_hits"] == 0 for r in paper_rows)
     # The eviction hook may only reduce the hit rate, never raise it.
@@ -242,7 +231,7 @@ def test_consistency_ablation_supports_paper_claim():
 
 
 def test_adder_width_ablation_monotone():
-    result = ablation_adder_width.run()
+    result = run_experiment("ablation_adder_width")
     for row in result.rows:
         rates = [row[f"w{w}_pct"] for w in (8, 10, 12, 14, 16)]
         assert rates == sorted(rates, reverse=True)
@@ -285,8 +274,7 @@ def test_bar_chart():
 def test_associativity_condition_is_sharp():
     """The paper's Section 3.3 precondition, tested empirically: stale
     MAB hits appear exactly when tag entries exceed the way count."""
-    from repro.experiments import extension_associativity
-    result = extension_associativity.run()
+    result = run_experiment("extension_associativity")
     for row in result.rows:
         if row["condition_met"]:
             assert row["stale_hits"] == 0, row
@@ -298,8 +286,7 @@ def test_associativity_condition_is_sharp():
 
 
 def test_associativity_way_savings_grow():
-    from repro.experiments import extension_associativity
-    result = extension_associativity.run()
+    result = run_experiment("extension_associativity")
     reds = [
         r["way_reduction_pct"] for r in result.rows
         if r["mab"] == "2x8" and r["ways"] >= 2
@@ -312,8 +299,7 @@ def test_associativity_way_savings_grow():
 # ----------------------------------------------------------------------
 
 def test_fetch_width_ablation_shapes():
-    from repro.experiments import ablation_fetch_width
-    result = ablation_fetch_width.run()
+    result = run_experiment("ablation_fetch_width")
     # Wider packets -> fewer accesses and lower intra-line share.
     rates = result.column("accesses_per_kinstr")
     intra = result.column("intra_line_pct")
@@ -326,8 +312,7 @@ def test_fetch_width_ablation_shapes():
 
 
 def test_energy_model_ablation_robustness():
-    from repro.experiments import ablation_energy_model
-    result = ablation_energy_model.run()
+    result = run_experiment("ablation_energy_model")
     savings_col = result.column("avg_total_saving_pct")
     # Monotone in the tag ratio, and never collapses below 15%.
     assert savings_col == sorted(savings_col)

@@ -1,23 +1,24 @@
-"""Byte-identity of the rewired experiments vs pre-refactor output.
+"""Byte-identity of the registry-driven experiments vs golden output.
 
 ``tests/golden/*.txt`` snapshots the rendered tables of every figure
 and ablation experiment as produced by the pre-``repro.api`` code
-(four separate registries, serial per-module plumbing).  The rewired
-experiments must reproduce those bytes exactly: the api layer is a
-re-plumbing, not a re-modelling.
+(four separate registries, serial per-module plumbing).  The
+registered experiments — now declared ``specs()`` + pure
+``tabulate()`` records — must reproduce those bytes exactly: the
+registry layers are re-plumbing, not re-modelling.
 
 If a deliberate model change shifts a number, regenerate the
-snapshots (render ``run()`` + trailing newline) in the same commit
-and say so in the commit message.
+snapshots (render ``run_experiment(name)`` + trailing newline) in the
+same commit and say so in the commit message.
 """
 
 from __future__ import annotations
 
-import importlib
 from pathlib import Path
 
 import pytest
 
+from repro.experiments import run_experiment
 from repro.experiments.reporting import render
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
@@ -33,8 +34,7 @@ def test_golden_snapshots_exist():
 
 @pytest.mark.parametrize("name", GOLDEN_EXPERIMENTS)
 def test_experiment_table_matches_pre_refactor_bytes(name):
-    module = importlib.import_module(f"repro.experiments.{name}")
-    rendered = render(module.run()) + "\n"
+    rendered = render(run_experiment(name)) + "\n"
     golden = (GOLDEN_DIR / f"{name}.txt").read_text()
     assert rendered == golden, (
         f"{name} drifted from its pre-refactor snapshot"

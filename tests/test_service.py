@@ -73,6 +73,17 @@ def test_store_stats_endpoint(client):
     assert "entries" in payload
 
 
+def test_experiments_endpoint_mirrors_the_registry(client):
+    from repro.experiments import EXPERIMENTS, get_experiment
+
+    served = client.experiments()
+    assert [entry["name"] for entry in served] == list(EXPERIMENTS)
+    for entry in served:
+        experiment = get_experiment(entry["name"])
+        assert entry["title"] == experiment.title
+        assert entry["spec_count"] == len(experiment.specs())
+
+
 def test_unknown_route_is_404(client):
     with pytest.raises(ServiceError) as err:
         client._request("/v1/nope")
@@ -140,6 +151,76 @@ def test_batch_rejects_non_integer_workers(client):
             {"specs": [spec.to_dict()], "workers": "many"},
         )
     assert err.value.status == 400
+
+
+# ----------------------------------------------------------------------
+# experiment evaluation endpoint
+# ----------------------------------------------------------------------
+
+def test_run_experiment_remote_matches_local_table(client):
+    from repro.experiments import get_experiment, render, run_experiment
+
+    name = "table2_delay"                 # analytic: zero specs, fast
+    remote = client.run_experiment(name)
+    assert remote == {}
+    rendered = render(get_experiment(name).tabulate(remote))
+    assert rendered == render(run_experiment(name))
+
+
+def test_run_experiment_results_are_keyed_by_spec_json(client):
+    name = "ablation_adder_width"         # zero specs, cheap
+    response = client._request(f"/v1/experiments/{name}", {})
+    assert response["name"] == name
+    assert response["count"] == 0
+    assert response["results"] == {}
+
+
+def test_run_experiment_refuses_version_skewed_server(
+    client, monkeypatch
+):
+    """A server on different code must be refused, not silently
+    rendered: its numbers could differ from a local run."""
+    import repro.store
+
+    monkeypatch.setattr(
+        repro.store, "code_fingerprint", lambda: "f" * 16
+    )
+    with pytest.raises(ServiceError) as err:
+        client.run_experiment("table2_delay")
+    assert err.value.status == 409
+    assert "fingerprint" in err.value.message
+
+
+def test_unknown_experiment_is_a_404(client):
+    with pytest.raises(ServiceError) as err:
+        client.run_experiment("figure99")
+    assert err.value.status == 404
+    assert "table1_area" in err.value.message
+
+
+def test_experiment_rejects_non_object_body(client):
+    with pytest.raises(ServiceError) as err:
+        client._request("/v1/experiments/table2_delay", ["nope"])
+    assert err.value.status == 400
+
+
+def test_run_cli_url_matches_local_run(client, service, capsys):
+    assert cli_main(["run", "table2_delay", "--url", service]) == 0
+    remote_out = capsys.readouterr().out
+    assert cli_main(["run", "table2_delay"]) == 0
+    assert remote_out == capsys.readouterr().out
+
+
+def test_run_cli_unreachable_service(capsys):
+    # A spec-driven experiment needs the remote evaluation; spec-less
+    # ones tabulate locally and never touch the wire.
+    assert cli_main(
+        ["run", "figure4_dcache_accesses", "--url", "http://127.0.0.1:9"]
+    ) == 1
+    assert "cannot reach service" in capsys.readouterr().err
+    assert cli_main(
+        ["run", "table2_delay", "--url", "http://127.0.0.1:9"]
+    ) == 0
 
 
 # ----------------------------------------------------------------------

@@ -274,6 +274,247 @@ def test_stats_gc_export(fresh_store, tmp_path):
 
 
 # ----------------------------------------------------------------------
+# LRU eviction: gc --max-rows / --max-age
+# ----------------------------------------------------------------------
+
+def _backdate(store, spec, seconds):
+    """Shift one row's recency into the past (direct SQL, tests only)."""
+    import sqlite3
+    import time
+
+    conn = sqlite3.connect(str(store.path))
+    try:
+        with conn:
+            conn.execute(
+                "UPDATE results SET last_used_at = ?, created_at = ? "
+                "WHERE spec_key = ?",
+                (time.time() - seconds, time.time() - seconds,
+                 spec.key()),
+            )
+    finally:
+        conn.close()
+
+
+def test_gc_max_rows_evicts_least_recently_used(fresh_store):
+    specs = [_spec(), _spec(arch="original"), _spec(arch="two-phase")]
+    fresh_store.put_many(
+        [evaluate(s, use_cache=False) for s in specs]
+    )
+    # Touch two rows so the untouched one is the LRU victim.
+    _backdate(fresh_store, specs[1], seconds=3600)
+    assert fresh_store.get(specs[0]) is not None
+    assert fresh_store.get(specs[2]) is not None
+
+    removed = fresh_store.gc(max_rows=2)
+    assert removed == 1
+    assert fresh_store.get(specs[1]) is None      # LRU row gone
+    assert fresh_store.get(specs[0]) is not None  # recent rows kept
+    assert fresh_store.get(specs[2]) is not None
+
+
+def test_gc_max_age_evicts_stale_rows(fresh_store):
+    keep, stale = _spec(), _spec(arch="original")
+    fresh_store.put_many(
+        [evaluate(s, use_cache=False) for s in (keep, stale)]
+    )
+    _backdate(fresh_store, stale, seconds=10 * 86400)
+
+    removed = fresh_store.gc(max_age_days=1.0)
+    assert removed == 1
+    assert fresh_store.get(stale) is None
+    assert fresh_store.get(keep) is not None
+
+
+def test_gc_rejects_negative_limits(fresh_store):
+    """-1 must be an error, never 'keep zero rows' (a store wipe)."""
+    fresh_store.put(evaluate(_spec(), use_cache=False))
+    with pytest.raises(ValueError, match="max_rows"):
+        fresh_store.gc(max_rows=-1)
+    with pytest.raises(ValueError, match="max_age_days"):
+        fresh_store.gc(max_age_days=-0.5)
+    assert fresh_store.stats()["entries"] == 1   # nothing deleted
+
+    from repro.cli import main as cli_main
+
+    assert cli_main(["store", "gc", "--max-rows", "-1"]) == 2
+
+
+def test_gc_without_flags_keeps_lru_behavior_unchanged(fresh_store):
+    result = evaluate(_spec(), use_cache=False)
+    fresh_store.put(result)
+    _backdate(fresh_store, _spec(), seconds=365 * 86400)
+    # Plain gc only reclaims cross-version rows, however old.
+    assert fresh_store.gc() == 0
+    assert fresh_store.get(_spec()) is not None
+
+
+def test_read_hits_refresh_recency(fresh_store):
+    import sqlite3
+
+    result = evaluate(_spec(), use_cache=False)
+    fresh_store.put(result)
+    _backdate(fresh_store, _spec(), seconds=3600)
+    assert fresh_store.get(_spec()) is not None
+    conn = sqlite3.connect(str(fresh_store.path))
+    try:
+        (age,) = conn.execute(
+            "SELECT last_used_at FROM results WHERE spec_key = ?",
+            (_spec().key(),),
+        ).fetchone()
+    finally:
+        conn.close()
+    import time
+
+    assert time.time() - age < 60      # the hit re-stamped it
+
+
+def test_read_hits_survive_an_unwritable_store(fresh_store, monkeypatch):
+    """The recency stamp is best-effort: a store that cannot be
+    written (read-only share) must still serve its hits."""
+    result = evaluate(_spec(), use_cache=False)
+    fresh_store.put(result)
+
+    real_execute = type(fresh_store)._execute
+
+    def readonly_execute(self, fn, _retried=False):
+        import sqlite3
+
+        outcome = real_execute(self, fn, _retried)
+        if outcome is None:                   # a write (UPDATE) ran
+            raise sqlite3.OperationalError(
+                "attempt to write a readonly database"
+            )
+        return outcome
+
+    monkeypatch.setattr(type(fresh_store), "_execute", readonly_execute)
+    loaded = fresh_store.get(_spec())
+    assert loaded is not None
+    assert loaded.to_json() == result.to_json()
+    assert fresh_store.hits == 1
+
+
+def test_pre_lru_store_files_are_migrated(fresh_store, tmp_path):
+    """A fresh instance opening a pre-LRU file migrates it in place
+    (the 'new process, old cache file' upgrade case)."""
+    import sqlite3
+
+    result = evaluate(_spec(), use_cache=False)
+    old_file = tmp_path / "pre-lru.sqlite"
+    conn = sqlite3.connect(str(old_file))
+    try:
+        with conn:
+            conn.execute(
+                "CREATE TABLE results ("
+                "spec_key TEXT NOT NULL, result_schema INTEGER NOT NULL,"
+                "fingerprint TEXT NOT NULL, result_json TEXT NOT NULL,"
+                "created_at REAL NOT NULL,"
+                "PRIMARY KEY (spec_key, result_schema, fingerprint))"
+            )
+    finally:
+        conn.close()
+    upgraded = ResultStore(old_file)              # triggers migration
+    upgraded.put(result)
+    assert upgraded.get(_spec()) is not None
+    assert upgraded.gc(max_rows=10) == 0
+
+
+# ----------------------------------------------------------------------
+# multi-machine pooling: export -> import
+# ----------------------------------------------------------------------
+
+def test_import_merges_and_reports_counts(fresh_store, tmp_path):
+    a = evaluate(_spec(), use_cache=False)
+    b = evaluate(_spec(arch="original"), use_cache=False)
+    fresh_store.put_many([a, b])
+    archive = tmp_path / "pool.jsonl"
+    with archive.open("w") as handle:
+        assert fresh_store.export(handle) == 2
+
+    other = ResultStore(tmp_path / "other.sqlite")
+    with archive.open() as handle:
+        report = other.import_archive(handle)
+    assert report.merged == 2
+    assert report.skipped_version == 0
+    assert report.skipped_invalid == 0
+    assert report.skipped_existing == 0
+    loaded = other.get(_spec())
+    assert loaded is not None and loaded.to_json() == a.to_json()
+
+    # Importing the same archive again merges nothing new.
+    with archive.open() as handle:
+        again = other.import_archive(handle)
+    assert again.merged == 0
+    assert again.skipped_existing == 2
+
+
+def test_import_collapses_intra_archive_duplicates(
+    fresh_store, tmp_path
+):
+    """Concatenated overlapping shards must not report their overlap
+    as 'already present' when the target store was empty."""
+    fresh_store.put(evaluate(_spec(), use_cache=False))
+    archive = tmp_path / "pool.jsonl"
+    with archive.open("w") as handle:
+        fresh_store.export(handle)
+    doubled = archive.read_text() * 2          # two overlapping shards
+
+    other = ResultStore(tmp_path / "other.sqlite")
+    import io
+
+    report = other.import_archive(io.StringIO(doubled))
+    assert report.merged == 1
+    assert report.skipped_existing == 0
+    assert other.stats()["entries"] == 1
+
+
+def test_import_skips_version_mismatch_and_garbage(
+    fresh_store, tmp_path
+):
+    result = evaluate(_spec(), use_cache=False)
+    fresh_store.put(result)
+    archive = tmp_path / "pool.jsonl"
+    with archive.open("w") as handle:
+        fresh_store.export(handle)
+    good_line = archive.read_text().strip()
+
+    foreign = json.loads(good_line)
+    foreign["fingerprint"] = "0" * 16         # another code version
+    mismatch = json.loads(good_line)
+    mismatch["spec_key"] = "{}"               # key/result disagreement
+    archive.write_text("\n".join([
+        good_line,
+        json.dumps(foreign, sort_keys=True),
+        json.dumps(mismatch, sort_keys=True),
+        "this is not json",
+        "",
+    ]) + "\n")
+
+    other = ResultStore(tmp_path / "other.sqlite")
+    with archive.open() as handle:
+        report = other.import_archive(handle)
+    assert report.merged == 1
+    assert report.skipped_version == 1
+    assert report.skipped_invalid == 2
+    assert report.skipped_existing == 0
+    assert other.stats()["entries"] == 1
+
+
+def test_store_cli_import(fresh_store, tmp_path, capsys):
+    from repro.cli import main as cli_main
+
+    fresh_store.put(evaluate(_spec(), use_cache=False))
+    archive = tmp_path / "pool.jsonl"
+    assert cli_main(["store", "export", "-o", str(archive)]) == 0
+    capsys.readouterr()
+    assert cli_main(["store", "import", str(archive)]) == 0
+    out = capsys.readouterr().out
+    assert "merged 0 row(s)" in out            # same store: all present
+    assert "1 already present" in out
+    assert cli_main(["store", "import", str(tmp_path / "nope")]) == 2
+    assert "cannot read archive" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
 # acceptance: cold vs warm `repro report`
 # ----------------------------------------------------------------------
 

@@ -21,7 +21,7 @@ import subprocess
 import sys
 from pathlib import Path
 
-from repro.experiments import extension_baselines
+from repro.experiments import run_experiment
 from repro.experiments.reporting import render
 from repro.experiments.sweep import (
     PAPER_INDEX_ENTRIES,
@@ -58,16 +58,14 @@ def test_sweep_baselines_invariant_under_worker_count():
 
 def test_sweep_baselines_matches_serial_experiment():
     """The parallel fan-out reproduces extension_baselines exactly."""
-    serial = extension_baselines.run()
+    serial = run_experiment("extension_baselines")
     pooled = sweep_baselines(workers=2)
     assert pooled.rows == serial.rows
 
 
 def test_sweep_mab_size_paper_grid_matches_ablation():
     """The paper sub-grid agrees with the serial ablation experiment."""
-    from repro.experiments import ablation_mab_size
-
-    serial = ablation_mab_size.run()
+    serial = run_experiment("ablation_mab_size")
     pooled = sweep_mab_size(
         tag_entries=PAPER_TAG_ENTRIES,
         index_entries=PAPER_INDEX_ENTRIES,
