@@ -8,7 +8,10 @@ and a synthetic workload), evaluates it three ways —
 * serially in this process (``workers=1``),
 * over a worker pool (``workers=N``), and
 * through an in-process instance of the HTTP batch service
-  (``repro.service``, unless ``--no-service``) —
+  (``repro.service``, unless ``--no-service``), and
+* with ``--faults``, through a service under injected worker
+  crashes, hangs, and store faults (``repro.testing.faults``) —
+  proving the failure path is as deterministic as the happy path —
 
 and fails (exit 1) unless all serialized result batches are
 byte-identical.  The service leg also renders a markdown report
@@ -87,6 +90,84 @@ def _service_batch(
         server.server_close()
 
 
+#: The fault plan the ``--faults`` leg injects: two worker crashes,
+#: one hang (killed at the task timeout), seeded store read/write
+#: faults and a seeded slow-simulation chance — every failure mode
+#: the service must absorb without changing a byte.
+FAULT_PLAN = (
+    "worker_crash:2,worker_hang:1,"
+    "store_read_error:0.2,store_write_error:0.2,slow_sim:0.1"
+)
+
+
+def _fault_leg(specs: List[RunSpec], workers: int) -> List[str]:
+    """Evaluate ``specs`` through a service under injected faults.
+
+    Runs against a *fresh* temporary store and job queue so every
+    result is really simulated under the fault plan (a warm store
+    would answer from disk and prove nothing), with a short task
+    timeout so the injected hang exercises the kill-and-retry path.
+    """
+    import os
+    import tempfile
+
+    from repro.service import (
+        ServiceClient,
+        create_server,
+        wait_until_ready,
+    )
+    from repro.service.jobs import JOB_DB_ENV
+    from repro.store import STORE_ENV, reset_default_stores
+    from repro.testing import faults
+
+    with tempfile.TemporaryDirectory(prefix="repro-faultleg-") as tmp:
+        saved = {
+            name: os.environ.get(name)
+            for name in (STORE_ENV, JOB_DB_ENV)
+        }
+        os.environ[STORE_ENV] = os.path.join(tmp, "results.sqlite")
+        os.environ[JOB_DB_ENV] = os.path.join(tmp, "jobs.sqlite")
+        reset_default_stores()
+        try:
+            with faults.activate(
+                FAULT_PLAN, seed=13,
+                state_dir=os.path.join(tmp, "state"),
+            ) as plan:
+                server = create_server(
+                    port=0, task_timeout=5.0, max_attempts=5,
+                )
+                thread = threading.Thread(
+                    target=server.serve_forever, daemon=True
+                )
+                thread.start()
+                try:
+                    url = (
+                        f"http://127.0.0.1:{server.server_address[1]}"
+                    )
+                    wait_until_ready(url)
+                    client = ServiceClient(url, timeout=600.0)
+                    results = client.evaluate_many(
+                        specs, workers=workers
+                    )
+                finally:
+                    server.shutdown()
+                    server.server_close()
+                print(
+                    f"  fault leg: {plan.fired('worker_crash')} "
+                    f"crash(es), {plan.fired('worker_hang')} hang(s) "
+                    "injected",
+                    file=sys.stderr,
+                )
+            return [r.to_json() for r in results]
+        finally:
+            for name, value in saved.items():
+                if value is None:
+                    os.environ.pop(name, None)
+                else:
+                    os.environ[name] = value
+            reset_default_stores()
+
+
 def _report_mismatch(
     label: str, specs: List[RunSpec], a: List[str], b: List[str]
 ) -> None:
@@ -119,6 +200,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--no-service", action="store_true",
         help="skip the HTTP-service leg of the check",
+    )
+    parser.add_argument(
+        "--faults", action="store_true",
+        help="add a fault-injection leg: evaluate through a service "
+             "under injected worker crashes, hangs and store faults "
+             "and require byte-identity with the clean serial run",
     )
     args = parser.parse_args(argv)
 
@@ -155,6 +242,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
             return 1
         legs += " vs HTTP service (incl. remote report render)"
+    if args.faults:
+        faulted = _fault_leg(specs, args.workers)
+        if serial != faulted:
+            _report_mismatch(
+                "clean vs fault-injected service", specs, serial,
+                faulted,
+            )
+            return 1
+        legs += " vs fault-injected service"
     print(
         f"evaluate_many determinism ok: {len(specs)} specs, "
         f"{legs} byte-identical"

@@ -85,6 +85,11 @@ def _resolve_stream(spec: RunSpec) -> Tuple[object, int]:
 def _run(spec: RunSpec) -> RunResult:
     global _SIMULATIONS
     _SIMULATIONS += 1
+    # Chaos hook: an injected slow simulation exercises the service's
+    # timeout/lease machinery without touching the result's bytes.
+    from repro.testing import faults
+
+    faults.sleep_if_slow()
     info = get_architecture(spec.cache, spec.arch)
     params = spec.param_dict
     controller = info.build(params)

@@ -41,6 +41,14 @@ def warm_trace_cache(
             load_workload(canonical)
 
 
+def resolve_worker_count(workers: Optional[int]) -> int:
+    """``None``/``0`` means every core — the one sizing rule shared by
+    :func:`parallel_map` and the service worker pool."""
+    if not workers:
+        return os.cpu_count() or 1
+    return workers
+
+
 def parallel_map(
     fn: Callable, tasks: List, workers: Optional[int]
 ) -> List:
@@ -50,8 +58,7 @@ def parallel_map(
     this process (no pool, easiest to debug).  Results always come
     back in task order, which keeps every reduction deterministic.
     """
-    if workers is None:
-        workers = os.cpu_count() or 1
+    workers = resolve_worker_count(workers)
     workers = min(workers, len(tasks)) if tasks else 1
     if workers <= 1:
         return [fn(task) for task in tasks]

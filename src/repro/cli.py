@@ -29,11 +29,18 @@ Subcommands
 ``repro sweep [--experiment ...] [--workers N] [--grid paper|full]``
     Parallel design-space sweeps (full MAB grid, baseline matrix)
     over the shared on-disk trace cache.
-``repro serve [--host H] [--port P] [--workers N] [--port-file F]``
-    Run the HTTP batch-evaluation service (``repro.service``).
-``repro submit <spec.json> [--url URL] [--workers N]``
+``repro serve [--host H] [--port P] [--workers N] [--port-file F]
+[--job-db F] [--task-timeout S] [--max-attempts N] [--queue-limit N]``
+    Run the HTTP batch-evaluation service (``repro.service``):
+    durable job queue, supervised worker subprocesses with per-task
+    timeouts and retry/backoff, load shedding, SIGTERM drain.
+``repro submit <spec.json> [--url URL] [--async]``
     Evaluate run specs against a running service — same input and
-    output documents as ``repro eval``, remote execution.
+    output documents as ``repro eval``, remote execution.  With
+    ``--async`` print a durable job id immediately.
+``repro jobs [ID] [--url URL] [--wait]``
+    List the service's jobs, show one job's progress, or poll it to
+    completion (``--wait``; survives transient outages).
 ``repro store {stats,gc,export,import}``
     Inspect / reclaim / dump / merge the persistent result store
     (``$REPRO_RESULT_STORE``).  ``gc`` takes ``--max-rows`` /
@@ -73,25 +80,21 @@ def _remote_results(
 def _report_service_failure(url: str, exc: Exception) -> int:
     """Print a usable message for a failed remote call; exit code 1.
 
-    Only transport-shaped failures are claimed for the service; a
-    local OSError (unwritable ``-o`` path, say) must keep its own
-    traceback rather than slander a healthy server.
+    The client wraps every transport fault (refused connections,
+    timeouts, resets mid-response) in :class:`ServiceError` with
+    status 0, so one branch covers "the service is unreachable" and
+    another covers real HTTP errors.  Anything else is local work's
+    own failure and keeps its traceback rather than slander a
+    healthy server.
     """
-    import http.client
-    import urllib.error
-
-    from repro.service import ServiceError
+    from repro.service.client import TRANSPORT_ERROR, ServiceError
 
     if isinstance(exc, ServiceError):
-        print(f"service error: {exc}", file=sys.stderr)
-    elif isinstance(exc, urllib.error.URLError):
-        print(f"cannot reach service at {url}: {exc.reason} "
-              "(start one with 'repro serve')", file=sys.stderr)
-    elif isinstance(exc, (TimeoutError, ConnectionError,
-                          http.client.HTTPException)):
-        # Socket read timeouts / resets mid-response are not URLErrors.
-        print(f"service at {url} failed mid-request: {exc}",
-              file=sys.stderr)
+        if exc.status == TRANSPORT_ERROR:
+            print(f"cannot reach service at {url}: {exc.message} "
+                  "(start one with 'repro serve')", file=sys.stderr)
+        else:
+            print(f"service error: {exc}", file=sys.stderr)
     else:
         raise exc
     return 1
@@ -219,12 +222,18 @@ def _eval_specs(
 
 
 def _submit_specs(
-    document: str, url: str, workers: Optional[int], indent: int
+    document: str,
+    url: str,
+    workers: Optional[int],
+    indent: int,
+    as_async: bool = False,
 ) -> int:
-    """``repro submit``: like ``eval``, but against a running service."""
-    import urllib.error
+    """``repro submit``: like ``eval``, but against a running service.
 
-    from repro.service import ServiceClient, ServiceError
+    ``--async`` submits a durable job and prints its id immediately;
+    poll it with ``repro jobs ID --wait``.
+    """
+    from repro.service import ServiceClient
 
     parsed = _parse_specs(document)
     if parsed is None:
@@ -232,15 +241,38 @@ def _submit_specs(
     specs, single = parsed
     client = ServiceClient(url)
     try:
+        if as_async:
+            job_id = client.submit_async(specs)
+            print(json.dumps({"job_id": job_id}, indent=indent))
+            return 0
         results = client.evaluate_many(specs, workers=workers)
-    except ServiceError as exc:
-        print(f"service error: {exc}", file=sys.stderr)
-        return 1
-    except urllib.error.URLError as exc:
-        print(f"cannot reach service at {url}: {exc.reason} "
-              "(start one with 'repro serve')", file=sys.stderr)
-        return 1
+    except Exception as exc:   # noqa: BLE001 — remote failures only
+        return _report_service_failure(url, exc)
     _print_results(results, single, indent)
+    return 0
+
+
+def _jobs_command(
+    url: str, job_id: Optional[str], wait: bool, indent: int
+) -> int:
+    """``repro jobs [ID]``: inspect the service's durable job queue."""
+    from repro.service import ServiceClient
+
+    client = ServiceClient(url)
+    try:
+        if job_id is None:
+            payload = {"jobs": client.jobs()}
+        elif wait:
+            results = client.wait_job(job_id)
+            _print_results(results, single=False, indent=indent)
+            return 0
+        else:
+            payload = client.job_status(job_id)
+            payload.pop("keys", None)
+            payload.pop("results", None)
+    except Exception as exc:   # noqa: BLE001 — remote failures only
+        return _report_service_failure(url, exc)
+    print(json.dumps(payload, indent=indent, sort_keys=True))
     return 0
 
 
@@ -519,6 +551,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--verbose", action="store_true",
         help="log each request to stderr",
     )
+    serve_parser.add_argument(
+        "--job-db", default=None, metavar="FILE",
+        help="durable job-queue database (default: $REPRO_JOB_DB, "
+             "else jobs.sqlite next to the result store)",
+    )
+    serve_parser.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per simulation before its worker "
+             "subprocess is killed and the task retried (default: 300)",
+    )
+    serve_parser.add_argument(
+        "--max-attempts", type=int, default=3, metavar="N",
+        help="attempts per task before it dead-letters (default: 3)",
+    )
+    serve_parser.add_argument(
+        "--queue-limit", type=int, default=None, metavar="N",
+        help="outstanding tasks beyond which new submissions are "
+             "load-shed with 503 + Retry-After (default: 1024)",
+    )
 
     submit_parser = sub.add_parser(
         "submit", help="evaluate run specs via a running service"
@@ -533,9 +584,36 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     submit_parser.add_argument(
         "--workers", type=int, default=None, metavar="N",
-        help="remote pool size for the batch (default: the server's)",
+        help="advisory remote pool size (the server's worker pool "
+             "owns concurrency)",
     )
     submit_parser.add_argument(
+        "--async", action="store_true", dest="as_async",
+        help="submit a durable job and print its id immediately "
+             "(poll with 'repro jobs ID --wait')",
+    )
+    submit_parser.add_argument(
+        "--indent", type=int, default=2,
+        help="JSON indentation of the output (default: 2)",
+    )
+
+    jobs_parser = sub.add_parser(
+        "jobs", help="inspect the service's durable job queue"
+    )
+    jobs_parser.add_argument(
+        "job_id", nargs="?", default=None,
+        help="job id to show (default: list recent jobs)",
+    )
+    jobs_parser.add_argument(
+        "--url", default=None,
+        help="service endpoint (default: http://127.0.0.1:8323)",
+    )
+    jobs_parser.add_argument(
+        "--wait", action="store_true",
+        help="poll the job to completion and print its results "
+             "(resumes across transient outages)",
+    )
+    jobs_parser.add_argument(
         "--indent", type=int, default=2,
         help="JSON indentation of the output (default: 2)",
     )
@@ -616,6 +694,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "serve":
         from repro.service import DEFAULT_HOST, DEFAULT_PORT, serve
+        from repro.service.server import (
+            DEFAULT_QUEUE_LIMIT,
+            DEFAULT_TASK_TIMEOUT,
+        )
 
         serve(
             host=DEFAULT_HOST if args.host is None else args.host,
@@ -623,13 +705,31 @@ def main(argv: Optional[List[str]] = None) -> int:
             workers=None if args.workers == 0 else args.workers,
             verbose=args.verbose,
             port_file=args.port_file,
+            job_db=args.job_db,
+            task_timeout=(
+                DEFAULT_TASK_TIMEOUT if args.task_timeout is None
+                else args.task_timeout
+            ),
+            max_attempts=args.max_attempts,
+            queue_limit=(
+                DEFAULT_QUEUE_LIMIT if args.queue_limit is None
+                else args.queue_limit
+            ),
         )
         return 0
     if args.command == "submit":
         from repro.service import DEFAULT_HOST, DEFAULT_PORT
 
         url = args.url or f"http://{DEFAULT_HOST}:{DEFAULT_PORT}"
-        return _submit_specs(args.spec, url, args.workers, args.indent)
+        return _submit_specs(
+            args.spec, url, args.workers, args.indent,
+            as_async=args.as_async,
+        )
+    if args.command == "jobs":
+        from repro.service import DEFAULT_HOST, DEFAULT_PORT
+
+        url = args.url or f"http://{DEFAULT_HOST}:{DEFAULT_PORT}"
+        return _jobs_command(url, args.job_id, args.wait, args.indent)
     if args.command == "store":
         if not args.store_command:
             store_parser.print_help()

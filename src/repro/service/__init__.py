@@ -1,16 +1,22 @@
-"""``repro.service`` — simulation as a service.
+"""``repro.service`` — simulation as a fault-tolerant service.
 
-An HTTP front-end (:mod:`repro.service.server`, stdlib only) and a
-thin client (:mod:`repro.service.client`) over the declarative
-``RunSpec``/``evaluate_many`` layer.  Batches are deduplicated, fanned
-out over the shared worker pool and backed by the persistent result
-store, and responses are byte-identical to in-process evaluation —
-the service adds transport, never semantics.
+An HTTP front-end (:mod:`repro.service.server`, stdlib only) over a
+durable SQLite job queue (:mod:`repro.service.jobs`) and supervised
+worker subprocesses (:mod:`repro.service.workers`), plus a resilient
+client (:mod:`repro.service.client`) — batches are deduplicated and
+single-flighted, crashed/hung workers are retried with backoff, jobs
+survive server restarts, and responses stay byte-identical to
+in-process evaluation: the service adds transport and survivability,
+never semantics.
 
-CLI: ``repro serve`` starts it, ``repro submit`` talks to it.
+CLI: ``repro serve`` starts it, ``repro submit`` talks to it,
+``repro jobs`` inspects the queue.
 """
 
+import time
+
 from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import JOB_DB_ENV, JobQueue, job_db_path
 from repro.service.server import (
     DEFAULT_HOST,
     DEFAULT_PORT,
@@ -18,13 +24,65 @@ from repro.service.server import (
     create_server,
     serve,
 )
+from repro.service.workers import WorkerPool
+
+
+def wait_for_port_file(path, timeout: float = 30.0) -> int:
+    """Poll ``--port-file`` until the server writes its bound port."""
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        try:
+            with open(path) as handle:
+                text = handle.read().strip()
+            if text:
+                return int(text)
+        except (OSError, ValueError):
+            pass
+        time.sleep(0.05)
+    raise TimeoutError(
+        f"no port appeared in {path} within {timeout:g}s"
+    )
+
+
+def wait_until_ready(
+    url: str, timeout: float = 30.0, poll: float = 0.1
+) -> dict:
+    """Block until ``GET /v1/healthz`` answers ``ok`` (readiness).
+
+    The bounded replacement for sleep-and-hope startup loops in tests
+    and CI: polls with a short-timeout, non-retrying client and
+    returns the healthz payload, or raises ``TimeoutError`` with the
+    last failure after ``timeout`` seconds.
+    """
+    client = ServiceClient(url, timeout=min(5.0, timeout), retries=0)
+    deadline = time.time() + timeout
+    last = "no response"
+    while time.time() < deadline:
+        try:
+            payload = client.healthz()
+            if payload.get("status") == "ok":
+                return payload
+            last = f"unexpected healthz payload: {payload}"
+        except ServiceError as exc:
+            last = exc.message
+        time.sleep(poll)
+    raise TimeoutError(
+        f"service at {url} not ready within {timeout:g}s ({last})"
+    )
+
 
 __all__ = [
     "DEFAULT_HOST",
     "DEFAULT_PORT",
     "EvaluationServer",
+    "JOB_DB_ENV",
+    "JobQueue",
     "ServiceClient",
     "ServiceError",
+    "WorkerPool",
     "create_server",
+    "job_db_path",
     "serve",
+    "wait_for_port_file",
+    "wait_until_ready",
 ]

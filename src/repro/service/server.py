@@ -3,28 +3,37 @@
 A zero-dependency (stdlib ``http.server``) front-end that turns this
 repository into "many users, one simulator": every request body is the
 same declarative JSON the library and ``repro eval`` speak, every
-response is the same schema-versioned ``RunResult`` document, and the
-whole service sits behind :func:`repro.api.evaluate_many` — so batches
-are deduplicated, fanned out over the shared ``parallel_map`` worker
-pool, served from the persistent result store when warm, and
-**byte-identical** to an in-process evaluation of the same specs
-(``python -m repro.api.determinism_check`` proves it on every CI run).
+response is the same schema-versioned ``RunResult`` document, and
+every answer is **byte-identical** to an in-process evaluation of the
+same specs (``python -m repro.api.determinism_check`` proves it on
+every CI run — including under injected faults).
+
+Fault tolerance (the part the request thread never had): evaluation
+happens in supervised worker subprocesses fed by a **durable SQLite
+job queue** (:mod:`repro.service.jobs`, :mod:`repro.service.workers`).
+A hung simulation is killed at its wall-clock timeout, a crashed
+worker's lease expires and the task is retried with capped
+exponential backoff, jobs survive server restarts, and identical
+in-flight specs are coalesced into one simulation.  When the queue is
+deep the service load-sheds with ``503`` + ``Retry-After`` instead of
+queueing without bound, and a failing result store degrades to
+store-less evaluation with a logged warning, never a 500.
 
 Routes (all JSON):
 
-* ``GET  /v1/healthz``       — liveness + code fingerprint/schemas
+* ``GET  /v1/healthz``       — liveness + fingerprint/schemas + queue
 * ``GET  /v1/architectures`` — the central registry (ids, defaults),
   benchmarks, engines, technologies
-* ``GET  /v1/experiments``   — the experiment registry (names,
-  titles, paper references, declared spec counts)
+* ``GET  /v1/experiments``   — the experiment registry
 * ``GET  /v1/store/stats``   — persistent-store shape and traffic
+* ``GET  /v1/jobs``          — newest-first job summaries
+* ``GET  /v1/jobs/{id}``     — one job: progress + partial results
 * ``POST /v1/eval``          — one ``RunSpec`` object → one result
-* ``POST /v1/batch``         — ``{"specs": [...], "workers": N?}`` →
-  ``{"results": [...]}`` in input order
+* ``POST /v1/batch``         — ``{"specs": [...]}`` → results in
+  input order; with ``"mode": "async"`` → ``202`` + a job id to poll
 * ``POST /v1/experiments/{name}`` — evaluate one registered
-  experiment's declared design points server-side (through the
-  store) → ``{"results": {spec_key: result}}`` keyed by canonical
-  spec JSON; the client tabulates locally (``repro report --url``)
+  experiment's declared design points server-side → results keyed by
+  canonical spec JSON; the client tabulates locally
 
 Run it with ``repro serve`` (see :mod:`repro.cli`); talk to it with
 :mod:`repro.service.client`, ``repro submit`` or plain ``curl``.
@@ -33,6 +42,8 @@ Run it with ``repro serve`` (see :mod:`repro.cli`); talk to it with
 from __future__ import annotations
 
 import json
+import signal
+import sqlite3
 import sys
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -44,10 +55,6 @@ from repro.api import (
     SPEC_SCHEMA_VERSION,
     TECHNOLOGIES,
     RunSpec,
-    architectures,
-    cached_results,
-    clear_result_cache,
-    evaluate_many,
 )
 from repro.experiments.registry import (
     EXPERIMENTS,
@@ -55,8 +62,12 @@ from repro.experiments.registry import (
     get_experiment,
 )
 from repro.store import code_fingerprint, default_store
+from repro.testing import faults
 from repro.workloads import BENCHMARK_NAMES
 from repro.workloads.suite import SCALABLE_BENCHMARKS
+
+from repro.service.jobs import DONE, FAILED, JobQueue, job_db_path
+from repro.service.workers import WorkerPool, log_store_warning
 
 #: Default bind address of ``repro serve`` (loopback: the service has
 #: no authentication — put a real proxy in front for anything public).
@@ -66,21 +77,21 @@ DEFAULT_PORT = 8323
 #: Hard cap on request bodies (a full-grid sweep batch is ~100 KiB).
 MAX_BODY_BYTES = 32 << 20
 
-#: Ceiling on the per-process result cache while serving.  The
-#: process is long-lived and every result is already durable in the
-#: store, so the in-memory layer is a bounded accelerator, not the
-#: system of record: past this many entries it is dropped wholesale
-#: (the next hit re-reads SQLite) instead of growing until OOM.
-MEMORY_CACHE_LIMIT = 4096
+#: Above this many outstanding tasks the service load-sheds new
+#: submissions with 503 + Retry-After instead of queueing unboundedly.
+DEFAULT_QUEUE_LIMIT = 1024
 
+#: What a load-shedding 503 tells well-behaved clients to wait.
+RETRY_AFTER_SECONDS = 2
 
-def _bound_result_cache() -> None:
-    if len(cached_results()) > MEMORY_CACHE_LIMIT:
-        clear_result_cache()
+#: Per-task wall-clock budget before a worker subprocess is killed.
+DEFAULT_TASK_TIMEOUT = 300.0
 
 
 def _registry_payload() -> Dict[str, Any]:
     """The central registry as one JSON document (``/v1/architectures``)."""
+    from repro.api import architectures
+
     listing: Dict[str, List[Dict[str, Any]]] = {}
     for side in ("dcache", "icache"):
         listing[side] = [
@@ -141,16 +152,24 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 "%s - %s\n" % (self.client_address[0], format % args)
             )
 
-    def _send_json(self, status: int, payload: Any) -> None:
+    def _send_json(
+        self, status: int, payload: Any,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         body = json.dumps(payload, sort_keys=True).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error_json(self, status: int, message: str) -> None:
-        self._send_json(status, {"error": message})
+    def _send_error_json(
+        self, status: int, message: str,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self._send_json(status, {"error": message}, headers)
 
     def _read_body(self) -> Optional[bytes]:
         length = int(self.headers.get("Content-Length") or 0)
@@ -174,6 +193,9 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 "spec_version": SPEC_SCHEMA_VERSION,
                 "result_schema": RESULT_SCHEMA_VERSION,
                 "store": default_store() is not None,
+                "draining": self.server.draining,
+                "queue": self.server.queue.stats()["tasks"],
+                "pool": self.server.pool.describe(),
             })
         elif self.path == "/v1/architectures":
             self._send_json(200, _registry_payload())
@@ -185,12 +207,31 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 self._send_json(200, {"enabled": False})
             else:
                 self._send_json(200, {"enabled": True, **store.stats()})
+        elif self.path == "/v1/jobs":
+            self._send_json(200, {
+                "jobs": self.server.queue.list_jobs(),
+                "queue": self.server.queue.stats(),
+            })
+        elif self.path.startswith("/v1/jobs/"):
+            job_id = self.path[len("/v1/jobs/"):]
+            status = self.server.queue.job_status(job_id)
+            if status is None:
+                self._send_error_json(
+                    404, f"unknown job {job_id!r}"
+                )
+            else:
+                self._send_json(200, status)
         else:
             self._send_error_json(404, f"unknown route {self.path!r}")
 
     # -- POST routes ---------------------------------------------------
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        if faults.should_fire("http_error"):
+            self._send_error_json(
+                500, "injected fault: http_error"
+            )
+            return
         body = self._read_body()
         if body is None:
             return
@@ -210,11 +251,13 @@ class ServiceHandler(BaseHTTPRequestHandler):
             self._send_error_json(404, f"unknown route {self.path!r}")
 
     def _parse_workers(self, payload: Dict[str, Any]) -> Optional[int]:
-        """Pool size from the request, defaulting to the server's.
+        """Validate the request's ``workers`` field (kept for wire
+        compatibility; concurrency is owned by the server's worker
+        pool now, so the value is advisory and unused).
 
         Raises ``ValueError`` (for a 400) on non-integer values.
         """
-        workers = payload.get("workers", self.server.default_workers)
+        workers = payload.get("workers")
         if workers is not None and not isinstance(workers, int):
             raise ValueError("workers must be an integer")
         return workers
@@ -239,18 +282,70 @@ class ServiceHandler(BaseHTTPRequestHandler):
             return True
         return False
 
-    def _evaluate_locked(self, specs, workers: Optional[int]):
-        """The one evaluation block every POST route shares: serialize
-        pool fan-outs behind ``eval_lock`` and bound the memory cache.
-        Returns None after answering 500 if the evaluation fails."""
-        try:
-            with self.server.eval_lock:
-                results = evaluate_many(specs, workers=workers or None)
-                _bound_result_cache()
-            return results
-        except Exception as exc:   # noqa: BLE001 — must answer, not hang
-            self._send_error_json(500, f"evaluation failed: {exc}")
+    def _refuse_overload(self) -> bool:
+        """503 + Retry-After when draining or the queue is deep.
+
+        Load shedding at admission keeps every accepted job's latency
+        bounded; a well-behaved client (ours does) honors Retry-After
+        and resubmits.  Returns True when the request was answered.
+        """
+        if self.server.draining:
+            self._send_error_json(
+                503, "server is draining for shutdown",
+                headers={"Retry-After": str(RETRY_AFTER_SECONDS)},
+            )
+            return True
+        if self.server.queue.depth() >= self.server.queue_limit:
+            self._send_error_json(
+                503,
+                f"queue is full ({self.server.queue_limit} "
+                "outstanding tasks); retry later",
+                headers={"Retry-After": str(RETRY_AFTER_SECONDS)},
+            )
+            return True
+        return False
+
+    def _submit_job(self, specs: List[RunSpec]) -> str:
+        """Enqueue one job, pre-filling store hits (no worker runs for
+        an already-answered question).  A failing store degrades to
+        enqueueing everything — a logged warning, never an error."""
+        prefilled: Dict[str, str] = {}
+        store = default_store()
+        if store is not None:
+            try:
+                found = store.get_many(specs)
+                prefilled = {
+                    key: result.to_json()
+                    for key, result in found.items()
+                }
+            except (sqlite3.Error, OSError) as exc:
+                log_store_warning(exc)
+        return self.server.queue.submit(specs, prefilled=prefilled)
+
+    def _evaluate_sync(
+        self, specs: List[RunSpec]
+    ) -> Optional[List[Dict[str, Any]]]:
+        """Evaluate ``specs`` through the queue + worker pool, blocking
+        until the job settles.  Returns result documents in input
+        order, or None after answering an error response."""
+        job_id = self._submit_job(specs)
+        status = self.server.queue.wait_job(job_id)
+        if status is None:
+            self._send_error_json(
+                500, f"job {job_id} vanished from the queue"
+            )
             return None
+        if status["state"] != DONE:
+            errors = "; ".join(
+                f"{key}: {message}"
+                for key, message in sorted(status["errors"].items())
+            ) or "unknown failure"
+            self._send_error_json(
+                500, f"evaluation failed: {errors}"
+            )
+            return None
+        results = status["results"]
+        return [results[key] for key in status["keys"]]
 
     def _handle_eval(self, payload: Any) -> None:
         if not isinstance(payload, dict):
@@ -261,9 +356,11 @@ class ServiceHandler(BaseHTTPRequestHandler):
         except (KeyError, ValueError, TypeError) as exc:
             self._send_error_json(400, f"invalid spec: {exc}")
             return
-        results = self._evaluate_locked([spec], workers=1)
-        if results is not None:
-            self._send_json(200, results[0].to_dict())
+        if self._refuse_overload():
+            return
+        documents = self._evaluate_sync([spec])
+        if documents is not None:
+            self._send_json(200, documents[0])
 
     def _handle_batch(self, payload: Any) -> None:
         if isinstance(payload, list):
@@ -272,12 +369,18 @@ class ServiceHandler(BaseHTTPRequestHandler):
             payload.get("specs"), list
         ):
             self._send_error_json(
-                400, 'expected {"specs": [...], "workers": N?} '
+                400, 'expected {"specs": [...], "mode": "async"?} '
                      "or a bare spec array"
             )
             return
+        mode = payload.get("mode", "sync")
+        if mode not in ("sync", "async"):
+            self._send_error_json(
+                400, f"mode must be 'sync' or 'async', got {mode!r}"
+            )
+            return
         try:
-            workers = self._parse_workers(payload)
+            self._parse_workers(payload)
         except ValueError as exc:
             self._send_error_json(400, str(exc))
             return
@@ -288,13 +391,25 @@ class ServiceHandler(BaseHTTPRequestHandler):
         except (KeyError, ValueError, TypeError) as exc:
             self._send_error_json(400, f"invalid spec: {exc}")
             return
-        results = self._evaluate_locked(specs, workers)
-        if results is None:
+        if self._refuse_overload():
+            return
+        if mode == "async":
+            job_id = self._submit_job(specs)
+            status = self.server.queue.job_status(job_id) or {}
+            self._send_json(202, {
+                "job_id": job_id,
+                "state": status.get("state", "pending"),
+                "total": status.get("total", 0),
+                "done": status.get("done", 0),
+            })
+            return
+        documents = self._evaluate_sync(specs)
+        if documents is None:
             return
         self._send_json(200, {
             "schema_version": RESULT_SCHEMA_VERSION,
-            "count": len(results),
-            "results": [result.to_dict() for result in results],
+            "count": len(documents),
+            "results": documents,
         })
 
     def _handle_experiment(self, name: str, payload: Any) -> None:
@@ -321,32 +436,34 @@ class ServiceHandler(BaseHTTPRequestHandler):
             )
             return
         try:
-            workers = self._parse_workers(payload)
+            self._parse_workers(payload)
         except ValueError as exc:
             self._send_error_json(400, str(exc))
             return
         if self._refuse_fingerprint_skew(payload):
             return
+        if self._refuse_overload():
+            return
         experiment = get_experiment(name)
         specs = experiment.specs()
-        results = self._evaluate_locked(specs, workers)
-        if results is None:
+        documents = self._evaluate_sync(specs)
+        if documents is None:
             return
         self._send_json(200, {
             "name": experiment.name,
             "title": experiment.title,
             "schema_version": RESULT_SCHEMA_VERSION,
             "fingerprint": code_fingerprint(),
-            "count": len(results),
+            "count": len(documents),
             "results": {
-                spec.key(): result.to_dict()
-                for spec, result in zip(specs, results)
+                spec.key(): document
+                for spec, document in zip(specs, documents)
             },
         })
 
 
 class EvaluationServer(ThreadingHTTPServer):
-    """Threaded HTTP server with service configuration attached."""
+    """Threaded HTTP front-end over a durable queue + worker pool."""
 
     daemon_threads = True
 
@@ -355,19 +472,60 @@ class EvaluationServer(ThreadingHTTPServer):
         address: Tuple[str, int],
         default_workers: Optional[int] = None,
         verbose: bool = False,
+        job_db: Optional[str] = None,
+        task_timeout: float = DEFAULT_TASK_TIMEOUT,
+        lease_seconds: Optional[float] = None,
+        max_attempts: int = 3,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
     ):
         super().__init__(address, ServiceHandler)
-        #: Pool size for batches that do not name their own ``workers``
-        #: (None = all cores, parallel_map caps at the batch size).
-        self.default_workers = default_workers
         self.verbose = verbose
-        #: One evaluation fan-out at a time: ``parallel_map`` forks a
-        #: multiprocessing pool, and forking from several handler
-        #: threads at once both oversubscribes the machine (each batch
-        #: would claim all cores) and risks inheriting another thread's
-        #: held locks in the children.  GETs and request parsing stay
-        #: fully concurrent; only the compute is serialized.
-        self.eval_lock = threading.Lock()
+        self.queue_limit = queue_limit
+        #: True once a SIGTERM drain started: submissions are refused
+        #: (503), running work finishes, then the server exits.
+        self.draining = False
+        self.queue = JobQueue(
+            job_db if job_db is not None else job_db_path(),
+            max_attempts=max_attempts,
+        )
+        # Any lease in the file belongs to a dead predecessor —
+        # single-node queue — so restart recovery is immediate.
+        requeued = self.queue.recover()
+        if requeued and verbose:
+            sys.stderr.write(
+                f"recovered {requeued} leased task(s) from a "
+                "previous server\n"
+            )
+        self.pool = WorkerPool(
+            self.queue,
+            count=default_workers,
+            task_timeout=task_timeout,
+            lease_seconds=lease_seconds,
+            on_result=self._persist_result,
+        )
+        self.pool.start()
+
+    def _persist_result(self, result_json: str) -> None:
+        """Write one completed result through to the store
+        (best-effort: the queue already holds the bytes)."""
+        from repro.api.result import RunResult
+
+        store = default_store()
+        if store is None:
+            return
+        try:
+            store.put(RunResult.from_json(result_json))
+        except (sqlite3.Error, OSError) as exc:
+            log_store_warning(exc)
+
+    def drain(self, timeout: float = 600.0) -> None:
+        """Refuse new work, finish running attempts (SIGTERM path)."""
+        self.draining = True
+        self.pool.stop(drain=True, timeout=timeout)
+
+    def server_close(self) -> None:
+        self.pool.stop(drain=False)
+        super().server_close()
 
 
 def create_server(
@@ -375,9 +533,15 @@ def create_server(
     port: int = DEFAULT_PORT,
     workers: Optional[int] = None,
     verbose: bool = False,
+    **config,
 ) -> EvaluationServer:
-    """Bind (``port=0`` picks a free port) without starting to serve."""
-    return EvaluationServer((host, port), workers, verbose)
+    """Bind (``port=0`` picks a free port) without starting to serve.
+
+    ``config`` forwards to :class:`EvaluationServer`: ``job_db``,
+    ``task_timeout``, ``lease_seconds``, ``max_attempts``,
+    ``queue_limit``.
+    """
+    return EvaluationServer((host, port), workers, verbose, **config)
 
 
 def serve(
@@ -386,21 +550,38 @@ def serve(
     workers: Optional[int] = None,
     verbose: bool = False,
     port_file: Optional[str] = None,
+    **config,
 ) -> None:
     """Run the service until interrupted (the ``repro serve`` body).
 
     ``port_file`` gets the bound port written to it once listening —
     how scripts (and the CI smoke job) find a ``--port 0`` service.
+    SIGTERM drains: new submissions get 503 + Retry-After, running
+    worker attempts finish (their results land in the durable queue
+    and the store), then the process exits; pending tasks stay queued
+    on disk and the next server picks them up.
     """
-    server = create_server(host, port, workers, verbose)
+    server = create_server(host, port, workers, verbose, **config)
     bound_port = server.server_address[1]
     if port_file:
         with open(port_file, "w") as handle:
             handle.write(f"{bound_port}\n")
+
+    def _drain_and_stop(signum, frame):   # noqa: ARG001 (signal API)
+        print("SIGTERM: draining in-flight work before exit",
+              flush=True)
+        thread = threading.Thread(
+            target=lambda: (server.drain(), server.shutdown()),
+            daemon=True,
+        )
+        thread.start()
+
+    previous = signal.signal(signal.SIGTERM, _drain_and_stop)
     print(
         f"repro service listening on http://{host}:{bound_port} "
         f"(fingerprint {code_fingerprint()}, store "
-        f"{'on' if default_store() is not None else 'off'})",
+        f"{'on' if default_store() is not None else 'off'}, "
+        f"queue {server.queue.path})",
         flush=True,
     )
     try:
@@ -408,4 +589,5 @@ def serve(
     except KeyboardInterrupt:
         pass
     finally:
+        signal.signal(signal.SIGTERM, previous)
         server.server_close()

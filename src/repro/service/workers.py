@@ -1,0 +1,226 @@
+"""Supervised worker subprocesses for the evaluation service.
+
+Simulation moves off the HTTP request thread: every task claimed from
+the :class:`~repro.service.jobs.JobQueue` is evaluated in a **fresh
+subprocess** supervised by a pool thread.  The subprocess is the
+isolation boundary the request thread never had —
+
+* a **hung** simulation is killed at the per-task wall-clock timeout,
+* a **crashed** worker (segfault, ``os._exit``, OOM kill) is detected
+  by its exit code,
+
+and in both cases the supervisor just fails the task back to the
+queue, which retries it with backoff or dead-letters it.  The parent
+process performs no simulation and no store writes in-request;
+completed results are written through to the result store
+best-effort (a broken store degrades to a logged warning — the
+simulation already succeeded and the queue holds the result).
+
+Fault injection (``$REPRO_FAULTS``, see :mod:`repro.testing.faults`)
+hooks the subprocess entry: ``worker_crash`` exits hard before
+simulating, ``worker_hang`` sleeps past any sane timeout.  The chaos
+suite uses these to prove a batch completes byte-identically through
+crashes and timeouts.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+import threading
+import time
+from typing import Optional
+
+from repro.api.parallel import resolve_worker_count, warm_trace_cache
+from repro.api.spec import RunSpec
+from repro.testing import faults
+
+from repro.service.jobs import JobQueue, Task
+
+#: How long a stopped/hung subprocess gets between SIGTERM and SIGKILL.
+_KILL_GRACE = 5.0
+
+
+def _subprocess_entry(spec_json: str, pipe) -> None:
+    """Worker subprocess body: one spec in, one result JSON out.
+
+    Runs with ``use_cache=False`` semantics — the subprocess touches
+    neither the in-memory result cache nor the store; persistence is
+    the supervisor's job.  Fault hooks fire *before* the simulation
+    so an injected crash never wastes a completed result.
+    """
+    try:
+        if faults.should_fire("worker_crash"):
+            os._exit(3)
+        if faults.should_fire("worker_hang"):
+            time.sleep(3600.0)
+        from repro.api.evaluate import evaluate
+
+        result = evaluate(RunSpec.from_json(spec_json), use_cache=False)
+        pipe.send(result.to_json())
+    except Exception as exc:   # noqa: BLE001 — report, don't hang
+        pipe.send({"error": f"{type(exc).__name__}: {exc}"})
+    finally:
+        pipe.close()
+
+
+class WorkerPool:
+    """N supervisor threads, each running one subprocess at a time."""
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        count: Optional[int] = None,
+        task_timeout: float = 300.0,
+        lease_seconds: Optional[float] = None,
+        poll_interval: float = 0.2,
+        on_result=None,
+    ):
+        self.queue = queue
+        self.count = resolve_worker_count(count)
+        self.task_timeout = task_timeout
+        #: The lease must outlive a full attempt (timeout + kill
+        #: grace), or a *live* worker's task would be double-claimed.
+        self.lease_seconds = (
+            lease_seconds
+            if lease_seconds is not None
+            else task_timeout + _KILL_GRACE + 30.0
+        )
+        self.poll_interval = poll_interval
+        #: Called with each completed RunResult JSON (the server uses
+        #: this to write results through to the store).
+        self.on_result = on_result
+        self._threads: list = []
+        self._stop = threading.Event()
+        self._draining = threading.Event()
+        self._idle = threading.Semaphore(0)
+        self._context = multiprocessing.get_context()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> None:
+        if self._threads:
+            return
+        self._stop.clear()
+        for index in range(self.count):
+            thread = threading.Thread(
+                target=self._supervise,
+                name=f"repro-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self, drain: bool = False, timeout: float = 60.0) -> None:
+        """Stop the pool.
+
+        ``drain=True`` first stops claiming *new* tasks and waits (up
+        to ``timeout``) for running attempts to finish — the SIGTERM
+        path.  ``drain=False`` abandons running subprocesses' results:
+        their leased tasks return to the queue on recovery/expiry,
+        which is exactly the crash the queue is built to survive.
+        """
+        if drain:
+            self._draining.set()
+            deadline = time.time() + timeout
+            for thread in self._threads:
+                thread.join(max(0.0, deadline - time.time()))
+        self._stop.set()
+        self.queue.work_available.set()
+        for thread in self._threads:
+            thread.join(self.poll_interval + _KILL_GRACE)
+        self._threads = []
+        self._draining.clear()
+
+    # -- supervision ---------------------------------------------------
+
+    def _supervise(self) -> None:
+        while not self._stop.is_set():
+            if self._draining.is_set():
+                return
+            task = self.queue.claim(self.lease_seconds)
+            if task is None:
+                if self._draining.is_set():
+                    return
+                self.queue.work_available.clear()
+                self.queue.work_available.wait(self.poll_interval)
+                continue
+            try:
+                self._run_task(task)
+            except Exception as exc:   # noqa: BLE001 — keep the pool up
+                self.queue.fail(
+                    task, f"supervisor error: "
+                          f"{type(exc).__name__}: {exc}"
+                )
+
+    def _run_task(self, task: Task) -> None:
+        spec = task.spec
+        # Warm the trace cache in the parent so the (forked) child
+        # loads arrays instead of running the ISS; a second worker on
+        # the same workload reuses the parent's in-process cache.
+        if not spec.is_synthetic:
+            warm_trace_cache((spec.workload,))
+        receiver, sender = self._context.Pipe(duplex=False)
+        process = self._context.Process(
+            target=_subprocess_entry,
+            args=(task.spec_key, sender),
+            daemon=True,
+        )
+        process.start()
+        sender.close()
+        process.join(self.task_timeout)
+        if process.is_alive():
+            self._kill(process)
+            receiver.close()
+            self.queue.fail(
+                task,
+                f"worker timed out after {self.task_timeout:g}s "
+                f"(attempt {task.attempts})",
+            )
+            return
+        payload = None
+        if receiver.poll():
+            try:
+                payload = receiver.recv()
+            except (EOFError, OSError):
+                payload = None
+        receiver.close()
+        if isinstance(payload, str):
+            self.queue.complete(task, payload)
+            if self.on_result is not None:
+                self.on_result(payload)
+            return
+        if isinstance(payload, dict):
+            message = payload.get("error", "unknown worker error")
+        else:
+            message = (
+                f"worker crashed with exit code {process.exitcode} "
+                f"(attempt {task.attempts})"
+            )
+        self.queue.fail(task, message)
+
+    @staticmethod
+    def _kill(process) -> None:
+        process.terminate()
+        process.join(_KILL_GRACE)
+        if process.is_alive():
+            process.kill()
+            process.join(_KILL_GRACE)
+
+    # -- diagnostics ---------------------------------------------------
+
+    def describe(self) -> dict:
+        return {
+            "workers": self.count,
+            "task_timeout": self.task_timeout,
+            "lease_seconds": self.lease_seconds,
+            "alive": sum(1 for t in self._threads if t.is_alive()),
+            "draining": self._draining.is_set(),
+        }
+
+
+def log_store_warning(exc: Exception) -> None:
+    """Uniform store-degradation warning (parent-side writes)."""
+    print(f"warning: result store unavailable: {exc}",
+          file=sys.stderr)

@@ -99,20 +99,31 @@ class ResultStore:
     assertable evidence that a warm run performed zero simulations.
     """
 
-    def __init__(self, path: Union[str, Path]):
+    def __init__(self, path: Union[str, Path], read_only: bool = False):
         self.path = Path(path)
+        self.read_only = read_only
         self.fingerprint = code_fingerprint()
         self.hits = 0
         self.misses = 0
         self.puts = 0
-        self._lru_migrated = False
+        self._lru_migrated = read_only
         self._lock = threading.Lock()
-        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if not read_only:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
         self._execute(lambda conn: None)   # create schema / verify file
 
     # -- connection plumbing -------------------------------------------
 
     def _connect(self) -> sqlite3.Connection:
+        if self.read_only:
+            # mode=ro enforces read-only at the SQLite layer even for
+            # a privileged process (file permission bits do not bind
+            # root) — every write raises OperationalError, which the
+            # callers degrade from; hits keep being served.
+            conn = sqlite3.connect(
+                f"file:{self.path}?mode=ro", uri=True, timeout=30.0
+            )
+            return conn
         conn = sqlite3.connect(str(self.path), timeout=30.0)
         conn.execute("PRAGMA journal_mode=WAL")
         conn.execute("PRAGMA synchronous=NORMAL")
@@ -171,13 +182,23 @@ class ResultStore:
         return True      # bare DatabaseError: NOTADB / CORRUPT family
 
     def _quarantine(self) -> None:
-        """Move a corrupt store aside and start from an empty file."""
+        """Move a corrupt store aside and start from an empty file.
+
+        Concurrent writers can detect the same corruption and race
+        into this path from several processes; whoever quarantines
+        first wins and the losers' missing-file errors are ignored —
+        everyone proceeds onto the rebuilt store.
+        """
         for suffix in ("-wal", "-shm"):
             side = Path(str(self.path) + suffix)
-            if side.exists():
+            try:
                 side.unlink()
-        if self.path.exists():
+            except FileNotFoundError:
+                pass
+        try:
             os.replace(self.path, str(self.path) + ".corrupt")
+        except FileNotFoundError:
+            pass
 
     def _execute(self, fn, _retried: bool = False):
         """Run ``fn(conn)``; quarantine + retry once on corruption."""
@@ -189,7 +210,8 @@ class ResultStore:
             finally:
                 conn.close()
         except sqlite3.DatabaseError as exc:
-            if _retried or not self._is_corruption(exc):
+            if (_retried or self.read_only
+                    or not self._is_corruption(exc)):
                 raise
             with self._lock:
                 self._quarantine()
@@ -206,6 +228,12 @@ class ResultStore:
         self, specs: Sequence[RunSpec]
     ) -> Dict[str, RunResult]:
         """Bulk lookup: ``{spec.key(): RunResult}`` for every stored hit."""
+        from repro.testing import faults
+
+        if faults.should_fire("store_read_error"):
+            raise sqlite3.OperationalError(
+                "injected fault: store_read_error"
+            )
         keys = [spec.key() for spec in specs]
         unique = list(dict.fromkeys(keys))
         rows: Dict[str, str] = {}
@@ -267,6 +295,12 @@ class ResultStore:
         (equal keys imply equal bytes, so OR IGNORE loses nothing).
         Returns — and counts into ``puts`` — only the rows actually
         inserted, so the counter means one thing everywhere."""
+        from repro.testing import faults
+
+        if faults.should_fire("store_write_error"):
+            raise sqlite3.OperationalError(
+                "injected fault: store_write_error"
+            )
         rows = [self._row(result) for result in results]
         if not rows:
             return 0

@@ -1,0 +1,28 @@
+"""``repro.testing`` — fault injection and chaos-test support.
+
+Production code imports :mod:`repro.testing.faults` only to call its
+zero-cost ``should_fire`` checks; everything heavier lives in the test
+suite.  See ``faults.py`` for the ``$REPRO_FAULTS`` syntax.
+"""
+
+from repro.testing.faults import (
+    FAULTS_ENV,
+    FAULTS_SEED_ENV,
+    FAULTS_STATE_ENV,
+    FaultPlan,
+    activate,
+    active_plan,
+    reload_plan,
+    should_fire,
+)
+
+__all__ = [
+    "FAULTS_ENV",
+    "FAULTS_SEED_ENV",
+    "FAULTS_STATE_ENV",
+    "FaultPlan",
+    "activate",
+    "active_plan",
+    "reload_plan",
+    "should_fire",
+]

@@ -1,0 +1,274 @@
+"""Deterministic fault injection (``$REPRO_FAULTS``).
+
+The chaos suite and the fault leg of ``determinism_check`` need the
+store, the worker pool and the HTTP layer to fail *on demand and
+reproducibly* — a fault that fires at a random wall-clock moment can
+never anchor a byte-identity assertion.  This module gives every
+injection point in the codebase one cheap, seeded gate:
+
+    REPRO_FAULTS="store_read_error:0.1,worker_crash:2,slow_sim:3"
+
+is a comma-separated list of ``point:value`` pairs where
+
+* a value **containing a dot** (``0.1``) is a per-call probability
+  drawn from a per-point ``random.Random`` seeded with
+  ``$REPRO_FAULTS_SEED`` (default 0) — the decision *sequence* for a
+  point is a pure function of the seed, and
+* an **integer** value (``2``) is a budget: the first N calls fire,
+  every later one passes.  With ``$REPRO_FAULTS_STATE`` pointing at a
+  directory, the budget is consumed atomically *across processes*
+  (worker subprocesses included) via ``O_CREAT|O_EXCL`` token files —
+  "crash the first two worker attempts, then let the retries
+  succeed" means exactly that even though every attempt runs in a
+  fresh subprocess.  Without a state directory the budget is
+  per-process.
+
+Known injection points (the call sites define the failure mode):
+
+===================  ==================================================
+``store_read_error``  :meth:`ResultStore.get_many` raises
+                      ``sqlite3.OperationalError``
+``store_write_error`` :meth:`ResultStore.put_many` raises
+                      ``sqlite3.OperationalError``
+``worker_crash``      the evaluation subprocess ``os._exit(3)``\\ s
+                      before simulating
+``worker_hang``       the evaluation subprocess sleeps past its
+                      wall-clock timeout
+``slow_sim``          ``evaluate`` sleeps ``$REPRO_FAULTS_SLOW_SIM``
+                      seconds (default 0.2) before simulating
+``http_error``        the server answers POSTs with a 500 before
+                      dispatching
+===================  ==================================================
+
+With ``$REPRO_FAULTS`` unset every ``should_fire`` call is a single
+``is None`` check — production pays nothing.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+FAULTS_ENV = "REPRO_FAULTS"
+FAULTS_SEED_ENV = "REPRO_FAULTS_SEED"
+FAULTS_STATE_ENV = "REPRO_FAULTS_STATE"
+SLOW_SIM_ENV = "REPRO_FAULTS_SLOW_SIM"
+
+#: Fault points production code may gate on (documented above);
+#: parsing rejects unknown names so a typo cannot silently disable a
+#: chaos scenario.
+KNOWN_POINTS = (
+    "store_read_error",
+    "store_write_error",
+    "worker_crash",
+    "worker_hang",
+    "slow_sim",
+    "http_error",
+)
+
+
+def _parse_value(point: str, text: str) -> Union[float, int]:
+    try:
+        if "." in text or "e" in text.lower():
+            probability = float(text)
+            if not 0.0 <= probability <= 1.0:
+                raise ValueError
+            return probability
+        count = int(text)
+        if count < 0:
+            raise ValueError
+        return count
+    except ValueError:
+        raise ValueError(
+            f"fault {point!r}: value {text!r} must be a probability "
+            "in [0,1] (with a dot) or a non-negative trigger count"
+        ) from None
+
+
+class FaultPlan:
+    """One parsed ``$REPRO_FAULTS`` specification.
+
+    Thread-safe; a single instance serves every injection point of a
+    process (and, through the state directory, coordinates budgets
+    with sibling processes).
+    """
+
+    def __init__(
+        self,
+        spec: str,
+        seed: int = 0,
+        state_dir: Optional[Union[str, Path]] = None,
+    ):
+        self.spec = spec
+        self.seed = seed
+        self.state_dir = Path(state_dir) if state_dir else None
+        self._rules: Dict[str, Union[float, int]] = {}
+        self._rngs: Dict[str, random.Random] = {}
+        self._local_counts: Dict[str, int] = {}
+        self._lock = threading.Lock()
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            point, _, value = part.partition(":")
+            point = point.strip()
+            if point not in KNOWN_POINTS:
+                raise ValueError(
+                    f"unknown fault point {point!r}; known: "
+                    f"{', '.join(KNOWN_POINTS)}"
+                )
+            if not value:
+                raise ValueError(
+                    f"fault {point!r} needs a ':value' "
+                    "(probability or count)"
+                )
+            self._rules[point] = _parse_value(point, value.strip())
+        if self.state_dir is not None:
+            self.state_dir.mkdir(parents=True, exist_ok=True)
+
+    def points(self) -> Tuple[str, ...]:
+        return tuple(self._rules)
+
+    def should_fire(self, point: str) -> bool:
+        """Decide (and, for budgets, consume) one trigger for ``point``."""
+        rule = self._rules.get(point)
+        if rule is None:
+            return False
+        if isinstance(rule, float):
+            with self._lock:
+                rng = self._rngs.get(point)
+                if rng is None:
+                    rng = random.Random(f"{self.seed}:{point}")
+                    self._rngs[point] = rng
+                return rng.random() < rule
+        return self._consume_budget(point, rule)
+
+    def _consume_budget(self, point: str, limit: int) -> bool:
+        if self.state_dir is None:
+            with self._lock:
+                used = self._local_counts.get(point, 0)
+                if used >= limit:
+                    return False
+                self._local_counts[point] = used + 1
+                return True
+        # One O_CREAT|O_EXCL token per allowed trigger: atomic across
+        # processes, and the leftover files double as an audit trail
+        # ("how many crashes actually fired?") for the chaos tests.
+        for slot in range(limit):
+            token = self.state_dir / f"{point}.{slot}"
+            try:
+                fd = os.open(
+                    token, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                )
+            except FileExistsError:
+                continue
+            os.close(fd)
+            return True
+        return False
+
+    def fired(self, point: str) -> int:
+        """How many budget triggers for ``point`` have been consumed."""
+        if self.state_dir is not None:
+            return sum(
+                1 for path in self.state_dir.glob(f"{point}.*")
+            )
+        with self._lock:
+            return self._local_counts.get(point, 0)
+
+
+# ----------------------------------------------------------------------
+# process-wide active plan (parsed from the environment once)
+# ----------------------------------------------------------------------
+
+_PLAN: Optional[FaultPlan] = None
+_PLAN_LOADED = False
+_PLAN_LOCK = threading.Lock()
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The plan ``$REPRO_FAULTS`` describes, or None when unset."""
+    global _PLAN, _PLAN_LOADED
+    if _PLAN_LOADED:
+        return _PLAN
+    with _PLAN_LOCK:
+        if not _PLAN_LOADED:
+            spec = os.environ.get(FAULTS_ENV, "").strip()
+            if spec:
+                _PLAN = FaultPlan(
+                    spec,
+                    seed=int(os.environ.get(FAULTS_SEED_ENV, "0")),
+                    state_dir=os.environ.get(FAULTS_STATE_ENV) or None,
+                )
+            else:
+                _PLAN = None
+            _PLAN_LOADED = True
+    return _PLAN
+
+
+def reload_plan() -> Optional[FaultPlan]:
+    """Re-read the environment (tests toggling faults at runtime)."""
+    global _PLAN_LOADED
+    with _PLAN_LOCK:
+        _PLAN_LOADED = False
+    return active_plan()
+
+
+def should_fire(point: str) -> bool:
+    """The one-line gate every injection point calls.
+
+    Free when no faults are configured (one None check); otherwise
+    delegates to the active :class:`FaultPlan`.
+    """
+    plan = active_plan()
+    return plan is not None and plan.should_fire(point)
+
+
+def slow_sim_seconds() -> float:
+    """How long a fired ``slow_sim`` fault sleeps."""
+    return float(os.environ.get(SLOW_SIM_ENV, "0.2"))
+
+
+def sleep_if_slow() -> None:
+    """The ``slow_sim`` action (used by ``evaluate``)."""
+    if should_fire("slow_sim"):
+        time.sleep(slow_sim_seconds())
+
+
+@contextmanager
+def activate(
+    spec: str,
+    seed: int = 0,
+    state_dir: Optional[Union[str, Path]] = None,
+) -> Iterator[FaultPlan]:
+    """Enable a fault plan for this process *and* its children.
+
+    Sets the ``$REPRO_FAULTS*`` variables (so worker subprocesses
+    inherit the plan) and installs the parsed plan in-process;
+    restores the previous environment and plan on exit.
+    """
+    saved = {
+        name: os.environ.get(name)
+        for name in (FAULTS_ENV, FAULTS_SEED_ENV, FAULTS_STATE_ENV)
+    }
+    os.environ[FAULTS_ENV] = spec
+    os.environ[FAULTS_SEED_ENV] = str(seed)
+    if state_dir is not None:
+        os.environ[FAULTS_STATE_ENV] = str(state_dir)
+    else:
+        os.environ.pop(FAULTS_STATE_ENV, None)
+    try:
+        plan = reload_plan()
+        assert plan is not None
+        yield plan
+    finally:
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+        reload_plan()

@@ -1,0 +1,184 @@
+"""Tests for the deterministic fault-injection harness.
+
+The harness only earns its keep if it is *predictable*: probability
+points must replay the same decision sequence for the same seed,
+budget points must fire exactly N times — in one process or across
+many — and an unset ``$REPRO_FAULTS`` must cost nothing and inject
+nothing.  A typo in a fault point name must be an error, never a
+silently fault-free chaos run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.testing import (
+    FAULTS_ENV,
+    FAULTS_SEED_ENV,
+    FAULTS_STATE_ENV,
+    FaultPlan,
+    activate,
+    active_plan,
+    reload_plan,
+    should_fire,
+)
+from repro.testing.faults import SLOW_SIM_ENV, slow_sim_seconds
+
+
+# ----------------------------------------------------------------------
+# parsing
+# ----------------------------------------------------------------------
+
+def test_parse_mixes_probabilities_and_budgets():
+    plan = FaultPlan("store_read_error:0.5, worker_crash:2")
+    assert set(plan.points()) == {"store_read_error", "worker_crash"}
+
+
+def test_unknown_point_is_rejected():
+    with pytest.raises(ValueError, match="unknown fault point"):
+        FaultPlan("store_read_eror:0.5")
+
+
+def test_missing_value_is_rejected():
+    with pytest.raises(ValueError, match="needs a ':value'"):
+        FaultPlan("worker_crash")
+
+
+def test_out_of_range_values_are_rejected():
+    with pytest.raises(ValueError, match="probability"):
+        FaultPlan("worker_crash:1.5")
+    with pytest.raises(ValueError, match="probability"):
+        FaultPlan("worker_crash:-1")
+    with pytest.raises(ValueError, match="probability"):
+        FaultPlan("worker_crash:sometimes")
+
+
+def test_dot_means_probability_integer_means_budget():
+    # "1.0" always fires and never exhausts; "1" fires exactly once.
+    always = FaultPlan("worker_crash:1.0")
+    assert all(always.should_fire("worker_crash") for _ in range(10))
+    once = FaultPlan("worker_crash:1")
+    assert once.should_fire("worker_crash") is True
+    assert once.should_fire("worker_crash") is False
+
+
+def test_unlisted_point_never_fires():
+    plan = FaultPlan("worker_crash:1.0")
+    assert plan.should_fire("store_read_error") is False
+
+
+# ----------------------------------------------------------------------
+# determinism
+# ----------------------------------------------------------------------
+
+def test_probability_sequence_is_a_pure_function_of_the_seed():
+    a = FaultPlan("slow_sim:0.3", seed=7)
+    b = FaultPlan("slow_sim:0.3", seed=7)
+    c = FaultPlan("slow_sim:0.3", seed=8)
+    seq_a = [a.should_fire("slow_sim") for _ in range(64)]
+    seq_b = [b.should_fire("slow_sim") for _ in range(64)]
+    seq_c = [c.should_fire("slow_sim") for _ in range(64)]
+    assert seq_a == seq_b
+    assert seq_a != seq_c                 # 2^-64-ish chance of collision
+    assert any(seq_a) and not all(seq_a)  # p=0.3 over 64 draws
+
+
+def test_per_point_streams_are_independent():
+    """Consuming one point's stream must not perturb another's."""
+    solo = FaultPlan("slow_sim:0.3", seed=7)
+    expected = [solo.should_fire("slow_sim") for _ in range(32)]
+    mixed = FaultPlan("slow_sim:0.3,store_read_error:0.5", seed=7)
+    got = []
+    for _ in range(32):
+        mixed.should_fire("store_read_error")   # interleaved traffic
+        got.append(mixed.should_fire("slow_sim"))
+    assert got == expected
+
+
+# ----------------------------------------------------------------------
+# budgets
+# ----------------------------------------------------------------------
+
+def test_in_process_budget_fires_exactly_n_times():
+    plan = FaultPlan("worker_crash:3")
+    fired = sum(plan.should_fire("worker_crash") for _ in range(10))
+    assert fired == 3
+    assert plan.fired("worker_crash") == 3
+
+
+def test_state_dir_budget_is_shared_between_plan_instances(tmp_path):
+    """Two plans on one state dir model two processes: the budget is
+    consumed jointly, exactly N times total."""
+    a = FaultPlan("worker_crash:2", state_dir=tmp_path / "state")
+    b = FaultPlan("worker_crash:2", state_dir=tmp_path / "state")
+    fired = sum(
+        plan.should_fire("worker_crash")
+        for _ in range(5) for plan in (a, b)
+    )
+    assert fired == 2
+    assert a.fired("worker_crash") == 2
+    assert b.fired("worker_crash") == 2
+
+
+def _consume_in_child(state_dir: str, queue) -> None:
+    from repro.testing import FaultPlan
+
+    plan = FaultPlan("worker_crash:2", state_dir=state_dir)
+    queue.put(sum(plan.should_fire("worker_crash") for _ in range(5)))
+
+
+def test_state_dir_budget_is_shared_across_real_processes(tmp_path):
+    state = tmp_path / "state"
+    parent = FaultPlan("worker_crash:2", state_dir=state)
+    assert parent.should_fire("worker_crash") is True    # consume 1
+    queue = multiprocessing.Queue()
+    child = multiprocessing.Process(
+        target=_consume_in_child, args=(str(state), queue)
+    )
+    child.start()
+    child.join(timeout=30)
+    assert child.exitcode == 0
+    assert queue.get(timeout=10) == 1       # only 1 of 2 was left
+    assert parent.should_fire("worker_crash") is False
+    assert parent.fired("worker_crash") == 2
+
+
+# ----------------------------------------------------------------------
+# process-wide activation
+# ----------------------------------------------------------------------
+
+def test_no_faults_configured_means_nothing_fires(monkeypatch):
+    monkeypatch.delenv(FAULTS_ENV, raising=False)
+    reload_plan()
+    try:
+        assert active_plan() is None
+        assert should_fire("worker_crash") is False
+    finally:
+        reload_plan()
+
+
+def test_activate_sets_env_installs_plan_and_restores(tmp_path):
+    before = os.environ.get(FAULTS_ENV)
+    with activate(
+        "worker_crash:1", seed=5, state_dir=tmp_path / "s"
+    ) as plan:
+        # The env carries the plan to subprocesses...
+        assert os.environ[FAULTS_ENV] == "worker_crash:1"
+        assert os.environ[FAULTS_SEED_ENV] == "5"
+        assert os.environ[FAULTS_STATE_ENV] == str(tmp_path / "s")
+        # ...and this process consults it through the module gate.
+        assert active_plan() is plan
+        assert should_fire("worker_crash") is True
+        assert should_fire("worker_crash") is False
+    assert os.environ.get(FAULTS_ENV) == before
+    assert should_fire("worker_crash") is False
+
+
+def test_slow_sim_duration_comes_from_the_environment(monkeypatch):
+    monkeypatch.delenv(SLOW_SIM_ENV, raising=False)
+    assert slow_sim_seconds() == pytest.approx(0.2)
+    monkeypatch.setenv(SLOW_SIM_ENV, "0.05")
+    assert slow_sim_seconds() == pytest.approx(0.05)

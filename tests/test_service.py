@@ -22,7 +22,12 @@ from repro.api import (
     evaluate_many,
 )
 from repro.cli import main as cli_main
-from repro.service import ServiceClient, ServiceError, create_server
+from repro.service import (
+    ServiceClient,
+    ServiceError,
+    create_server,
+    wait_until_ready,
+)
 
 TINY_D = "synthetic:num_accesses=512,seed=11"
 TINY_I = "synthetic:num_blocks=64,block_packets=4,seed=11"
@@ -34,7 +39,9 @@ def service():
     server = create_server(port=0)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
-    yield f"http://127.0.0.1:{server.server_address[1]}"
+    url = f"http://127.0.0.1:{server.server_address[1]}"
+    wait_until_ready(url)
+    yield url
     server.shutdown()
     server.server_close()
 
@@ -53,6 +60,11 @@ def test_healthz(client):
     assert payload["status"] == "ok"
     assert payload["result_schema"] == RESULT_SCHEMA_VERSION
     assert len(payload["fingerprint"]) == 16
+    assert payload["draining"] is False
+    assert set(payload["queue"]) == {
+        "pending", "running", "done", "failed"
+    }
+    assert payload["pool"]["alive"] == payload["pool"]["workers"]
 
 
 def test_architectures_mirror_the_registry(client):
@@ -154,6 +166,52 @@ def test_batch_rejects_non_integer_workers(client):
 
 
 # ----------------------------------------------------------------------
+# async jobs
+# ----------------------------------------------------------------------
+
+def test_async_batch_matches_sync_byte_for_byte(client):
+    spec_a = RunSpec(cache="dcache", arch="original", workload=TINY_D)
+    spec_b = RunSpec(cache="icache", arch="panwar", workload=TINY_I)
+    batch = [spec_a, spec_b, spec_a]        # duplicate preserved
+    job_id = client.submit_async(batch)
+    assert job_id
+    polled = client.wait_job(job_id, timeout=120)
+    local = evaluate_many(batch, workers=1, use_cache=False)
+    assert [r.to_json() for r in polled] == [
+        r.to_json() for r in local
+    ]
+
+
+def test_job_status_carries_progress_and_results(client):
+    spec = RunSpec(cache="dcache", arch="two-phase", workload=TINY_D)
+    job_id = client.submit_async([spec])
+    client.wait_job(job_id, timeout=120)
+    status = client.job_status(job_id)
+    assert status["state"] == "done"
+    assert status["total"] == status["done"] == 1
+    assert status["keys"] == [spec.key()]
+    assert spec.key() in status["results"]
+    assert job_id in [entry["id"] for entry in client.jobs()]
+
+
+def test_unknown_job_is_a_404(client):
+    with pytest.raises(ServiceError) as err:
+        client.job_status("not-a-job")
+    assert err.value.status == 404
+
+
+def test_invalid_batch_mode_is_a_400(client):
+    spec = RunSpec(cache="dcache", arch="original", workload=TINY_D)
+    with pytest.raises(ServiceError) as err:
+        client._request(
+            "/v1/batch",
+            {"specs": [spec.to_dict()], "mode": "later"},
+        )
+    assert err.value.status == 400
+    assert "mode" in err.value.message
+
+
+# ----------------------------------------------------------------------
 # experiment evaluation endpoint
 # ----------------------------------------------------------------------
 
@@ -248,6 +306,38 @@ def test_submit_cli_batch_matches_eval_cli(service, capsys):
     assert cli_main(["eval", specs]) == 0
     evaluated = capsys.readouterr().out
     assert submitted == evaluated
+
+
+def test_submit_cli_async_then_jobs_wait_round_trips(
+    service, capsys
+):
+    spec = {"cache": "icache", "arch": "panwar", "workload": TINY_I}
+    assert cli_main(
+        ["submit", json.dumps(spec), "--url", service, "--async"]
+    ) == 0
+    job_id = json.loads(capsys.readouterr().out)["job_id"]
+
+    assert cli_main(
+        ["jobs", job_id, "--url", service, "--wait"]
+    ) == 0
+    (document,) = json.loads(capsys.readouterr().out)
+    assert document["spec"]["arch"] == "panwar"
+
+    assert cli_main(["jobs", job_id, "--url", service]) == 0
+    status = json.loads(capsys.readouterr().out)
+    assert status["state"] == "done"
+    assert "results" not in status          # progress view, not payload
+
+    assert cli_main(["jobs", "--url", service]) == 0
+    listing = json.loads(capsys.readouterr().out)
+    assert job_id in [entry["id"] for entry in listing["jobs"]]
+
+
+def test_jobs_cli_unreachable_service(capsys):
+    assert cli_main(
+        ["jobs", "--url", "http://127.0.0.1:9"]
+    ) == 1
+    assert "cannot reach service" in capsys.readouterr().err
 
 
 def test_submit_cli_rejects_garbage_before_sending(service, capsys):

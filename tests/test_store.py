@@ -225,6 +225,109 @@ def test_evaluate_degrades_gracefully_when_store_fails(
     assert "result store unavailable" in capsys.readouterr().err
 
 
+def _corruption_reader(path: str, key_json: str, queue) -> None:
+    from repro.api.spec import RunSpec
+    from repro.store import ResultStore
+
+    try:
+        store = ResultStore(path)
+        store.get(RunSpec.from_json(key_json))
+        queue.put("ok")
+    except Exception as exc:   # noqa: BLE001 — reported to the parent
+        queue.put(f"{type(exc).__name__}: {exc}")
+
+
+def test_concurrent_readers_racing_to_quarantine_are_safe(
+    fresh_store,
+):
+    """Two processes detecting the same corruption both survive: one
+    wins the quarantine rename, the loser's missing-file errors are
+    swallowed, and the store is rebuilt usable."""
+    result = evaluate(_spec(), use_cache=False)
+    fresh_store.put(result)
+    for suffix in ("", "-wal", "-shm"):
+        side = fresh_store.path.parent / (
+            fresh_store.path.name + suffix
+        )
+        if suffix == "" or side.exists():
+            side.write_bytes(b"this is not a sqlite database" * 64)
+    queue = multiprocessing.Queue()
+    readers = [
+        multiprocessing.Process(
+            target=_corruption_reader,
+            args=(str(fresh_store.path), _spec().key(), queue),
+        )
+        for _ in range(2)
+    ]
+    for reader in readers:
+        reader.start()
+    for reader in readers:
+        reader.join(timeout=60)
+        assert reader.exitcode == 0
+    outcomes = [queue.get(timeout=10) for _ in readers]
+    assert outcomes == ["ok", "ok"]
+    quarantined = fresh_store.path.parent / (
+        fresh_store.path.name + ".corrupt"
+    )
+    assert quarantined.exists()
+    fresh_store.put(result)                       # rebuilt and usable
+    assert fresh_store.get(_spec()).to_json() == result.to_json()
+
+
+def test_read_only_store_serves_hits_but_refuses_writes(fresh_store):
+    """``read_only=True`` enforces immutability at the SQLite layer
+    (file permission bits do not bind root): hits keep being served,
+    every write raises, and recency stamping degrades silently."""
+    import sqlite3
+
+    result = evaluate(_spec(), use_cache=False)
+    fresh_store.put(result)
+
+    ro = ResultStore(fresh_store.path, read_only=True)
+    loaded = ro.get(_spec())
+    assert loaded is not None
+    assert loaded.to_json() == result.to_json()
+    assert ro.hits == 1
+    with pytest.raises(sqlite3.OperationalError):
+        ro.put(result)
+    assert ro.stats()["entries"] == 1
+
+
+def test_read_only_store_never_quarantines_the_file(tmp_path):
+    """Corruption seen through a read-only handle must surface as an
+    error, not move a file this process was told not to touch."""
+    import sqlite3
+
+    path = tmp_path / "shared.sqlite"
+    path.write_bytes(b"this is not a sqlite database" * 64)
+    ro = ResultStore(path, read_only=True)   # opening is lazy
+    with pytest.raises(sqlite3.DatabaseError):
+        ro.get(_spec())
+    assert path.exists()
+    assert path.read_bytes().startswith(b"this is not")
+    assert not (tmp_path / "shared.sqlite.corrupt").exists()
+
+
+def test_unopenable_store_location_disables_persistence(
+    tmp_path, monkeypatch
+):
+    """A store path that cannot exist (parent is a regular file)
+    turns persistence off for the process, never breaks evaluation."""
+    blocker = tmp_path / "blocker"
+    blocker.write_text("a file, not a directory")
+    monkeypatch.setenv(
+        STORE_ENV, str(blocker / "nested" / "results.sqlite")
+    )
+    reset_default_stores()
+    clear_result_cache()
+    try:
+        assert default_store() is None
+        assert evaluate(_spec()).counters.accesses == 512
+    finally:
+        reset_default_stores()
+        clear_result_cache()
+
+
 def test_truncated_store_file_is_detected(fresh_store):
     result = evaluate(_spec(), use_cache=False)
     fresh_store.put(result)
