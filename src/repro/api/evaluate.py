@@ -82,7 +82,8 @@ def _resolve_stream(spec: RunSpec) -> Tuple[object, int]:
     return stream, workload.cycles
 
 
-def _run(spec: RunSpec) -> RunResult:
+def _begin_simulation() -> None:
+    """Account one real simulation (and run the chaos slow-sim hook)."""
     global _SIMULATIONS
     _SIMULATIONS += 1
     # Chaos hook: an injected slow simulation exercises the service's
@@ -90,6 +91,36 @@ def _run(spec: RunSpec) -> RunResult:
     from repro.testing import faults
 
     faults.sleep_if_slow()
+
+
+def _finish_result(
+    spec: RunSpec,
+    info,
+    params: Dict[str, object],
+    counters: AccessCounters,
+    cycles: int,
+) -> RunResult:
+    """Price counters with Equation (1) and wrap them as a RunResult.
+
+    Shared tail of the per-spec path (:func:`_run`) and the grouped
+    replay path (:func:`repro.replay.engine.replay_specs`) — one
+    pricing implementation keeps the two byte-identical.
+    """
+    geometry = info.mab_geometry(params)
+    power = _power_model(spec.cache, spec.technology).power(
+        counters,
+        cycles,
+        label=spec.arch,
+        mab_model=MABHardwareModel(*geometry) if geometry else None,
+        aux_bits=info.resolved_aux_bits(params),
+    )
+    return RunResult(
+        spec=spec, counters=counters, power=power, cycles=cycles
+    )
+
+
+def _run(spec: RunSpec) -> RunResult:
+    _begin_simulation()
     info = get_architecture(spec.cache, spec.arch)
     params = spec.param_dict
     controller = info.build(params)
@@ -104,17 +135,7 @@ def _run(spec: RunSpec) -> RunResult:
     else:
         process = controller.process
     counters: AccessCounters = process(stream)
-    geometry = info.mab_geometry(params)
-    power = _power_model(spec.cache, spec.technology).power(
-        counters,
-        cycles,
-        label=spec.arch,
-        mab_model=MABHardwareModel(*geometry) if geometry else None,
-        aux_bits=info.resolved_aux_bits(params),
-    )
-    return RunResult(
-        spec=spec, counters=counters, power=power, cycles=cycles
-    )
+    return _finish_result(spec, info, params, counters, cycles)
 
 
 def _default_store():
@@ -125,17 +146,30 @@ def _default_store():
     return default_store()
 
 
+#: Distinct store-failure messages already warned about, per process.
+#: A broken store fails identically on every operation; one line per
+#: distinct failure keeps a 10k-spec sweep's stderr readable.
+_STORE_WARNINGS: set = set()
+
+
+def _warn_store_unavailable(exc: BaseException) -> None:
+    """Warn about a failing store once per distinct failure message."""
+    message = f"warning: result store unavailable: {exc}"
+    if message not in _STORE_WARNINGS:
+        _STORE_WARNINGS.add(message)
+        print(message, file=sys.stderr)
+
+
 def _store_op(fn, fallback):
     """Best-effort persistence: a failing store (lock starvation, full
-    or read-only disk) degrades to a warning — it must never fail an
-    evaluation whose simulation already succeeded."""
+    or read-only disk) degrades to a rate-limited warning — it must
+    never fail an evaluation whose simulation already succeeded."""
     import sqlite3
 
     try:
         return fn()
     except (sqlite3.Error, OSError) as exc:
-        print(f"warning: result store unavailable: {exc}",
-              file=sys.stderr)
+        _warn_store_unavailable(exc)
         return fallback
 
 
@@ -172,6 +206,24 @@ def _evaluate_payload(payload: str) -> RunResult:
     return _run(RunSpec.from_json(payload))
 
 
+def _evaluate_task(payloads: Tuple[str, ...]) -> List[RunResult]:
+    """Worker entry point for one replay group of JSON specs.
+
+    Singleton groups take the classic per-spec path; larger groups —
+    fresh fast-engine specs sharing (cache side, workload), as planned
+    by :func:`repro.replay.engine.plan_groups` — replay the workload
+    once through the single-pass multi-architecture engine.  Both
+    paths produce byte-identical results (the determinism check's
+    ``--replay`` leg asserts it).
+    """
+    specs = [RunSpec.from_json(payload) for payload in payloads]
+    if len(specs) == 1:
+        return [_run(specs[0])]
+    from repro.replay.engine import replay_specs
+
+    return replay_specs(specs)
+
+
 def evaluate_many(
     specs: Sequence[RunSpec],
     workers: Optional[int] = None,
@@ -183,7 +235,15 @@ def evaluate_many(
     order regardless of worker count, so any reduction over it is
     deterministic.  The parent warms the on-disk trace cache for the
     batch's benchmarks before forking, so workers never run the ISS.
+    Fresh fast-engine specs sharing (cache side, workload) are routed
+    through the single-pass replay engine as one task (disable with
+    ``REPRO_REPLAY=0``); the results are byte-identical either way.
+
+    ``use_cache=False`` bypasses both cache layers completely: no
+    reads from the per-process cache or the store, no write-back.
     """
+    from repro.replay.engine import plan_groups
+
     specs = list(specs)
     keys = [spec.key() for spec in specs]
     fresh: Dict[str, RunSpec] = {}
@@ -203,12 +263,17 @@ def evaluate_many(
             spec.workload for spec in fresh.values()
             if not spec.is_synthetic
         )))
-        results = parallel_map(
-            _evaluate_payload,
-            [spec.to_json() for spec in fresh.values()],
+        groups = plan_groups(list(fresh.values()))
+        grouped_results = parallel_map(
+            _evaluate_task,
+            [tuple(spec.to_json() for spec in group) for group in groups],
             workers,
         )
-        computed = dict(zip(fresh, results))
+        computed = {
+            spec.key(): result
+            for group, results in zip(groups, grouped_results)
+            for spec, result in zip(group, results)
+        }
         if store is not None:
             _store_op(lambda: store.put_many(computed.values()), None)
     else:
@@ -217,14 +282,13 @@ def evaluate_many(
     if use_cache:
         _RESULTS.update(computed)
         return [_RESULTS[key] for key in keys]
-    merged = {**{k: _RESULTS[k] for k in keys if k in _RESULTS},
-              **computed}
-    return [merged[key] for key in keys]
+    return [computed[key] for key in keys]
 
 
 def clear_result_cache() -> None:
     """Drop every cached result (tests and long-lived services)."""
     _RESULTS.clear()
+    _STORE_WARNINGS.clear()
 
 
 def cached_results() -> Iterable[RunResult]:

@@ -43,7 +43,13 @@ def warm_trace_cache(
 
 def resolve_worker_count(workers: Optional[int]) -> int:
     """``None``/``0`` means every core — the one sizing rule shared by
-    :func:`parallel_map` and the service worker pool."""
+    :func:`parallel_map` and the service worker pool.
+
+    Negative counts are a caller bug (historically they fell through
+    ``min()`` into silent serial execution) and raise ``ValueError``.
+    """
+    if workers is not None and workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
     if not workers:
         return os.cpu_count() or 1
     return workers

@@ -7,22 +7,27 @@ write-back buffer and write a single way (paper Section 4, which is why
 the original D-cache's ways-per-access is below 2 in Figure 4).
 
 Both controllers run on the shared ``access_fast_batch`` kernel with
-vectorized address splitting and counter accounting derived from the
-packed hit bits — the baseline is replayed once per benchmark in every
-figure experiment, so its throughput matters as much as the way-memo
-controllers'.  ``process_reference`` keeps the original object-API
-loops as the executable specification for the differential tests.
+the columnar pre-split from :mod:`repro.replay.columns`; the counters
+are a pure function of the columns and the packed per-access results
+(:meth:`replay_counters`), which lets the multi-architecture replay
+engine share one batch sweep across every batchable architecture.
+``process_reference`` keeps the original object-API loops as the
+executable specification for the differential tests.
 """
 
 from __future__ import annotations
-
-import numpy as np
 
 from repro.cache.cache import SetAssociativeCache
 from repro.cache.config import CacheConfig, FRV_DCACHE, FRV_ICACHE
 from repro.cache.replacement import make_policy
 from repro.cache.stats import AccessCounters
 from repro.cache.write_buffer import WriteBuffer
+from repro.replay.columns import (
+    DataColumns,
+    FetchColumns,
+    SharedPass,
+    columns_for_stream,
+)
 from repro.sim.fetch import FetchStream
 from repro.sim.trace import DataTrace
 
@@ -31,6 +36,9 @@ class OriginalDCache:
     """Baseline D-cache: parallel tag + data access, single-way stores."""
 
     name = "original"
+    #: The cache access stream is state-independent: the replay engine
+    #: may derive this architecture's counters from a shared batch pass.
+    replay_batchable = True
 
     def __init__(
         self,
@@ -44,38 +52,26 @@ class OriginalDCache:
         )
         self.write_buffer = WriteBuffer(cache_config)
 
-    def process(self, trace: DataTrace) -> AccessCounters:
+    def replay_counters(
+        self, cols: DataColumns, shared: SharedPass
+    ) -> AccessCounters:
+        """Counters from the shared packed results (pure derivation).
+
+        The write buffer is side state only — no counter reads it —
+        so the shared-pass path may skip it entirely.
+        """
         counters = AccessCounters()
-        cache = self.cache
-        nways = cache.ways
-        wbuf_push = self.write_buffer.push
-
-        addr_arr = trace.addr
-        store_arr = trace.store
-        tags = (addr_arr >> cache.tag_shift).tolist()
-        sets = ((addr_arr >> cache.offset_bits) & cache.set_mask).tolist()
-        stores = store_arr.tolist()
-
-        # The write buffer only sees the ordered store sub-stream, and
-        # the cache sees every access regardless of hit/miss or store
-        # flag, so the two replays decouple: push the stores, then run
-        # the whole access stream through the shared batch kernel.
-        for addr in addr_arr[store_arr].tolist():
-            wbuf_push(addr)
-        packed = cache.access_fast_batch(tags, sets, stores)
-
-        n = len(tags)
-        hit = (np.fromiter(packed, dtype=np.int64, count=n) & 1) == 1
-        num_stores = int(store_arr.sum())
-        store_hits = int(hit[store_arr].sum())
-        cache_hits = int(hit.sum())
+        nways = self.cache.ways
+        n = cols.n
+        hit = shared.hit
+        num_stores = cols.num_stores
+        store_hits = int(hit[cols.store_mask].sum())
+        cache_hits = shared.hit_count
         load_hits = cache_hits - store_hits
         store_misses = num_stores - store_hits
         load_misses = (n - num_stores) - load_hits
 
         counters.accesses = n
-        counters.loads = n - num_stores
-        counters.stores = num_stores
         counters.cache_hits = cache_hits
         counters.cache_misses = n - cache_hits
         counters.tag_accesses = nways * n
@@ -85,7 +81,24 @@ class OriginalDCache:
             + store_misses * 2               # store + refill write
             + load_misses * (nways + 1)      # parallel load + refill
         )
+        cols.apply_load_store(counters)
         return counters
+
+    def process(self, trace: DataTrace) -> AccessCounters:
+        cols = columns_for_stream(trace)
+        cache = self.cache
+        tags, sets = cols.cache_streams(
+            cache.offset_bits, cache.index_bits
+        )
+        # The write buffer only sees the ordered store sub-stream, and
+        # the cache sees every access regardless of hit/miss or store
+        # flag, so the two replays decouple: push the stores, then run
+        # the whole access stream through the shared batch kernel.
+        wbuf_push = self.write_buffer.push
+        for addr in cols.store_addrs():
+            wbuf_push(addr)
+        packed = cache.access_fast_batch(tags, sets, cols.writes())
+        return self.replay_counters(cols, SharedPass(packed))
 
     def process_reference(self, trace: DataTrace) -> AccessCounters:
         """Replay via the original object-API path (spec for diff tests)."""
@@ -117,6 +130,7 @@ class OriginalICache:
     """Baseline I-cache: every fetch reads all tags and all ways."""
 
     name = "original"
+    replay_batchable = True
 
     def __init__(
         self,
@@ -129,28 +143,33 @@ class OriginalICache:
             make_policy(policy, cache_config.sets, cache_config.ways),
         )
 
-    def process(self, fetch: FetchStream) -> AccessCounters:
+    def replay_counters(
+        self, cols: FetchColumns, shared: SharedPass
+    ) -> AccessCounters:
+        """Counters from the shared packed results (pure derivation)."""
         counters = AccessCounters()
-        cache = self.cache
-        nways = cache.ways
-
-        tags = (fetch.addr >> cache.tag_shift).tolist()
-        sets = (
-            (fetch.addr >> cache.offset_bits) & cache.set_mask
-        ).tolist()
-
-        hits_before = cache.hits
-        cache.access_fast_batch(tags, sets)
-        cache_hits = cache.hits - hits_before
-        n = len(tags)
+        nways = self.cache.ways
+        n = cols.n
+        cache_hits = shared.hit_count
         cache_misses = n - cache_hits
 
         counters.accesses = n
         counters.cache_hits = cache_hits
         counters.cache_misses = cache_misses
         counters.tag_accesses = nways * n
-        counters.way_accesses = cache_hits * nways + cache_misses * (nways + 1)
+        counters.way_accesses = (
+            cache_hits * nways + cache_misses * (nways + 1)
+        )
         return counters
+
+    def process(self, fetch: FetchStream) -> AccessCounters:
+        cols = columns_for_stream(fetch)
+        cache = self.cache
+        tags, sets = cols.cache_streams(
+            cache.offset_bits, cache.index_bits
+        )
+        packed = cache.access_fast_batch(tags, sets)
+        return self.replay_counters(cols, SharedPass(packed))
 
     def process_reference(self, fetch: FetchStream) -> AccessCounters:
         """Replay via the original object-API path (spec for diff tests)."""

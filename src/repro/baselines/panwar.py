@@ -9,22 +9,26 @@ I-cache baseline in Figure 8 ("original + approach [4]").
 
 Whether a fetch is intra-line depends only on the stream (its kind and
 the previous access's line), never on cache state, and the cache is
-accessed once per fetch either way.  The fast path therefore computes
-the intra-line mask with one vectorized pass, replays the pre-split
-address stream through
-:meth:`SetAssociativeCache.access_fast_batch`, and derives all
-counters from the packed hit bits.  :meth:`process_reference` keeps
-the per-access object-API loop as the executable specification.
+accessed once per fetch either way.  The fast path therefore reads the
+intra-line mask off the columnar pre-split, replays the address stream
+through :meth:`SetAssociativeCache.access_fast_batch`, and derives all
+counters from the packed hit bits — a pure function of (columns,
+packed results) exposed as :meth:`replay_counters` for the shared
+multi-architecture replay pass.  :meth:`process_reference` keeps the
+per-access object-API loop as the executable specification.
 """
 
 from __future__ import annotations
-
-import numpy as np
 
 from repro.cache.cache import SetAssociativeCache
 from repro.cache.config import CacheConfig, FRV_ICACHE
 from repro.cache.replacement import make_policy
 from repro.cache.stats import AccessCounters
+from repro.replay.columns import (
+    FetchColumns,
+    SharedPass,
+    columns_for_stream,
+)
 from repro.sim.fetch import FetchKind, FetchStream
 
 
@@ -32,6 +36,7 @@ class PanwarICache:
     """I-cache with intra-cache-line sequential-flow optimisation only."""
 
     name = "panwar"
+    replay_batchable = True
 
     def __init__(
         self,
@@ -46,34 +51,23 @@ class PanwarICache:
 
     # -- fast engine ----------------------------------------------------
 
-    def process(self, fetch: FetchStream) -> AccessCounters:
+    def replay_counters(
+        self, cols: FetchColumns, shared: SharedPass
+    ) -> AccessCounters:
+        """Counters from the shared packed results (pure derivation)."""
         counters = AccessCounters()
-        n = len(fetch)
+        n = cols.n
         if n == 0:
             return counters
         cache = self.cache
         nways = cache.ways
-        line_shift = self.cache_config.line_bytes.bit_length() - 1
-
-        addr64 = fetch.addr.astype(np.int64)
-        lines = addr64 >> line_shift
-        prev_lines = np.concatenate((np.int64([-1]), lines[:-1]))
-        intra = (
-            (fetch.kind == np.uint8(int(FetchKind.SEQ)))
-            & (lines == prev_lines)
-        )
-
-        tags = (addr64 >> cache.tag_shift).tolist()
-        sets = ((addr64 >> cache.offset_bits) & cache.set_mask).tolist()
-        packed = cache.access_fast_batch(tags, sets)
-        hit = (
-            np.fromiter(packed, dtype=np.int64, count=n) & 1
-        ).astype(bool)
+        intra = cols.intra_mask(cache.offset_bits, cache.index_bits)
+        hit = shared.hit
         if not bool(hit[intra].all()):
             raise AssertionError("intra-line fetch must hit")
 
         n_intra = int(intra.sum())
-        full_hits = int(hit.sum()) - n_intra
+        full_hits = shared.hit_count - n_intra
         misses = n - n_intra - full_hits
 
         counters.accesses = n
@@ -85,6 +79,17 @@ class PanwarICache:
             n_intra + full_hits * nways + misses * (nways + 1)
         )
         return counters
+
+    def process(self, fetch: FetchStream) -> AccessCounters:
+        if len(fetch) == 0:
+            return AccessCounters()
+        cols = columns_for_stream(fetch)
+        cache = self.cache
+        tags, sets = cols.cache_streams(
+            cache.offset_bits, cache.index_bits
+        )
+        packed = cache.access_fast_batch(tags, sets)
+        return self.replay_counters(cols, SharedPass(packed))
 
     # -- executable specification ---------------------------------------
 

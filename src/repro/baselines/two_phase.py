@@ -8,9 +8,11 @@ loss the paper's MAB avoids while reaching similar way-access counts.
 The cache sees every access exactly once whatever the phase outcome,
 so the fast path replays the whole pre-split address stream through
 :meth:`SetAssociativeCache.access_fast_batch` and derives the counters
-from the totals (every access costs all tags, one way and one cycle).
-:meth:`process_reference` keeps the per-access object-API loop as the
-executable specification.
+from the totals (every access costs all tags, one way and one cycle)
+— a pure function of the columns and packed results
+(:meth:`replay_counters`), shareable across architectures by the
+replay engine.  :meth:`process_reference` keeps the per-access
+object-API loop as the executable specification.
 """
 
 from __future__ import annotations
@@ -19,11 +21,14 @@ from repro.cache.cache import SetAssociativeCache
 from repro.cache.config import CacheConfig, FRV_DCACHE, FRV_ICACHE
 from repro.cache.replacement import make_policy
 from repro.cache.stats import AccessCounters
+from repro.replay.columns import SharedPass, columns_for_stream
 from repro.sim.fetch import FetchStream
 from repro.sim.trace import DataTrace
 
 
 class _TwoPhaseCache:
+    replay_batchable = True
+
     def __init__(self, cache_config: CacheConfig, policy: str):
         self.cache_config = cache_config
         self.cache = SetAssociativeCache(
@@ -33,23 +38,28 @@ class _TwoPhaseCache:
 
     # -- fast engine ----------------------------------------------------
 
-    def _process_fast(self, addr_arr, writes) -> AccessCounters:
+    def replay_counters(self, cols, shared: SharedPass) -> AccessCounters:
+        """Counters from the shared packed results (pure derivation)."""
         counters = AccessCounters()
-        cache = self.cache
-        tags = (addr_arr >> cache.tag_shift).tolist()
-        sets = ((addr_arr >> cache.offset_bits) & cache.set_mask).tolist()
-        hits_before = cache.hits
-        cache.access_fast_batch(tags, sets, writes)
-        hits = cache.hits - hits_before
-
-        n = len(tags)
+        n = cols.n
+        hits = shared.hit_count
         counters.accesses = n
         counters.cache_hits = hits
         counters.cache_misses = n - hits
-        counters.tag_accesses = cache.ways * n   # phase 1, every access
+        counters.tag_accesses = self.cache.ways * n  # phase 1, every access
         counters.way_accesses = n                # hit way or refill write
         counters.extra_cycles = n                # serialised phases
+        cols.apply_load_store(counters)
         return counters
+
+    def process(self, stream) -> AccessCounters:
+        cols = columns_for_stream(stream)
+        cache = self.cache
+        tags, sets = cols.cache_streams(
+            cache.offset_bits, cache.index_bits
+        )
+        packed = cache.access_fast_batch(tags, sets, cols.writes())
+        return self.replay_counters(cols, SharedPass(packed))
 
     # -- executable specification ---------------------------------------
 
@@ -76,12 +86,6 @@ class TwoPhaseDCache(_TwoPhaseCache):
                  policy: str = "lru"):
         super().__init__(cache_config, policy)
 
-    def process(self, trace: DataTrace) -> AccessCounters:
-        counters = self._process_fast(trace.addr, trace.store.tolist())
-        counters.stores = int(trace.store.sum())
-        counters.loads = counters.accesses - counters.stores
-        return counters
-
     def process_reference(self, trace: DataTrace) -> AccessCounters:
         counters = AccessCounters()
         for base, disp, is_store in zip(
@@ -104,9 +108,6 @@ class TwoPhaseICache(_TwoPhaseCache):
     def __init__(self, cache_config: CacheConfig = FRV_ICACHE,
                  policy: str = "lru"):
         super().__init__(cache_config, policy)
-
-    def process(self, fetch: FetchStream) -> AccessCounters:
-        return self._process_fast(fetch.addr, None)
 
     def process_reference(self, fetch: FetchStream) -> AccessCounters:
         counters = AccessCounters()

@@ -11,7 +11,9 @@ every access touches the cache exactly once — so the fast path batches
 the whole address stream through
 :meth:`SetAssociativeCache.access_fast_batch` and then replays the
 packed (hit, way) results through a light integer loop that evolves
-the MRU table and counts second-phase probes.
+the MRU table and counts second-phase probes
+(:meth:`replay_counters`, shareable across architectures by the
+replay engine since it never touches the cache itself).
 :meth:`process_reference` keeps the per-access object-API loop as the
 executable specification.
 """
@@ -22,12 +24,15 @@ from repro.cache.cache import SetAssociativeCache
 from repro.cache.config import CacheConfig, FRV_DCACHE, FRV_ICACHE
 from repro.cache.replacement import make_policy
 from repro.cache.stats import AccessCounters
+from repro.replay.columns import SharedPass, columns_for_stream
 from repro.sim.fetch import FetchStream
 from repro.sim.trace import DataTrace
 
 
 class _WayPredictingCache:
     """Shared machinery for I/D way-predicting caches."""
+
+    replay_batchable = True
 
     def __init__(self, cache_config: CacheConfig, policy: str):
         self.cache_config = cache_config
@@ -40,19 +45,18 @@ class _WayPredictingCache:
 
     # -- fast engine ----------------------------------------------------
 
-    def _process_fast(self, addr_arr, writes) -> AccessCounters:
+    def replay_counters(self, cols, shared: SharedPass) -> AccessCounters:
+        """Evolve the MRU table over the shared packed results."""
         counters = AccessCounters()
         cache = self.cache
         nways = cache.ways
-        tags = (addr_arr >> cache.tag_shift).tolist()
-        sets = ((addr_arr >> cache.offset_bits) & cache.set_mask).tolist()
-        packed = cache.access_fast_batch(tags, sets, writes)
+        sets = cols.cache_streams(cache.offset_bits, cache.index_bits)[1]
 
         pred = self._predicted
         hits = 0
         misses = 0
         second = 0  # accesses that needed the second phase
-        for set_index, p in zip(sets, packed):
+        for set_index, p in zip(sets, shared.packed):
             way = (p >> 1) & 0xFF
             if p & 1:
                 hits += 1
@@ -63,7 +67,7 @@ class _WayPredictingCache:
                 second += 1
             pred[set_index] = way
 
-        n = len(sets)
+        n = cols.n
         counters.accesses = n
         counters.aux_accesses = n  # prediction table read per access
         counters.cache_hits = hits
@@ -74,7 +78,17 @@ class _WayPredictingCache:
         # way write.
         counters.tag_accesses = n + second * (nways - 1)
         counters.way_accesses = n + second * (nways - 1) + misses
+        cols.apply_load_store(counters)
         return counters
+
+    def process(self, stream) -> AccessCounters:
+        cols = columns_for_stream(stream)
+        cache = self.cache
+        tags, sets = cols.cache_streams(
+            cache.offset_bits, cache.index_bits
+        )
+        packed = cache.access_fast_batch(tags, sets, cols.writes())
+        return self.replay_counters(cols, SharedPass(packed))
 
     # -- executable specification ---------------------------------------
 
@@ -114,12 +128,6 @@ class WayPredictionDCache(_WayPredictingCache):
                  policy: str = "lru"):
         super().__init__(cache_config, policy)
 
-    def process(self, trace: DataTrace) -> AccessCounters:
-        counters = self._process_fast(trace.addr, trace.store.tolist())
-        counters.stores = int(trace.store.sum())
-        counters.loads = counters.accesses - counters.stores
-        return counters
-
     def process_reference(self, trace: DataTrace) -> AccessCounters:
         counters = AccessCounters()
         for base, disp, is_store in zip(
@@ -142,9 +150,6 @@ class WayPredictionICache(_WayPredictingCache):
     def __init__(self, cache_config: CacheConfig = FRV_ICACHE,
                  policy: str = "lru"):
         super().__init__(cache_config, policy)
-
-    def process(self, fetch: FetchStream) -> AccessCounters:
-        return self._process_fast(fetch.addr, None)
 
     def process_reference(self, fetch: FetchStream) -> AccessCounters:
         counters = AccessCounters()

@@ -652,6 +652,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
 
     args = parser.parse_args(argv)
+    if getattr(args, "workers", None) is not None and args.workers < 0:
+        parser.error(f"--workers must be >= 0, got {args.workers}")
     if args.command == "list":
         return _list()
     if args.command == "run":

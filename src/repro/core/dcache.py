@@ -29,14 +29,13 @@ counter-for-counter and state-for-state on every workload.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.cache.cache import SetAssociativeCache
 from repro.cache.config import CacheConfig, FRV_DCACHE
 from repro.cache.replacement import make_policy
 from repro.cache.stats import AccessCounters
 from repro.cache.write_buffer import WriteBuffer
 from repro.core.mab import MAB, MABConfig
+from repro.replay.columns import DataColumns, columns_for_stream
 from repro.sim.trace import DataTrace
 
 
@@ -75,14 +74,23 @@ class WayMemoDCache:
     # ------------------------------------------------------------------
 
     def process(self, trace: DataTrace) -> AccessCounters:
-        """Replay ``trace`` and return the access counters (fast engine).
+        """Replay ``trace`` and return the access counters (fast engine)."""
+        return self.process_columns(columns_for_stream(trace))
+
+    def process_columns(self, cols: DataColumns) -> AccessCounters:
+        """Replay a pre-split columnar trace (fast engine).
 
         The MAB lookup/install rules and the cache scan are inlined
         into one flat loop over local bindings of the shared state
         (the MAB and cache objects stay authoritative: the loop
         mutates their lists/dicts in place and syncs the scalar
-        counters afterwards).  ``process_reference`` is the readable
-        specification this loop is differentially tested against.
+        counters afterwards).  The per-access columns — tag, set
+        index, packed narrow-adder MAB key (paper Figure 3), store
+        flag, effective address — depend only on the trace and the
+        cache geometry, so they come pre-split (and shareable across
+        architectures) from :mod:`repro.replay.columns`.
+        ``process_reference`` is the readable specification this loop
+        is differentially tested against.
         """
         counters = AccessCounters()
         cache = self.cache
@@ -106,12 +114,6 @@ class WayMemoDCache:
 
         # -- MAB state, bound locally -----------------------------------
         nt, ns = mab._nt, mab._ns
-        low_bits = mab.low_bits
-        low_mask = mab._low_mask
-        upper_mask = mab._upper_mask
-        mtag_mask = mab._tag_mask
-        moffset_bits = mab._offset_bits
-        mindex_mask = mab._index_mask
         keys = mab._keys
         key_map = mab._key_map
         key_map_get = key_map.get
@@ -126,36 +128,16 @@ class WayMemoDCache:
 
         wbuf_push = self.write_buffer.push
 
-        # -- narrow-adder datapath, vectorized (paper Figure 3) ---------
-        # Every per-access quantity below depends only on the trace, not
-        # on MAB/cache state, so one numpy pass replaces the per-access
-        # arithmetic: the packed tag-side key, the reconstructed target
-        # tag, the (always exact) set index, and the effective address.
-        # A key of -1 marks a large-displacement MAB bypass.
-        base_a = trace.base.astype(np.int64)
-        d32_a = trace.disp.astype(np.int64) & 0xFFFFFFFF
-        raw_a = (base_a & low_mask) + (d32_a & low_mask)
-        upper_a = d32_a >> low_bits
-        sign_a = np.where(upper_a == upper_mask, 1, 0)
-        bypass_a = (upper_a != 0) & (upper_a != upper_mask)
-        base_tag_a = base_a >> low_bits
-        carry_a = raw_a >> low_bits
-        key_a = np.where(
-            bypass_a, -1,
-            (base_tag_a << 2) | (carry_a << 1) | sign_a,
+        # The narrow-adder reconstruction of (tag, set) is numerically
+        # identical to the plain address split for every access (the
+        # fuzz/differential suites assert this), so one shared column
+        # set serves both the MAB and the cache scan.
+        tags_l, sets_l = cols.cache_streams(
+            cache.offset_bits, cache.index_bits
         )
-        addr_a = (base_a + trace.disp.astype(np.int64)) & 0xFFFFFFFF
-        tag_a = np.where(
-            bypass_a, addr_a >> low_bits,
-            (base_tag_a + carry_a - sign_a) & mtag_mask,
-        )
-        set_a = ((raw_a & low_mask) >> moffset_bits) & mindex_mask
-
-        keys_l = key_a.tolist()
-        tags_l = tag_a.tolist()
-        sets_l = set_a.tolist()
-        stores = trace.store.tolist()
-        addrs = addr_a.tolist()
+        keys_l = cols.mab_keys(cache.offset_bits, cache.index_bits)
+        stores = cols.writes()
+        addrs = cols.addrs()
 
         mab_hits = 0
         mab_bypasses = 0
@@ -327,7 +309,7 @@ class WayMemoDCache:
         cache.evictions += c_evictions
         cache.writebacks += c_writebacks
 
-        num_stores = int(trace.store.sum())
+        num_stores = cols.num_stores
         counters.accesses = n
         counters.loads = n - num_stores
         counters.stores = num_stores

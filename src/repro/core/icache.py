@@ -26,13 +26,12 @@ tests.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.cache.cache import SetAssociativeCache
 from repro.cache.config import CacheConfig, FRV_ICACHE
 from repro.cache.replacement import make_policy
 from repro.cache.stats import AccessCounters
 from repro.core.mab import MAB, MABConfig
+from repro.replay.columns import FetchColumns, columns_for_stream
 from repro.sim.fetch import FetchKind, FetchStream
 
 
@@ -68,14 +67,19 @@ class WayMemoICache:
     # ------------------------------------------------------------------
 
     def process(self, fetch: FetchStream) -> AccessCounters:
-        """Replay the fetch stream and return counters (fast engine).
+        """Replay the fetch stream and return counters (fast engine)."""
+        return self.process_columns(columns_for_stream(fetch))
 
-        Same construction as :meth:`WayMemoDCache.process`: the MAB
-        rules and the cache scan are inlined into one flat loop over
-        local bindings of the shared state, with the per-access
-        narrow-adder datapath vectorized up front.
-        ``process_reference`` is the readable specification this loop
-        is differentially tested against.
+    def process_columns(self, cols: FetchColumns) -> AccessCounters:
+        """Replay a pre-split columnar fetch stream (fast engine).
+
+        Same construction as :meth:`WayMemoDCache.process_columns`:
+        the MAB rules and the cache scan are inlined into one flat
+        loop over local bindings of the shared state, fed by the
+        pre-split (and cross-architecture shareable) columns from
+        :mod:`repro.replay.columns`.  ``process_reference`` is the
+        readable specification this loop is differentially tested
+        against.
         """
         counters = AccessCounters()
         cache = self.cache
@@ -99,12 +103,6 @@ class WayMemoICache:
 
         # -- MAB state, bound locally -----------------------------------
         nt, ns = mab._nt, mab._ns
-        low_bits = mab.low_bits
-        low_mask = mab._low_mask
-        upper_mask = mab._upper_mask
-        mtag_mask = mab._tag_mask
-        moffset_bits = mab._offset_bits
-        mindex_mask = mab._index_mask
         keys = mab._keys
         key_map = mab._key_map
         key_map_get = key_map.get
@@ -117,40 +115,20 @@ class WayMemoICache:
         idx_stamp = mab._idx_stamp
         stamp = mab._stamp
 
-        line_shift = self.cache_config.line_bytes.bit_length() - 1
         seq = int(FetchKind.SEQ)
 
-        # -- per-access inputs, vectorized ------------------------------
-        # The narrow-adder datapath is state-free, so the packed MAB
-        # key (-1 == bypass), target tag, set index and line number of
-        # every access come from one numpy pass.  The packet address's
-        # own tag/set are needed for the intra-line path.
-        base_a = fetch.base.astype(np.int64)
-        d32_a = fetch.disp.astype(np.int64) & 0xFFFFFFFF
-        raw_a = (base_a & low_mask) + (d32_a & low_mask)
-        upper_a = d32_a >> low_bits
-        sign_a = np.where(upper_a == upper_mask, 1, 0)
-        bypass_a = (upper_a != 0) & (upper_a != upper_mask)
-        base_tag_a = base_a >> low_bits
-        carry_a = raw_a >> low_bits
-        key_a = np.where(
-            bypass_a, -1,
-            (base_tag_a << 2) | (carry_a << 1) | sign_a,
-        )
-        addr64 = fetch.addr.astype(np.int64)
-        tag_a = np.where(
-            bypass_a, addr64 >> low_bits,
-            (base_tag_a + carry_a - sign_a) & mtag_mask,
-        )
-        set_a = ((raw_a & low_mask) >> moffset_bits) & mindex_mask
-
-        kinds = fetch.kind.tolist()
-        lines = (addr64 >> line_shift).tolist()
-        addr_tags = (addr64 >> low_bits).tolist()
-        addr_sets = ((addr64 >> moffset_bits) & mindex_mask).tolist()
-        keys_l = key_a.tolist()
-        tags_l = tag_a.tolist()
-        sets_l = set_a.tolist()
+        # -- per-access inputs, pre-split -------------------------------
+        # The narrow-adder reconstruction of (tag, set) is numerically
+        # identical to the plain address split for every access (the
+        # fuzz/differential suites assert this), so the same column
+        # pair serves the intra-line path, the MAB verify and the full
+        # cache scan; line numbers share the geometry's offset bits.
+        offset_bits = cache.offset_bits
+        index_bits = cache.index_bits
+        kinds = cols.kinds()
+        lines = cols.lines(offset_bits, index_bits)
+        tags_l, sets_l = cols.cache_streams(offset_bits, index_bits)
+        keys_l = cols.mab_keys(offset_bits, index_bits)
 
         last_line = -1  # line number of the previous access
 
@@ -171,8 +149,8 @@ class WayMemoICache:
                 # The line is guaranteed resident, so this is a plain
                 # recency touch on the hitting way.
                 intra_line_hits += 1
-                tag = addr_tags[i]
-                set_index = addr_sets[i]
+                tag = tags_l[i]
+                set_index = sets_l[i]
                 row = ctags[set_index]
                 if two_way:
                     if row[0] == tag:

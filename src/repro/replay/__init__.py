@@ -1,0 +1,58 @@
+"""Single-pass multi-architecture trace replay.
+
+The figure and report experiments evaluate many architectures over the
+same handful of workloads; the trace cache removed the ISS cost of
+that repetition but every evaluation still re-split and re-replayed
+the identical access stream.  This package removes the replay
+repetition:
+
+* :mod:`repro.replay.columns` — a columnar representation of one
+  workload's access stream: the pre-split tag/index/store/kind columns
+  (and the narrow-adder MAB key column) computed once per geometry
+  with vectorized numpy, cached in process and persisted as ``.npz``
+  archives next to the trace cache.
+* :mod:`repro.replay.engine` — the replay engine: runs *all requested
+  architectures in one pass* over the columns.  Architectures whose
+  cache access stream is state-independent (original, two-phase,
+  way-prediction, Panwar) share literally one
+  :meth:`~repro.cache.cache.SetAssociativeCache.access_fast_batch`
+  sweep and derive their counters from the shared packed results;
+  stateful controllers replay their own loop but share the columnar
+  pre-split.
+
+``evaluate_many`` routes groups of fresh specs sharing
+``(cache side, workload, engine="fast")`` through
+:func:`~repro.replay.engine.replay_specs` transparently; results are
+byte-identical to per-spec evaluation (set ``REPRO_REPLAY=0`` to
+disable the grouping for debugging).
+"""
+
+from repro.replay.columns import (
+    COLUMNS_VERSION,
+    DataColumns,
+    FetchColumns,
+    SharedPass,
+    columns_for_stream,
+)
+from repro.replay.engine import (
+    REPLAY_ENV,
+    clear_columns_cache,
+    plan_groups,
+    replay_counters,
+    replay_enabled,
+    replay_specs,
+)
+
+__all__ = [
+    "COLUMNS_VERSION",
+    "DataColumns",
+    "FetchColumns",
+    "SharedPass",
+    "columns_for_stream",
+    "REPLAY_ENV",
+    "clear_columns_cache",
+    "plan_groups",
+    "replay_counters",
+    "replay_enabled",
+    "replay_specs",
+]

@@ -1,0 +1,343 @@
+"""Columnar pre-split of one workload's access stream.
+
+Every fast engine starts the same way: vectorize the 32-bit address
+arithmetic over the whole trace (cache tag and set index per access,
+the narrow-adder MAB key for way-memo controllers, the intra-line mask
+for fetch streams) and convert the arrays to plain lists for the
+Python replay loop.  That work depends only on the stream and the
+cache geometry — never on architecture state — so it is computed here
+exactly once per ``(stream, geometry)`` and shared by every
+controller replaying the stream.
+
+Two cache levels:
+
+* per-instance memoization — a :class:`DataColumns`/:class:`FetchColumns`
+  object computes each geometry's arrays (and their list forms) once;
+* an optional on-disk layer — when constructed with a ``disk_stem``
+  (derived from the workload's trace-cache key, so the content digest
+  keys the archive), the per-geometry arrays are persisted as ``.npz``
+  files alongside the trace archives and reloaded instead of
+  recomputed.  Writes are atomic and best-effort, mirroring the trace
+  cache; unreadable archives are ignored and regenerated.
+
+The tag column is the plain ``addr >> (offset_bits + index_bits)``
+split.  For non-bypass accesses the way-memo controllers historically
+computed it through the narrow-adder reconstruction
+``(base_tag + carry - sign) & tag_mask`` — the two are numerically
+identical (that equivalence *is* the paper's Figure 3 datapath), which
+the differential and lockstep fuzz suites assert for every
+architecture.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.fetch import FetchKind, FetchStream
+from repro.sim.trace import DataTrace
+
+#: Version of the on-disk column archive layout; bump to invalidate.
+COLUMNS_VERSION = 1
+
+
+class SharedPass:
+    """The packed results of one shared ``access_fast_batch`` sweep.
+
+    Architectures whose access stream is state-independent all observe
+    the *same* per-access (hit, way, eviction) outcomes, so the engine
+    runs the batch kernel once and hands every such architecture this
+    view of it.  The hit vector and hit count are derived lazily and
+    shared too.
+    """
+
+    __slots__ = ("packed", "_hit", "_hit_count")
+
+    def __init__(self, packed: List[int]):
+        self.packed = packed
+        self._hit: Optional[np.ndarray] = None
+        self._hit_count: Optional[int] = None
+
+    @property
+    def hit(self) -> np.ndarray:
+        """Boolean hit vector (packed bit 0), one entry per access."""
+        if self._hit is None:
+            n = len(self.packed)
+            self._hit = (
+                np.fromiter(self.packed, dtype=np.int64, count=n) & 1
+            ) == 1
+        return self._hit
+
+    @property
+    def hit_count(self) -> int:
+        if self._hit_count is None:
+            self._hit_count = int(self.hit.sum())
+        return self._hit_count
+
+
+class _ColumnsBase:
+    """Shared machinery: per-geometry arrays, lists and disk archives."""
+
+    side = ""  # "dcache" | "icache" (set by subclasses)
+
+    def __init__(self, disk_stem: Optional[Path] = None):
+        # disk_stem is a path *prefix* (directory + workload trace key);
+        # per-geometry archives are "{stem}-cols-v1-{side}-gOxI.npz".
+        self._disk_stem = disk_stem
+        self._arrays_by_geometry: Dict[Tuple[int, int], Dict[str, np.ndarray]] = {}
+        self._lists: Dict[Tuple[str, int, int], list] = {}
+
+    # -- columns the subclasses must provide ----------------------------
+
+    #: numpy int64 views of the stream (bound in subclass __init__).
+    base64: np.ndarray
+    disp64: np.ndarray
+    addr64: np.ndarray
+    n: int
+
+    def _extra_arrays(
+        self, offset_bits: int, index_bits: int
+    ) -> Dict[str, np.ndarray]:
+        """Side-specific derived columns (fetch adds lines/intra)."""
+        return {}
+
+    # -- geometry-keyed access ------------------------------------------
+
+    def _compute_arrays(
+        self, offset_bits: int, index_bits: int
+    ) -> Dict[str, np.ndarray]:
+        low_bits = offset_bits + index_bits
+        low_mask = (1 << low_bits) - 1
+        upper_mask = (1 << (32 - low_bits)) - 1
+        addr = self.addr64
+        tags = addr >> low_bits
+        sets = (addr >> offset_bits) & ((1 << index_bits) - 1)
+
+        # Narrow-adder datapath (paper Figure 3), vectorized: the
+        # packed MAB key per access, -1 marking a large-displacement
+        # bypass.  Depends only on (offset_bits + index_bits), i.e. on
+        # the cache geometry — every MAB size shares one key column.
+        base = self.base64
+        d32 = self.disp64 & 0xFFFFFFFF
+        raw = (base & low_mask) + (d32 & low_mask)
+        upper = d32 >> low_bits
+        sign = np.where(upper == upper_mask, 1, 0)
+        bypass = (upper != 0) & (upper != upper_mask)
+        base_tag = base >> low_bits
+        carry = raw >> low_bits
+        keys = np.where(
+            bypass, -1,
+            (base_tag << 2) | (carry << 1) | sign,
+        )
+        arrays = {"tags": tags, "sets": sets, "keys": keys}
+        arrays.update(self._extra_arrays(offset_bits, index_bits))
+        return arrays
+
+    def _disk_path(self, offset_bits: int, index_bits: int) -> Optional[Path]:
+        if self._disk_stem is None:
+            return None
+        return self._disk_stem.parent / (
+            f"{self._disk_stem.name}-cols-v{COLUMNS_VERSION}-{self.side}"
+            f"-g{offset_bits}x{index_bits}.npz"
+        )
+
+    def _load_disk(
+        self, offset_bits: int, index_bits: int
+    ) -> Optional[Dict[str, np.ndarray]]:
+        path = self._disk_path(offset_bits, index_bits)
+        if path is None or not path.is_file():
+            return None
+        try:
+            with np.load(str(path)) as archive:
+                arrays = {name: archive[name] for name in archive.files}
+        except Exception:
+            return None  # unreadable archive: ignore and regenerate
+        required = set(self._compute_array_names())
+        if set(arrays) < required:
+            return None
+        if any(len(arrays[name]) != self.n for name in required):
+            return None
+        return arrays
+
+    def _compute_array_names(self) -> Tuple[str, ...]:
+        return ("tags", "sets", "keys")
+
+    def _save_disk(
+        self, offset_bits: int, index_bits: int,
+        arrays: Dict[str, np.ndarray],
+    ) -> None:
+        path = self._disk_path(offset_bits, index_bits)
+        if path is None:
+            return
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=str(path.parent), suffix=".tmp.npz"
+            )
+            os.close(fd)
+            try:
+                np.savez(tmp, **arrays)
+                # numpy appends .npz to names missing it; mkstemp's
+                # suffix already ends with it, so tmp is the real file.
+                os.replace(tmp, path)
+            finally:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+        except OSError:
+            pass  # caching is best-effort only
+
+    def _arrays(
+        self, offset_bits: int, index_bits: int
+    ) -> Dict[str, np.ndarray]:
+        key = (offset_bits, index_bits)
+        arrays = self._arrays_by_geometry.get(key)
+        if arrays is None:
+            arrays = self._load_disk(offset_bits, index_bits)
+            if arrays is None:
+                arrays = self._compute_arrays(offset_bits, index_bits)
+                self._save_disk(offset_bits, index_bits, arrays)
+            self._arrays_by_geometry[key] = arrays
+        return arrays
+
+    def _list(self, name: str, offset_bits: int, index_bits: int) -> list:
+        key = (name, offset_bits, index_bits)
+        got = self._lists.get(key)
+        if got is None:
+            got = self._arrays(offset_bits, index_bits)[name].tolist()
+            self._lists[key] = got
+        return got
+
+    # -- public columns --------------------------------------------------
+
+    def cache_streams(
+        self, offset_bits: int, index_bits: int
+    ) -> Tuple[List[int], List[int]]:
+        """The pre-split (tags, sets) lists for one cache geometry."""
+        return (
+            self._list("tags", offset_bits, index_bits),
+            self._list("sets", offset_bits, index_bits),
+        )
+
+    def mab_keys(self, offset_bits: int, index_bits: int) -> List[int]:
+        """Packed narrow-adder MAB keys (-1 == bypass) per access."""
+        return self._list("keys", offset_bits, index_bits)
+
+
+class DataColumns(_ColumnsBase):
+    """Columnar view of a :class:`~repro.sim.trace.DataTrace`."""
+
+    side = "dcache"
+
+    def __init__(self, trace: DataTrace, disk_stem: Optional[Path] = None):
+        super().__init__(disk_stem)
+        self.n = len(trace.base)
+        self.base64 = trace.base.astype(np.int64)
+        self.disp64 = trace.disp.astype(np.int64)
+        self.addr64 = (self.base64 + self.disp64) & 0xFFFFFFFF
+        self.store_mask = trace.store
+        self._stores: Optional[List[bool]] = None
+        self._store_addrs: Optional[List[int]] = None
+        self._num_stores: Optional[int] = None
+
+    def writes(self) -> List[bool]:
+        """The store flags, as the batch kernel's ``writes`` stream."""
+        if self._stores is None:
+            self._stores = self.store_mask.tolist()
+        return self._stores
+
+    def addrs(self) -> List[int]:
+        if "addrs" not in self._lists:
+            self._lists["addrs"] = self.addr64.tolist()
+        return self._lists["addrs"]
+
+    def store_addrs(self) -> List[int]:
+        """Effective addresses of the store sub-stream, in order."""
+        if self._store_addrs is None:
+            self._store_addrs = self.addr64[self.store_mask].tolist()
+        return self._store_addrs
+
+    @property
+    def num_stores(self) -> int:
+        if self._num_stores is None:
+            self._num_stores = int(self.store_mask.sum())
+        return self._num_stores
+
+    def apply_load_store(self, counters) -> None:
+        """Fill the loads/stores split on a counters object."""
+        counters.stores = self.num_stores
+        counters.loads = counters.accesses - counters.stores
+
+
+class FetchColumns(_ColumnsBase):
+    """Columnar view of a :class:`~repro.sim.fetch.FetchStream`."""
+
+    side = "icache"
+
+    def __init__(self, fetch: FetchStream, disk_stem: Optional[Path] = None):
+        super().__init__(disk_stem)
+        self.n = len(fetch)
+        self.base64 = fetch.base.astype(np.int64)
+        self.disp64 = fetch.disp.astype(np.int64)
+        self.addr64 = fetch.addr.astype(np.int64)
+        self.kind = fetch.kind
+        self._kinds: Optional[List[int]] = None
+        self._intra: Dict[int, np.ndarray] = {}
+
+    def _extra_arrays(
+        self, offset_bits: int, index_bits: int
+    ) -> Dict[str, np.ndarray]:
+        # line_shift == offset_bits (lines are line_bytes wide).
+        return {"lines": self.addr64 >> offset_bits}
+
+    def _compute_array_names(self) -> Tuple[str, ...]:
+        return ("tags", "sets", "keys", "lines")
+
+    def kinds(self) -> List[int]:
+        if self._kinds is None:
+            self._kinds = self.kind.tolist()
+        return self._kinds
+
+    def lines(self, offset_bits: int, index_bits: int) -> List[int]:
+        """Line numbers (``addr >> offset_bits``) per access."""
+        return self._list("lines", offset_bits, index_bits)
+
+    def intra_mask(self, offset_bits: int, index_bits: int) -> np.ndarray:
+        """Boolean mask of intra-line sequential fetches.
+
+        True where the fetch is sequential *and* stays within the
+        previous access's cache line — a property of the stream alone,
+        shared by the Panwar baseline and anything else that elides
+        work on intra-line flow.
+        """
+        got = self._intra.get(offset_bits)
+        if got is None:
+            lines = self._arrays(offset_bits, index_bits)["lines"]
+            prev = np.concatenate((np.int64([-1]), lines[:-1]))
+            got = (
+                (self.kind == np.uint8(int(FetchKind.SEQ)))
+                & (lines == prev)
+            )
+            self._intra[offset_bits] = got
+        return got
+
+    def writes(self) -> None:
+        """Fetches never write; the batch kernel treats None as loads."""
+        return None
+
+    def apply_load_store(self, counters) -> None:
+        """Fetch streams have no load/store split; nothing to fill."""
+
+
+def columns_for_stream(stream, disk_stem: Optional[Path] = None):
+    """Build the columnar view matching ``stream``'s type."""
+    if isinstance(stream, DataTrace):
+        return DataColumns(stream, disk_stem)
+    if isinstance(stream, FetchStream):
+        return FetchColumns(stream, disk_stem)
+    raise TypeError(
+        f"no columnar representation for {type(stream).__name__}"
+    )

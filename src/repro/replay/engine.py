@@ -1,0 +1,229 @@
+"""Multi-architecture replay engine: N architectures, one pass.
+
+Two layers:
+
+* :func:`replay_counters` — the kernel-level engine.  Given built
+  controllers and one access stream, it partitions them into
+  *batchable* architectures (marked ``replay_batchable``: their cache
+  access stream is independent of any auxiliary state, so identical
+  geometry + LRU policy means identical per-access outcomes) and
+  stateful ones.  Each batchable subgroup shares literally one
+  :meth:`~repro.cache.cache.SetAssociativeCache.access_fast_batch`
+  sweep over a shadow cache; every member derives its counters from
+  the shared packed results via its ``replay_counters`` hook.
+  Stateful controllers replay their own loop, fed from the shared
+  :mod:`~repro.replay.columns` pre-split where they support it
+  (``process_columns``).
+
+* :func:`replay_specs` — the spec-level engine behind
+  ``evaluate_many``.  All specs must share one ``(cache side,
+  workload)``; the workload's columns are resolved once (through the
+  in-process and on-disk column caches) and every spec's counters are
+  priced into a :class:`~repro.api.result.RunResult` by the same
+  helpers the per-spec path uses, so grouping can never change a
+  byte.
+
+Set ``REPRO_REPLAY=0`` (or ``off``) to disable grouped replay
+everywhere — ``evaluate_many`` and the service worker pool fall back
+to strictly per-spec evaluation, which must be (and is checked to be)
+byte-identical.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.replacement import LRUPolicy
+from repro.replay.columns import SharedPass, columns_for_stream
+
+#: Environment variable gating grouped replay ("0"/"off" disables).
+REPLAY_ENV = "REPRO_REPLAY"
+
+
+def replay_enabled() -> bool:
+    """Whether grouped replay is enabled (default: yes)."""
+    env = os.environ.get(REPLAY_ENV)
+    if env is None:
+        return True
+    return env.strip().lower() not in ("", "0", "off", "no", "false")
+
+
+# ----------------------------------------------------------------------
+# kernel-level engine
+# ----------------------------------------------------------------------
+
+def _shared_pass_cache(controller) -> Optional[SetAssociativeCache]:
+    """The controller's cache, when it can join a shared batch sweep.
+
+    Batchable architectures with the plain LRU policy evolve their
+    cache identically for identical input streams; any other policy
+    (or a policy subclass) falls back to the controller's own replay.
+    """
+    if not getattr(controller, "replay_batchable", False):
+        return None
+    cache = getattr(controller, "cache", None)
+    if cache is None or type(cache.policy) is not LRUPolicy:
+        return None
+    return cache
+
+
+def replay_counters(
+    controllers: Sequence[object], stream, cols=None
+) -> List[object]:
+    """Replay ``stream`` through every controller in one pass.
+
+    Returns one :class:`~repro.cache.stats.AccessCounters` per
+    controller, in input order, byte-identical to calling each
+    controller's ``process(stream)`` on a fresh instance.  Only the
+    counters are produced: the batchable controllers' own cache and
+    side state are left untouched (the engine evaluates throwaway
+    instances).
+    """
+    if cols is None:
+        cols = columns_for_stream(stream)
+    out: List[object] = [None] * len(controllers)
+    shared: Dict[object, List[int]] = {}
+    singles: List[int] = []
+    for index, controller in enumerate(controllers):
+        cache = _shared_pass_cache(controller)
+        if cache is not None:
+            shared.setdefault(cache.config, []).append(index)
+        else:
+            singles.append(index)
+
+    for config, members in shared.items():
+        shadow = SetAssociativeCache(
+            config, LRUPolicy(config.sets, config.ways)
+        )
+        tags, sets = cols.cache_streams(
+            config.offset_bits, config.index_bits
+        )
+        packed = shadow.access_fast_batch(tags, sets, cols.writes())
+        shared_pass = SharedPass(packed)
+        for index in members:
+            out[index] = controllers[index].replay_counters(
+                cols, shared_pass
+            )
+
+    for index in singles:
+        controller = controllers[index]
+        process_columns = getattr(controller, "process_columns", None)
+        if process_columns is not None:
+            out[index] = process_columns(cols)
+        else:
+            out[index] = controller.process(stream)
+    return out
+
+
+# ----------------------------------------------------------------------
+# spec-level engine
+# ----------------------------------------------------------------------
+
+def plan_groups(specs: Sequence[object]) -> List[List[object]]:
+    """Partition unique specs into replay groups and singletons.
+
+    Fast-engine specs sharing ``(cache side, workload)`` replay the
+    same stream and form one group; everything else (reference-engine
+    specs, lone specs) stays a singleton.  Output order is by first
+    appearance, so the plan — and therefore every downstream byte —
+    is a pure function of the input sequence.  With replay disabled
+    (``REPRO_REPLAY=0``) every spec is its own group.
+    """
+    groups: List[List[object]] = []
+    by_key: Dict[Tuple[str, str], List[object]] = {}
+    for spec in specs:
+        if replay_enabled() and spec.engine == "fast":
+            key = (spec.cache, spec.workload)
+            group = by_key.get(key)
+            if group is None:
+                group = []
+                by_key[key] = group
+                groups.append(group)
+            group.append(spec)
+        else:
+            groups.append([spec])
+    return groups
+
+
+@lru_cache(maxsize=8)
+def _columns_cached(side: str, workload: str):
+    """Columns for one spec-level workload (in-process cache).
+
+    Benchmark workloads get the on-disk column archive keyed by the
+    trace cache's content digest; synthetic workloads are cheap to
+    split and stay in process only.
+    """
+    from repro.api.spec import parse_synthetic_params
+    from repro.workloads import (
+        load_workload,
+        synthetic_data_trace,
+        synthetic_fetch_stream,
+    )
+    from repro.workloads.suite import trace_cache_dir
+
+    if workload.startswith("synthetic:"):
+        params = parse_synthetic_params(workload)
+        if side == "dcache":
+            stream = synthetic_data_trace(**params)
+        else:
+            stream = synthetic_fetch_stream(**params)
+        return columns_for_stream(stream)
+    loaded = load_workload(workload)
+    stream = loaded.trace.data if side == "dcache" else loaded.fetch
+    directory = trace_cache_dir()
+    disk_stem = None
+    if directory is not None and loaded.trace_key:
+        disk_stem = directory / loaded.trace_key
+    return columns_for_stream(stream, disk_stem)
+
+
+def clear_columns_cache() -> None:
+    """Drop the in-process columns cache (tests)."""
+    _columns_cached.cache_clear()
+
+
+def replay_specs(specs: Sequence[object]) -> List[object]:
+    """Evaluate a shared-workload spec group in one pass.
+
+    All specs must share ``(cache side, workload)`` and use the fast
+    engine (:func:`plan_groups` guarantees this).  Returns one
+    :class:`~repro.api.result.RunResult` per spec, in input order,
+    byte-identical to mapping the per-spec evaluation over the group.
+    """
+    # ``repro.api`` re-exports the evaluate *function* under the
+    # submodule's name, so plain import syntax resolves to it; load
+    # the module itself for the shared helpers.
+    import importlib
+
+    _evaluate = importlib.import_module("repro.api.evaluate")
+    from repro.api.registry import get_architecture
+
+    specs = list(specs)
+    first = specs[0]
+    for spec in specs[1:]:
+        if (spec.cache, spec.workload) != (first.cache, first.workload):
+            raise ValueError(
+                "replay group mixes workloads: "
+                f"{(first.cache, first.workload)} vs "
+                f"{(spec.cache, spec.workload)}"
+            )
+    stream, cycles = _evaluate._resolve_stream(first)
+    cols = _columns_cached(first.cache, first.workload)
+
+    built = []
+    for spec in specs:
+        _evaluate._begin_simulation()
+        info = get_architecture(spec.cache, spec.arch)
+        params = spec.param_dict
+        built.append((spec, info, params, info.build(params)))
+
+    counters = replay_counters(
+        [controller for (_, _, _, controller) in built], stream, cols
+    )
+    return [
+        _evaluate._finish_result(spec, info, params, c, cycles)
+        for (spec, info, params, _), c in zip(built, counters)
+    ]

@@ -241,6 +241,73 @@ class JobQueue:
         finally:
             conn.close()
 
+    @staticmethod
+    def _replay_group_key(spec_key: str) -> Optional[Tuple[str, str]]:
+        """The (cache side, workload) replay-group key of a spec key.
+
+        None when the spec cannot join a shared-workload replay group
+        (reference engine, or an unparseable key).
+        """
+        try:
+            document = json.loads(spec_key)
+        except ValueError:
+            return None
+        if document.get("engine") != "fast":
+            return None
+        return (document.get("cache"), document.get("workload"))
+
+    def claim_group(
+        self, lease_seconds: float, limit: int = 8
+    ) -> List[Task]:
+        """Lease the oldest runnable task plus its replay group.
+
+        Claims like :meth:`claim`, then extends the claim (in the same
+        transaction) to up to ``limit - 1`` more runnable tasks whose
+        specs share the first task's ``(cache side, workload)`` with
+        the fast engine — the grouping ``evaluate_many`` replays in a
+        single pass.  Returns ``[]`` when idle.  Every claimed task
+        still tracks its own attempts/lease, so a crash mid-group
+        retries (and may regroup) each member individually.
+        """
+        schema, fingerprint = self._address()
+        now = time.time()
+        conn = self._connect()
+        try:
+            conn.execute("BEGIN IMMEDIATE")
+            rows = conn.execute(
+                "SELECT spec_key, attempts FROM tasks"
+                " WHERE result_schema = ? AND fingerprint = ?"
+                " AND ((state = ? AND not_before <= ?)"
+                "  OR (state = ? AND lease_deadline < ?))"
+                " ORDER BY created_at, spec_key",
+                (schema, fingerprint, PENDING, now, RUNNING, now),
+            ).fetchall()
+            if not rows:
+                conn.execute("COMMIT")
+                return []
+            selected = [rows[0]]
+            group = self._replay_group_key(rows[0][0])
+            if group is not None and limit > 1:
+                for row in rows[1:]:
+                    if len(selected) >= limit:
+                        break
+                    if self._replay_group_key(row[0]) == group:
+                        selected.append(row)
+            claimed = []
+            for spec_key, attempts in selected:
+                conn.execute(
+                    "UPDATE tasks SET state = ?, attempts = ?,"
+                    " lease_deadline = ? WHERE spec_key = ?"
+                    " AND result_schema = ? AND fingerprint = ?",
+                    (RUNNING, attempts + 1, now + lease_seconds,
+                     spec_key, schema, fingerprint),
+                )
+                claimed.append(Task(spec_key, attempts + 1))
+            conn.execute("COMMIT")
+            return claimed
+        finally:
+            conn.close()
+
     def complete(self, task: Task, result_json: str) -> None:
         """Record a finished simulation (all holding jobs see it)."""
         self._finish(

@@ -27,7 +27,6 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-import sys
 import threading
 import time
 from typing import Optional
@@ -36,29 +35,37 @@ from repro.api.parallel import resolve_worker_count, warm_trace_cache
 from repro.api.spec import RunSpec
 from repro.testing import faults
 
-from repro.service.jobs import JobQueue, Task
+from repro.service.jobs import JobQueue
 
 #: How long a stopped/hung subprocess gets between SIGTERM and SIGKILL.
 _KILL_GRACE = 5.0
 
 
-def _subprocess_entry(spec_json: str, pipe) -> None:
-    """Worker subprocess body: one spec in, one result JSON out.
+def _subprocess_entry(spec_jsons, pipe) -> None:
+    """Worker subprocess body: a task group in, result JSONs out.
 
     Runs with ``use_cache=False`` semantics — the subprocess touches
     neither the in-memory result cache nor the store; persistence is
-    the supervisor's job.  Fault hooks fire *before* the simulation
-    so an injected crash never wastes a completed result.
+    the supervisor's job.  A multi-spec group (same workload, fast
+    engine, grouped by :meth:`JobQueue.claim_group`) goes through
+    ``evaluate_many``, whose replay planner runs the shared workload
+    in a single pass.  Fault hooks fire once per subprocess, *before*
+    the simulation, so an injected crash never wastes completed
+    results.
     """
     try:
         if faults.should_fire("worker_crash"):
             os._exit(3)
         if faults.should_fire("worker_hang"):
             time.sleep(3600.0)
-        from repro.api.evaluate import evaluate
+        from repro.api.evaluate import evaluate_many
 
-        result = evaluate(RunSpec.from_json(spec_json), use_cache=False)
-        pipe.send(result.to_json())
+        results = evaluate_many(
+            [RunSpec.from_json(payload) for payload in spec_jsons],
+            workers=1,
+            use_cache=False,
+        )
+        pipe.send([result.to_json() for result in results])
     except Exception as exc:   # noqa: BLE001 — report, don't hang
         pipe.send({"error": f"{type(exc).__name__}: {exc}"})
     finally:
@@ -76,10 +83,15 @@ class WorkerPool:
         lease_seconds: Optional[float] = None,
         poll_interval: float = 0.2,
         on_result=None,
+        group_limit: int = 8,
     ):
         self.queue = queue
         self.count = resolve_worker_count(count)
         self.task_timeout = task_timeout
+        #: Max tasks claimed as one shared-workload replay group (one
+        #: fatter subprocess instead of N); clamped to 1 when grouped
+        #: replay is disabled via $REPRO_REPLAY.
+        self.group_limit = max(1, group_limit)
         #: The lease must outlive a full attempt (timeout + kill
         #: grace), or a *live* worker's task would be double-claimed.
         self.lease_seconds = (
@@ -136,35 +148,42 @@ class WorkerPool:
     # -- supervision ---------------------------------------------------
 
     def _supervise(self) -> None:
+        from repro.replay.engine import replay_enabled
+
         while not self._stop.is_set():
             if self._draining.is_set():
                 return
-            task = self.queue.claim(self.lease_seconds)
-            if task is None:
+            limit = self.group_limit if replay_enabled() else 1
+            tasks = self.queue.claim_group(self.lease_seconds, limit)
+            if not tasks:
                 if self._draining.is_set():
                     return
                 self.queue.work_available.clear()
                 self.queue.work_available.wait(self.poll_interval)
                 continue
             try:
-                self._run_task(task)
+                self._run_group(tasks)
             except Exception as exc:   # noqa: BLE001 — keep the pool up
-                self.queue.fail(
-                    task, f"supervisor error: "
-                          f"{type(exc).__name__}: {exc}"
-                )
+                for task in tasks:
+                    self.queue.fail(
+                        task, f"supervisor error: "
+                              f"{type(exc).__name__}: {exc}"
+                    )
 
-    def _run_task(self, task: Task) -> None:
-        spec = task.spec
+    def _run_group(self, tasks) -> None:
+        specs = [task.spec for task in tasks]
         # Warm the trace cache in the parent so the (forked) child
         # loads arrays instead of running the ISS; a second worker on
         # the same workload reuses the parent's in-process cache.
-        if not spec.is_synthetic:
-            warm_trace_cache((spec.workload,))
+        workloads = tuple(dict.fromkeys(
+            spec.workload for spec in specs if not spec.is_synthetic
+        ))
+        if workloads:
+            warm_trace_cache(workloads)
         receiver, sender = self._context.Pipe(duplex=False)
         process = self._context.Process(
             target=_subprocess_entry,
-            args=(task.spec_key, sender),
+            args=(tuple(task.spec_key for task in tasks), sender),
             daemon=True,
         )
         process.start()
@@ -173,11 +192,12 @@ class WorkerPool:
         if process.is_alive():
             self._kill(process)
             receiver.close()
-            self.queue.fail(
-                task,
-                f"worker timed out after {self.task_timeout:g}s "
-                f"(attempt {task.attempts})",
-            )
+            for task in tasks:
+                self.queue.fail(
+                    task,
+                    f"worker timed out after {self.task_timeout:g}s "
+                    f"(attempt {task.attempts})",
+                )
             return
         payload = None
         if receiver.poll():
@@ -186,19 +206,25 @@ class WorkerPool:
             except (EOFError, OSError):
                 payload = None
         receiver.close()
-        if isinstance(payload, str):
-            self.queue.complete(task, payload)
-            if self.on_result is not None:
-                self.on_result(payload)
+        if isinstance(payload, list) and len(payload) == len(tasks):
+            # One result JSON per task, in claim order: complete each
+            # — per-task durability is unchanged by the grouping.
+            for task, result_json in zip(tasks, payload):
+                self.queue.complete(task, result_json)
+                if self.on_result is not None:
+                    self.on_result(result_json)
             return
         if isinstance(payload, dict):
             message = payload.get("error", "unknown worker error")
-        else:
-            message = (
+            for task in tasks:
+                self.queue.fail(task, message)
+            return
+        for task in tasks:
+            self.queue.fail(
+                task,
                 f"worker crashed with exit code {process.exitcode} "
-                f"(attempt {task.attempts})"
+                f"(attempt {task.attempts})",
             )
-        self.queue.fail(task, message)
 
     @staticmethod
     def _kill(process) -> None:
@@ -221,6 +247,11 @@ class WorkerPool:
 
 
 def log_store_warning(exc: Exception) -> None:
-    """Uniform store-degradation warning (parent-side writes)."""
-    print(f"warning: result store unavailable: {exc}",
-          file=sys.stderr)
+    """Uniform store-degradation warning (parent-side writes).
+
+    Delegates to the evaluate-layer warner, which rate-limits to one
+    line per process per distinct failure message.
+    """
+    from repro.api.evaluate import _warn_store_unavailable
+
+    _warn_store_unavailable(exc)

@@ -260,3 +260,118 @@ def test_evaluate_many_preserves_order_and_dedups():
 def test_determinism_check_module_passes(capsys):
     assert determinism_main(["--workers", "2"]) == 0
     assert "byte-identical" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# cache bypass, worker-count validation and store-warning rate limiting
+# ----------------------------------------------------------------------
+
+def test_use_cache_false_reads_neither_cache_nor_store(
+    tmp_path, monkeypatch
+):
+    """``use_cache=False`` must recompute: zero reads from the
+    per-process cache *and* zero reads from the persistent store, even
+    when both are warm (the historical bug served warm batches from
+    the store anyway)."""
+    from repro.api import clear_result_cache
+    from repro.api.evaluate import simulation_count
+    from repro.store import (
+        STORE_ENV,
+        default_store,
+        reset_default_stores,
+    )
+
+    monkeypatch.setenv(STORE_ENV, str(tmp_path / "results.sqlite"))
+    reset_default_stores()
+    clear_result_cache()
+    try:
+        specs = _batch()
+        evaluate_many(specs, workers=1)       # warm both layers
+        store = default_store()
+        hits, misses, puts = store.hits, store.misses, store.puts
+        before = simulation_count()
+        results = evaluate_many(specs, workers=1, use_cache=False)
+        assert len(results) == len(specs)
+        unique = len({spec.key() for spec in specs})
+        assert simulation_count() - before == unique
+        assert (store.hits, store.misses, store.puts) == (
+            hits, misses, puts
+        )
+    finally:
+        clear_result_cache()
+        reset_default_stores()
+
+
+def test_negative_worker_counts_are_rejected():
+    from repro.api.parallel import resolve_worker_count
+
+    with pytest.raises(ValueError, match="workers"):
+        resolve_worker_count(-1)
+    with pytest.raises(ValueError, match="workers"):
+        evaluate_many(_batch(), workers=-2, use_cache=False)
+    # the documented sentinels still resolve
+    assert resolve_worker_count(1) == 1
+    assert resolve_worker_count(0) >= 1
+    assert resolve_worker_count(None) >= 1
+
+
+def test_cli_rejects_negative_workers(capsys):
+    from repro.cli import main as cli_main
+
+    spec = json.dumps({
+        "cache": "dcache", "arch": "original",
+        "workload": TINY["dcache"],
+    })
+    with pytest.raises(SystemExit) as excinfo:
+        cli_main(["eval", spec, "--workers", "-1"])
+    assert excinfo.value.code == 2
+    assert "--workers" in capsys.readouterr().err
+
+
+def test_store_warnings_once_per_process_per_distinct_failure(
+    tmp_path, monkeypatch, capsys
+):
+    """A broken store warns once per distinct failure message, not
+    once per spec: a batch against an unopenable store emits exactly
+    one line, and only a *different* failure warns again."""
+    import sqlite3
+
+    from repro.api import clear_result_cache
+    from repro.store import (
+        STORE_ENV,
+        default_store,
+        reset_default_stores,
+    )
+
+    monkeypatch.setenv(STORE_ENV, str(tmp_path / "results.sqlite"))
+    reset_default_stores()
+    clear_result_cache()
+    try:
+        store = default_store()
+
+        def locked():
+            raise sqlite3.OperationalError("database is locked")
+
+        monkeypatch.setattr(store, "_connect", locked)
+        capsys.readouterr()
+        specs = [
+            RunSpec(cache="dcache", arch=arch, workload=TINY["dcache"])
+            for arch in ("original", "two-phase", "way-prediction")
+        ]
+        results = evaluate_many(specs, workers=1)
+        assert len(results) == 3
+        err = capsys.readouterr().err
+        assert err.count("result store unavailable") == 1
+
+        def full():
+            raise sqlite3.OperationalError("database or disk is full")
+
+        monkeypatch.setattr(store, "_connect", full)
+        evaluate(RunSpec(cache="icache", arch="original",
+                         workload=TINY["icache"]), use_cache=True)
+        err = capsys.readouterr().err
+        assert err.count("result store unavailable") == 1
+        assert "disk is full" in err
+    finally:
+        clear_result_cache()
+        reset_default_stores()

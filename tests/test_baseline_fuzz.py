@@ -226,3 +226,124 @@ def test_way_memo_dcache_lockstep_fuzz():
         WayMemoDCache, trace, slice_data, len(trace), "way-memo",
         state_check=assert_controller_state_equal,
     )
+
+
+# ----------------------------------------------------------------------
+# grouped replay vs per-architecture scalar replay
+# ----------------------------------------------------------------------
+
+def _replay_dcache_factories(config):
+    from repro.core import LineBufferWayMemoDCache, WayMemoDCache
+
+    return {
+        "original": lambda: OriginalDCache(config),
+        "set-buffer": lambda: SetBufferDCache(config),
+        "filter-cache": lambda: FilterCacheDCache(config),
+        "way-prediction": lambda: WayPredictionDCache(config),
+        "two-phase": lambda: TwoPhaseDCache(config),
+        "way-memo-2x8": lambda: WayMemoDCache(config),
+        "way-memo+line-buffer": lambda: LineBufferWayMemoDCache(config),
+    }
+
+
+def _replay_icache_factories(config):
+    from repro.core import WayMemoICache
+
+    return {
+        "original": lambda: OriginalICache(config),
+        "panwar": lambda: PanwarICache(config),
+        "ma-links": lambda: MaLinksICache(config),
+        "filter-cache": lambda: FilterCacheICache(config),
+        "way-prediction": lambda: WayPredictionICache(config),
+        "two-phase": lambda: TwoPhaseICache(config),
+        "way-memo-2x16": lambda: WayMemoICache(config),
+    }
+
+
+def _first_replay_divergence(factories, stream, slicer, total):
+    """First access index where grouped and per-arch replay diverge.
+
+    Every probe rebuilds both legs from scratch over the prefix — the
+    engine has no incremental mode — scanning chunk ends first and
+    then linearly inside the first bad chunk.
+    """
+    from repro.replay.engine import replay_counters
+
+    def probe(n):
+        prefix = slicer(stream, 0, n)
+        grouped = replay_counters(
+            [factory() for factory in factories.values()], prefix
+        )
+        for (name, factory), got in zip(factories.items(), grouped):
+            mismatches = _diff_counters(got, factory().process(prefix))
+            if mismatches:
+                return name, mismatches
+        return None
+
+    bad_end = next(
+        (
+            min(hi, total)
+            for hi in range(CHUNK, total + CHUNK, CHUNK)
+            if probe(min(hi, total)) is not None
+        ),
+        None,
+    )
+    if bad_end is None:
+        return None
+    for n in range(max(0, bad_end - CHUNK) + 1, bad_end + 1):
+        found = probe(n)
+        if found is not None:
+            return n - 1, found
+    return None
+
+
+def run_replay_lockstep(factories, stream, slicer, total, context):
+    """One grouped pass vs seven fresh scalar replays, field by field."""
+    from repro.replay.engine import replay_counters
+
+    grouped = replay_counters(
+        [factory() for factory in factories.values()], stream
+    )
+    mismatched = {
+        name: _diff_counters(got, factory().process(stream))
+        for (name, factory), got in zip(factories.items(), grouped)
+    }
+    mismatched = {
+        name: diff for name, diff in mismatched.items() if diff
+    }
+    if not mismatched:
+        return
+    where = _first_replay_divergence(factories, stream, slicer, total)
+    index = "unknown" if where is None else where[0]
+    detail = "; ".join(
+        f"{name}: " + ", ".join(
+            f"{f}: grouped={a} scalar={b}" for f, a, b in diff
+        )
+        for name, diff in mismatched.items()
+    )
+    pytest.fail(
+        f"{context}: grouped/scalar replay divergence, first at access "
+        f"index {index}: {detail}"
+    )
+
+
+@pytest.mark.parametrize("config", [TINY_2WAY, TINY_4WAY],
+                         ids=["2way", "4way"])
+@pytest.mark.parametrize("seed", [101, 202])
+def test_fuzz_dcache_replay_matches_scalar(seed, config):
+    trace = fuzz_data_trace(seed)
+    run_replay_lockstep(
+        _replay_dcache_factories(config), trace, slice_data,
+        len(trace), f"dcache replay seed={seed} ways={config.ways}",
+    )
+
+
+@pytest.mark.parametrize("config", [TINY_2WAY, TINY_4WAY],
+                         ids=["2way", "4way"])
+@pytest.mark.parametrize("seed", [303, 404])
+def test_fuzz_icache_replay_matches_scalar(seed, config):
+    fs = fuzz_fetch_stream(seed)
+    run_replay_lockstep(
+        _replay_icache_factories(config), fs, slice_fetch,
+        len(fs), f"icache replay seed={seed} ways={config.ways}",
+    )

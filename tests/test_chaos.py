@@ -101,6 +101,45 @@ def test_worker_crash_mid_batch_completes_byte_identical(
     assert default_store().stats()["entries"] == len(specs)
 
 
+def test_worker_crash_mid_grouped_task_completes_byte_identical(
+    isolated_state,
+):
+    """Four architectures on ONE shared workload: the replay planner
+    claims them as a single grouped task, the injected crash takes the
+    whole group's subprocess down, and the retry still completes every
+    spec byte-identically with per-task durability intact."""
+    import sqlite3
+
+    shared = "synthetic:num_accesses=512,seed=900"
+    specs = [
+        RunSpec(cache="dcache", arch=arch, workload=shared)
+        for arch in ("original", "two-phase", "way-prediction",
+                     "way-memo-2x8")
+    ]
+    baseline = _clean_baseline(specs)
+    with faults.activate(
+        "worker_crash:1", state_dir=isolated_state / "state"
+    ) as plan:
+        with live_server() as (server, url):
+            remote = ServiceClient(url).evaluate_many(specs)
+            stats = server.queue.stats()
+        assert plan.fired("worker_crash") == 1
+    assert [r.to_json() for r in remote] == baseline
+    assert stats["tasks"]["done"] == len(specs)
+    assert stats["tasks"]["failed"] == 0
+    # The *single* injected crash cost more than one task an attempt —
+    # the proof the victim was a grouped task, not a lone spec.
+    with contextlib.closing(
+        sqlite3.connect(isolated_state / "jobs.sqlite")
+    ) as connection:
+        attempts = [
+            row[0]
+            for row in connection.execute("SELECT attempts FROM tasks")
+        ]
+    assert len(attempts) == len(specs)
+    assert sum(1 for count in attempts if count >= 2) >= 2
+
+
 def test_hung_worker_is_killed_and_retried(isolated_state):
     specs = _specs(count=1, seed_base=710)
     baseline = _clean_baseline(specs)

@@ -1,0 +1,216 @@
+"""Tests for the single-pass multi-architecture replay engine.
+
+Locks down the tentpole contracts: ``replay_counters`` reproduces each
+architecture's own ``process`` exactly (the batchable designs share
+literally one batch sweep); ``plan_groups`` partitions batches
+deterministically and degrades to singletons when grouping is
+disabled; ``evaluate_many`` routes shared-workload groups through the
+engine byte-identically to the per-spec path, with unchanged per-spec
+simulation accounting and store write-back; and the columnar disk
+archives round-trip, validate, and regenerate when corrupt.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    CACHE_SIDES,
+    RunSpec,
+    architectures,
+    clear_result_cache,
+    evaluate_many,
+)
+from repro.api.evaluate import simulation_count
+from repro.replay.columns import DataColumns, columns_for_stream
+from repro.replay.engine import (
+    REPLAY_ENV,
+    plan_groups,
+    replay_counters,
+    replay_enabled,
+    replay_specs,
+)
+from repro.store import STORE_ENV, default_store, reset_default_stores
+from repro.workloads import synthetic_data_trace, synthetic_fetch_stream
+
+TINY = {
+    "dcache": "synthetic:num_accesses=512,seed=11",
+    "icache": "synthetic:num_blocks=64,block_packets=4,seed=11",
+}
+
+
+def _spec(arch, side="dcache", **kwargs):
+    return RunSpec(cache=side, arch=arch, workload=TINY[side], **kwargs)
+
+
+@pytest.fixture
+def fresh_store(tmp_path, monkeypatch):
+    path = tmp_path / "results.sqlite"
+    monkeypatch.setenv(STORE_ENV, str(path))
+    reset_default_stores()
+    clear_result_cache()
+    store = default_store()
+    assert store is not None
+    yield store
+    clear_result_cache()
+    reset_default_stores()
+
+
+# ----------------------------------------------------------------------
+# kernel-level engine
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("side", CACHE_SIDES)
+def test_replay_counters_match_fresh_per_arch_process(side):
+    """One grouped pass == each architecture's own replay, exactly."""
+    if side == "dcache":
+        stream = synthetic_data_trace(num_accesses=1024, seed=5)
+    else:
+        stream = synthetic_fetch_stream(num_blocks=96, seed=5)
+    infos = list(architectures(side))
+    grouped = replay_counters([info.build() for info in infos], stream)
+    for info, counters in zip(infos, grouped):
+        expected = info.build().process(stream)
+        assert counters.as_dict() == expected.as_dict(), info.id
+
+
+def test_replay_counters_leave_input_controllers_untouched():
+    """The engine evaluates shadows; callers' instances stay fresh."""
+    from repro.baselines import OriginalDCache
+
+    stream = synthetic_data_trace(num_accesses=256, seed=2)
+    controller = OriginalDCache()
+    replay_counters([controller], stream)
+    assert controller.cache.hits == 0
+    assert controller.cache.misses == 0
+
+
+# ----------------------------------------------------------------------
+# group planning
+# ----------------------------------------------------------------------
+
+def test_plan_groups_shares_workloads_in_first_appearance_order():
+    d1 = _spec("original")
+    d2 = _spec("two-phase")
+    i1 = _spec("original", side="icache")
+    ref = _spec("original", engine="reference")
+    groups = plan_groups([d1, i1, ref, d2])
+    assert groups == [[d1, d2], [i1], [ref]]
+
+
+def test_plan_groups_disabled_yields_singletons(monkeypatch):
+    monkeypatch.setenv(REPLAY_ENV, "0")
+    d1, d2 = _spec("original"), _spec("two-phase")
+    assert plan_groups([d1, d2]) == [[d1], [d2]]
+
+
+def test_replay_enabled_env_gate(monkeypatch):
+    monkeypatch.delenv(REPLAY_ENV, raising=False)
+    assert replay_enabled()
+    for value in ("0", "off", "OFF", "no", "false", ""):
+        monkeypatch.setenv(REPLAY_ENV, value)
+        assert not replay_enabled(), value
+    for value in ("1", "on", "yes"):
+        monkeypatch.setenv(REPLAY_ENV, value)
+        assert replay_enabled(), value
+
+
+def test_replay_specs_rejects_mixed_workloads():
+    with pytest.raises(ValueError, match="mixes workloads"):
+        replay_specs([_spec("original"), _spec("original", side="icache")])
+
+
+# ----------------------------------------------------------------------
+# spec-level byte-identity
+# ----------------------------------------------------------------------
+
+def test_grouped_evaluate_many_is_byte_identical_to_per_spec(monkeypatch):
+    """Every registered architecture, both sides, one shared workload
+    per side, plus a reference-engine singleton riding along — grouped
+    (serial and pooled) must match the strictly per-spec path."""
+    specs = [
+        _spec(info.id, side=side)
+        for side in CACHE_SIDES
+        for info in architectures(side)
+    ]
+    specs.append(_spec("original", engine="reference"))
+    grouped_serial = evaluate_many(specs, workers=1, use_cache=False)
+    grouped_pooled = evaluate_many(specs, workers=2, use_cache=False)
+    monkeypatch.setenv(REPLAY_ENV, "off")
+    per_spec = evaluate_many(specs, workers=1, use_cache=False)
+    expected = [r.to_json() for r in per_spec]
+    assert [r.to_json() for r in grouped_serial] == expected
+    assert [r.to_json() for r in grouped_pooled] == expected
+
+
+def test_grouped_path_counts_and_persists_per_spec(fresh_store):
+    """Grouping changes the schedule, not the accounting: one counted
+    simulation and one store write-back per spec, and a warm store
+    serves the whole group with zero new simulations."""
+    specs = [
+        _spec(arch)
+        for arch in ("original", "two-phase", "way-prediction",
+                     "way-memo-2x8")
+    ]
+    before = simulation_count()
+    results = evaluate_many(specs, workers=1)
+    assert simulation_count() - before == len(specs)
+    assert fresh_store.puts == len(specs)
+    clear_result_cache()
+    warm = evaluate_many(specs, workers=1)
+    assert simulation_count() - before == len(specs)
+    assert fresh_store.hits == len(specs)
+    assert [r.to_json() for r in warm] == [r.to_json() for r in results]
+
+
+# ----------------------------------------------------------------------
+# columnar disk archives
+# ----------------------------------------------------------------------
+
+def _archive(tmp_path, geometry="g5x7"):
+    archives = list(tmp_path.glob(f"*-cols-v*-dcache-{geometry}.npz"))
+    assert len(archives) == 1, archives
+    return archives[0]
+
+
+def test_columns_disk_archive_roundtrips_without_recompute(tmp_path):
+    trace = synthetic_data_trace(num_accesses=256, seed=3)
+    stem = tmp_path / "wl-deadbeef"
+    first = DataColumns(trace, disk_stem=stem)
+    tags, sets = first.cache_streams(5, 7)
+    keys = first.mab_keys(5, 7)
+    _archive(tmp_path)
+
+    second = DataColumns(trace, disk_stem=stem)
+    second._compute_arrays = None   # a load miss would blow up here
+    assert second.cache_streams(5, 7) == (tags, sets)
+    assert second.mab_keys(5, 7) == keys
+
+
+def test_columns_corrupt_archive_is_regenerated(tmp_path):
+    trace = synthetic_data_trace(num_accesses=256, seed=3)
+    stem = tmp_path / "wl-deadbeef"
+    first = DataColumns(trace, disk_stem=stem)
+    expected = first.cache_streams(5, 7)
+    _archive(tmp_path).write_bytes(b"this is not an npz archive")
+
+    second = DataColumns(trace, disk_stem=stem)
+    assert second.cache_streams(5, 7) == expected
+    third = DataColumns(trace, disk_stem=stem)  # rewritten and loadable
+    third._compute_arrays = None
+    assert third.cache_streams(5, 7) == expected
+
+
+def test_columns_archive_for_a_different_stream_is_rejected(tmp_path):
+    """Same stem, different stream length: the stale archive fails
+    validation and is recomputed, not served."""
+    stem = tmp_path / "wl-deadbeef"
+    short = synthetic_data_trace(num_accesses=128, seed=3)
+    DataColumns(short, disk_stem=stem).cache_streams(5, 7)
+
+    full = synthetic_data_trace(num_accesses=256, seed=3)
+    fresh = columns_for_stream(full, stem)
+    tags, sets = fresh.cache_streams(5, 7)
+    assert len(tags) == len(sets) == 256
+    bare = columns_for_stream(full)
+    assert (tags, sets) == bare.cache_streams(5, 7)
