@@ -12,6 +12,8 @@ and a synthetic workload), evaluates it three ways —
 * with ``--faults``, through a service under injected worker
   crashes, hangs, and store faults (``repro.testing.faults``) —
   proving the failure path is as deterministic as the happy path —
+* with ``--scenario``, additionally rendering a shipped scenario's
+  finished table serially, pooled and via a live service —
 
 and fails (exit 1) unless all serialized result batches are
 byte-identical.  The service leg also renders a markdown report
@@ -202,6 +204,55 @@ def _replay_leg(
             os.environ[REPLAY_ENV] = saved
 
 
+#: The shipped scenario the ``--scenario`` leg renders: the cheapest
+#: one (six synthetic design points, no ISS runs needed).
+SCENARIO_NAME = "thrash-adversarial"
+
+
+def _scenario_leg(
+    workers: int, include_service: bool
+) -> Tuple[str, str, Optional[str]]:
+    """Render one shipped scenario's finished table three ways.
+
+    ``repro run scenario:<name>`` must produce the same bytes with
+    serial evaluation, a worker pool, and design points evaluated by
+    a live HTTP service (``--url`` semantics: remote results, local
+    tabulation).  Returns the three rendered tables (service leg is
+    None when skipped); the caller compares.
+    """
+    from repro.experiments.registry import keyed_results
+    from repro.experiments.reporting import render
+    from repro.scenarios import load_shipped, scenario_experiment
+
+    record = scenario_experiment(load_shipped(SCENARIO_NAME))
+    specs = record.specs()
+
+    def rendered(results) -> str:
+        return render(record.tabulate(keyed_results(specs, results)))
+
+    serial = rendered(evaluate_many(specs, workers=1, use_cache=False))
+    pooled = rendered(
+        evaluate_many(specs, workers=workers, use_cache=False)
+    )
+    if not include_service:
+        return serial, pooled, None
+
+    from repro.service import ServiceClient, create_server
+
+    server = create_server(port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        url = f"http://127.0.0.1:{server.server_address[1]}"
+        results = ServiceClient(url).evaluate_many(
+            specs, workers=workers
+        )
+    finally:
+        server.shutdown()
+        server.server_close()
+    return serial, pooled, rendered(results)
+
+
 def _report_mismatch(
     label: str, specs: List[RunSpec], a: List[str], b: List[str]
 ) -> None:
@@ -240,6 +291,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="add a replay leg: re-evaluate with grouped replay "
              "disabled (REPRO_REPLAY=off), serial and pooled, and "
              "require byte-identity with the grouped runs",
+    )
+    parser.add_argument(
+        "--scenario", action="store_true",
+        help="add a scenario leg: render the shipped "
+             f"'{SCENARIO_NAME}' scenario table serially, pooled and "
+             "against a live service, and require byte-identity",
     )
     parser.add_argument(
         "--faults", action="store_true",
@@ -299,6 +356,25 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
             return 1
         legs += " vs HTTP service (incl. remote report render)"
+    if args.scenario:
+        s_serial, s_pooled, s_service = _scenario_leg(
+            args.workers, include_service=not args.no_service
+        )
+        if s_serial != s_pooled:
+            print(
+                f"MISMATCH (scenario {SCENARIO_NAME}): serial and "
+                "pooled rendered tables differ",
+                file=sys.stderr,
+            )
+            return 1
+        if s_service is not None and s_serial != s_service:
+            print(
+                f"MISMATCH (scenario {SCENARIO_NAME}): local and "
+                "service-evaluated rendered tables differ",
+                file=sys.stderr,
+            )
+            return 1
+        legs += " vs scenario table render"
     if args.faults:
         faulted = _fault_leg(specs, args.workers)
         if serial != faulted:

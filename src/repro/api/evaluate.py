@@ -29,11 +29,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.cache.config import FRV_DCACHE, FRV_ICACHE
 from repro.cache.stats import AccessCounters
 from repro.energy import CachePowerModel, MABHardwareModel
-from repro.workloads import (
-    load_workload,
-    synthetic_data_trace,
-    synthetic_fetch_stream,
-)
+from repro.workloads import generate_synthetic, load_workload
 
 from repro.api.parallel import parallel_map, warm_trace_cache
 from repro.api.registry import TECHNOLOGIES, get_architecture
@@ -70,10 +66,7 @@ def _resolve_stream(spec: RunSpec) -> Tuple[object, int]:
     """
     if spec.is_synthetic:
         params = parse_synthetic_params(spec.workload)
-        if spec.cache == "dcache":
-            stream = synthetic_data_trace(**params)
-        else:
-            stream = synthetic_fetch_stream(**params)
+        stream = generate_synthetic(spec.cache, params)
         return stream, len(stream)
     workload = load_workload(spec.workload)
     stream = (

@@ -35,9 +35,11 @@ SPEC_SCHEMA_VERSION = 1
 ENGINES: Tuple[str, ...] = ("fast", "reference")
 
 #: Prefix of synthetic workload names, e.g.
-#: ``synthetic:num_accesses=4096,seed=7`` (dcache) — parameters are
-#: forwarded to :func:`repro.workloads.synthetic_data_trace` /
-#: ``synthetic_fetch_stream`` depending on the spec's cache side.
+#: ``synthetic:num_accesses=4096,seed=7`` (dcache) or
+#: ``synthetic:kind=mab-thrash,num_fetches=4096`` (icache) — the
+#: reserved ``kind`` parameter selects a generator from
+#: :func:`repro.workloads.synthetic_kinds` (original generators when
+#: omitted); everything else is forwarded as keyword overrides.
 SYNTHETIC_PREFIX = "synthetic"
 
 _SCALARS = (int, float, str, bool)
@@ -61,7 +63,11 @@ def parse_synthetic_params(workload: str) -> Dict[str, Any]:
         try:
             params[key.strip()] = int(value)
         except ValueError:
-            params[key.strip()] = float(value)
+            try:
+                params[key.strip()] = float(value)
+            except ValueError:
+                # Non-numeric values name things (e.g. kind=mab-thrash).
+                params[key.strip()] = value.strip()
     return params
 
 
@@ -74,21 +80,37 @@ def _validate_synthetic(cache: str, workload: str) -> None:
     """
     import inspect
 
-    from repro.workloads import synthetic_data_trace, synthetic_fetch_stream
-
-    generator = (
-        synthetic_data_trace if cache == "dcache"
-        else synthetic_fetch_stream
+    from repro.workloads import (
+        KIND_PARAM,
+        default_synthetic_kind,
+        synthetic_generator,
+        synthetic_kinds,
     )
-    known = set(inspect.signature(generator).parameters)
+
     params = parse_synthetic_params(workload)
-    unknown = set(params) - known
+    kind = params.get(KIND_PARAM, default_synthetic_kind(cache))
+    if not isinstance(kind, str):
+        raise ValueError(
+            f"synthetic {KIND_PARAM}= must name a generator, got "
+            f"{kind!r}; available for {cache}: "
+            f"{list(synthetic_kinds(cache))}"
+        )
+    # Raises KeyError listing the registered kinds on a bad name.
+    generator = synthetic_generator(cache, kind)
+    known = set(inspect.signature(generator).parameters)
+    unknown = set(params) - known - {KIND_PARAM}
     if unknown:
         raise KeyError(
             f"unknown synthetic parameter(s) {sorted(unknown)} for "
-            f"{cache}; known: {sorted(known)}"
+            f"{cache} kind {kind!r}; known: {sorted(known)}"
         )
-    for size_key in ("num_accesses", "num_blocks"):
+    for key, value in params.items():
+        if key != KIND_PARAM and not isinstance(value, (int, float)):
+            raise ValueError(
+                f"synthetic parameter {key}= must be numeric, "
+                f"got {value!r}"
+            )
+    for size_key in ("num_accesses", "num_blocks", "num_fetches"):
         if size_key in params and params[size_key] <= 0:
             raise ValueError(
                 f"synthetic workload needs {size_key} > 0, "

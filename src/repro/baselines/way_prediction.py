@@ -9,16 +9,20 @@ performance loss the paper's MAB technique avoids.
 The prediction table never influences which line the cache loads —
 every access touches the cache exactly once — so the fast path batches
 the whole address stream through
-:meth:`SetAssociativeCache.access_fast_batch` and then replays the
-packed (hit, way) results through a light integer loop that evolves
-the MRU table and counts second-phase probes
-(:meth:`replay_counters`, shareable across architectures by the
-replay engine since it never touches the cache itself).
-:meth:`process_reference` keeps the per-access object-API loop as the
-executable specification.
+:meth:`SetAssociativeCache.access_fast_batch` and then derives the MRU
+table's behaviour from the packed (hit, way) results *without any
+per-access loop* (:meth:`replay_counters`, shareable across
+architectures by the replay engine since it never touches the cache
+itself): a stable sort groups accesses by set, so each access's
+predicted way is simply the previous resident way *within its set
+group* — numpy shifts and a segment-boundary mask replace the MRU
+table evolution entirely.  :meth:`process_reference` keeps the
+per-access object-API loop as the executable specification.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.cache.cache import SetAssociativeCache
 from repro.cache.config import CacheConfig, FRV_DCACHE, FRV_ICACHE
@@ -46,28 +50,55 @@ class _WayPredictingCache:
     # -- fast engine ----------------------------------------------------
 
     def replay_counters(self, cols, shared: SharedPass) -> AccessCounters:
-        """Evolve the MRU table over the shared packed results."""
+        """Derive the MRU table's behaviour from the shared results.
+
+        The prediction for an access is the resident way of the
+        previous access *to the same set* (or the table's entry for
+        sets not yet touched).  A stable sort by set index makes that
+        neighbour adjacent, so the whole derivation — including the
+        final MRU table state for chunked processing — is numpy
+        shifts and boolean reductions; no per-access loop.
+        """
         counters = AccessCounters()
         cache = self.cache
         nways = cache.ways
-        sets = cols.cache_streams(cache.offset_bits, cache.index_bits)[1]
-
-        pred = self._predicted
-        hits = 0
-        misses = 0
-        second = 0  # accesses that needed the second phase
-        for set_index, p in zip(sets, shared.packed):
-            way = (p >> 1) & 0xFF
-            if p & 1:
-                hits += 1
-                if pred[set_index] != way:
-                    second += 1
-            else:
-                misses += 1
-                second += 1
-            pred[set_index] = way
-
         n = cols.n
+        if n == 0:
+            cols.apply_load_store(counters)
+            return counters
+        sets = cols.cache_arrays(cache.offset_bits, cache.index_bits)["sets"]
+
+        order = np.argsort(sets, kind="stable")
+        s_sorted = sets[order]
+        w_sorted = shared.ways[order]
+        h_sorted = shared.hit[order]
+        boundary = s_sorted[1:] != s_sorted[:-1]
+
+        # Predicted way = previous resident way within the set group;
+        # group heads read the carried-in MRU table instead.
+        pred_table = np.asarray(self._predicted, dtype=np.int64)
+        predicted = np.empty(n, dtype=np.int64)
+        predicted[1:] = w_sorted[:-1]
+        first = np.empty(n, dtype=bool)
+        first[0] = True
+        first[1:] = boundary
+        predicted[first] = pred_table[s_sorted[first]]
+
+        # Second phase fires on every miss and every mispredicted hit.
+        correct = h_sorted & (predicted == w_sorted)
+        second = n - int(correct.sum())
+        hits = shared.hit_count
+        misses = n - hits
+
+        # Carry the MRU table forward: each touched set ends at its
+        # group's last resident way (exactly what the scalar loop's
+        # final writes leave behind).
+        last = np.empty(n, dtype=bool)
+        last[:-1] = boundary
+        last[-1] = True
+        pred_table[s_sorted[last]] = w_sorted[last]
+        self._predicted = pred_table.tolist()
+
         counters.accesses = n
         counters.aux_accesses = n  # prediction table read per access
         counters.cache_hits = hits

@@ -4,15 +4,21 @@ Subcommands
 -----------
 ``repro list``
     Show available experiments, benchmarks, registered architectures
-    (with cache side and parameter defaults) and sweeps.
+    (with cache side and parameter defaults), sweeps and shipped
+    scenarios.
 ``repro run <experiment> [...] [--json] [--workers N] [--url URL]``
     Run one or more experiments (or ``all``) and print their tables,
-    or a schema-versioned JSON document with ``--json``.  With
-    ``--url`` the design points are evaluated on a running service
-    and only the (pure) tabulation happens locally.
+    or a schema-versioned JSON document with ``--json``.  Accepts any
+    catalog name — paper experiments, registered sweeps
+    (``sweep_mab_size``), shipped scenarios (``scenario:<name>``) —
+    plus ``@scenario.json`` files.  With ``--url`` the design points
+    are evaluated on a running service and only the (pure) tabulation
+    happens locally.
 ``repro eval <spec.json> [--workers N]``
     Evaluate declarative run specs (inline JSON, ``@file`` or ``-``
-    for stdin) and print serialized ``RunResult`` documents.
+    for stdin) and print serialized ``RunResult`` documents.  A
+    scenario document (``scenario_version`` field) expands to its
+    declared spec batch.
 ``repro bench <benchmark>``
     Execute one benchmark on the ISS, verify it against its golden
     model and print trace statistics.
@@ -29,6 +35,11 @@ Subcommands
 ``repro sweep [--experiment ...] [--workers N] [--grid paper|full]``
     Parallel design-space sweeps (full MAB grid, baseline matrix)
     over the shared on-disk trace cache.
+``repro search [--cache SIDE] [--objective NAME] [--seed N]
+[--budget K] [--out FILE] [--quick]``
+    Hunt the synthetic-generator parameter space for the scenario
+    maximizing a scored objective; writes the winner as a reloadable
+    scenario file (``repro.scenarios.search``).
 ``repro serve [--host H] [--port P] [--workers N] [--port-file F]
 [--job-db F] [--task-timeout S] [--max-attempts N] [--queue-limit N]``
     Run the HTTP batch-evaluation service (``repro.service``):
@@ -55,26 +66,20 @@ import json
 import sys
 from typing import List, Optional
 
-from repro.experiments import EXPERIMENTS, render, run_experiment
+from repro.experiments import EXPERIMENTS, render
 from repro.workloads import BENCHMARK_NAMES, get_benchmark, run_benchmark
 
 
-def _remote_results(
-    names: List[str], workers: Optional[int], url: str
-):
-    """One deduplicated remote batch covering ``names``' specs.
+def _remote_results(records, workers: Optional[int], url: str):
+    """One deduplicated remote batch covering ``records``' specs.
 
     Shares ``report.fetch_results`` with the report generator, so
     ``repro run all --url`` transfers design points declared by
     several experiments once, after a single fingerprint check.
     """
-    from repro.experiments import get_experiment
     from repro.experiments.report import fetch_results
 
-    return fetch_results(
-        [get_experiment(name) for name in names],
-        workers=workers, url=url,
-    )
+    return fetch_results(records, workers=workers, url=url)
 
 
 def _report_service_failure(url: str, exc: Exception) -> int:
@@ -100,37 +105,79 @@ def _report_service_failure(url: str, exc: Exception) -> int:
     return 1
 
 
+def _resolve_run_targets(names: List[str]):
+    """Resolve ``repro run`` arguments to Experiment records.
+
+    Accepts any catalog name — paper experiments, registered sweeps,
+    shipped ``scenario:<name>`` records — plus ``@file.json`` scenario
+    files; returns the records, or None after printing the error.
+    """
+    from repro.experiments import get_experiment
+    from repro.experiments.registry import experiment_catalog
+    from repro.scenarios import (
+        ScenarioError,
+        load_scenario_file,
+        scenario_experiment,
+    )
+
+    if names == ["all"]:
+        names = list(EXPERIMENTS)
+    records, unknown = [], []
+    for name in names:
+        if name.startswith("@"):
+            try:
+                records.append(
+                    scenario_experiment(load_scenario_file(name[1:]))
+                )
+            except ScenarioError as exc:
+                print(f"invalid scenario: {exc}", file=sys.stderr)
+                return None
+            continue
+        try:
+            records.append(get_experiment(name))
+        except KeyError:
+            unknown.append(name)
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        print(f"available: {', '.join(experiment_catalog())} "
+              "(or @scenario.json)", file=sys.stderr)
+        return None
+    return records
+
+
 def _run_experiments(
     names: List[str],
     as_json: bool = False,
     workers: Optional[int] = 1,
     url: Optional[str] = None,
 ) -> int:
-    if names == ["all"]:
-        names = list(EXPERIMENTS)
-    unknown = [n for n in names if n not in EXPERIMENTS]
-    if unknown:
-        print(f"unknown experiment(s): {', '.join(unknown)}",
-              file=sys.stderr)
-        print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+    from repro.scenarios import ScenarioInvariantError
+
+    records = _resolve_run_targets(names)
+    if records is None:
         return 2
     # Only the remote fetch gets the service-failure translation;
     # tabulation and rendering below are local work whose errors
     # should surface as their own tracebacks.
     try:
         fetched = (
-            _remote_results(names, workers, url)
+            _remote_results(records, workers, url)
             if url is not None else None
         )
     except Exception as exc:   # noqa: BLE001 — remote failures only
         return _report_service_failure(url, exc)
+    try:
+        results = [
+            record.run(workers=workers, results=fetched)
+            for record in records
+        ]
+    except ScenarioInvariantError as exc:
+        print(f"scenario invariant violated: {exc}", file=sys.stderr)
+        return 1
     if as_json:
         from repro.api import RESULT_SCHEMA_VERSION
 
-        results = [
-            run_experiment(name, workers=workers, results=fetched)
-            for name in names
-        ]
         payload = {
             "schema_version": RESULT_SCHEMA_VERSION,
             "results": [
@@ -148,11 +195,9 @@ def _run_experiments(
         }
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
-    for pos, name in enumerate(names):
-        print(render(run_experiment(
-            name, workers=workers, results=fetched,
-        )))
-        if pos + 1 != len(names):
+    for pos, result in enumerate(results):
+        print(render(result))
+        if pos + 1 != len(results):
             print()
     return 0
 
@@ -183,6 +228,15 @@ def _parse_specs(document: str):
         print(f"invalid spec JSON: {exc}", file=sys.stderr)
         return None
     single = isinstance(payload, dict)
+    if single and "scenario_version" in payload:
+        # A scenario document: expand to its declared spec batch.
+        from repro.scenarios import Scenario, ScenarioError
+
+        try:
+            return Scenario.from_dict(payload).specs(), False
+        except ScenarioError as exc:
+            print(f"invalid scenario: {exc}", file=sys.stderr)
+            return None
     items = [payload] if single else payload
     if not isinstance(items, list) or not all(
         isinstance(item, dict) for item in items
@@ -338,6 +392,7 @@ def _list() -> int:
     from repro.api import architectures
     from repro.experiments import all_experiments
     from repro.experiments.sweep import SWEEPS
+    from repro.scenarios import load_shipped, shipped_scenario_names
 
     print("experiments:")
     for experiment in all_experiments():
@@ -362,6 +417,12 @@ def _list() -> int:
     print("sweeps:")
     for name, description in SWEEPS.items():
         print(f"  {name}  — {description}")
+    print("scenarios:")
+    for name in shipped_scenario_names():
+        scenario = load_shipped(name)
+        print(f"  scenario:{name}  "
+              f"[{len(scenario.specs())} design points]")
+        print(f"      {scenario.description.splitlines()[0]}")
     return 0
 
 
@@ -427,6 +488,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.experiments import sweep
 
         return sweep.main(argv[1:])
+    if argv[:1] == ["search"]:
+        from repro.scenarios import search
+
+        return search.main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -525,6 +590,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     sub.add_parser(
         "sweep", add_help=False,
         help="parallel design-space sweeps (repro sweep --help)",
+    )
+
+    sub.add_parser(
+        "search", add_help=False,
+        help="hunt adversarial synthetic scenarios "
+             "(repro search --help)",
     )
 
     serve_parser = sub.add_parser(

@@ -75,6 +75,19 @@ EXPERIMENTS: Tuple[str, ...] = (
     "extension_associativity",
 )
 
+#: Heavier registered experiments that are *not* part of the paper
+#: report (``all_experiments``) but are addressable by name everywhere
+#: an experiment is: full-grid sweeps, registered by these modules.
+EXTRA_EXPERIMENT_MODULES: Dict[str, str] = {
+    "sweep_mab_size": "repro.experiments.sweep",
+    "sweep_baselines": "repro.experiments.sweep",
+}
+
+#: Prefix of scenario-backed experiment names: ``scenario:<name>``
+#: resolves by loading ``<name>.json`` from the shipped scenario
+#: library (see :mod:`repro.scenarios`).
+SCENARIO_PREFIX = "scenario:"
+
 #: ``{spec.key(): RunResult}`` — what ``tabulate`` consumes.
 ResultMap = Mapping[str, RunResult]
 
@@ -140,15 +153,44 @@ def register(experiment: Experiment) -> Experiment:
     return experiment
 
 
+def peek(name: str) -> Optional[Experiment]:
+    """The already-registered record for ``name``, or None.
+
+    Never imports anything — the idempotence check scenario loading
+    uses to avoid double registration.
+    """
+    return _REGISTRY.get(name)
+
+
 def get_experiment(name: str) -> Experiment:
-    """Look up one experiment, importing its module on first use."""
-    if name not in _REGISTRY and name in EXPERIMENTS:
-        importlib.import_module(f"repro.experiments.{name}")
+    """Look up one experiment, importing its module on first use.
+
+    Resolves, in order: the paper-report experiments
+    (:data:`EXPERIMENTS`), the extra registered experiments
+    (:data:`EXTRA_EXPERIMENT_MODULES` — the full sweeps), and
+    ``scenario:<name>`` records loaded from the shipped scenario
+    library.
+    """
+    if name not in _REGISTRY:
+        if name in EXPERIMENTS:
+            importlib.import_module(f"repro.experiments.{name}")
+        elif name in EXTRA_EXPERIMENT_MODULES:
+            importlib.import_module(EXTRA_EXPERIMENT_MODULES[name])
+        elif name.startswith(SCENARIO_PREFIX):
+            from repro.scenarios import library
+
+            try:
+                library.register_scenario(
+                    library.load_shipped(name[len(SCENARIO_PREFIX):])
+                )
+            except KeyError:
+                pass  # fall through to the uniform unknown-name error
     try:
         return _REGISTRY[name]
     except KeyError:
         raise KeyError(
-            f"unknown experiment {name!r}; available: {EXPERIMENTS}"
+            f"unknown experiment {name!r}; available: "
+            f"{experiment_catalog()}"
         ) from None
 
 
@@ -157,9 +199,34 @@ def experiment_names() -> Tuple[str, ...]:
     return EXPERIMENTS
 
 
+def experiment_catalog() -> Tuple[str, ...]:
+    """Every addressable experiment name: report order, then the
+    registered sweeps, then the shipped ``scenario:<name>`` records."""
+    from repro.scenarios import library
+
+    return (
+        EXPERIMENTS
+        + tuple(EXTRA_EXPERIMENT_MODULES)
+        + tuple(
+            SCENARIO_PREFIX + name
+            for name in library.shipped_scenario_names()
+        )
+    )
+
+
 def all_experiments() -> Tuple[Experiment, ...]:
-    """Every experiment record, in report order (imports them all)."""
+    """The paper-report experiments, in report order (imports them all).
+
+    This is the report/enumeration surface; the full catalog
+    (including sweeps and shipped scenarios) is
+    :func:`catalog_experiments`.
+    """
     return tuple(get_experiment(name) for name in EXPERIMENTS)
+
+
+def catalog_experiments() -> Tuple[Experiment, ...]:
+    """Every addressable experiment record (imports/loads them all)."""
+    return tuple(get_experiment(name) for name in experiment_catalog())
 
 
 def run_experiment(

@@ -55,21 +55,28 @@ class SharedPass:
     shared too.
     """
 
-    __slots__ = ("packed", "_hit", "_hit_count")
+    __slots__ = ("packed", "_packed64", "_hit", "_hit_count")
 
     def __init__(self, packed: List[int]):
         self.packed = packed
+        self._packed64: Optional[np.ndarray] = None
         self._hit: Optional[np.ndarray] = None
         self._hit_count: Optional[int] = None
+
+    @property
+    def packed64(self) -> np.ndarray:
+        """The packed results as an int64 array (computed once)."""
+        if self._packed64 is None:
+            self._packed64 = np.fromiter(
+                self.packed, dtype=np.int64, count=len(self.packed)
+            )
+        return self._packed64
 
     @property
     def hit(self) -> np.ndarray:
         """Boolean hit vector (packed bit 0), one entry per access."""
         if self._hit is None:
-            n = len(self.packed)
-            self._hit = (
-                np.fromiter(self.packed, dtype=np.int64, count=n) & 1
-            ) == 1
+            self._hit = (self.packed64 & 1) == 1
         return self._hit
 
     @property
@@ -77,6 +84,11 @@ class SharedPass:
         if self._hit_count is None:
             self._hit_count = int(self.hit.sum())
         return self._hit_count
+
+    @property
+    def ways(self) -> np.ndarray:
+        """Resident way per access (packed bits 1-8)."""
+        return (self.packed64 >> 1) & 0xFF
 
 
 class _ColumnsBase:
@@ -221,6 +233,17 @@ class _ColumnsBase:
             self._list("tags", offset_bits, index_bits),
             self._list("sets", offset_bits, index_bits),
         )
+
+    def cache_arrays(
+        self, offset_bits: int, index_bits: int
+    ) -> Dict[str, np.ndarray]:
+        """The per-geometry numpy columns (tags/sets/keys[/lines]).
+
+        The array forms of :meth:`cache_streams` for vectorized
+        replay derivations; treat the arrays as read-only — they are
+        shared across every controller replaying the stream.
+        """
+        return self._arrays(offset_bits, index_bits)
 
     def mab_keys(self, offset_bits: int, index_bits: int) -> List[int]:
         """Packed narrow-adder MAB keys (-1 == bypass) per access."""

@@ -157,20 +157,12 @@ def _columns_cached(side: str, workload: str):
     split and stay in process only.
     """
     from repro.api.spec import parse_synthetic_params
-    from repro.workloads import (
-        load_workload,
-        synthetic_data_trace,
-        synthetic_fetch_stream,
-    )
+    from repro.workloads import generate_synthetic, load_workload
     from repro.workloads.suite import trace_cache_dir
 
     if workload.startswith("synthetic:"):
         params = parse_synthetic_params(workload)
-        if side == "dcache":
-            stream = synthetic_data_trace(**params)
-        else:
-            stream = synthetic_fetch_stream(**params)
-        return columns_for_stream(stream)
+        return columns_for_stream(generate_synthetic(side, params))
     loaded = load_workload(workload)
     stream = loaded.trace.data if side == "dcache" else loaded.fetch
     directory = trace_cache_dir()

@@ -1,0 +1,51 @@
+"""Declarative scenarios: experiment definitions as data.
+
+A *scenario* is a JSON file naming a workload mix, an architecture set
+(optionally with per-architecture parameter sweeps), the simulation
+models and a list of expected invariants.  Scenarios load as
+first-class experiments (``scenario:<name>`` in the registry, so
+``repro run scenario:thrash-adversarial`` works locally and over the
+service), expand to plain :class:`~repro.api.spec.RunSpec` batches
+(``repro eval @scenario.json``), and round-trip losslessly through
+their canonical serialization — file → :class:`Scenario` → file is
+byte-identical for every shipped scenario.
+
+:mod:`repro.scenarios.search` hunts the synthetic-generator parameter
+space for scenarios that maximize a scored objective (energy
+divergence between techniques, worst-case miss patterns) and emits
+the winner as a reloadable scenario file.
+"""
+
+from repro.scenarios.scenario import (
+    METRICS,
+    SCENARIO_SCHEMA_VERSION,
+    ArchEntry,
+    Scenario,
+    ScenarioError,
+    ScenarioInvariantError,
+    scenario_experiment,
+)
+from repro.scenarios.library import (
+    SCENARIO_DIR_ENV,
+    load_scenario_file,
+    load_shipped,
+    register_scenario,
+    scenario_dir,
+    shipped_scenario_names,
+)
+
+__all__ = [
+    "METRICS",
+    "SCENARIO_DIR_ENV",
+    "SCENARIO_SCHEMA_VERSION",
+    "ArchEntry",
+    "Scenario",
+    "ScenarioError",
+    "ScenarioInvariantError",
+    "load_scenario_file",
+    "load_shipped",
+    "register_scenario",
+    "scenario_dir",
+    "scenario_experiment",
+    "shipped_scenario_names",
+]

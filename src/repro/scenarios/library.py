@@ -1,0 +1,86 @@
+"""The shipped scenario library and its registry bridge.
+
+Shipped scenarios live as canonical JSON files under ``scenarios/`` at
+the repository root (override with ``$REPRO_SCENARIO_DIR``); each file
+``<name>.json`` declares a scenario whose ``name`` field matches its
+stem, and loads as the registry experiment ``scenario:<name>``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional, Tuple
+
+from repro.experiments import registry
+from repro.scenarios.scenario import (
+    Scenario,
+    ScenarioError,
+    scenario_experiment,
+)
+
+#: Environment override for the scenario library directory.
+SCENARIO_DIR_ENV = "REPRO_SCENARIO_DIR"
+
+
+def scenario_dir() -> Path:
+    """The scenario library directory (env override or repo root)."""
+    override = os.environ.get(SCENARIO_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parents[3] / "scenarios"
+
+
+def shipped_scenario_names() -> Tuple[str, ...]:
+    """Sorted stems of every ``*.json`` in the library directory."""
+    directory = scenario_dir()
+    if not directory.is_dir():
+        return ()
+    return tuple(sorted(
+        path.stem for path in directory.glob("*.json")
+    ))
+
+
+def load_scenario_file(path) -> Scenario:
+    """Load and validate one scenario file."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ScenarioError(f"cannot read scenario {path}: {exc}")
+    try:
+        return Scenario.from_json(text)
+    except ScenarioError as exc:
+        raise ScenarioError(f"{path}: {exc}") from None
+
+
+def load_shipped(name: str) -> Scenario:
+    """Load one shipped scenario by name (its file stem)."""
+    path = scenario_dir() / f"{name}.json"
+    if not path.is_file():
+        raise KeyError(
+            f"unknown scenario {name!r}; shipped: "
+            f"{list(shipped_scenario_names())}"
+        )
+    scenario = load_scenario_file(path)
+    if scenario.name != name:
+        raise ScenarioError(
+            f"{path}: file stem {name!r} does not match scenario "
+            f"name {scenario.name!r}"
+        )
+    return scenario
+
+
+def register_scenario(scenario: Scenario) -> registry.Experiment:
+    """Register ``scenario`` as ``scenario:<name>`` (idempotent).
+
+    Re-registering the *same* name returns the already-registered
+    record, so loading a scenario twice (CLI + registry fallback) is
+    harmless; the registry's duplicate-name error still protects
+    everything else.
+    """
+    name = f"scenario:{scenario.name}"
+    existing = registry.peek(name)
+    if existing is not None:
+        return existing
+    return registry.register(scenario_experiment(scenario))

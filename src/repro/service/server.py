@@ -57,8 +57,8 @@ from repro.api import (
     RunSpec,
 )
 from repro.experiments.registry import (
-    EXPERIMENTS,
-    all_experiments,
+    catalog_experiments,
+    experiment_catalog,
     get_experiment,
 )
 from repro.store import code_fingerprint, default_store
@@ -133,7 +133,7 @@ def _experiments_payload() -> Dict[str, Any]:
                 "category": experiment.category,
                 "spec_count": len(experiment.specs()),
             }
-            for experiment in all_experiments()
+            for experiment in catalog_experiments()
         ],
     }
 
@@ -422,10 +422,10 @@ class ServiceHandler(BaseHTTPRequestHandler):
         included so clients can refuse version-skewed servers (stale
         numbers would otherwise render with exit code 0).
         """
-        if name not in EXPERIMENTS:
+        if name not in experiment_catalog():
             self._send_error_json(
                 404, f"unknown experiment {name!r}; "
-                     f"available: {list(EXPERIMENTS)}"
+                     f"available: {list(experiment_catalog())}"
             )
             return
         if payload is None:

@@ -9,8 +9,9 @@ cache studies come from genuinely executing programs, not synthetic
 approximations.
 
 :mod:`repro.workloads.suite` is the registry used by experiments;
-:mod:`repro.workloads.synthetic` provides parametric synthetic traces
-for unit tests and ablations.
+:mod:`repro.workloads.synthetic` provides parametric synthetic
+workload generators, addressable from specs as
+``synthetic:kind=<name>,k=v,...``.
 """
 
 from repro.workloads.suite import (
@@ -23,18 +24,32 @@ from repro.workloads.suite import (
     run_benchmark,
 )
 from repro.workloads.synthetic import (
+    DATA_GENERATORS,
+    FETCH_GENERATORS,
+    KIND_PARAM,
+    default_synthetic_kind,
+    generate_synthetic,
     synthetic_data_trace,
     synthetic_fetch_stream,
+    synthetic_generator,
+    synthetic_kinds,
 )
 
 __all__ = [
     "BENCHMARK_NAMES",
+    "DATA_GENERATORS",
+    "FETCH_GENERATORS",
+    "KIND_PARAM",
     "SCALABLE_BENCHMARKS",
     "Benchmark",
+    "default_synthetic_kind",
+    "generate_synthetic",
     "get_benchmark",
     "load_workload",
     "parse_workload",
     "run_benchmark",
     "synthetic_data_trace",
     "synthetic_fetch_stream",
+    "synthetic_generator",
+    "synthetic_kinds",
 ]

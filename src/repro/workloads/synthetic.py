@@ -1,21 +1,49 @@
-"""Parametric synthetic traces for unit tests and ablations.
+"""Parametric synthetic workload generators behind ``synthetic:k=v``.
 
 These generators produce :class:`~repro.sim.trace.DataTrace` /
 :class:`~repro.sim.fetch.FetchStream` objects directly, with
 controllable locality and displacement distributions — handy for
 stress-testing the MAB (e.g. the adder-width ablation sweeps the
-fraction of large displacements precisely).
+fraction of large displacements precisely) and for opening the
+scenario space beyond the paper's seven benchmarks.
+
+Every generator is addressable from the spec syntax
+``synthetic:kind=<name>,k=v,...`` (see
+:func:`repro.api.spec.parse_synthetic_params`); the ``kind``
+parameter selects a generator from :data:`DATA_GENERATORS` /
+:data:`FETCH_GENERATORS` and the remaining parameters are forwarded
+as keyword overrides.  Omitting ``kind`` keeps the original
+generators (:data:`DEFAULT_DATA_KIND` / :data:`DEFAULT_FETCH_KIND`),
+so existing spec spellings — and therefore their canonical keys and
+stored results — are untouched.
+
+All generators are pure functions of their parameters: the same
+``seed`` yields bit-identical streams in any process, on any worker
+count, so replay grouping, the trace-cache-independent column split
+and the persistent result store all apply unchanged.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.sim.fetch import DEFAULT_FETCH_BYTES, FetchKind, FetchStream
 from repro.sim.trace import DataTrace
 
+#: The reserved spec parameter that names the generator.
+KIND_PARAM = "kind"
+
+#: Kinds selected when a spec names no ``kind=`` (the original
+#: generators — their spellings and canonical keys are stable).
+DEFAULT_DATA_KIND = "pointers"
+DEFAULT_FETCH_KIND = "blocks"
+
+
+# ----------------------------------------------------------------------
+# data-side generators
+# ----------------------------------------------------------------------
 
 def synthetic_data_trace(
     num_accesses: int = 10_000,
@@ -54,6 +82,272 @@ def synthetic_data_trace(
     store = rng.random(num_accesses) < store_fraction
     return DataTrace(base=base, disp=disp, store=store)
 
+
+def markov_data_trace(
+    num_accesses: int = 10_000,
+    num_regions: int = 8,
+    region_bytes: int = 1 << 12,
+    p_jump: float = 0.05,
+    stride: int = 4,
+    max_disp: int = 64,
+    store_fraction: float = 0.3,
+    seed: int = 1234,
+) -> DataTrace:
+    """A two-state Markov walk: dwell in one region, sometimes jump.
+
+    Each access continues a strided walk through the current region
+    with probability ``1 - p_jump``, else jumps to a uniformly chosen
+    region at a fresh offset — a soft model of data-structure
+    traversal with occasional pointer hops.  Low ``p_jump`` gives
+    long, MAB-friendly runs; high ``p_jump`` approaches uniform
+    chaos.
+    """
+    rng = np.random.default_rng(seed)
+    n = int(num_accesses)
+    stride = max(int(stride), 1)
+    region_bytes = max(int(region_bytes), stride)
+    jump = rng.random(n) < p_jump
+    region_draw = rng.integers(0, max(int(num_regions), 1), size=n)
+    start_draw = rng.integers(0, max(region_bytes // stride, 1), size=n)
+    disp = (
+        rng.integers(0, max(int(max_disp) // 4, 1), size=n) * 4
+    ).astype(np.int32)
+    store = rng.random(n) < store_fraction
+    if n:
+        jump[0] = True
+    index = np.arange(n)
+    # Forward-fill the most recent jump's (region, start) choice: each
+    # access's anchor is the index of the jump that began its dwell.
+    anchor = np.maximum.accumulate(np.where(jump, index, 0))
+    offset = ((start_draw[anchor] + (index - anchor)) * stride
+              ) % region_bytes
+    spacing = np.int64(2 * region_bytes)
+    base = (
+        0x0010_0000 + region_draw[anchor] * spacing + offset
+    ).astype(np.uint32)
+    return DataTrace(base=base, disp=disp, store=store)
+
+
+def loop_nest_data_trace(
+    num_accesses: int = 12_000,
+    arrays: int = 3,
+    inner: int = 64,
+    stride: int = 4,
+    array_bytes: int = 1 << 14,
+    store_fraction: float = 0.25,
+    seed: int = 1234,
+) -> DataTrace:
+    """Compiler-shaped loop nest: ``c[i] = f(a[i], b[i], ...)``.
+
+    ``arrays`` operand arrays are swept in lockstep; the inner loop
+    touches ``inner`` elements per row via a bounded displacement
+    (``pos * stride``, always below the MAB's narrow-adder bypass
+    threshold), the outer loop advances each array's base pointer —
+    the regular base+displacement shape the paper's technique was
+    designed for.  Stores land on the last operand (the destination).
+    """
+    rng = np.random.default_rng(seed)
+    n = int(num_accesses)
+    arrays = max(int(arrays), 1)
+    inner = max(int(inner), 1)
+    stride = max(int(stride), 1)
+    array_bytes = max(int(array_bytes), inner * stride)
+    index = np.arange(n)
+    operand = index % arrays
+    element = index // arrays
+    pos = element % inner
+    row = element // inner
+    # The +448 skew keeps same-index rows of different arrays from
+    # landing in the same cache sets (a power-of-two spacing would
+    # alias every array onto one set and thrash any associativity).
+    base = (
+        0x0020_0000
+        + operand * np.int64(2 * array_bytes + 448)
+        + (row * np.int64(inner * stride)) % array_bytes
+    ).astype(np.uint32)
+    disp = (pos * stride).astype(np.int32)
+    store = (operand == arrays - 1) & (rng.random(n) < store_fraction)
+    return DataTrace(base=base, disp=disp, store=store)
+
+
+def pointer_chase_data_trace(
+    num_accesses: int = 8_000,
+    num_nodes: int = 4096,
+    node_bytes: int = 16,
+    store_fraction: float = 0.0,
+    seed: int = 1234,
+) -> DataTrace:
+    """Chase a random permutation cycle through a node pool.
+
+    Every access loads the next pointer at displacement 0 of a fresh
+    node, so the base register changes on *every* access — the
+    worst case for base-register memoization and for spatial
+    locality once the pool outgrows the cache.
+    """
+    rng = np.random.default_rng(seed)
+    n = int(num_accesses)
+    num_nodes = max(int(num_nodes), 1)
+    succ = rng.permutation(num_nodes).tolist()
+    order = np.empty(n, dtype=np.int64)
+    node = 0
+    for k in range(n):
+        order[k] = node
+        node = succ[node]
+    base = (0x0040_0000 + order * int(node_bytes)).astype(np.uint32)
+    disp = np.zeros(n, dtype=np.int32)
+    store = rng.random(n) < store_fraction
+    return DataTrace(base=base, disp=disp, store=store)
+
+
+def phase_data_trace(
+    num_accesses: int = 16_000,
+    num_phases: int = 4,
+    hot_bytes: int = 1 << 10,
+    cold_bytes: int = 1 << 17,
+    stride: int = 4,
+    max_disp: int = 64,
+    store_fraction: float = 0.3,
+    seed: int = 1234,
+) -> DataTrace:
+    """Alternating program phases: tight hot loops, then cold streams.
+
+    Even phases hammer a small hot region (cache- and MAB-friendly);
+    odd phases stream through a large cold footprint (evicting
+    everything the hot phase built up).  Phase seeds derive from
+    ``seed`` deterministically.
+    """
+    n = int(num_accesses)
+    phases = max(int(num_phases), 1)
+    stride = max(int(stride), 1)
+    hot_bytes = max(int(hot_bytes), stride)
+    cold_bytes = max(int(cold_bytes), stride)
+    per = -(-n // phases)  # ceil division
+    bases, disps, stores = [], [], []
+    produced = 0
+    for phase in range(phases):
+        m = min(per, n - produced)
+        if m <= 0:
+            break
+        produced += m
+        prng = np.random.default_rng([int(seed), phase])
+        disp = (
+            prng.integers(0, max(int(max_disp) // 4, 1), size=m) * 4
+        ).astype(np.int32)
+        store = prng.random(m) < store_fraction
+        if phase % 2 == 0:
+            offset = prng.integers(
+                0, max(hot_bytes // stride, 1), size=m
+            ) * stride
+            base = (0x0050_0000 + offset).astype(np.uint32)
+        else:
+            start = (phase // 2) * np.int64(cold_bytes)
+            base = (
+                0x0100_0000
+                + (start + np.arange(m) * stride) % (4 * cold_bytes)
+            ).astype(np.uint32)
+        bases.append(base)
+        disps.append(disp)
+        stores.append(store)
+    return DataTrace(
+        base=np.concatenate(bases),
+        disp=np.concatenate(disps),
+        store=np.concatenate(stores),
+    )
+
+
+def context_switch_data_trace(
+    num_accesses: int = 16_000,
+    processes: int = 3,
+    quantum: int = 256,
+    region_bytes: int = 1 << 14,
+    max_disp: int = 64,
+    store_fraction: float = 0.3,
+    stride: int = 4,
+    seed: int = 1234,
+) -> DataTrace:
+    """Round-robin interleave of per-process working sets.
+
+    Each process runs a :func:`synthetic_data_trace`-style stream in
+    its own address space; the scheduler switches every ``quantum``
+    accesses, flushing warm cache/MAB state exactly the way real
+    context switches do.
+    """
+    n = int(num_accesses)
+    procs = max(int(processes), 1)
+    quantum = max(int(quantum), 1)
+    per = -(-n // procs)  # ceil division
+    streams = [
+        synthetic_data_trace(
+            num_accesses=per, num_bases=2,
+            base_region_bytes=int(region_bytes), max_disp=int(max_disp),
+            store_fraction=store_fraction, stride=int(stride),
+            seed=int(seed) + 7919 * pid,
+        )
+        for pid in range(procs)
+    ]
+    cursors = [0] * procs
+    bases, disps, stores = [], [], []
+    produced = 0
+    turn = 0
+    while produced < n:
+        pid = turn % procs
+        turn += 1
+        cursor = cursors[pid]
+        take = min(quantum, n - produced, per - cursor)
+        if take <= 0:
+            continue
+        trace = streams[pid]
+        shift = np.int64(pid) << 26  # disjoint per-process spaces
+        bases.append((
+            (trace.base[cursor:cursor + take].astype(np.int64) + shift)
+            & 0xFFFFFFFF
+        ).astype(np.uint32))
+        disps.append(trace.disp[cursor:cursor + take])
+        stores.append(trace.store[cursor:cursor + take])
+        cursors[pid] = cursor + take
+        produced += take
+    return DataTrace(
+        base=np.concatenate(bases),
+        disp=np.concatenate(disps),
+        store=np.concatenate(stores),
+    )
+
+
+def thrash_data_trace(
+    num_accesses: int = 8_000,
+    mab_tags: int = 2,
+    mab_sets: int = 8,
+    line_bytes: int = 32,
+    spacing_bytes: int = 1 << 16,
+    store_fraction: float = 0.2,
+    seed: int = 1234,
+) -> DataTrace:
+    """Adversarial round-robin aimed at an ``mab_tags x mab_sets`` MAB.
+
+    Cycles ``mab_tags + 1`` widely spaced base pointers against
+    ``mab_sets + 1`` distinct line displacements — one more of each
+    than the target MAB holds, so an LRU-managed Nt x Ns buffer of
+    that geometry evicts every entry just before its reuse.  With the
+    default 64 KiB spacing the bases also collide in the cache index,
+    thrashing a 2-way set as well.
+    """
+    rng = np.random.default_rng(seed)
+    n = int(num_accesses)
+    num_bases = max(int(mab_tags), 0) + 1
+    num_lines = max(int(mab_sets), 0) + 1
+    index = np.arange(n)
+    base = (
+        0x0200_0000 + (index % num_bases) * np.int64(spacing_bytes)
+    ).astype(np.uint32)
+    disp = (((index // num_bases) % num_lines)
+            * int(line_bytes)).astype(np.int32)
+    store = rng.random(n) < store_fraction
+    return DataTrace(base=base, disp=disp, store=store)
+
+
+# ----------------------------------------------------------------------
+# fetch-side generators
+# ----------------------------------------------------------------------
 
 def synthetic_fetch_stream(
     num_blocks: int = 2_000,
@@ -112,6 +406,186 @@ def synthetic_fetch_stream(
     )
 
 
+def loop_nest_fetch_stream(
+    num_blocks: int = 2_000,
+    inner_blocks: int = 4,
+    inner_iters: int = 8,
+    block_packets: int = 4,
+    num_nests: int = 4,
+    text_base: int = 0x0,
+    nest_bytes: int = 1 << 10,
+    packet_bytes: int = DEFAULT_FETCH_BYTES,
+    seed: int = 99,
+) -> FetchStream:
+    """Structured loop nests: fall-through blocks, backedges, nest hops.
+
+    ``num_nests`` loop bodies of ``inner_blocks`` basic blocks each;
+    every body iterates ``inner_iters`` times (fall-through branches
+    between blocks, one backedge per iteration) before control moves
+    to the next nest.  Block lengths are drawn once per block from
+    ``seed`` — the program's static shape — so the dynamic stream is
+    loopy and branch-target-repetitive, the friendly case for
+    MA-links/Panwar-style fetch optimisations.
+    """
+    rng = np.random.default_rng(seed)
+    total = int(num_blocks)
+    inner_blocks = max(int(inner_blocks), 1)
+    inner_iters = max(int(inner_iters), 1)
+    block_packets = max(int(block_packets), 1)
+    num_nests = max(int(num_nests), 1)
+    packet_bytes = int(packet_bytes)
+    block_stride = (block_packets + 1) * packet_bytes
+    nest_bytes = max(int(nest_bytes), inner_blocks * block_stride)
+    lengths = [
+        [int(rng.integers(1, block_packets + 1))
+         for _ in range(inner_blocks)]
+        for _ in range(num_nests)
+    ]
+
+    def block_addr(nest: int, block: int) -> int:
+        return (int(text_base) + nest * nest_bytes
+                + block * block_stride) & 0xFFFFFFFF
+
+    addr, kind, base, disp = [], [], [], []
+    pc = block_addr(0, 0)
+    addr.append(pc)
+    kind.append(int(FetchKind.START))
+    base.append(pc)
+    disp.append(0)
+    nest, it, block = 0, 0, 0
+    emitted = 0
+    while emitted < total:
+        for _ in range(lengths[nest][block]):
+            prev = pc
+            pc += packet_bytes
+            addr.append(pc)
+            kind.append(int(FetchKind.SEQ))
+            base.append(prev)
+            disp.append(packet_bytes)
+        emitted += 1
+        if emitted >= total:
+            break
+        if block + 1 < inner_blocks:
+            nest, it, block = nest, it, block + 1
+        elif it + 1 < inner_iters:
+            nest, it, block = nest, it + 1, 0
+        else:
+            nest, it, block = (nest + 1) % num_nests, 0, 0
+        target = block_addr(nest, block)
+        addr.append(target)
+        kind.append(int(FetchKind.BRANCH))
+        base.append(pc)
+        disp.append(target - pc)
+        pc = target
+    return FetchStream(
+        addr=np.asarray(addr, dtype=np.uint32),
+        kind=np.asarray(kind, dtype=np.uint8),
+        base=np.asarray(base, dtype=np.uint32),
+        disp=np.asarray(disp, dtype=np.int32),
+        packet_bytes=packet_bytes,
+    )
+
+
+def phase_fetch_stream(
+    num_blocks: int = 2_000,
+    num_phases: int = 4,
+    block_packets: int = 6,
+    num_targets: int = 8,
+    phase_text_bytes: int = 1 << 13,
+    packet_bytes: int = DEFAULT_FETCH_BYTES,
+    seed: int = 99,
+) -> FetchStream:
+    """Phase-changing fetch traffic: disjoint text regions in sequence.
+
+    Each phase is a :func:`synthetic_fetch_stream` over its own text
+    footprint; phase boundaries are stitched into ordinary branches
+    (the first fetch of phase *p* branches from the last pc of phase
+    *p - 1*), so downstream consumers see one continuous program that
+    periodically abandons its entire working set.
+    """
+    phases = max(int(num_phases), 1)
+    per = max(int(num_blocks) // phases, 1)
+    parts = [
+        synthetic_fetch_stream(
+            num_blocks=per, block_packets=int(block_packets),
+            num_targets=int(num_targets),
+            text_base=phase * 2 * int(phase_text_bytes),
+            text_bytes=int(phase_text_bytes),
+            packet_bytes=int(packet_bytes),
+            seed=int(seed) + 104_729 * phase,
+        )
+        for phase in range(phases)
+    ]
+    addr = np.concatenate([p.addr for p in parts])
+    kind = np.concatenate([p.kind for p in parts])
+    base = np.concatenate([p.base for p in parts])
+    disp = np.concatenate([p.disp for p in parts])
+    boundary = 0
+    for phase in range(1, phases):
+        boundary += len(parts[phase - 1])
+        prev_pc = int(parts[phase - 1].addr[-1])
+        kind[boundary] = int(FetchKind.BRANCH)
+        base[boundary] = prev_pc
+        disp[boundary] = np.int32(int(addr[boundary]) - prev_pc)
+    return FetchStream(
+        addr=addr, kind=kind, base=base, disp=disp,
+        packet_bytes=int(packet_bytes),
+    )
+
+
+def thrash_fetch_stream(
+    num_fetches: int = 8_000,
+    mab_sets: int = 8,
+    num_targets: int = 3,
+    line_bytes: int = 32,
+    spacing_bytes: int = 1 << 15,
+    text_base: int = 0x0,
+    packet_bytes: int = DEFAULT_FETCH_BYTES,
+    seed: int = 99,
+) -> FetchStream:
+    """All-branch fetch traffic that defeats sequential-flow tricks.
+
+    Every fetch is a taken branch to a fresh line, round-robin over
+    ``num_targets`` widely spaced regions x ``mab_sets + 1`` line
+    offsets: no sequential flow for Panwar/MA-links to elide, and one
+    more distinct (region, line) pair than an Ns-entry MAB holds.
+    ``seed`` is accepted for interface uniformity; the stream is
+    structural.
+    """
+    del seed  # structural stream: the adversarial pattern is fixed
+    n = int(num_fetches)
+    num_lines = max(int(mab_sets), 0) + 1
+    regions = max(int(num_targets), 2)
+    packet_bytes = int(packet_bytes)
+    index = np.arange(n)
+    target = (
+        int(text_base)
+        + (index % regions) * np.int64(spacing_bytes)
+        + ((index // regions) % num_lines) * int(line_bytes)
+    )
+    target = (target // packet_bytes) * packet_bytes
+    prev = np.empty(n, dtype=np.int64)
+    if n:
+        prev[0] = target[0]
+        prev[1:] = target[:-1]
+    kind = np.full(n, int(FetchKind.BRANCH), dtype=np.uint8)
+    disp = (target - prev).astype(np.int32)
+    if n:
+        kind[0] = int(FetchKind.START)
+        disp[0] = 0
+    return FetchStream(
+        addr=target.astype(np.uint32),
+        kind=kind,
+        base=prev.astype(np.uint32),
+        disp=disp,
+        packet_bytes=packet_bytes,
+    )
+
+
+# ----------------------------------------------------------------------
+# stream transformations
+# ----------------------------------------------------------------------
+
 def inject_stack_traffic(
     trace: DataTrace,
     fraction: float = 0.3,
@@ -150,3 +624,75 @@ def inject_stack_traffic(
             out_disp.append(int(rng.integers(0, frame_words)) * 4)
             out_store.append(bool(rng.integers(0, 2)))
     return DataTrace.from_lists(out_base, out_disp, out_store)
+
+
+# ----------------------------------------------------------------------
+# the generator registry (``kind=`` dispatch)
+# ----------------------------------------------------------------------
+
+#: Data-side generators by kind name.
+DATA_GENERATORS: Dict[str, Callable[..., DataTrace]] = {
+    "pointers": synthetic_data_trace,
+    "markov": markov_data_trace,
+    "loop-nest": loop_nest_data_trace,
+    "pointer-chase": pointer_chase_data_trace,
+    "phase": phase_data_trace,
+    "context-switch": context_switch_data_trace,
+    "mab-thrash": thrash_data_trace,
+}
+
+#: Fetch-side generators by kind name.
+FETCH_GENERATORS: Dict[str, Callable[..., FetchStream]] = {
+    "blocks": synthetic_fetch_stream,
+    "loop-nest": loop_nest_fetch_stream,
+    "phase": phase_fetch_stream,
+    "mab-thrash": thrash_fetch_stream,
+}
+
+
+def _generator_table(cache: str) -> Dict[str, Callable]:
+    if cache == "dcache":
+        return DATA_GENERATORS
+    if cache == "icache":
+        return FETCH_GENERATORS
+    raise ValueError(
+        f"cache must be 'dcache' or 'icache', not {cache!r}"
+    )
+
+
+def default_synthetic_kind(cache: str) -> str:
+    """The kind an unqualified ``synthetic:`` spec selects."""
+    return (
+        DEFAULT_DATA_KIND if _generator_table(cache) is DATA_GENERATORS
+        else DEFAULT_FETCH_KIND
+    )
+
+
+def synthetic_kinds(cache: str) -> Tuple[str, ...]:
+    """Registered generator kinds for one cache side, sorted."""
+    return tuple(sorted(_generator_table(cache)))
+
+
+def synthetic_generator(cache: str, kind: str) -> Callable:
+    """Look up one generator; KeyError lists the registered kinds."""
+    table = _generator_table(cache)
+    try:
+        return table[kind]
+    except KeyError:
+        raise KeyError(
+            f"unknown synthetic kind {kind!r} for {cache}; "
+            f"available: {sorted(table)}"
+        ) from None
+
+
+def generate_synthetic(cache: str, params: Mapping[str, Any]):
+    """Dispatch ``synthetic:kind=...`` parameters to their generator.
+
+    ``params`` is the parsed parameter mapping (see
+    :func:`repro.api.spec.parse_synthetic_params`); the reserved
+    ``kind`` entry selects the generator, everything else is
+    forwarded as keyword overrides.
+    """
+    params = dict(params)
+    kind = params.pop(KIND_PARAM, default_synthetic_kind(cache))
+    return synthetic_generator(cache, kind)(**params)

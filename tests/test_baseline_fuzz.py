@@ -35,7 +35,7 @@ from repro.baselines import (
 from repro.cache.config import CacheConfig
 from repro.sim.fetch import FetchStream
 from repro.sim.trace import DataTrace
-from repro.workloads import synthetic_fetch_stream
+from repro.workloads import synthetic_fetch_stream, synthetic_kinds
 
 from test_fastpath_differential import (
     COUNTER_FIELDS,
@@ -346,4 +346,54 @@ def test_fuzz_icache_replay_matches_scalar(seed, config):
     run_replay_lockstep(
         _replay_icache_factories(config), fs, slice_fetch,
         len(fs), f"icache replay seed={seed} ways={config.ways}",
+    )
+
+
+# ----------------------------------------------------------------------
+# every synthetic generator kind joins the replay fuzz
+# ----------------------------------------------------------------------
+
+def _kind_stream(cache, kind):
+    from repro.workloads import generate_synthetic
+
+    size = (
+        {"num_accesses": 2000} if cache == "dcache"
+        else {"num_fetches": 2000} if kind == "mab-thrash"
+        else {"num_blocks": 400}
+    )
+    return generate_synthetic(
+        cache, {"kind": kind, "seed": 909, **size}
+    )
+
+
+@pytest.mark.parametrize("kind", synthetic_kinds("dcache"))
+def test_generator_kind_dcache_replay_matches_scalar(kind):
+    trace = _kind_stream("dcache", kind)
+    run_replay_lockstep(
+        _replay_dcache_factories(TINY_2WAY), trace, slice_data,
+        len(trace), f"dcache replay kind={kind}",
+    )
+
+
+@pytest.mark.parametrize("kind", synthetic_kinds("icache"))
+def test_generator_kind_icache_replay_matches_scalar(kind):
+    fs = _kind_stream("icache", kind)
+    run_replay_lockstep(
+        _replay_icache_factories(TINY_2WAY), fs, slice_fetch,
+        len(fs), f"icache replay kind={kind}",
+    )
+
+
+def test_way_prediction_lockstep_on_thrash_stream():
+    """The vectorized MRU derivation survives chunked adversarial
+    traffic (every set group re-entered across chunk boundaries)."""
+    trace = _kind_stream("dcache", "mab-thrash")
+    run_lockstep(
+        lambda: WayPredictionDCache(TINY_2WAY), trace, slice_data,
+        len(trace), "way-prediction mab-thrash",
+    )
+    fs = _kind_stream("icache", "mab-thrash")
+    run_lockstep(
+        lambda: WayPredictionICache(TINY_4WAY), fs, slice_fetch,
+        len(fs), "way-prediction mab-thrash icache",
     )

@@ -1,0 +1,284 @@
+"""The scenario subsystem: format, library, registry, search.
+
+Locks down the scenario contract: shipped files round-trip
+byte-identically through their canonical serialization, malformed
+documents fail at load time with the offending field named, scenarios
+resolve as first-class ``scenario:<name>`` experiments, a violated
+invariant raises instead of rendering a wrong table, and the scenario
+search reproduces the same winner file on repeated runs.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import evaluate_many
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    experiment_catalog,
+    get_experiment,
+    keyed_results,
+)
+from repro.scenarios import (
+    Scenario,
+    ScenarioError,
+    ScenarioInvariantError,
+    load_scenario_file,
+    load_shipped,
+    scenario_dir,
+    scenario_experiment,
+    shipped_scenario_names,
+)
+
+#: A cheap, valid scenario document used by most tests below.
+TINY_DOC = {
+    "scenario_version": 1,
+    "name": "tiny",
+    "title": "Tiny test scenario",
+    "architectures": {
+        "dcache": [
+            "original",
+            {"arch": "way-memo", "params": {"tag_entries": 2,
+                                            "index_entries": 8}},
+        ],
+    },
+    "workloads": ["synthetic:num_accesses=512,seed=3"],
+    "engine": "fast",
+    "technology": "frv",
+    "invariants": [
+        {"kind": "no_slowdown", "cache": "dcache", "arch": "original"},
+    ],
+}
+
+
+def tiny(**overrides) -> dict:
+    doc = json.loads(json.dumps(TINY_DOC))
+    doc.update(overrides)
+    return doc
+
+
+# ----------------------------------------------------------------------
+# format and round-trip
+# ----------------------------------------------------------------------
+
+def test_shipped_library_is_nonempty():
+    assert len(shipped_scenario_names()) >= 5
+
+
+@pytest.mark.parametrize("name", shipped_scenario_names())
+def test_shipped_scenario_round_trips_byte_identically(name):
+    path = scenario_dir() / f"{name}.json"
+    raw = path.read_text()
+    scenario = Scenario.from_json(raw)
+    assert scenario.canonical_json() == raw
+    # And a second decode of the canonical bytes is a fixed point.
+    again = Scenario.from_json(scenario.canonical_json())
+    assert again.canonical_json() == raw
+
+
+def test_wrong_schema_version_is_rejected():
+    with pytest.raises(ScenarioError, match="scenario_version"):
+        Scenario.from_dict(tiny(scenario_version=99))
+
+
+def test_unknown_top_level_field_is_rejected():
+    with pytest.raises(ScenarioError, match="surprise"):
+        Scenario.from_dict(tiny(surprise=1))
+
+
+def test_unknown_arch_entry_field_is_rejected():
+    doc = tiny()
+    doc["architectures"]["dcache"].append(
+        {"arch": "original", "banana": True}
+    )
+    with pytest.raises(ScenarioError, match="banana"):
+        Scenario.from_dict(doc)
+
+
+def test_bad_design_point_is_rejected_with_its_label():
+    doc = tiny()
+    doc["architectures"]["dcache"].append(
+        {"arch": "way-memo", "params": {"nope": 1}}
+    )
+    with pytest.raises(ScenarioError, match=r"way-memo\[nope=1\]"):
+        Scenario.from_dict(doc)
+
+
+def test_bad_workload_is_rejected_at_load():
+    with pytest.raises(ScenarioError, match="unknown synthetic kind"):
+        Scenario.from_dict(tiny(
+            workloads=["synthetic:kind=nope,num_accesses=64"]
+        ))
+
+
+def test_unknown_invariant_kind_and_metric_are_rejected():
+    with pytest.raises(ScenarioError, match="invariant kind"):
+        Scenario.from_dict(tiny(invariants=[
+            {"kind": "nope", "cache": "dcache", "arch": "original"},
+        ]))
+    with pytest.raises(ScenarioError, match="invariant metric"):
+        Scenario.from_dict(tiny(invariants=[
+            {"kind": "metric_range", "cache": "dcache",
+             "arch": "original", "metric": "nope"},
+        ]))
+
+
+def test_invariant_must_reference_a_design_point():
+    with pytest.raises(ScenarioError, match="does not match"):
+        Scenario.from_dict(tiny(invariants=[
+            {"kind": "no_slowdown", "cache": "dcache",
+             "arch": "filter-cache"},
+        ]))
+
+
+def test_sweep_axes_expand_to_labelled_points():
+    doc = tiny()
+    doc["architectures"]["dcache"] = [
+        {"arch": "way-memo", "sweep": {"index_entries": [4, 8]}},
+    ]
+    doc["invariants"] = []
+    scenario = Scenario.from_dict(doc)
+    assert len(scenario.specs()) == 2
+    labels = [e.label(p) for _, e, p, _ in scenario._expanded]
+    assert labels == [
+        "way-memo[index_entries=4]", "way-memo[index_entries=8]",
+    ]
+
+
+# ----------------------------------------------------------------------
+# library and registry
+# ----------------------------------------------------------------------
+
+def test_load_shipped_rejects_unknown_names():
+    with pytest.raises(KeyError, match="thrash-adversarial"):
+        load_shipped("nope")
+
+
+def test_load_scenario_file_names_the_path_on_errors(tmp_path):
+    path = tmp_path / "broken.json"
+    path.write_text("{not json")
+    with pytest.raises(ScenarioError, match="broken.json"):
+        load_scenario_file(path)
+
+
+def test_scenarios_resolve_as_registry_experiments():
+    record = get_experiment("scenario:thrash-adversarial")
+    assert record.category == "scenario"
+    assert len(record.specs()) == 6
+    # Idempotent: a second resolution returns the same record.
+    assert get_experiment("scenario:thrash-adversarial") is record
+
+
+def test_experiment_catalog_lists_scenarios_after_the_report():
+    catalog = experiment_catalog()
+    assert catalog[:len(EXPERIMENTS)] == EXPERIMENTS
+    assert "sweep_mab_size" in catalog
+    for name in shipped_scenario_names():
+        assert f"scenario:{name}" in catalog
+
+
+def test_unknown_scenario_name_gets_the_uniform_error():
+    with pytest.raises(KeyError, match="scenario:thrash-adversarial"):
+        get_experiment("scenario:nope")
+
+
+# ----------------------------------------------------------------------
+# evaluation and invariants
+# ----------------------------------------------------------------------
+
+def _tabulated(scenario):
+    specs = scenario.specs()
+    return scenario.tabulate(keyed_results(
+        specs, evaluate_many(specs, workers=1)
+    ))
+
+
+def test_tiny_scenario_tabulates_with_invariant_notes():
+    table = _tabulated(Scenario.from_dict(tiny()))
+    assert len(table.rows) == 2
+    assert any("invariant ok" in note for note in table.notes)
+
+
+def test_violated_invariant_raises_not_a_wrong_table():
+    scenario = Scenario.from_dict(tiny(invariants=[
+        {"kind": "metric_range", "cache": "dcache",
+         "arch": "original", "metric": "miss_rate", "max": 0.0},
+    ]))
+    with pytest.raises(ScenarioInvariantError, match="miss_rate"):
+        _tabulated(scenario)
+
+
+def test_scenario_table_is_deterministic_across_worker_counts():
+    from repro.experiments.reporting import render
+
+    scenario = Scenario.from_dict(tiny())
+    record = scenario_experiment(scenario)
+    specs = record.specs()
+    serial = render(record.tabulate(keyed_results(
+        specs, evaluate_many(specs, workers=1, use_cache=False)
+    )))
+    pooled = render(record.tabulate(keyed_results(
+        specs, evaluate_many(specs, workers=3, use_cache=False)
+    )))
+    assert serial == pooled
+
+
+# ----------------------------------------------------------------------
+# CLI integration
+# ----------------------------------------------------------------------
+
+def test_cli_run_accepts_scenario_files_and_names(tmp_path, capsys):
+    from repro.cli import main
+
+    path = tmp_path / "tiny.json"
+    path.write_text(Scenario.from_dict(tiny()).canonical_json())
+    assert main(["run", f"@{path}"]) == 0
+    out = capsys.readouterr().out
+    assert "Tiny test scenario" in out
+    assert "invariant ok" in out
+
+    assert main(["run", "scenario:nope"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown experiment" in err
+
+
+def test_cli_eval_expands_scenario_documents(tmp_path, capsys):
+    from repro.cli import main
+
+    path = tmp_path / "tiny.json"
+    path.write_text(Scenario.from_dict(tiny()).canonical_json())
+    assert main(["eval", f"@{path}"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert isinstance(payload, list) and len(payload) == 2
+
+
+def test_cli_list_shows_shipped_scenarios(capsys):
+    from repro.cli import main
+
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "scenario:thrash-adversarial" in out
+
+
+# ----------------------------------------------------------------------
+# scenario search
+# ----------------------------------------------------------------------
+
+def test_search_quick_is_deterministic_and_reloadable(tmp_path, capsys):
+    from repro.scenarios.search import main as search_main
+
+    out_a = tmp_path / "a.json"
+    out_b = tmp_path / "b.json"
+    argv = [
+        "--cache", "dcache", "--objective", "mab-thrash",
+        "--seed", "5", "--budget", "3", "--quick",
+    ]
+    assert search_main(argv + ["--out", str(out_a)]) == 0
+    assert search_main(argv + ["--out", str(out_b)]) == 0
+    capsys.readouterr()
+    assert out_a.read_bytes() == out_b.read_bytes()
+    winner = load_scenario_file(out_a)
+    assert winner.name == "search-dcache-mab-thrash-s5"
+    assert winner.workloads[0].startswith("synthetic:")

@@ -85,11 +85,13 @@ def test_store_stats_endpoint(client):
     assert "entries" in payload
 
 
-def test_experiments_endpoint_mirrors_the_registry(client):
-    from repro.experiments import EXPERIMENTS, get_experiment
+def test_experiments_endpoint_mirrors_the_catalog(client):
+    from repro.experiments import get_experiment
+    from repro.experiments.registry import experiment_catalog
 
     served = client.experiments()
-    assert [entry["name"] for entry in served] == list(EXPERIMENTS)
+    assert [entry["name"] for entry in served] == \
+        list(experiment_catalog())
     for entry in served:
         experiment = get_experiment(entry["name"])
         assert entry["title"] == experiment.title
@@ -221,6 +223,15 @@ def test_run_experiment_remote_matches_local_table(client):
     name = "table2_delay"                 # analytic: zero specs, fast
     remote = client.run_experiment(name)
     assert remote == {}
+    rendered = render(get_experiment(name).tabulate(remote))
+    assert rendered == render(run_experiment(name))
+
+
+def test_run_scenario_experiment_remote_matches_local(client):
+    from repro.experiments import get_experiment, render, run_experiment
+
+    name = "scenario:thrash-adversarial"  # six synthetic specs, no ISS
+    remote = client.run_experiment(name)
     rendered = render(get_experiment(name).tabulate(remote))
     assert rendered == render(run_experiment(name))
 

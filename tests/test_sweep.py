@@ -113,3 +113,52 @@ def test_sweep_cli_deterministic_cold_vs_warm_and_worker_count(tmp_path):
     rows = payload[0]["rows"]
     assert {r["cache"] for r in rows} == {"dcache", "icache"}
     assert any(r["optimal"] for r in rows)
+
+
+def test_sweeps_are_registered_catalog_experiments():
+    """Both sweeps resolve as first-class registry records (full
+    default grids) without joining the paper report enumeration."""
+    from repro.experiments.registry import (
+        EXPERIMENTS,
+        experiment_catalog,
+        get_experiment,
+    )
+
+    record = get_experiment("sweep_mab_size")
+    assert record.category == "sweep"
+    assert len(record.specs()) == 2 * 4 * 6 * 7  # sides x Nt x Ns x suite
+    baselines = get_experiment("sweep_baselines")
+    assert baselines.category == "sweep"
+    assert len(baselines.specs()) > 0
+    catalog = experiment_catalog()
+    assert "sweep_mab_size" in catalog and "sweep_baselines" in catalog
+    assert "sweep_mab_size" not in EXPERIMENTS
+
+
+def test_sweep_tabulate_is_pure_over_prefetched_results():
+    """run_experiment with a prefetched result map replays nothing."""
+    from repro.api import evaluate_many
+    from repro.experiments.registry import keyed_results
+    from repro.experiments.sweep import (
+        mab_sweep_specs,
+        tabulate_mab_sweep,
+    )
+
+    specs = mab_sweep_specs(
+        SMALL_GRID["tag_entries"], SMALL_GRID["index_entries"],
+        SMALL_SUITE,
+    )
+    results = keyed_results(specs, evaluate_many(specs, workers=1))
+    a = render(tabulate_mab_sweep(
+        results, SMALL_GRID["tag_entries"],
+        SMALL_GRID["index_entries"], SMALL_SUITE,
+    ))
+    b = render(tabulate_mab_sweep(
+        results, SMALL_GRID["tag_entries"],
+        SMALL_GRID["index_entries"], SMALL_SUITE,
+    ))
+    assert a == b
+    direct = render(sweep_mab_size(
+        workers=1, benchmarks=SMALL_SUITE, **SMALL_GRID,
+    ))
+    assert a == direct
