@@ -253,6 +253,66 @@ def _scenario_leg(
     return serial, pooled, rendered(results)
 
 
+def _telemetry_leg(
+    specs: List[RunSpec], workers: int
+) -> Tuple[List[str], List[str], str, str, int, int]:
+    """Evaluate — and render a report — with telemetry fully on and
+    fully off.
+
+    Telemetry must be a pure observer: serialized results and the
+    rendered markdown report must be byte-identical with the metrics
+    registry live and a span trace file attached
+    (``REPRO_TELEMETRY=1`` + ``$REPRO_TRACE_FILE``) and with the
+    whole layer disabled (``REPRO_TELEMETRY=0``).  Returns the two
+    result batches, the two reports, and the trace-file span count
+    after each leg — the off leg keeps ``$REPRO_TRACE_FILE`` set, so
+    an unchanged count proves the kill switch covers tracing too.
+    """
+    import os
+    import tempfile
+
+    from repro.experiments import report
+    from repro.telemetry import metrics as telemetry
+    from repro.telemetry.tracing import TRACE_FILE_ENV, load_trace_file
+
+    saved = {
+        name: os.environ.get(name)
+        for name in (telemetry.TELEMETRY_ENV, TRACE_FILE_ENV)
+    }
+    with tempfile.TemporaryDirectory(prefix="repro-teleleg-") as tmp:
+        trace_path = os.path.join(tmp, "trace.jsonl")
+        try:
+            os.environ[telemetry.TELEMETRY_ENV] = "1"
+            os.environ[TRACE_FILE_ENV] = trace_path
+            on = [
+                r.to_json()
+                for r in evaluate_many(specs, workers=workers,
+                                       use_cache=False)
+            ]
+            on_report = report.generate(
+                list(REPORT_EXPERIMENTS), workers=workers
+            )
+            spans_on = len(load_trace_file(trace_path))
+
+            os.environ[telemetry.TELEMETRY_ENV] = "0"
+            off = [
+                r.to_json()
+                for r in evaluate_many(specs, workers=workers,
+                                       use_cache=False)
+            ]
+            off_report = report.generate(
+                list(REPORT_EXPERIMENTS), workers=workers
+            )
+            spans_off = len(load_trace_file(trace_path))
+            return on, off, on_report, off_report, spans_on, spans_off
+        finally:
+            for name, value in saved.items():
+                if value is None:
+                    os.environ.pop(name, None)
+                else:
+                    os.environ[name] = value
+
+
 def _report_mismatch(
     label: str, specs: List[RunSpec], a: List[str], b: List[str]
 ) -> None:
@@ -297,6 +357,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="add a scenario leg: render the shipped "
              f"'{SCENARIO_NAME}' scenario table serially, pooled and "
              "against a live service, and require byte-identity",
+    )
+    parser.add_argument(
+        "--telemetry", action="store_true",
+        help="add a telemetry leg: re-evaluate and re-render the "
+             "report with the metrics registry and a span trace file "
+             "on, then with REPRO_TELEMETRY=0, and require "
+             "byte-identity both ways",
     )
     parser.add_argument(
         "--faults", action="store_true",
@@ -375,6 +442,47 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
             return 1
         legs += " vs scenario table render"
+    if args.telemetry:
+        (tele_on, tele_off, report_on, report_off,
+         spans_on, spans_off) = _telemetry_leg(specs, args.workers)
+        if serial != tele_on:
+            _report_mismatch(
+                "clean vs telemetry-on", specs, serial, tele_on
+            )
+            return 1
+        if tele_on != tele_off:
+            _report_mismatch(
+                "telemetry-on vs telemetry-off", specs, tele_on,
+                tele_off,
+            )
+            return 1
+        if report_on != report_off:
+            print(
+                "MISMATCH (telemetry): markdown report differs with "
+                "REPRO_TELEMETRY on vs off",
+                file=sys.stderr,
+            )
+            return 1
+        if spans_on == 0:
+            print(
+                "MISMATCH (telemetry): trace file is empty after the "
+                "telemetry-on leg",
+                file=sys.stderr,
+            )
+            return 1
+        if spans_off != spans_on:
+            print(
+                "MISMATCH (telemetry): disabled leg appended "
+                f"{spans_off - spans_on} span(s) to the trace file",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"  telemetry leg: {spans_on} span(s) traced, "
+            "results and report byte-identical on/off",
+            file=sys.stderr,
+        )
+        legs += " vs telemetry on/off (incl. report render)"
     if args.faults:
         faulted = _fault_leg(specs, args.workers)
         if serial != faulted:

@@ -35,6 +35,8 @@ from repro.api.parallel import parallel_map, warm_trace_cache
 from repro.api.registry import TECHNOLOGIES, get_architecture
 from repro.api.result import RunResult
 from repro.api.spec import RunSpec, parse_synthetic_params
+from repro.telemetry import metrics as telemetry
+from repro.telemetry.tracing import span as trace_span
 
 #: Per-process result cache, keyed by canonical spec serialization.
 _RESULTS: Dict[str, RunResult] = {}
@@ -79,6 +81,10 @@ def _begin_simulation() -> None:
     """Account one real simulation (and run the chaos slow-sim hook)."""
     global _SIMULATIONS
     _SIMULATIONS += 1
+    telemetry.counter(
+        "repro_simulations_total",
+        "Real simulations performed (cache hits never count).",
+    ).inc()
     # Chaos hook: an injected slow simulation exercises the service's
     # timeout/lease machinery without touching the result's bytes.
     from repro.testing import faults
@@ -113,22 +119,26 @@ def _finish_result(
 
 
 def _run(spec: RunSpec) -> RunResult:
-    _begin_simulation()
-    info = get_architecture(spec.cache, spec.arch)
-    params = spec.param_dict
-    controller = info.build(params)
-    stream, cycles = _resolve_stream(spec)
-    if spec.engine == "reference":
-        process = getattr(controller, "process_reference", None)
-        if process is None:
-            raise ValueError(
-                f"architecture {spec.arch!r} ({spec.cache}) has no "
-                "reference engine; use engine='fast'"
-            )
-    else:
-        process = controller.process
-    counters: AccessCounters = process(stream)
-    return _finish_result(spec, info, params, counters, cycles)
+    with trace_span(
+        "simulate", cache=spec.cache, arch=spec.arch,
+        workload=spec.workload, engine=spec.engine,
+    ):
+        _begin_simulation()
+        info = get_architecture(spec.cache, spec.arch)
+        params = spec.param_dict
+        controller = info.build(params)
+        stream, cycles = _resolve_stream(spec)
+        if spec.engine == "reference":
+            process = getattr(controller, "process_reference", None)
+            if process is None:
+                raise ValueError(
+                    f"architecture {spec.arch!r} ({spec.cache}) has no "
+                    "reference engine; use engine='fast'"
+                )
+        else:
+            process = controller.process
+        counters: AccessCounters = process(stream)
+        return _finish_result(spec, info, params, counters, cycles)
 
 
 def _default_store():
@@ -177,15 +187,20 @@ def evaluate(spec: RunSpec, use_cache: bool = True) -> RunResult:
         return _run(spec)
     key = spec.key()
     result = _RESULTS.get(key)
+    if result is not None:
+        telemetry.counter(
+            "repro_evaluate_memo_hits_total",
+            "Evaluations served from the per-process result cache.",
+        ).inc()
+        return result
+    store = _default_store()
+    if store is not None:
+        result = _store_op(lambda: store.get(spec), None)
     if result is None:
-        store = _default_store()
+        result = _run(spec)
         if store is not None:
-            result = _store_op(lambda: store.get(spec), None)
-        if result is None:
-            result = _run(spec)
-            if store is not None:
-                _store_op(lambda: store.put(result), None)
-        _RESULTS[key] = result
+            _store_op(lambda: store.put(result), None)
+    _RESULTS[key] = result
     return result
 
 
@@ -238,44 +253,61 @@ def evaluate_many(
     from repro.replay.engine import plan_groups
 
     specs = list(specs)
-    keys = [spec.key() for spec in specs]
-    fresh: Dict[str, RunSpec] = {}
-    for spec, key in zip(specs, keys):
-        if key not in fresh and not (use_cache and key in _RESULTS):
-            fresh[key] = spec
-    store = _default_store() if use_cache else None
-    stored: Dict[str, RunResult] = {}
-    if fresh and store is not None:
-        stored = _store_op(
-            lambda: store.get_many(list(fresh.values())), {}
-        )
-        for key in stored:
-            fresh.pop(key, None)
-    if fresh:
-        warm_trace_cache(tuple(dict.fromkeys(
-            spec.workload for spec in fresh.values()
-            if not spec.is_synthetic
-        )))
-        groups = plan_groups(list(fresh.values()))
-        grouped_results = parallel_map(
-            _evaluate_task,
-            [tuple(spec.to_json() for spec in group) for group in groups],
-            workers,
-        )
-        computed = {
-            spec.key(): result
-            for group, results in zip(groups, grouped_results)
-            for spec, result in zip(group, results)
-        }
-        if store is not None:
-            _store_op(lambda: store.put_many(computed.values()), None)
-    else:
-        computed = {}
-    computed.update(stored)
-    if use_cache:
-        _RESULTS.update(computed)
-        return [_RESULTS[key] for key in keys]
-    return [computed[key] for key in keys]
+    with trace_span("evaluate_many", batch=len(specs)) as batch_span:
+        keys = [spec.key() for spec in specs]
+        fresh: Dict[str, RunSpec] = {}
+        for spec, key in zip(specs, keys):
+            if key not in fresh and not (use_cache and key in _RESULTS):
+                fresh[key] = spec
+        memo_hits = len(set(keys)) - len(fresh)
+        telemetry.counter(
+            "repro_evaluate_memo_hits_total",
+            "Evaluations served from the per-process result cache.",
+        ).inc(memo_hits)
+        telemetry.histogram(
+            "repro_evaluate_batch_size",
+            "Unique design points per evaluate_many call.",
+            buckets=telemetry.SIZE_BUCKETS,
+        ).observe(len(set(keys)))
+        store = _default_store() if use_cache else None
+        stored: Dict[str, RunResult] = {}
+        if fresh and store is not None:
+            stored = _store_op(
+                lambda: store.get_many(list(fresh.values())), {}
+            )
+            for key in stored:
+                fresh.pop(key, None)
+        batch_span.set_attribute("memo_hits", memo_hits)
+        batch_span.set_attribute("store_hits", len(stored))
+        batch_span.set_attribute("fresh", len(fresh))
+        if fresh:
+            warm_trace_cache(tuple(dict.fromkeys(
+                spec.workload for spec in fresh.values()
+                if not spec.is_synthetic
+            )))
+            groups = plan_groups(list(fresh.values()))
+            grouped_results = parallel_map(
+                _evaluate_task,
+                [tuple(spec.to_json() for spec in group)
+                 for group in groups],
+                workers,
+            )
+            computed = {
+                spec.key(): result
+                for group, results in zip(groups, grouped_results)
+                for spec, result in zip(group, results)
+            }
+            if store is not None:
+                _store_op(
+                    lambda: store.put_many(computed.values()), None
+                )
+        else:
+            computed = {}
+        computed.update(stored)
+        if use_cache:
+            _RESULTS.update(computed)
+            return [_RESULTS[key] for key in keys]
+        return [computed[key] for key in keys]
 
 
 def clear_result_cache() -> None:

@@ -306,6 +306,47 @@ def _submit_specs(
     return 0
 
 
+def _jobs_progress_printer():
+    """Build a ``wait_job`` progress callback printing to stderr.
+
+    Emits a line only when the picture changes (done count, retry
+    count, or a task's attempt counter), so a long quiet poll loop
+    stays quiet; retrying tasks surface their attempt number and last
+    error, which is how a flapping worker becomes visible from the
+    client side.
+    """
+    last = [None]
+
+    def on_progress(status) -> None:
+        errors = status.get("task_errors") or {}
+        snapshot = (
+            status.get("done"),
+            status.get("retrying"),
+            tuple(sorted(
+                (key, info.get("attempts"))
+                for key, info in errors.items()
+            )),
+        )
+        if snapshot == last[0]:
+            return
+        last[0] = snapshot
+        line = (
+            f"jobs: {status.get('done', 0)}/{status.get('total', 0)} done"
+        )
+        retrying = status.get("retrying") or 0
+        if retrying:
+            line += f", {retrying} retrying"
+        print(line, file=sys.stderr)
+        for key, info in sorted(errors.items()):
+            print(
+                f"  retry {key[:12]} attempt {info.get('attempts')}: "
+                f"{info.get('last_error')}",
+                file=sys.stderr,
+            )
+
+    return on_progress
+
+
 def _jobs_command(
     url: str, job_id: Optional[str], wait: bool, indent: int
 ) -> int:
@@ -317,7 +358,9 @@ def _jobs_command(
         if job_id is None:
             payload = {"jobs": client.jobs()}
         elif wait:
-            results = client.wait_job(job_id)
+            results = client.wait_job(
+                job_id, on_progress=_jobs_progress_printer()
+            )
             _print_results(results, single=False, indent=indent)
             return 0
         else:
@@ -480,6 +523,33 @@ def _export_trace(name: str, output: str) -> int:
     return 0
 
 
+def _trace_summary(argv: List[str]) -> int:
+    """``repro trace summary FILE``: aggregate a span trace file.
+
+    The file is the JSONL written via ``$REPRO_TRACE_FILE``; the
+    summary is a per-span-name table of counts and total/self/min/max
+    durations.
+    """
+    from repro.telemetry.tracing import (
+        load_trace_file, render_trace_summary,
+    )
+
+    wants_help = argv[:1] and argv[0] in ("-h", "--help")
+    if wants_help or len(argv) != 1:
+        stream = sys.stdout if wants_help else sys.stderr
+        print("usage: repro trace summary FILE", file=stream)
+        print("  FILE: JSONL span trace written via $REPRO_TRACE_FILE",
+              file=stream)
+        return 0 if wants_help else 2
+    try:
+        records = load_trace_file(argv[0])
+    except OSError as exc:
+        print(f"cannot read trace file: {exc}", file=sys.stderr)
+        return 2
+    sys.stdout.write(render_trace_summary(records))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv[:1] == ["sweep"]:
@@ -492,6 +562,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.scenarios import search
 
         return search.main(argv[1:])
+    if argv[:2] == ["trace", "summary"]:
+        # ``trace <benchmark>`` exports .npz traces; ``trace summary
+        # FILE`` aggregates a telemetry span file.  Dispatch before
+        # argparse so the benchmark-oriented parser never sees it.
+        return _trace_summary(argv[2:])
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -558,7 +633,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     profile_parser.add_argument("benchmark")
 
     trace_parser = sub.add_parser(
-        "trace", help="export a benchmark's traces to .npz"
+        "trace",
+        help="export a benchmark's traces to .npz "
+             "('trace summary FILE' aggregates a telemetry trace)",
     )
     trace_parser.add_argument("benchmark")
     trace_parser.add_argument(

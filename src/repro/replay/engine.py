@@ -38,6 +38,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.cache.cache import SetAssociativeCache
 from repro.cache.replacement import LRUPolicy
 from repro.replay.columns import SharedPass, columns_for_stream
+from repro.telemetry import metrics as telemetry
+from repro.telemetry.tracing import span as trace_span
 
 #: Environment variable gating grouped replay ("0"/"off" disables).
 REPLAY_ENV = "REPRO_REPLAY"
@@ -103,6 +105,15 @@ def replay_counters(
         )
         packed = shadow.access_fast_batch(tags, sets, cols.writes())
         shared_pass = SharedPass(packed)
+        telemetry.counter(
+            "repro_replay_shared_sweeps_total",
+            "Shared cache sweeps performed by the replay engine.",
+        ).inc()
+        telemetry.counter(
+            "repro_replay_shared_members_total",
+            "Controllers served by a shared sweep instead of "
+            "replaying their own loop.",
+        ).inc(len(members))
         for index in members:
             out[index] = controllers[index].replay_counters(
                 cols, shared_pass
@@ -145,6 +156,19 @@ def plan_groups(specs: Sequence[object]) -> List[List[object]]:
             group.append(spec)
         else:
             groups.append([spec])
+    size_histogram = telemetry.histogram(
+        "repro_replay_group_size",
+        "Specs per planned replay group.",
+        buckets=telemetry.SIZE_BUCKETS,
+    )
+    grouped = telemetry.counter(
+        "repro_replay_grouped_specs_total",
+        "Specs placed in a multi-spec replay group.",
+    )
+    for group in groups:
+        size_histogram.observe(len(group))
+        if len(group) > 1:
+            grouped.inc(len(group))
     return groups
 
 
@@ -202,20 +226,25 @@ def replay_specs(specs: Sequence[object]) -> List[object]:
                 f"{(first.cache, first.workload)} vs "
                 f"{(spec.cache, spec.workload)}"
             )
-    stream, cycles = _evaluate._resolve_stream(first)
-    cols = _columns_cached(first.cache, first.workload)
+    with trace_span(
+        "replay_group", cache=first.cache, workload=first.workload,
+        members=len(specs),
+    ):
+        stream, cycles = _evaluate._resolve_stream(first)
+        cols = _columns_cached(first.cache, first.workload)
 
-    built = []
-    for spec in specs:
-        _evaluate._begin_simulation()
-        info = get_architecture(spec.cache, spec.arch)
-        params = spec.param_dict
-        built.append((spec, info, params, info.build(params)))
+        built = []
+        for spec in specs:
+            _evaluate._begin_simulation()
+            info = get_architecture(spec.cache, spec.arch)
+            params = spec.param_dict
+            built.append((spec, info, params, info.build(params)))
 
-    counters = replay_counters(
-        [controller for (_, _, _, controller) in built], stream, cols
-    )
-    return [
-        _evaluate._finish_result(spec, info, params, c, cycles)
-        for (spec, info, params, _), c in zip(built, counters)
-    ]
+        counters = replay_counters(
+            [controller for (_, _, _, controller) in built],
+            stream, cols,
+        )
+        return [
+            _evaluate._finish_result(spec, info, params, c, cycles)
+            for (spec, info, params, _), c in zip(built, counters)
+        ]

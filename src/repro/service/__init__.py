@@ -47,12 +47,15 @@ def wait_for_port_file(path, timeout: float = 30.0) -> int:
 def wait_until_ready(
     url: str, timeout: float = 30.0, poll: float = 0.1
 ) -> dict:
-    """Block until ``GET /v1/healthz`` answers ``ok`` (readiness).
+    """Block until ``GET /v1/healthz`` answers (readiness).
 
     The bounded replacement for sleep-and-hope startup loops in tests
     and CI: polls with a short-timeout, non-retrying client and
     returns the healthz payload, or raises ``TimeoutError`` with the
-    last failure after ``timeout`` seconds.
+    last failure after ``timeout`` seconds.  Readiness is *listening
+    and answering* — a server that reports honest degradation (say, a
+    zero-capacity queue or a read-only store) is still ready; callers
+    inspect the returned payload when they need full health.
     """
     client = ServiceClient(url, timeout=min(5.0, timeout), retries=0)
     deadline = time.time() + timeout
@@ -60,7 +63,7 @@ def wait_until_ready(
     while time.time() < deadline:
         try:
             payload = client.healthz()
-            if payload.get("status") == "ok":
+            if payload.get("status") in ("ok", "degraded"):
                 return payload
             last = f"unexpected healthz payload: {payload}"
         except ServiceError as exc:

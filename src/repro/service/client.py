@@ -66,6 +66,54 @@ class ServiceError(RuntimeError):
         self.retry_after = retry_after
 
 
+class ServiceHealth(Dict[str, Any]):
+    """A typed view over the ``/v1/healthz`` document.
+
+    Still a plain dict (``health["status"]`` keeps working for every
+    existing caller), with properties for the degraded-state flags the
+    server reports — absent keys read as healthy defaults, so a
+    client pointed at an older server degrades gracefully.
+    """
+
+    @property
+    def ok(self) -> bool:
+        return self.get("status") == "ok"
+
+    @property
+    def degraded_reasons(self) -> List[str]:
+        return list(self.get("degraded") or [])
+
+    @property
+    def read_only(self) -> bool:
+        return bool(self.get("read_only"))
+
+    @property
+    def store_available(self) -> bool:
+        return bool(self.get("store"))
+
+    @property
+    def store_configured(self) -> bool:
+        return bool(self.get("store_configured", self.get("store")))
+
+    @property
+    def draining(self) -> bool:
+        return bool(self.get("draining"))
+
+    @property
+    def queue_depth(self) -> int:
+        return int(self.get("queue_depth", 0))
+
+    @property
+    def queue_limit(self) -> Optional[int]:
+        value = self.get("queue_limit")
+        return None if value is None else int(value)
+
+    @property
+    def uptime_seconds(self) -> Optional[float]:
+        value = self.get("uptime_seconds")
+        return None if value is None else float(value)
+
+
 def _spec_dict(spec: SpecLike) -> Dict[str, Any]:
     if isinstance(spec, RunSpec):
         return spec.to_dict()
@@ -182,8 +230,28 @@ class ServiceClient:
 
     # -- GET endpoints -------------------------------------------------
 
-    def healthz(self) -> Dict[str, Any]:
-        return self._request("/v1/healthz")
+    def healthz(self) -> ServiceHealth:
+        """``GET /v1/healthz`` as a :class:`ServiceHealth` (a dict
+        subclass with typed degraded-state properties)."""
+        return ServiceHealth(self._request("/v1/healthz"))
+
+    def metrics(self) -> str:
+        """``GET /v1/metrics``: raw Prometheus text exposition."""
+        url = f"{self.base_url}/v1/metrics"
+        request = urllib.request.Request(url)
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(
+                exc.code, str(exc), retryable=exc.code >= 500
+            ) from None
+        except (urllib.error.URLError, OSError) as exc:
+            raise ServiceError(
+                TRANSPORT_ERROR, str(exc), retryable=True
+            ) from None
 
     def verify_fingerprint(self, remote: Optional[str] = None) -> str:
         """Refuse a version-skewed server (the one defining site).
@@ -295,6 +363,7 @@ class ServiceClient:
         poll: float = 0.25,
         timeout: Optional[float] = None,
         outage_budget: float = 60.0,
+        on_progress=None,
     ) -> List[RunResult]:
         """Poll a job to completion; returns results in input order.
 
@@ -305,6 +374,12 @@ class ServiceClient:
         next healthy poll picks up exactly where the queue is.
         Raises :class:`ServiceError` on a failed job, a vanished job
         id, or ``TimeoutError`` after ``timeout`` seconds.
+
+        ``on_progress`` (when given) receives each polled status
+        document — including the retry/backoff telemetry the server
+        reports (``attempts``, ``retrying``, ``task_errors`` with
+        per-task attempt counts and last errors) — so callers can
+        narrate flapping workers instead of polling silently.
         """
         deadline = None if timeout is None else time.time() + timeout
         outage_start: Optional[float] = None
@@ -312,6 +387,8 @@ class ServiceClient:
             try:
                 status = self.job_status(job_id)
                 outage_start = None
+                if on_progress is not None:
+                    on_progress(status)
             except ServiceError as exc:
                 if not exc.retryable:
                     raise

@@ -50,6 +50,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 from repro.api.result import RESULT_SCHEMA_VERSION
 from repro.api.spec import RunSpec
 from repro.store import code_fingerprint, store_path
+from repro.telemetry import metrics as telemetry
 
 #: Environment variable overriding the job-queue database location.
 JOB_DB_ENV = "REPRO_JOB_DB"
@@ -198,6 +199,10 @@ class JobQueue:
             conn.execute("COMMIT")
         finally:
             conn.close()
+        telemetry.counter(
+            "repro_queue_jobs_submitted_total",
+            "Jobs accepted by the durable queue.",
+        ).inc()
         self.work_available.set()
         return job_id
 
@@ -218,7 +223,7 @@ class JobQueue:
         try:
             conn.execute("BEGIN IMMEDIATE")
             row = conn.execute(
-                "SELECT spec_key, attempts FROM tasks"
+                "SELECT spec_key, attempts, state FROM tasks"
                 " WHERE result_schema = ? AND fingerprint = ?"
                 " AND ((state = ? AND not_before <= ?)"
                 "  OR (state = ? AND lease_deadline < ?))"
@@ -228,7 +233,7 @@ class JobQueue:
             if row is None:
                 conn.execute("COMMIT")
                 return None
-            spec_key, attempts = row
+            spec_key, attempts, prior_state = row
             conn.execute(
                 "UPDATE tasks SET state = ?, attempts = ?,"
                 " lease_deadline = ? WHERE spec_key = ?"
@@ -237,9 +242,23 @@ class JobQueue:
                  spec_key, schema, fingerprint),
             )
             conn.execute("COMMIT")
+            self._count_claims([prior_state])
             return Task(spec_key, attempts + 1)
         finally:
             conn.close()
+
+    @staticmethod
+    def _count_claims(prior_states: Sequence[str]) -> None:
+        """Account claimed tasks; a RUNNING prior state means the
+        claim took over an expired lease."""
+        telemetry.counter(
+            "repro_queue_claims_total", "Task leases claimed."
+        ).inc(len(prior_states))
+        expired = sum(1 for state in prior_states if state == RUNNING)
+        telemetry.counter(
+            "repro_queue_lease_expiries_total",
+            "Claims that reclaimed an expired lease.",
+        ).inc(expired)
 
     @staticmethod
     def _replay_group_key(spec_key: str) -> Optional[Tuple[str, str]]:
@@ -275,7 +294,7 @@ class JobQueue:
         try:
             conn.execute("BEGIN IMMEDIATE")
             rows = conn.execute(
-                "SELECT spec_key, attempts FROM tasks"
+                "SELECT spec_key, attempts, state FROM tasks"
                 " WHERE result_schema = ? AND fingerprint = ?"
                 " AND ((state = ? AND not_before <= ?)"
                 "  OR (state = ? AND lease_deadline < ?))"
@@ -294,7 +313,7 @@ class JobQueue:
                     if self._replay_group_key(row[0]) == group:
                         selected.append(row)
             claimed = []
-            for spec_key, attempts in selected:
+            for spec_key, attempts, _ in selected:
                 conn.execute(
                     "UPDATE tasks SET state = ?, attempts = ?,"
                     " lease_deadline = ? WHERE spec_key = ?"
@@ -304,6 +323,7 @@ class JobQueue:
                 )
                 claimed.append(Task(spec_key, attempts + 1))
             conn.execute("COMMIT")
+            self._count_claims([state for _, _, state in selected])
             return claimed
         finally:
             conn.close()
@@ -327,8 +347,16 @@ class JobQueue:
                 not_before=time.time()
                 + self.backoff_delay(task.attempts),
             )
+            telemetry.counter(
+                "repro_queue_retries_total",
+                "Failed attempts re-queued with backoff.",
+            ).inc()
             return True
         self._finish(task, FAILED, result_json=None, error=error)
+        telemetry.counter(
+            "repro_queue_dead_letters_total",
+            "Tasks dead-lettered after exhausting attempts.",
+        ).inc()
         return False
 
     def _finish(
@@ -462,6 +490,14 @@ class JobQueue:
             for key, entry in tasks.items()
             if entry[0] == FAILED and entry[3]
         }
+        # Retry/backoff telemetry: tasks that failed at least once but
+        # are still in flight — what ``repro jobs --wait`` narrates
+        # instead of polling silently.
+        retrying = {
+            key: {"attempts": entry[1], "last_error": entry[3]}
+            for key, entry in tasks.items()
+            if entry[0] in (PENDING, RUNNING) and entry[3]
+        }
         return {
             "id": job_id,
             "state": job_state,
@@ -472,8 +508,10 @@ class JobQueue:
             "failed": sum(1 for s in states if s == FAILED),
             "running": sum(1 for s in states if s == RUNNING),
             "attempts": sum(entry[1] for entry in tasks.values()),
+            "retrying": len(retrying),
             "results": results,
             "errors": errors,
+            "task_errors": retrying,
         }
 
     def wait_job(
@@ -516,6 +554,7 @@ class JobQueue:
                 status.pop("results", None)
                 status.pop("errors", None)
                 status.pop("keys", None)
+                status.pop("task_errors", None)
                 summaries.append(status)
         return summaries
 

@@ -22,6 +22,14 @@ store-less evaluation with a logged warning, never a 500.
 Routes (all JSON):
 
 * ``GET  /v1/healthz``       — liveness + fingerprint/schemas + queue
+  depth/limit, store availability (including read-only and
+  store-unavailable degradation), uptime
+* ``GET  /v1/metrics``       — Prometheus text exposition: the
+  process metrics registry (merged across worker subprocesses) plus
+  live queue/store/pool gauges
+* ``GET  /v1/reports/``      — the experiment analytics dashboard
+  (HTML; per-experiment tables from the store, BENCH_history trend
+  chart, store/queue/worker stats)
 * ``GET  /v1/architectures`` — the central registry (ids, defaults),
   benchmarks, engines, technologies
 * ``GET  /v1/experiments``   — the experiment registry
@@ -46,6 +54,7 @@ import signal
 import sqlite3
 import sys
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -61,7 +70,8 @@ from repro.experiments.registry import (
     experiment_catalog,
     get_experiment,
 )
-from repro.store import code_fingerprint, default_store
+from repro.store import code_fingerprint, default_store, store_path
+from repro.telemetry import metrics as telemetry
 from repro.testing import faults
 from repro.workloads import BENCHMARK_NAMES
 from repro.workloads.suite import SCALABLE_BENCHMARKS
@@ -183,20 +193,151 @@ class ServiceHandler(BaseHTTPRequestHandler):
             return None
         return self.rfile.read(length)
 
+    def _send_text(
+        self, status: int, body: str,
+        content_type: str = "text/plain; charset=utf-8",
+    ) -> None:
+        encoded = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(encoded)))
+        self.end_headers()
+        self.wfile.write(encoded)
+
     # -- GET routes ----------------------------------------------------
+
+    def _healthz_payload(self) -> Dict[str, Any]:
+        """The enriched health document — degraded states included.
+
+        ``status`` is ``"ok"`` only when the service would accept and
+        fully serve a submission right now; ``"degraded"`` names the
+        reasons in ``degraded``: draining, a full queue, a configured
+        store that cannot be opened, or a read-only store.  A healthy
+        startup reports ``"ok"``, which is what ``wait_until_ready``
+        keys on.
+        """
+        store = default_store()
+        configured = store_path() is not None
+        read_only = bool(store is not None and store.read_only)
+        depth = self.server.queue.depth()
+        reasons = []
+        if self.server.draining:
+            reasons.append("draining")
+        if depth >= self.server.queue_limit:
+            reasons.append("queue_full")
+        if configured and store is None:
+            reasons.append("store_unavailable")
+        if read_only:
+            reasons.append("store_read_only")
+        return {
+            "status": "degraded" if reasons else "ok",
+            "degraded": reasons,
+            "fingerprint": code_fingerprint(),
+            "spec_version": SPEC_SCHEMA_VERSION,
+            "result_schema": RESULT_SCHEMA_VERSION,
+            "store": store is not None,
+            "store_configured": configured,
+            "read_only": read_only,
+            "draining": self.server.draining,
+            "queue": self.server.queue.stats()["tasks"],
+            "queue_depth": depth,
+            "queue_limit": self.server.queue_limit,
+            "uptime_seconds": round(
+                time.monotonic() - self.server.started_monotonic, 3
+            ),
+            "pool": self.server.pool.describe(),
+        }
+
+    def _metrics_text(self) -> str:
+        """Prometheus exposition: the merged registry plus live gauges.
+
+        Counters/histograms come from the process registry (including
+        everything merged back from worker subprocesses); queue/store/
+        pool shape is read at scrape time — cheaper and always current.
+        """
+        extra = [
+            ("repro_service_uptime_seconds", "gauge",
+             "Seconds since the server started.",
+             time.monotonic() - self.server.started_monotonic, None),
+            ("repro_queue_depth", "gauge",
+             "Outstanding tasks (pending + running).",
+             self.server.queue.depth(), None),
+            ("repro_queue_limit", "gauge",
+             "Load-shedding threshold for outstanding tasks.",
+             self.server.queue_limit, None),
+            ("repro_pool_workers", "gauge",
+             "Supervisor threads in the worker pool.",
+             self.server.pool.count, None),
+            ("repro_pool_alive", "gauge",
+             "Supervisor threads currently alive.",
+             self.server.pool.describe()["alive"], None),
+        ]
+        queue_stats = self.server.queue.stats()
+        for state, count in queue_stats["tasks"].items():
+            extra.append((
+                "repro_queue_tasks", "gauge",
+                "Queue tasks by state.", count, {"state": state},
+            ))
+        store = default_store()
+        if store is not None:
+            try:
+                stats = store.stats()
+            except (sqlite3.Error, OSError):
+                stats = {}
+            for key, metric in (
+                ("entries", "repro_store_entries"),
+                ("entries_current_code",
+                 "repro_store_entries_current_code"),
+                ("file_bytes", "repro_store_file_bytes"),
+            ):
+                if key in stats:
+                    extra.append((
+                        metric, "gauge",
+                        f"Result store {key.replace('_', ' ')}.",
+                        stats[key], None,
+                    ))
+            for key in ("hits", "misses", "puts", "evictions",
+                        "quarantines"):
+                value = stats.get(f"lifetime_{key}")
+                if value is not None:
+                    extra.append((
+                        f"repro_store_lifetime_{key}_total",
+                        "counter",
+                        f"Lifetime store {key} across all processes.",
+                        value, None,
+                    ))
+        return telemetry.render_prometheus(extra)
+
+    def _dashboard_html(self) -> str:
+        from repro.telemetry.dashboard import render_dashboard
+
+        return render_dashboard(
+            store=default_store(),
+            queue_stats=self.server.queue.stats()["tasks"],
+            pool_stats=self.server.pool.describe(),
+            service_info={
+                "fingerprint": code_fingerprint(),
+                "result_schema": RESULT_SCHEMA_VERSION,
+                "uptime_seconds": round(
+                    time.monotonic() - self.server.started_monotonic, 1
+                ),
+                "draining": self.server.draining,
+            },
+        )
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         if self.path == "/v1/healthz":
-            self._send_json(200, {
-                "status": "ok",
-                "fingerprint": code_fingerprint(),
-                "spec_version": SPEC_SCHEMA_VERSION,
-                "result_schema": RESULT_SCHEMA_VERSION,
-                "store": default_store() is not None,
-                "draining": self.server.draining,
-                "queue": self.server.queue.stats()["tasks"],
-                "pool": self.server.pool.describe(),
-            })
+            self._send_json(200, self._healthz_payload())
+        elif self.path == "/v1/metrics":
+            self._send_text(
+                200, self._metrics_text(),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+        elif self.path in ("/v1/reports", "/v1/reports/"):
+            self._send_text(
+                200, self._dashboard_html(),
+                "text/html; charset=utf-8",
+            )
         elif self.path == "/v1/architectures":
             self._send_json(200, _registry_payload())
         elif self.path == "/v1/experiments":
@@ -481,6 +622,7 @@ class EvaluationServer(ThreadingHTTPServer):
         super().__init__(address, ServiceHandler)
         self.verbose = verbose
         self.queue_limit = queue_limit
+        self.started_monotonic = time.monotonic()
         #: True once a SIGTERM drain started: submissions are refused
         #: (503), running work finishes, then the server exits.
         self.draining = False

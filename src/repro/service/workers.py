@@ -33,6 +33,7 @@ from typing import Optional
 
 from repro.api.parallel import resolve_worker_count, warm_trace_cache
 from repro.api.spec import RunSpec
+from repro.telemetry import metrics as telemetry
 from repro.testing import faults
 
 from repro.service.jobs import JobQueue
@@ -52,7 +53,18 @@ def _subprocess_entry(spec_jsons, pipe) -> None:
     in a single pass.  Fault hooks fire once per subprocess, *before*
     the simulation, so an injected crash never wastes completed
     results.
+
+    The reply is a dict — ``{"results": [...]}`` on success,
+    ``{"error": ...}`` on failure — and either shape carries a
+    ``"metrics"`` registry snapshot, which the supervisor merges into
+    the parent registry: ``/v1/metrics`` reports simulations and
+    replay traffic performed by every worker the service ever
+    spawned, not just the parent process's.
     """
+    # A forked child inherits the parent's registry; drop it so the
+    # snapshot shipped back is this worker's own traffic, not a second
+    # copy of everything the parent had already counted.
+    telemetry.registry().reset()
     try:
         if faults.should_fire("worker_crash"):
             os._exit(3)
@@ -65,9 +77,15 @@ def _subprocess_entry(spec_jsons, pipe) -> None:
             workers=1,
             use_cache=False,
         )
-        pipe.send([result.to_json() for result in results])
+        pipe.send({
+            "results": [result.to_json() for result in results],
+            "metrics": telemetry.snapshot(),
+        })
     except Exception as exc:   # noqa: BLE001 — report, don't hang
-        pipe.send({"error": f"{type(exc).__name__}: {exc}"})
+        pipe.send({
+            "error": f"{type(exc).__name__}: {exc}",
+            "metrics": telemetry.snapshot(),
+        })
     finally:
         pipe.close()
 
@@ -186,12 +204,21 @@ class WorkerPool:
             args=(tuple(task.spec_key for task in tasks), sender),
             daemon=True,
         )
+        started = time.monotonic()
         process.start()
         sender.close()
+        telemetry.counter(
+            "repro_pool_spawns_total",
+            "Worker subprocesses spawned by the pool.",
+        ).inc()
         process.join(self.task_timeout)
         if process.is_alive():
             self._kill(process)
             receiver.close()
+            telemetry.counter(
+                "repro_pool_timeouts_total",
+                "Worker subprocesses killed at the task timeout.",
+            ).inc()
             for task in tasks:
                 self.queue.fail(
                     task,
@@ -199,6 +226,10 @@ class WorkerPool:
                     f"(attempt {task.attempts})",
                 )
             return
+        telemetry.histogram(
+            "repro_pool_task_seconds",
+            "Wall-clock per worker-subprocess task group.",
+        ).observe(time.monotonic() - started)
         payload = None
         if receiver.poll():
             try:
@@ -206,19 +237,31 @@ class WorkerPool:
             except (EOFError, OSError):
                 payload = None
         receiver.close()
-        if isinstance(payload, list) and len(payload) == len(tasks):
+        if isinstance(payload, dict):
+            # Fold the child's registry into ours before anything
+            # else: failed attempts report their traffic too.
+            telemetry.merge_snapshot(payload.get("metrics"))
+        results = (
+            payload.get("results") if isinstance(payload, dict)
+            else payload   # pre-metrics shape: a bare result list
+        )
+        if isinstance(results, list) and len(results) == len(tasks):
             # One result JSON per task, in claim order: complete each
             # — per-task durability is unchanged by the grouping.
-            for task, result_json in zip(tasks, payload):
+            for task, result_json in zip(tasks, results):
                 self.queue.complete(task, result_json)
                 if self.on_result is not None:
                     self.on_result(result_json)
             return
-        if isinstance(payload, dict):
-            message = payload.get("error", "unknown worker error")
+        if isinstance(payload, dict) and "error" in payload:
+            message = payload.get("error") or "unknown worker error"
             for task in tasks:
                 self.queue.fail(task, message)
             return
+        telemetry.counter(
+            "repro_pool_crashes_total",
+            "Worker subprocesses that died without reporting.",
+        ).inc()
         for task in tasks:
             self.queue.fail(
                 task,

@@ -47,6 +47,7 @@ from typing import Dict, Iterable, Optional, Sequence, TextIO, Union
 from repro.api.result import RESULT_SCHEMA_VERSION, RunResult
 from repro.api.spec import RunSpec
 from repro.store.fingerprint import code_fingerprint
+from repro.telemetry import metrics as telemetry
 
 #: Environment variable overriding the store location (or 0/off/none).
 STORE_ENV = "REPRO_RESULT_STORE"
@@ -65,6 +66,21 @@ CREATE TABLE IF NOT EXISTS results (
     PRIMARY KEY (spec_key, result_schema, fingerprint)
 )
 """
+
+# Lifetime traffic counters, persisted beside the results so hit/miss
+# history survives the process (the in-memory ``hits``/``misses``
+# attributes reset with every run).  Created by the same in-place
+# migration path as ``last_used_at``: older store files gain the table
+# on first write contact with new code.
+_STATS_SCHEMA = """
+CREATE TABLE IF NOT EXISTS stats (
+    key   TEXT PRIMARY KEY,
+    value INTEGER NOT NULL
+)
+"""
+
+#: Counter keys the ``stats`` table may hold.
+LIFETIME_KEYS = ("hits", "misses", "puts", "evictions", "quarantines")
 
 
 @dataclass(frozen=True)
@@ -107,6 +123,7 @@ class ResultStore:
         self.misses = 0
         self.puts = 0
         self._lru_migrated = read_only
+        self._pending_quarantines = 0
         self._lock = threading.Lock()
         if not read_only:
             self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -128,8 +145,16 @@ class ResultStore:
         conn.execute("PRAGMA journal_mode=WAL")
         conn.execute("PRAGMA synchronous=NORMAL")
         conn.execute(_SCHEMA)
+        conn.execute(_STATS_SCHEMA)
         if not self._lru_migrated:
             self._migrate_lru_column(conn)
+        if self._pending_quarantines:
+            # A quarantine happened while no healthy file existed to
+            # record it in; charge it to the rebuilt store now.
+            pending, self._pending_quarantines = (
+                self._pending_quarantines, 0
+            )
+            self._bump(conn, "quarantines", pending)
         return conn
 
     def _migrate_lru_column(self, conn: sqlite3.Connection) -> None:
@@ -181,6 +206,29 @@ class ResultStore:
             return "malformed" in message or "not a database" in message
         return True      # bare DatabaseError: NOTADB / CORRUPT family
 
+    @staticmethod
+    def _bump(
+        conn: sqlite3.Connection, key: str, amount: int
+    ) -> None:
+        """Add to a lifetime counter, best-effort.
+
+        Rides whatever connection/transaction the caller already holds
+        (no extra WAL round-trip); like :meth:`_touch`, a store that
+        cannot be written — read-only share, pre-migration file opened
+        ``mode=ro`` — keeps serving without lifetime accounting.
+        """
+        if not amount:
+            return
+        try:
+            conn.execute(
+                "INSERT INTO stats (key, value) VALUES (?, ?) "
+                "ON CONFLICT(key) DO UPDATE SET "
+                "value = value + excluded.value",
+                (key, int(amount)),
+            )
+        except sqlite3.Error:
+            pass
+
     def _quarantine(self) -> None:
         """Move a corrupt store aside and start from an empty file.
 
@@ -189,6 +237,7 @@ class ResultStore:
         first wins and the losers' missing-file errors are ignored —
         everyone proceeds onto the rebuilt store.
         """
+        self._pending_quarantines += 1
         for suffix in ("-wal", "-shm"):
             side = Path(str(self.path) + suffix)
             try:
@@ -215,6 +264,10 @@ class ResultStore:
                 raise
             with self._lock:
                 self._quarantine()
+            telemetry.counter(
+                "repro_store_quarantines_total",
+                "Corrupt store files quarantined and rebuilt.",
+            ).inc()
             return self._execute(fn, _retried=True)
 
     # -- read side ------------------------------------------------------
@@ -247,6 +300,8 @@ class ResultStore:
                     [RESULT_SCHEMA_VERSION, self.fingerprint, *unique],
                 ).fetchall()
                 self._touch(conn, [key for key, _ in found])
+                self._bump(conn, "hits", len(found))
+                self._bump(conn, "misses", len(unique) - len(found))
                 return found
 
             rows = dict(self._execute(query))
@@ -257,7 +312,43 @@ class ResultStore:
         with self._lock:
             self.hits += len(found)
             self.misses += len(unique) - len(found)
+        telemetry.counter(
+            "repro_store_hits_total", "Result-store read hits."
+        ).inc(len(found))
+        telemetry.counter(
+            "repro_store_misses_total", "Result-store read misses."
+        ).inc(len(unique) - len(found))
         return found
+
+    def peek_many(
+        self, specs: Sequence[RunSpec]
+    ) -> Dict[str, RunResult]:
+        """Bulk lookup that observes without perturbing.
+
+        Unlike :meth:`get_many` this neither stamps ``last_used_at``
+        nor moves any counter (process-local, lifetime or telemetry) —
+        the read path the dashboard uses, so rendering a report page
+        can never distort the hit-rate it displays or refresh rows
+        that gc would otherwise reclaim.
+        """
+        keys = [spec.key() for spec in specs]
+        unique = list(dict.fromkeys(keys))
+        if not unique:
+            return {}
+
+        def query(conn: sqlite3.Connection):
+            placeholders = ",".join("?" for _ in unique)
+            return conn.execute(
+                f"SELECT spec_key, result_json FROM results "
+                f"WHERE result_schema = ? AND fingerprint = ? "
+                f"AND spec_key IN ({placeholders})",
+                [RESULT_SCHEMA_VERSION, self.fingerprint, *unique],
+            ).fetchall()
+
+        return {
+            key: RunResult.from_json(document)
+            for key, document in self._execute(query)
+        }
 
     def _touch(
         self, conn: sqlite3.Connection, hit_keys: Sequence[str]
@@ -307,6 +398,10 @@ class ResultStore:
         inserted = self._insert_rows(rows)
         with self._lock:
             self.puts += inserted
+        telemetry.counter(
+            "repro_store_puts_total",
+            "Result rows actually inserted into the store.",
+        ).inc(inserted)
         return inserted
 
     def _row(self, result: RunResult) -> tuple:
@@ -327,7 +422,9 @@ class ResultStore:
                 "created_at, last_used_at) VALUES (?, ?, ?, ?, ?, ?)",
                 rows,
             )
-            return conn.total_changes - before
+            inserted = conn.total_changes - before
+            self._bump(conn, "puts", inserted)
+            return inserted
 
         return self._execute(insert)
 
@@ -338,8 +435,33 @@ class ResultStore:
         with self._lock:
             self.hits = self.misses = self.puts = 0
 
+    def lifetime_stats(self) -> Dict[str, int]:
+        """Cumulative cross-process counters from the ``stats`` table.
+
+        Every key in :data:`LIFETIME_KEYS` is present (0 when never
+        bumped); a pre-migration or unreadable stats table reads as
+        all zeros rather than failing the caller.
+        """
+        def query(conn: sqlite3.Connection):
+            try:
+                return dict(
+                    conn.execute("SELECT key, value FROM stats")
+                )
+            except sqlite3.OperationalError:
+                return {}
+
+        stored = self._execute(query)
+        return {
+            key: int(stored.get(key, 0)) for key in LIFETIME_KEYS
+        }
+
     def stats(self) -> Dict[str, object]:
-        """Store shape + this process's traffic, as one JSON-able dict."""
+        """Store shape + this process's traffic, as one JSON-able dict.
+
+        ``lifetime_*`` keys come from the persistent ``stats`` table —
+        traffic accumulated by every process that ever used this file
+        — while ``process_*`` keys are this instance's counters.
+        """
         def query(conn: sqlite3.Connection):
             total = conn.execute(
                 "SELECT COUNT(*) FROM results"
@@ -353,7 +475,7 @@ class ResultStore:
 
         total, current = self._execute(query)
         size = self.path.stat().st_size if self.path.exists() else 0
-        return {
+        document: Dict[str, object] = {
             "path": str(self.path),
             "fingerprint": self.fingerprint,
             "result_schema": RESULT_SCHEMA_VERSION,
@@ -364,6 +486,9 @@ class ResultStore:
             "process_misses": self.misses,
             "process_puts": self.puts,
         }
+        for key, value in self.lifetime_stats().items():
+            document[f"lifetime_{key}"] = value
+        return document
 
     def gc(
         self,
@@ -410,9 +535,14 @@ class ResultStore:
                     f"  LIMIT -1 OFFSET ?)",
                     (max_rows,),
                 ).rowcount
+            self._bump(conn, "evictions", removed)
             return removed
 
         removed = self._execute(delete)
+        telemetry.counter(
+            "repro_store_evictions_total",
+            "Result rows removed by store gc.",
+        ).inc(removed)
         # VACUUM cannot run inside the _execute transaction.
         conn = self._connect()
         try:

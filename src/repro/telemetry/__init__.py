@@ -1,0 +1,67 @@
+"""``repro.telemetry`` — metrics, tracing and the analytics dashboard.
+
+Observability for the evaluation stack, built additive and provably
+non-perturbing: nothing in this package touches a result byte, and the
+``--telemetry`` leg of ``python -m repro.api.determinism_check``
+asserts that markdown reports and ``RunResult`` documents are
+byte-identical with telemetry on versus ``REPRO_TELEMETRY=0``.
+
+Three layers:
+
+* :mod:`repro.telemetry.metrics` — a process-wide registry of
+  counters, gauges and fixed-bucket histograms, cheap enough for hot
+  paths, snapshot/merge-able across worker subprocesses, rendered as
+  Prometheus text exposition at ``GET /v1/metrics``;
+* :mod:`repro.telemetry.tracing` — nested spans with monotonic
+  durations and span events, emitted as JSONL to ``$REPRO_TRACE_FILE``
+  (or captured in-process), summarized by ``repro trace summary``;
+* :mod:`repro.telemetry.dashboard` — the lazy-property report context
+  behind ``GET /v1/reports/``: per-experiment tables from the result
+  store, perf-trend charts over ``BENCH_history.jsonl`` (inline SVG,
+  stdlib only) and store/queue/worker statistics.
+
+``REPRO_TELEMETRY=0`` disables the whole layer: every instrument
+becomes a no-op and span contexts yield a null span.
+"""
+
+from repro.telemetry.metrics import (
+    TELEMETRY_ENV,
+    MetricsRegistry,
+    counter,
+    gauge,
+    histogram,
+    merge_snapshot,
+    registry,
+    render_prometheus,
+    snapshot,
+    telemetry_enabled,
+)
+from repro.telemetry.tracing import (
+    TRACE_FILE_ENV,
+    capture_spans,
+    load_trace_file,
+    render_trace_summary,
+    span,
+    summarize_spans,
+    tracing_active,
+)
+
+__all__ = [
+    "TELEMETRY_ENV",
+    "TRACE_FILE_ENV",
+    "MetricsRegistry",
+    "capture_spans",
+    "counter",
+    "gauge",
+    "histogram",
+    "load_trace_file",
+    "merge_snapshot",
+    "registry",
+    "render_prometheus",
+    "render_trace_summary",
+    "snapshot",
+    "span",
+    "summarize_spans",
+    "telemetry_enabled",
+    "tracing_active",
+]

@@ -1,0 +1,436 @@
+"""Process-wide metrics registry (counters, gauges, histograms).
+
+One registry per process holds every instrument, keyed by metric name
+plus an optional frozen label set.  The design constraints, in order:
+
+* **cheap on hot paths** — an increment is one env check, one lock
+  acquisition and one addition; with ``REPRO_TELEMETRY=0`` every
+  mutating call returns after the env check, so the simulation loops
+  pay (almost) nothing for being observable;
+* **non-perturbing** — instruments only ever *read* the values they
+  are handed; no result byte depends on the registry (the
+  ``--telemetry`` determinism leg proves it);
+* **mergeable** — :meth:`MetricsRegistry.snapshot` is a plain JSON
+  document and :meth:`MetricsRegistry.merge` folds one into another:
+  worker subprocesses ship their registry back over the existing Pipe
+  result channel and the service aggregates, so ``/v1/metrics`` shows
+  fleet-wide traffic, not just the parent's;
+* **zero dependencies** — :func:`render_prometheus` emits the
+  Prometheus text exposition format (version 0.0.4) from the snapshot
+  alone.
+
+Histograms use **fixed bucket edges** declared at creation (cumulative
+``le`` semantics on render, as Prometheus expects), so merged
+histograms from different processes are always bucket-compatible.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from bisect import bisect_left
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+#: Environment variable disabling telemetry (``0``/``off``/``false``).
+TELEMETRY_ENV = "REPRO_TELEMETRY"
+
+_DISABLED_TOKENS = ("", "0", "off", "no", "false", "none", "disable")
+
+#: Default bucket edges (seconds) for wall-clock histograms.
+DURATION_BUCKETS = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0,
+)
+
+#: Default bucket edges for small cardinalities (batch/group sizes).
+SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+
+LabelPairs = Tuple[Tuple[str, str], ...]
+
+
+def telemetry_enabled() -> bool:
+    """Whether telemetry is on (default: yes; ``REPRO_TELEMETRY=0`` off)."""
+    env = os.environ.get(TELEMETRY_ENV)
+    if env is None:
+        return True
+    return env.strip().lower() not in _DISABLED_TOKENS
+
+
+def _freeze_labels(labels: Optional[Mapping[str, str]]) -> LabelPairs:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: LabelPairs):
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        if not telemetry_enabled():
+            return
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down (set to the latest observation)."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: LabelPairs):
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        if not telemetry_enabled():
+            return
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket distribution (cumulative ``le`` on render).
+
+    ``edges`` are the inclusive upper bounds of the finite buckets, in
+    strictly increasing order; observations above the last edge land
+    in the implicit ``+Inf`` bucket.  Fixing the edges at creation is
+    what makes cross-process merges well defined.
+    """
+
+    __slots__ = ("name", "labels", "edges", "counts", "sum", "count", "_lock")
+
+    def __init__(
+        self, name: str, labels: LabelPairs, edges: Sequence[float]
+    ):
+        edges = tuple(float(edge) for edge in edges)
+        if not edges or list(edges) != sorted(set(edges)):
+            raise ValueError(
+                f"histogram {name!r} needs strictly increasing bucket "
+                f"edges, got {edges}"
+            )
+        self.name = name
+        self.labels = labels
+        self.edges = edges
+        self.counts = [0] * (len(edges) + 1)   # finite buckets + Inf
+        self.sum = 0.0
+        self.count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        if not telemetry_enabled():
+            return
+        index = bisect_left(self.edges, value)
+        with self._lock:
+            self.counts[index] += 1
+            self.sum += value
+            self.count += 1
+
+
+class MetricsRegistry:
+    """All instruments of one process, by (name, labels)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[Tuple[str, LabelPairs], object] = {}
+        self._types: Dict[str, str] = {}
+        self._help: Dict[str, str] = {}
+        self._edges: Dict[str, Tuple[float, ...]] = {}
+
+    # -- creation ------------------------------------------------------
+
+    def _get(
+        self,
+        kind: str,
+        name: str,
+        help_text: str,
+        labels: Optional[Mapping[str, str]],
+        edges: Optional[Sequence[float]] = None,
+    ):
+        frozen = _freeze_labels(labels)
+        with self._lock:
+            declared = self._types.get(name)
+            if declared is not None and declared != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {declared}, "
+                    f"cannot re-register as {kind}"
+                )
+            metric = self._metrics.get((name, frozen))
+            if metric is None:
+                if kind == "counter":
+                    metric = Counter(name, frozen)
+                elif kind == "gauge":
+                    metric = Gauge(name, frozen)
+                else:
+                    shared = self._edges.get(name)
+                    metric = Histogram(
+                        name, frozen, shared if shared else edges
+                    )
+                    self._edges.setdefault(name, metric.edges)
+                self._metrics[(name, frozen)] = metric
+                self._types[name] = kind
+                if help_text:
+                    self._help.setdefault(name, help_text)
+            return metric
+
+    def counter(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Counter:
+        return self._get("counter", name, help_text, labels)
+
+    def gauge(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Gauge:
+        return self._get("gauge", name, help_text, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Sequence[float] = DURATION_BUCKETS,
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Histogram:
+        return self._get("histogram", name, help_text, labels, buckets)
+
+    # -- snapshot / merge ----------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The registry as one JSON-able document (for Pipe transfer)."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+            help_map = dict(self._help)
+            types = dict(self._types)
+        entries: List[Dict[str, Any]] = []
+        for metric in metrics:
+            entry: Dict[str, Any] = {
+                "name": metric.name,
+                "type": types[metric.name],
+                "labels": list(metric.labels),
+            }
+            if isinstance(metric, Histogram):
+                entry.update(
+                    edges=list(metric.edges),
+                    counts=list(metric.counts),
+                    sum=metric.sum,
+                    count=metric.count,
+                )
+            else:
+                entry["value"] = metric.value
+            entries.append(entry)
+        return {"metrics": entries, "help": help_map}
+
+    def merge(self, document: Optional[Mapping[str, Any]]) -> None:
+        """Fold one :meth:`snapshot` into this registry.
+
+        Counters and histograms accumulate; gauges take the incoming
+        value (last write wins — a merged gauge is the child's final
+        observation).  Histograms with mismatched edges are skipped
+        rather than corrupted (only possible across code versions).
+        """
+        if not document:
+            return
+        help_map = document.get("help", {})
+        for entry in document.get("metrics", []):
+            name = entry.get("name")
+            kind = entry.get("type")
+            labels = {k: v for k, v in entry.get("labels", [])}
+            text = help_map.get(name, "")
+            try:
+                if kind == "counter":
+                    self.counter(name, text, labels).inc(
+                        float(entry.get("value", 0.0))
+                    )
+                elif kind == "gauge":
+                    self.gauge(name, text, labels).set(
+                        float(entry.get("value", 0.0))
+                    )
+                elif kind == "histogram":
+                    edges = tuple(
+                        float(e) for e in entry.get("edges", ())
+                    )
+                    metric = self.histogram(name, text, edges, labels)
+                    if metric.edges != edges:
+                        continue
+                    counts = entry.get("counts", [])
+                    if len(counts) != len(metric.counts):
+                        continue
+                    with metric._lock:
+                        for index, add in enumerate(counts):
+                            metric.counts[index] += int(add)
+                        metric.sum += float(entry.get("sum", 0.0))
+                        metric.count += int(entry.get("count", 0))
+            except ValueError:
+                continue   # type conflict with a local metric: skip
+
+    def reset(self) -> None:
+        """Drop every instrument (tests)."""
+        with self._lock:
+            self._metrics.clear()
+            self._types.clear()
+            self._help.clear()
+            self._edges.clear()
+
+    # -- rendering -----------------------------------------------------
+
+    def render(
+        self, extra: Optional[Iterable[Tuple[str, str, str, float, Optional[Mapping[str, str]]]]] = None,
+    ) -> str:
+        """Prometheus text exposition (0.0.4) of the whole registry.
+
+        ``extra`` appends computed metrics — ``(name, type, help,
+        value, labels)`` tuples — rendered with the same formatting;
+        the service uses this for live gauges (queue depth, store
+        shape) that are cheaper to read at scrape time than to track.
+        """
+        snap = self.snapshot()
+        by_name: Dict[str, List[Dict[str, Any]]] = {}
+        types: Dict[str, str] = {}
+        for entry in snap["metrics"]:
+            by_name.setdefault(entry["name"], []).append(entry)
+            types[entry["name"]] = entry["type"]
+        help_map = dict(snap["help"])
+        for name, kind, text, value, labels in (extra or ()):
+            by_name.setdefault(name, []).append({
+                "name": name, "type": kind,
+                "labels": sorted((labels or {}).items()), "value": value,
+            })
+            types.setdefault(name, kind)
+            if text:
+                help_map.setdefault(name, text)
+        lines: List[str] = []
+        for name in sorted(by_name):
+            if help_map.get(name):
+                lines.append(f"# HELP {name} {help_map[name]}")
+            lines.append(f"# TYPE {name} {types[name]}")
+            for entry in sorted(
+                by_name[name], key=lambda e: e["labels"]
+            ):
+                if entry["type"] == "histogram":
+                    lines.extend(_render_histogram(entry))
+                else:
+                    lines.append(
+                        f"{name}{_label_text(entry['labels'])} "
+                        f"{_format_value(entry['value'])}"
+                    )
+        return "\n".join(lines) + "\n"
+
+
+def _label_text(
+    pairs: Sequence[Tuple[str, str]], extra: Optional[str] = None
+) -> str:
+    parts = [f'{key}="{_escape(value)}"' for key, value in pairs]
+    if extra is not None:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _escape(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _format_edge(edge: float) -> str:
+    return str(int(edge)) if float(edge).is_integer() else repr(edge)
+
+
+def _render_histogram(entry: Mapping[str, Any]) -> List[str]:
+    name = entry["name"]
+    labels = entry["labels"]
+    lines = []
+    cumulative = 0
+    for edge, count in zip(entry["edges"], entry["counts"]):
+        cumulative += count
+        le = 'le="' + _format_edge(edge) + '"'
+        lines.append(
+            f"{name}_bucket{_label_text(labels, le)} {cumulative}"
+        )
+    inf = 'le="+Inf"'
+    lines.append(
+        f"{name}_bucket{_label_text(labels, inf)} {entry['count']}"
+    )
+    lines.append(
+        f"{name}_sum{_label_text(labels)} "
+        f"{_format_value(entry['sum'])}"
+    )
+    lines.append(f"{name}_count{_label_text(labels)} {entry['count']}")
+    return lines
+
+
+# ----------------------------------------------------------------------
+# process-wide default registry
+# ----------------------------------------------------------------------
+
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _REGISTRY
+
+
+def counter(
+    name: str, help_text: str = "",
+    labels: Optional[Mapping[str, str]] = None,
+) -> Counter:
+    return _REGISTRY.counter(name, help_text, labels)
+
+
+def gauge(
+    name: str, help_text: str = "",
+    labels: Optional[Mapping[str, str]] = None,
+) -> Gauge:
+    return _REGISTRY.gauge(name, help_text, labels)
+
+
+def histogram(
+    name: str, help_text: str = "",
+    buckets: Sequence[float] = DURATION_BUCKETS,
+    labels: Optional[Mapping[str, str]] = None,
+) -> Histogram:
+    return _REGISTRY.histogram(name, help_text, buckets, labels)
+
+
+def snapshot() -> Dict[str, Any]:
+    return _REGISTRY.snapshot()
+
+
+def merge_snapshot(document: Optional[Mapping[str, Any]]) -> None:
+    _REGISTRY.merge(document)
+
+
+def render_prometheus(extra=None) -> str:
+    return _REGISTRY.render(extra)

@@ -154,6 +154,64 @@ def test_hung_worker_is_killed_and_retried(isolated_state):
     assert [r.to_json() for r in remote] == baseline
 
 
+def test_flapping_worker_retry_telemetry_reaches_the_client(
+    isolated_state,
+):
+    """A worker that crashes twice before succeeding must be *visible*:
+    the job status narrates the in-flight retries (attempts + last
+    error) to a polling client, and ``/v1/metrics`` counts the crashes
+    and re-queues — all without costing a byte of the result."""
+    import urllib.request
+
+    specs = _specs(count=1, seed_base=705)
+    baseline = _clean_baseline(specs)
+    def scrape(url, name):
+        text = urllib.request.urlopen(
+            f"{url}/v1/metrics", timeout=30
+        ).read().decode("utf-8")
+        for line in text.splitlines():
+            if line.startswith(f"{name} "):
+                return float(line.split()[1])
+        return 0.0
+
+    with faults.activate(
+        "worker_crash:2", state_dir=isolated_state / "state"
+    ) as plan:
+        with live_server(max_attempts=5) as (server, url):
+            client = ServiceClient(url)
+            crashes_before = scrape(url, "repro_pool_crashes_total")
+            retries_before = scrape(url, "repro_queue_retries_total")
+            job_id = client.submit_async(specs)
+            seen = []
+            results = client.wait_job(
+                job_id, poll=0.05, timeout=120,
+                on_progress=seen.append,
+            )
+            crashed = (
+                scrape(url, "repro_pool_crashes_total")
+                - crashes_before
+            )
+            retried = (
+                scrape(url, "repro_queue_retries_total")
+                - retries_before
+            )
+        assert plan.fired("worker_crash") == 2
+    assert [r.to_json() for r in results] == baseline
+    # The poll loop observed the flapping mid-flight: some status
+    # carried a retrying task with its attempt count and crash error.
+    narrated = [
+        info
+        for status in seen
+        for info in (status.get("task_errors") or {}).values()
+    ]
+    assert narrated, "no poll observed the retrying task"
+    assert any(info["attempts"] >= 1 for info in narrated)
+    assert any("exit code" in info["last_error"] for info in narrated)
+    # The fleet-level counters agree with the injected plan.
+    assert crashed == 2
+    assert retried == 2
+
+
 def test_exhausted_retries_dead_letter_as_a_clean_500(isolated_state):
     specs = _specs(count=1, seed_base=720)
     with faults.activate(

@@ -39,3 +39,20 @@ def test_experiment_table_matches_pre_refactor_bytes(name):
     assert rendered == golden, (
         f"{name} drifted from its pre-refactor snapshot"
     )
+
+
+def test_golden_bytes_survive_live_telemetry(monkeypatch, tmp_path):
+    """Telemetry is a pure observer: a golden experiment rendered with
+    the metrics registry, span capture AND a trace file all live must
+    still match its snapshot byte for byte."""
+    from repro.telemetry.metrics import TELEMETRY_ENV
+    from repro.telemetry.tracing import TRACE_FILE_ENV, capture_spans
+
+    name = GOLDEN_EXPERIMENTS[0]
+    monkeypatch.setenv(TELEMETRY_ENV, "1")
+    monkeypatch.setenv(TRACE_FILE_ENV, str(tmp_path / "trace.jsonl"))
+    with capture_spans():
+        rendered = render(run_experiment(name)) + "\n"
+    assert rendered == (GOLDEN_DIR / f"{name}.txt").read_text(), (
+        f"{name} changed bytes under live telemetry"
+    )

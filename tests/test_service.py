@@ -67,6 +67,88 @@ def test_healthz(client):
     assert payload["pool"]["alive"] == payload["pool"]["workers"]
 
 
+def test_healthz_typed_accessors(client):
+    health = client.healthz()
+    assert health.ok is True
+    assert health.degraded_reasons == []
+    assert health.store_configured is True
+    assert health.draining is False
+    assert health.queue_depth == 0
+    assert health.uptime_seconds >= 0.0
+
+
+def test_healthz_reports_degradation_honestly():
+    """A server whose queue is saturated must say "degraded" with the
+    reason — not a cheerful "ok" that load-sheds the next batch."""
+    server = create_server(port=0, queue_limit=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        url = f"http://127.0.0.1:{server.server_address[1]}"
+        health = ServiceClient(url).healthz()
+        assert health["status"] == "degraded"
+        assert health.ok is False
+        assert "queue_full" in health.degraded_reasons
+        assert health.queue_limit == 0
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def test_metrics_endpoint_speaks_prometheus(client, service):
+    spec = RunSpec(cache="dcache", arch="original", workload=TINY_D)
+    client.evaluate(spec)                   # at least one store miss
+    text = client.metrics()
+    assert "# TYPE repro_store_misses_total counter" in text
+    assert "# TYPE repro_queue_depth gauge" in text
+    assert "repro_service_uptime_seconds" in text
+    assert "repro_pool_workers" in text
+    # Fleet-wide: the simulation ran in a worker subprocess, yet the
+    # parent's scrape shows it (snapshot merged over the Pipe).
+    for line in text.splitlines():
+        if line.startswith("repro_simulations_total "):
+            assert float(line.split()[1]) >= 1
+            break
+    else:
+        pytest.fail("repro_simulations_total missing from scrape")
+    # Lifetime store counters (the stats table) surface too.
+    assert "repro_store_lifetime_misses_total" in text
+
+
+def test_reports_dashboard_serves_html(client, service):
+    import urllib.request
+
+    spec = RunSpec(cache="icache", arch="panwar", workload=TINY_I)
+    client.evaluate(spec)                   # something in the store
+    with urllib.request.urlopen(
+        f"{service}/v1/reports/", timeout=60
+    ) as response:
+        assert response.headers["Content-Type"].startswith("text/html")
+        html = response.read().decode("utf-8")
+    assert "<svg" in html or "bench history" in html
+    assert "Result store" in html
+    assert "lifetime" in html
+    # Analytic tables render inline (no design points needed).
+    assert "Table 2" in html
+
+
+def test_dashboard_get_never_perturbs_store_counters(client, service):
+    """Rendering the dashboard reads the store via ``peek_many`` — the
+    displayed hit/miss counters must not move because someone looked
+    at them."""
+    import urllib.request
+
+    def lifetime(name):
+        for line in client.metrics().splitlines():
+            if line.startswith(f"repro_store_lifetime_{name}_total "):
+                return float(line.split()[1])
+        return 0.0
+
+    before = (lifetime("hits"), lifetime("misses"))
+    urllib.request.urlopen(f"{service}/v1/reports/", timeout=60).read()
+    assert (lifetime("hits"), lifetime("misses")) == before
+
+
 def test_architectures_mirror_the_registry(client):
     payload = client.architectures()
     for side in ("dcache", "icache"):

@@ -71,6 +71,36 @@ def test_get_miss_returns_none_and_counts(fresh_store):
     assert fresh_store.misses == 1 and fresh_store.hits == 0
 
 
+def test_lifetime_stats_persist_across_reopens(fresh_store):
+    """Process counters die with the process; the ``stats`` table is
+    the store file's own memory of its traffic."""
+    result = evaluate(_spec(), use_cache=False)
+    fresh_store.get(_spec())                       # miss
+    fresh_store.put(result)
+    fresh_store.get(_spec())                       # hit
+    reopened = ResultStore(fresh_store.path)
+    assert reopened.hits == reopened.misses == 0   # process-local
+    lifetime = reopened.lifetime_stats()
+    assert lifetime["hits"] == 1
+    assert lifetime["misses"] == 1
+    assert lifetime["puts"] == 1
+    assert lifetime["evictions"] == 0
+    stats = reopened.stats()
+    assert stats["lifetime_hits"] == 1
+    assert stats["lifetime_misses"] == 1
+
+
+def test_peek_many_does_not_move_any_counter(fresh_store):
+    """The dashboard's read: no hit/miss bump, no recency stamp."""
+    result = evaluate(_spec(), use_cache=False)
+    fresh_store.put(result)
+    peeked = fresh_store.peek_many([_spec(), _spec("original")])
+    assert set(peeked) == {_spec().key()}
+    assert fresh_store.hits == fresh_store.misses == 0
+    lifetime = fresh_store.lifetime_stats()
+    assert lifetime["hits"] == 0 and lifetime["misses"] == 0
+
+
 def test_env_off_disables_persistence(tmp_path, monkeypatch):
     monkeypatch.setenv(STORE_ENV, "off")
     reset_default_stores()

@@ -1,0 +1,342 @@
+"""The telemetry layer: registry semantics, merge, tracing.
+
+Telemetry must observe everything and perturb nothing.  The registry
+tests pin the instrument semantics (counters accumulate, gauges take
+the last write, histograms bucket with inclusive upper bounds), the
+merge tests pin the cross-process aggregation contract (a snapshot is
+plain JSON; merging it twice doubles counters and never corrupts a
+histogram), and the tracing tests pin the span tree and the JSONL
+round-trip behind ``repro trace summary``.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.telemetry import metrics
+from repro.telemetry.metrics import (
+    TELEMETRY_ENV,
+    MetricsRegistry,
+    telemetry_enabled,
+)
+from repro.telemetry.tracing import (
+    TRACE_FILE_ENV,
+    capture_spans,
+    load_trace_file,
+    render_trace_summary,
+    span,
+    summarize_spans,
+    tracing_active,
+)
+
+
+# ----------------------------------------------------------------------
+# registry semantics
+# ----------------------------------------------------------------------
+
+def test_counter_accumulates_and_rejects_negative():
+    registry = MetricsRegistry()
+    counter = registry.counter("t_total", "help")
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == 3.5
+    assert registry.counter("t_total") is counter   # same instrument
+    with pytest.raises(ValueError, match=">= 0"):
+        counter.inc(-1)
+
+
+def test_gauge_takes_the_last_write():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("t_depth")
+    gauge.set(7)
+    gauge.set(3)
+    assert gauge.value == 3.0
+
+
+def test_labels_create_distinct_series_under_one_name():
+    registry = MetricsRegistry()
+    a = registry.counter("t_states", labels={"state": "done"})
+    b = registry.counter("t_states", labels={"state": "failed"})
+    assert a is not b
+    a.inc(4)
+    assert b.value == 0.0
+
+
+def test_name_type_conflict_is_an_error():
+    registry = MetricsRegistry()
+    registry.counter("t_thing")
+    with pytest.raises(ValueError, match="already registered"):
+        registry.gauge("t_thing")
+
+
+def test_histogram_buckets_by_inclusive_upper_bound():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("t_sizes", buckets=(1, 2, 4))
+    for value in (0.5, 1.0, 3.0, 100.0):
+        histogram.observe(value)
+    # 0.5 and 1.0 land in le=1 (inclusive), 3.0 in le=4, 100 in +Inf.
+    assert histogram.counts == [2, 0, 1, 1]
+    assert histogram.count == 4
+    assert histogram.sum == pytest.approx(104.5)
+
+
+def test_histogram_rejects_unsorted_edges():
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError, match="strictly increasing"):
+        registry.histogram("t_bad", buckets=(4, 2, 1))
+
+
+def test_shared_edges_per_name_even_if_redeclared():
+    """Two label series of one histogram always share edges — the
+    first declaration wins, which keeps merges well defined."""
+    registry = MetricsRegistry()
+    first = registry.histogram("t_lat", buckets=(1, 2), labels={"op": "a"})
+    second = registry.histogram(
+        "t_lat", buckets=(10, 20), labels={"op": "b"}
+    )
+    assert second.edges == first.edges == (1.0, 2.0)
+
+
+# ----------------------------------------------------------------------
+# the kill switch
+# ----------------------------------------------------------------------
+
+def test_disabled_telemetry_makes_mutations_no_ops(monkeypatch):
+    monkeypatch.setenv(TELEMETRY_ENV, "0")
+    assert not telemetry_enabled()
+    registry = MetricsRegistry()
+    registry.counter("t_off").inc(5)
+    registry.gauge("t_off_g").set(5)
+    registry.histogram("t_off_h", buckets=(1,)).observe(5)
+    snap = registry.snapshot()
+    assert all(
+        entry.get("value", 0.0) == 0.0 and entry.get("count", 0) == 0
+        for entry in snap["metrics"]
+    )
+
+
+def test_disabled_telemetry_silences_tracing(monkeypatch):
+    monkeypatch.setenv(TELEMETRY_ENV, "off")
+    with capture_spans() as spans:
+        assert not tracing_active()
+        with span("quiet") as live:
+            live.add_event("nothing")
+    assert spans == []
+
+
+# ----------------------------------------------------------------------
+# snapshot / merge
+# ----------------------------------------------------------------------
+
+def _populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("t_sims", "Simulations.").inc(3)
+    registry.gauge("t_workers").set(2)
+    histogram = registry.histogram("t_wall", buckets=(1, 10))
+    histogram.observe(0.5)
+    histogram.observe(5.0)
+    return registry
+
+
+def test_snapshot_is_json_and_merge_accumulates():
+    source = _populated_registry()
+    document = json.loads(json.dumps(source.snapshot()))  # Pipe-shaped
+    target = MetricsRegistry()
+    target.merge(document)
+    target.merge(document)
+    assert target.counter("t_sims").value == 6.0
+    assert target.gauge("t_workers").value == 2.0   # last write, not 4
+    merged = target.histogram("t_wall", buckets=(1, 10))
+    assert merged.counts == [2, 2, 0]
+    assert merged.count == 4
+    assert merged.sum == pytest.approx(11.0)
+    assert target.snapshot()["help"]["t_sims"] == "Simulations."
+
+
+def test_merge_skips_incompatible_histograms_and_conflicts():
+    target = MetricsRegistry()
+    target.histogram("t_wall", buckets=(1, 10)).observe(0.5)
+    target.counter("t_sims").inc()
+    target.merge({
+        "metrics": [
+            # Different edges (another code version): skipped.
+            {"name": "t_wall", "type": "histogram", "labels": [],
+             "edges": [5], "counts": [1, 0], "sum": 1.0, "count": 1},
+            # Type conflict with the local counter: skipped, no raise.
+            {"name": "t_sims", "type": "gauge", "labels": [],
+             "value": 99.0},
+        ],
+        "help": {},
+    })
+    assert target.histogram("t_wall", buckets=(1, 10)).count == 1
+    assert target.counter("t_sims").value == 1.0
+
+
+def _child_snapshot(pipe) -> None:
+    registry = MetricsRegistry()
+    registry.counter("t_child_sims", "From the child.").inc(7)
+    pipe.send(registry.snapshot())
+    pipe.close()
+
+
+def test_subprocess_snapshot_merges_over_a_pipe():
+    """The worker-pool contract end to end: a real subprocess builds
+    its registry, ships the snapshot over a Pipe, the parent merges."""
+    context = multiprocessing.get_context()
+    receiver, sender = context.Pipe(duplex=False)
+    process = context.Process(target=_child_snapshot, args=(sender,))
+    process.start()
+    sender.close()
+    document = receiver.recv()
+    process.join(30)
+    receiver.close()
+    target = MetricsRegistry()
+    target.merge(document)
+    assert target.counter("t_child_sims").value == 7.0
+
+
+# ----------------------------------------------------------------------
+# Prometheus rendering
+# ----------------------------------------------------------------------
+
+def test_prometheus_text_shape():
+    registry = _populated_registry()
+    registry.counter(
+        "t_states", labels={"state": 'do"ne\n'}
+    ).inc()
+    text = registry.render()
+    assert "# HELP t_sims Simulations." in text
+    assert "# TYPE t_sims counter" in text
+    assert "\nt_sims 3\n" in text
+    # Cumulative le buckets plus +Inf, sum and count.
+    assert 't_wall_bucket{le="1"} 1' in text
+    assert 't_wall_bucket{le="10"} 2' in text
+    assert 't_wall_bucket{le="+Inf"} 2' in text
+    assert "t_wall_sum 5.5" in text
+    assert "t_wall_count 2" in text
+    # Label values are escaped per the exposition format.
+    assert 't_states{state="do\\"ne\\n"} 1' in text
+    assert text.endswith("\n")
+
+
+def test_prometheus_extra_metrics_render_at_scrape_time():
+    registry = MetricsRegistry()
+    text = registry.render(extra=[
+        ("t_queue_depth", "gauge", "Live depth.", 4.0, None),
+        ("t_tasks", "gauge", "", 1.0, {"state": "done"}),
+    ])
+    assert "# TYPE t_queue_depth gauge" in text
+    assert "t_queue_depth 4" in text
+    assert 't_tasks{state="done"} 1' in text
+
+
+# ----------------------------------------------------------------------
+# tracing
+# ----------------------------------------------------------------------
+
+def test_spans_nest_and_record_attributes_and_events():
+    with capture_spans() as spans:
+        with span("parent", batch=3) as outer:
+            outer.add_event("planned", groups=2)
+            with span("child"):
+                pass
+    child, parent = spans                    # children finish first
+    assert child["name"] == "child"
+    assert child["parent_id"] == parent["span_id"]
+    assert parent["parent_id"] is None
+    assert parent["attributes"] == {"batch": 3}
+    assert parent["events"][0]["name"] == "planned"
+    assert parent["duration_s"] >= child["duration_s"] >= 0.0
+
+
+def test_span_records_the_error_and_reraises():
+    with capture_spans() as spans:
+        with pytest.raises(RuntimeError):
+            with span("doomed"):
+                raise RuntimeError("boom")
+    (record,) = spans
+    assert record["attributes"]["error"] == "RuntimeError"
+    # The parent stack is restored: a later span is a root again.
+    with capture_spans() as after:
+        with span("next"):
+            pass
+    assert after[0]["parent_id"] is None
+
+
+def test_trace_file_round_trip_skips_torn_lines(
+    tmp_path, monkeypatch
+):
+    path = tmp_path / "trace.jsonl"
+    monkeypatch.setenv(TRACE_FILE_ENV, str(path))
+    with span("filed", kind="test"):
+        pass
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"torn": tru')          # crash mid-write
+    records = load_trace_file(str(path))
+    assert [r["name"] for r in records] == ["filed"]
+    assert records[0]["attributes"] == {"kind": "test"}
+
+
+def test_summary_attributes_self_time_to_the_right_span():
+    records = [
+        {"name": "report", "span_id": 1, "parent_id": None,
+         "duration_s": 1.0},
+        {"name": "simulate", "span_id": 2, "parent_id": 1,
+         "duration_s": 0.4},
+    ]
+    by_name = {e["name"]: e for e in summarize_spans(records)}
+    assert by_name["report"]["self_s"] == pytest.approx(0.6)
+    assert by_name["simulate"]["self_s"] == pytest.approx(0.4)
+    text = render_trace_summary(records)
+    assert "report" in text and "2 spans, 1 roots" in text
+    assert render_trace_summary([]) == "trace is empty\n"
+
+
+def test_trace_summary_cli_round_trip(tmp_path, monkeypatch, capsys):
+    from repro.cli import main as cli_main
+
+    path = tmp_path / "trace.jsonl"
+    monkeypatch.setenv(TRACE_FILE_ENV, str(path))
+    with span("evaluate_many", batch=2):
+        with span("simulate"):
+            pass
+    monkeypatch.delenv(TRACE_FILE_ENV)
+    assert cli_main(["trace", "summary", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "evaluate_many" in out and "simulate" in out
+    assert cli_main(["trace", "summary", str(tmp_path / "no.jsonl")]) == 2
+    assert "cannot read trace file" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# neutrality: instrumented hot paths don't change bytes
+# ----------------------------------------------------------------------
+
+def test_evaluate_many_bytes_ignore_telemetry(monkeypatch, tmp_path):
+    from repro.api import RunSpec, evaluate_many
+
+    specs = [
+        RunSpec(
+            cache="dcache", arch=arch,
+            workload="synthetic:num_accesses=256,seed=5",
+        )
+        for arch in ("original", "way-memo-2x8")
+    ]
+    monkeypatch.setenv(TELEMETRY_ENV, "0")
+    baseline = [
+        r.to_json()
+        for r in evaluate_many(specs, workers=1, use_cache=False)
+    ]
+    monkeypatch.setenv(TELEMETRY_ENV, "1")
+    monkeypatch.setenv(TRACE_FILE_ENV, str(tmp_path / "trace.jsonl"))
+    with capture_spans() as spans:
+        observed = [
+            r.to_json()
+            for r in evaluate_many(specs, workers=1, use_cache=False)
+        ]
+    assert observed == baseline
+    assert any(s["name"] == "evaluate_many" for s in spans)
+    assert metrics.counter("repro_simulations_total").value > 0
