@@ -56,13 +56,10 @@ from repro.baselines import (
     FilterCacheDCache,
     MaLinksICache,
     OriginalDCache,
-    OriginalICache,
     PanwarICache,
     SetBufferDCache,
     TwoPhaseDCache,
-    TwoPhaseICache,
     WayPredictionDCache,
-    WayPredictionICache,
 )
 from repro.core import WayMemoDCache, WayMemoICache
 from repro.isa import assemble
@@ -207,56 +204,112 @@ def measure_baselines(quick: bool) -> dict:
     return out
 
 
-#: Architectures timed by the replay metric: the four batchable
-#: I-cache designs that share one ``access_fast_batch`` sweep when
-#: grouped (the way-memo controllers replay their own loop and are
-#: already covered by the controller metrics above).
-REPLAY_FACTORIES = (
-    OriginalICache,
-    PanwarICache,
-    WayPredictionICache,
-    TwoPhaseICache,
+#: Architectures timed by the replay metric: a seven-design group per
+#: cache side, mixing the batchable designs (one shared
+#: ``access_fast_batch`` sweep) with the stateful ones (set buffer,
+#: filter cache, MA links, way-memo) that replay their own loop fed
+#: from the shared columnar pre-split.
+REPLAY_GROUPS = {
+    "dcache": ("original", "two-phase", "way-prediction", "set-buffer",
+               "filter-cache", "way-memo-2x8", "way-memo+line-buffer"),
+    "icache": ("original", "panwar", "ma-links", "filter-cache",
+               "way-prediction", "two-phase", "way-memo-2x16"),
+}
+
+#: Stateful designs whose grouped-replay derivation is timed against
+#: their retained reference loops (same-process ratio, CI-floorable).
+REPLAY_STATEFUL = (
+    ("set_buffer_dcache", "dcache", "set-buffer"),
+    ("filter_cache_dcache", "dcache", "filter-cache"),
+    ("ma_links_icache", "icache", "ma-links"),
 )
 
 
 def measure_replay(quick: bool) -> dict:
     """Grouped single-pass replay vs per-spec evaluation timing.
 
-    Runs the same four-architecture batch both ways on one synthetic
-    fetch stream — per-spec (each controller's own ``process``) and
-    grouped (:func:`repro.replay.engine.replay_counters`, one shared
-    batch sweep) — in the same process, so the speedup is
-    machine-independent and CI can put a regression floor under it.
+    Runs a seven-architecture batch per cache side both ways — per
+    spec (each controller's own ``process``) and grouped
+    (:func:`repro.replay.engine.replay_counters`: one columnar
+    pre-split, one shared batch sweep for the batchable members) — in
+    the same process, so the speedups are machine-independent and CI
+    can put regression floors under them.  ``speedup`` is the worse
+    of the two sides (the back-compatible headline number); each side
+    also reports its own ratio.  ``stateful_speedup`` additionally
+    times each stateful design's replay derivation (a singleton
+    group, i.e. the exact engine path) against its retained
+    object-API reference loop.
 
-    The stream stays full-size even under ``--quick``: the recorded
-    metric is the *ratio*, and short streams understate it because
-    fixed per-evaluation overheads dominate both legs equally.  The
-    whole measurement is ~100 ms either way.
+    The streams stay full-size even under ``--quick``: the recorded
+    metrics are *ratios*, and short streams understate them because
+    fixed per-evaluation overheads dominate both legs equally.
     """
+    from repro.api.registry import get_architecture
     from repro.replay.engine import replay_counters
 
     repeats = 3 if quick else 5
-    fetch = synthetic_fetch_stream(num_blocks=3_000, seed=1)
-
-    def per_spec():
-        for factory in REPLAY_FACTORIES:
-            factory().process(fetch)
-
-    def grouped():
-        replay_counters(
-            [factory() for factory in REPLAY_FACTORIES], fetch
-        )
-
-    per_spec_us = best_of(per_spec, repeats)
-    grouped_us = best_of(grouped, repeats)
-    return {
-        "architectures": len(REPLAY_FACTORIES),
-        "per_spec_us": round(per_spec_us, 1),
-        "replay_us": round(grouped_us, 1),
-        "speedup": (
-            round(per_spec_us / grouped_us, 2) if grouped_us else 0.0
-        ),
+    streams = {
+        "dcache": synthetic_data_trace(num_accesses=20_000, seed=1),
+        "icache": synthetic_fetch_stream(num_blocks=3_000, seed=1),
     }
+
+    out = {"sides": {}}
+    worst = None
+    for side, archs in REPLAY_GROUPS.items():
+        stream = streams[side]
+        infos = [get_architecture(side, arch) for arch in archs]
+
+        def per_spec():
+            for info in infos:
+                info.build().process(stream)
+
+        def grouped():
+            replay_counters([info.build() for info in infos], stream)
+
+        per_spec_us = best_of(per_spec, repeats)
+        grouped_us = best_of(grouped, repeats)
+        speedup = (
+            round(per_spec_us / grouped_us, 2) if grouped_us else 0.0
+        )
+        out["sides"][side] = {
+            "architectures": len(archs),
+            "per_spec_us": round(per_spec_us, 1),
+            "replay_us": round(grouped_us, 1),
+            "speedup": speedup,
+        }
+        worst = speedup if worst is None else min(worst, speedup)
+
+    out["architectures"] = max(
+        len(archs) for archs in REPLAY_GROUPS.values()
+    )
+    out["speedup"] = worst if worst is not None else 0.0
+
+    stateful = {}
+    for name, side, arch in REPLAY_STATEFUL:
+        stream = streams[side]
+        info = get_architecture(side, arch)
+        replay_us = best_of(
+            lambda: replay_counters([info.build()], stream), repeats
+        )
+        reference_us = best_of(
+            lambda: info.build().process_reference(stream), repeats
+        )
+        stateful[name] = {
+            "replay_us": round(replay_us, 1),
+            "reference_us": round(reference_us, 1),
+            "speedup": (
+                round(reference_us / replay_us, 2) if replay_us else 0.0
+            ),
+        }
+    out["stateful_speedup"] = {
+        name: entry["speedup"] for name, entry in stateful.items()
+    }
+    out["stateful_us"] = {
+        name: {"replay": entry["replay_us"],
+               "reference": entry["reference_us"]}
+        for name, entry in stateful.items()
+    }
+    return out
 
 
 def check_equivalence() -> None:
@@ -323,6 +376,12 @@ def append_history(report: dict, path: Path) -> None:
         "baseline_speedup_vs_reference":
             report["baseline_speedup_vs_reference"],
         "replay_speedup": report["replay"]["speedup"],
+        "replay_side_speedup": {
+            side: entry["speedup"]
+            for side, entry in report["replay"]["sides"].items()
+        },
+        "replay_stateful_speedup":
+            report["replay"]["stateful_speedup"],
     }
     try:
         with path.open("a") as handle:
@@ -399,11 +458,18 @@ def main(argv=None) -> int:
         us = report["baseline_engines_us"][name]
         print(f"  {name:28s} {us['fast']:12,.1f} us  "
               f"({speedup}x vs reference {us['reference']:,.1f} us)")
-    print(
-        f"grouped replay ({replay['architectures']} archs, one pass): "
-        f"{replay['replay_us']:,.1f} us  ({replay['speedup']}x vs "
-        f"per-spec {replay['per_spec_us']:,.1f} us)"
-    )
+    for side, entry in sorted(replay["sides"].items()):
+        print(
+            f"grouped replay [{side}] ({entry['architectures']} archs, "
+            f"one pass): {entry['replay_us']:,.1f} us  "
+            f"({entry['speedup']}x vs per-spec "
+            f"{entry['per_spec_us']:,.1f} us)"
+        )
+    print("stateful replay derivations vs reference:")
+    for name, speedup in sorted(replay["stateful_speedup"].items()):
+        us = replay["stateful_us"][name]
+        print(f"  {name:28s} {us['replay']:12,.1f} us  "
+              f"({speedup}x vs reference {us['reference']:,.1f} us)")
     return 0
 
 

@@ -37,7 +37,15 @@ from repro.api.spec import RunSpec
 
 
 def check_specs() -> List[RunSpec]:
-    """A small but representative batch (both sides, params, synthetic)."""
+    """A small but representative batch (both sides, params, synthetic).
+
+    The shared-workload groups are deliberately wide: each side's
+    ``dct``/``fft`` group spans seven distinct architectures
+    (batchable and stateful mixed) and carries three way-memo MAB
+    geometries, so the replay engine's shared batch sweep, the
+    stateful columnar derivations, and the one-column-split-per-sweep
+    property are all exercised by every leg of this check.
+    """
     specs = [
         RunSpec(cache=side, arch=arch, workload=benchmark)
         for side in ("dcache", "icache")
@@ -45,12 +53,23 @@ def check_specs() -> List[RunSpec]:
         for benchmark in ("dct", "fft")
     ]
     specs.append(RunSpec(
+        cache="dcache", arch="set-buffer", workload="dct",
+    ))
+    specs.append(RunSpec(
         cache="dcache", arch="way-memo", workload="dct",
         params={"tag_entries": 4, "index_entries": 4},
     ))
     specs.append(RunSpec(
+        cache="dcache", arch="way-memo", workload="dct",
+        params={"tag_entries": 8, "index_entries": 16},
+    ))
+    specs.append(RunSpec(
         cache="icache", arch="way-memo", workload="fft",
         params={"index_entries": 32},
+    ))
+    specs.append(RunSpec(
+        cache="icache", arch="way-memo", workload="fft",
+        params={"tag_entries": 4, "index_entries": 16},
     ))
     specs.append(RunSpec(
         cache="dcache", arch="way-memo-2x8",

@@ -17,22 +17,36 @@ Accounting (Figure 4's "approach [14]" bars):
 * buffer miss: full parallel access (all tags, all ways for loads) and
   the set's tags are copied into the buffer (LRU replacement).
 
-:meth:`SetBufferDCache.process` is the fast engine: vectorized address
-splitting, packed-int :meth:`SetAssociativeCache.access_fast` calls
-and inlined buffer allocate/touch over the same ``_buffer``/``_lru``
-structures; :meth:`process_reference` keeps the object-API loop as the
-executable specification.
+:meth:`SetBufferDCache.process` is the fast engine.  The cache is
+accessed exactly once per reference on both buffer paths, so the whole
+address stream batches through
+:meth:`SetAssociativeCache.access_fast_batch` and the buffer's
+behaviour is *derived* from the packed results without a per-access
+loop (:meth:`replay_counters`, shareable across architectures by the
+replay engine): the buffered snapshot of a set always mirrors the live
+tag row, so "buffered tag matches" is exactly "the set is buffered and
+the access hits", and buffer membership is a pure function of the set
+index stream — the LRU set of the last ``entries`` distinct set
+indices.  Collapsing the stream into runs of equal set index makes
+membership vectorizable (for the default two-entry buffer a run head
+is buffered iff its set recurs two runs back); :meth:`process` adds
+the state carry (final LRU list + snapshots) for chunked replay.
+:meth:`process_reference` keeps the object-API loop as the executable
+specification.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.cache.cache import SetAssociativeCache
 from repro.cache.config import CacheConfig, FRV_DCACHE
 from repro.cache.replacement import make_policy
 from repro.cache.stats import AccessCounters
 from repro.cache.write_buffer import WriteBuffer
+from repro.replay.columns import DataColumns, SharedPass, columns_for_stream
 from repro.sim.trace import DataTrace
 
 
@@ -45,6 +59,10 @@ class SetBufferDCache:
     """
 
     name = "set-buffer"
+    #: Every access touches the cache exactly once regardless of the
+    #: buffer outcome, so the replay engine may derive this
+    #: architecture's counters from a shared batch pass.
+    replay_batchable = True
 
     def __init__(
         self,
@@ -87,93 +105,142 @@ class SetBufferDCache:
         self._touch(set_index)
 
     # ------------------------------------------------------------------
+    # fast engine
+    # ------------------------------------------------------------------
+
+    def _derive(
+        self, cols: DataColumns, hit: np.ndarray
+    ) -> Tuple[AccessCounters, np.ndarray]:
+        """Counters from the per-access hit vector (pure derivation).
+
+        The buffered snapshot of a set always mirrors that set's live
+        tag row (hits never change tags, other sets can't touch this
+        row, and every mismatch path refreshes the snapshot after the
+        access), so a buffered-tag match is exactly ``in_buffer & hit``.
+        Buffer membership is the LRU set of the last ``entries``
+        distinct set indices, which collapses into runs of equal set
+        index: every non-head access is buffered; a run head is
+        buffered iff its set is among the previous ``entries`` distinct
+        run values (adjacent run values always differ, so for the
+        default ``entries == 2`` that is ``r[k] == r[k - 2]``, with the
+        first ``entries`` run heads consulting the carried-in LRU
+        state).  Returns (counters, run values) so callers can carry
+        the buffer state forward.
+        """
+        counters = AccessCounters()
+        nways = self.cache_config.ways
+        entries = self.entries
+        n = cols.n
+        counters.notes["set_buffer_entries"] = entries
+        if n == 0:
+            cols.apply_load_store(counters)
+            return counters, np.empty(0, dtype=np.int64)
+
+        cache = self.cache
+        sets = cols.sets_array(cache.offset_bits, cache.index_bits)
+        head = np.empty(n, dtype=bool)
+        head[0] = True
+        head[1:] = sets[1:] != sets[:-1]
+        head_idx = np.flatnonzero(head)
+        runs = sets[head_idx]
+        m = len(runs)
+
+        head_in = np.zeros(m, dtype=bool)
+        if entries <= 2:
+            if entries == 2 and m > 2:
+                head_in[2:] = runs[2:] == runs[:-2]
+            seeded = min(m, entries)
+        else:
+            seeded = m
+        # The first `entries` run heads (or every head, for larger
+        # buffers) consult the carried-in LRU membership directly.
+        members = dict.fromkeys(self._lru)
+        for k in range(seeded):
+            value = int(runs[k])
+            if value in members:
+                head_in[k] = True
+                del members[value]
+            members[value] = None
+            if len(members) > entries:
+                del members[next(iter(members))]
+
+        in_buffer = np.ones(n, dtype=bool)
+        in_buffer[head_idx] = head_in
+        matched = in_buffer & hit
+
+        store = cols.store_mask
+        unmatched_hit = ~matched & hit
+        unmatched_miss = ~hit  # a match implies a hit: misses all unmatched
+        n_matched = int(matched.sum())
+        hit_stores = int((unmatched_hit & store).sum())
+        hit_loads = int(unmatched_hit.sum()) - hit_stores
+        miss_stores = int((unmatched_miss & store).sum())
+        miss_loads = int(unmatched_miss.sum()) - miss_stores
+
+        hits = int(hit.sum())
+        counters.accesses = n
+        counters.aux_accesses = n  # the buffer is probed every access
+        counters.cache_hits = hits
+        counters.cache_misses = n - hits
+        counters.tag_accesses = nways * (n - n_matched)
+        counters.way_accesses = (
+            n_matched                        # single-way buffered access
+            + hit_stores                     # single-way store
+            + hit_loads * nways              # parallel load
+            + miss_stores * 2                # store + refill write
+            + miss_loads * (nways + 1)       # parallel load + refill
+        )
+        cols.apply_load_store(counters)
+        return counters, runs
+
+    def replay_counters(
+        self, cols: DataColumns, shared: SharedPass
+    ) -> AccessCounters:
+        """Counters from the shared packed results (pure derivation).
+
+        The write buffer and the snapshot refreshes are side state
+        only — no counter reads them — so the shared-pass path may
+        skip both entirely and leave the controller untouched.
+        """
+        counters, _ = self._derive(cols, shared.hit)
+        return counters
 
     def process(self, trace: DataTrace) -> AccessCounters:
         """Replay ``trace`` and return the access counters (fast engine).
 
-        The cache is accessed once per reference on both buffer paths,
-        so every access is one :meth:`access_fast` call; the buffer
-        probe, LRU touch and snapshot refresh are inlined over the
-        shared ``_buffer``/``_lru`` state (a snapshot is a copy of the
-        live flat tag row, with invalid ways as ``None`` exactly like
-        the reference's ``line_state`` form).
+        Batches the whole stream through the cache kernel, derives the
+        buffer's behaviour from the hit vector, and reconstructs the
+        end-of-chunk buffer state: the final LRU list is the last
+        ``entries`` distinct run values by last occurrence, and each
+        surviving snapshot is a copy of the live flat tag row (with
+        invalid ways as ``None``, exactly like the reference's
+        ``line_state`` form) — the invariant the derivation rests on.
         """
-        counters = AccessCounters()
+        cols = columns_for_stream(trace)
         cache = self.cache
-        nways = cache.ways
-        access_fast = cache.access_fast
-        ctags = cache._tags
+        # The write buffer only sees the ordered store sub-stream and
+        # the cache sees every access regardless of the buffer outcome,
+        # so the replays decouple (same argument as the original
+        # D-cache): push the stores, then batch the access stream.
         wbuf_push = self.write_buffer.push
-        buffer = self._buffer
-        buffer_get = buffer.get
-        lru = self._lru
-        entries = self.entries
+        for addr in cols.store_addrs():
+            wbuf_push(addr)
+        tags, sets = cols.cache_streams(cache.offset_bits, cache.index_bits)
+        packed = cache.access_fast_batch(tags, sets, cols.writes())
+        shared = SharedPass(packed)
+        counters, runs = self._derive(cols, shared.hit)
 
-        addr_arr = trace.addr
-        addrs = addr_arr.tolist()
-        tags = (addr_arr >> cache.tag_shift).tolist()
-        sets = ((addr_arr >> cache.offset_bits) & cache.set_mask).tolist()
-        stores = trace.store.tolist()
-
-        cache_hits = 0
-        cache_misses = 0
-        tag_accesses = 0
-        way_accesses = 0
-
-        for i in range(len(addrs)):
-            tag = tags[i]
-            set_index = sets[i]
-            is_store = stores[i]
-            if is_store:
-                wbuf_push(addrs[i])
-
-            buffered = buffer_get(set_index)
-            if buffered is not None and tag in buffered:
-                # Buffer hit with matching tag: single-way access, no
-                # cache tag reads.
-                packed = access_fast(tag, set_index, is_store)
-                assert packed & 1, "buffered tag must be cache-resident"
-                cache_hits += 1
-                way_accesses += 1
-                if lru[-1] != set_index:
-                    lru.remove(set_index)
-                    lru.append(set_index)
-                continue
-
-            # Either the set is not buffered, or the buffered tags do
-            # not contain this address (which implies a cache miss,
-            # since the buffer mirrors the set's tags exactly).
-            packed = access_fast(tag, set_index, is_store)
-            tag_accesses += nways
-            if packed & 1:
-                cache_hits += 1
-                way_accesses += 1 if is_store else nways
-            else:
-                cache_misses += 1
-                way_accesses += (1 if is_store else nways) + 1
-            # Allocate/refresh the snapshot (inline _allocate).
-            if buffered is None:
-                if len(buffer) >= entries:
-                    del buffer[lru.pop(0)]
-                lru.append(set_index)
-            elif lru[-1] != set_index:
-                lru.remove(set_index)
-                lru.append(set_index)
-            buffer[set_index] = [
-                t if t >= 0 else None for t in ctags[set_index]
-            ]
-
-        n = len(addrs)
-        num_stores = int(trace.store.sum())
-        counters.accesses = n
-        counters.loads = n - num_stores
-        counters.stores = num_stores
-        counters.aux_accesses = n  # the buffer is probed every access
-        counters.cache_hits = cache_hits
-        counters.cache_misses = cache_misses
-        counters.tag_accesses = tag_accesses
-        counters.way_accesses = way_accesses
-        counters.notes["set_buffer_entries"] = self.entries
+        # Carry the buffer state: membership/order by last touch.
+        members = dict.fromkeys(self._lru)
+        for value in runs.tolist():
+            members.pop(value, None)
+            members[value] = None
+        final = list(members)[-self.entries:]
+        ctags = cache._tags
+        self._lru = final
+        self._buffer = {
+            s: [t if t >= 0 else None for t in ctags[s]] for s in final
+        }
         return counters
 
     # ------------------------------------------------------------------

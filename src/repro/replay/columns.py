@@ -4,19 +4,30 @@ Every fast engine starts the same way: vectorize the 32-bit address
 arithmetic over the whole trace (cache tag and set index per access,
 the narrow-adder MAB key for way-memo controllers, the intra-line mask
 for fetch streams) and convert the arrays to plain lists for the
-Python replay loop.  That work depends only on the stream and the
-cache geometry — never on architecture state — so it is computed here
-exactly once per ``(stream, geometry)`` and shared by every
-controller replaying the stream.
+Python replay loop.  That work depends only on the stream and (parts
+of) the cache geometry — never on architecture state — so it is
+computed here exactly once and shared by every controller replaying
+the stream.
+
+Each derived column is cached under the *narrowest* key it actually
+depends on:
+
+* ``tags`` and the narrow-adder ``keys`` depend only on
+  ``offset_bits + index_bits`` (the tag boundary), so every cache
+  geometry with the same boundary — and every MAB size — shares one
+  array;
+* ``sets`` depends on the full ``(offset_bits, index_bits)`` split;
+* fetch ``lines`` depend only on ``offset_bits``.
 
 Two cache levels:
 
 * per-instance memoization — a :class:`DataColumns`/:class:`FetchColumns`
-  object computes each geometry's arrays (and their list forms) once;
+  object computes each derived array (and its list form) once;
 * an optional on-disk layer — when constructed with a ``disk_stem``
   (derived from the workload's trace-cache key, so the content digest
-  keys the archive), the per-geometry arrays are persisted as ``.npz``
-  files alongside the trace archives and reloaded instead of
+  keys the archive), the derived arrays are persisted as **one**
+  ``.npz`` archive per stream alongside the trace archives — keyed by
+  (stream), not (stream, geometry) — and reloaded instead of
   recomputed.  Writes are atomic and best-effort, mirroring the trace
   cache; unreadable archives are ignored and regenerated.
 
@@ -34,7 +45,7 @@ from __future__ import annotations
 import os
 import tempfile
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -42,7 +53,39 @@ from repro.sim.fetch import FetchKind, FetchStream
 from repro.sim.trace import DataTrace
 
 #: Version of the on-disk column archive layout; bump to invalidate.
-COLUMNS_VERSION = 1
+#: v2: one archive per (stream, side) holding dependency-keyed arrays
+#: (``tags12``, ``sets5x7``, ...) instead of one file per geometry.
+COLUMNS_VERSION = 2
+
+#: Per-process column machinery counters: how many derived arrays were
+#: actually computed vs served from a disk archive, and how often the
+#: archive file itself was read or rewritten.  Tests assert sweep
+#: groups compute their pre-split once per workload, not per geometry.
+_STATS: Dict[str, int] = {
+    "array_computes": 0,
+    "tags_computes": 0,
+    "sets_computes": 0,
+    "keys_computes": 0,
+    "lines_computes": 0,
+    "archive_loads": 0,
+    "archive_array_hits": 0,
+    "archive_saves": 0,
+}
+
+
+def column_stats() -> Dict[str, int]:
+    """Snapshot of the per-process column compute/archive counters."""
+    return dict(_STATS)
+
+
+def reset_column_stats() -> None:
+    """Zero the column counters (tests)."""
+    for key in _STATS:
+        _STATS[key] = 0
+
+
+def _count(key: str, amount: int = 1) -> None:
+    _STATS[key] += amount
 
 
 class SharedPass:
@@ -92,16 +135,18 @@ class SharedPass:
 
 
 class _ColumnsBase:
-    """Shared machinery: per-geometry arrays, lists and disk archives."""
+    """Shared machinery: dependency-keyed arrays, lists, disk archive."""
 
     side = ""  # "dcache" | "icache" (set by subclasses)
 
     def __init__(self, disk_stem: Optional[Path] = None):
         # disk_stem is a path *prefix* (directory + workload trace key);
-        # per-geometry archives are "{stem}-cols-v1-{side}-gOxI.npz".
+        # the stream's single archive is "{stem}-cols-v2-{side}.npz".
         self._disk_stem = disk_stem
-        self._arrays_by_geometry: Dict[Tuple[int, int], Dict[str, np.ndarray]] = {}
-        self._lists: Dict[Tuple[str, int, int], list] = {}
+        self._arrays: Dict[str, np.ndarray] = {}
+        self._lists: Dict[str, list] = {}
+        self._archive: Optional[Dict[str, np.ndarray]] = None
+        self._archive_probed = False
 
     # -- columns the subclasses must provide ----------------------------
 
@@ -111,28 +156,22 @@ class _ColumnsBase:
     addr64: np.ndarray
     n: int
 
-    def _extra_arrays(
-        self, offset_bits: int, index_bits: int
-    ) -> Dict[str, np.ndarray]:
-        """Side-specific derived columns (fetch adds lines/intra)."""
-        return {}
+    # -- array computations (each keyed by what it depends on) -----------
 
-    # -- geometry-keyed access ------------------------------------------
+    def _compute_tags(self, low_bits: int) -> np.ndarray:
+        return self.addr64 >> low_bits
 
-    def _compute_arrays(
-        self, offset_bits: int, index_bits: int
-    ) -> Dict[str, np.ndarray]:
-        low_bits = offset_bits + index_bits
-        low_mask = (1 << low_bits) - 1
-        upper_mask = (1 << (32 - low_bits)) - 1
-        addr = self.addr64
-        tags = addr >> low_bits
-        sets = (addr >> offset_bits) & ((1 << index_bits) - 1)
+    def _compute_sets(self, offset_bits: int, index_bits: int) -> np.ndarray:
+        return (self.addr64 >> offset_bits) & ((1 << index_bits) - 1)
 
+    def _compute_keys(self, low_bits: int) -> np.ndarray:
         # Narrow-adder datapath (paper Figure 3), vectorized: the
         # packed MAB key per access, -1 marking a large-displacement
         # bypass.  Depends only on (offset_bits + index_bits), i.e. on
-        # the cache geometry — every MAB size shares one key column.
+        # the tag boundary — every MAB size and every cache geometry
+        # with the same boundary shares one key column.
+        low_mask = (1 << low_bits) - 1
+        upper_mask = (1 << (32 - low_bits)) - 1
         base = self.base64
         d32 = self.disp64 & 0xFFFFFFFF
         raw = (base & low_mask) + (d32 & low_mask)
@@ -141,50 +180,44 @@ class _ColumnsBase:
         bypass = (upper != 0) & (upper != upper_mask)
         base_tag = base >> low_bits
         carry = raw >> low_bits
-        keys = np.where(
+        return np.where(
             bypass, -1,
             (base_tag << 2) | (carry << 1) | sign,
         )
-        arrays = {"tags": tags, "sets": sets, "keys": keys}
-        arrays.update(self._extra_arrays(offset_bits, index_bits))
-        return arrays
 
-    def _disk_path(self, offset_bits: int, index_bits: int) -> Optional[Path]:
+    # -- disk archive (one file per stream) ------------------------------
+
+    def _disk_path(self) -> Optional[Path]:
         if self._disk_stem is None:
             return None
         return self._disk_stem.parent / (
-            f"{self._disk_stem.name}-cols-v{COLUMNS_VERSION}-{self.side}"
-            f"-g{offset_bits}x{index_bits}.npz"
+            f"{self._disk_stem.name}-cols-v{COLUMNS_VERSION}-{self.side}.npz"
         )
 
-    def _load_disk(
-        self, offset_bits: int, index_bits: int
-    ) -> Optional[Dict[str, np.ndarray]]:
-        path = self._disk_path(offset_bits, index_bits)
-        if path is None or not path.is_file():
-            return None
-        try:
-            with np.load(str(path)) as archive:
-                arrays = {name: archive[name] for name in archive.files}
-        except Exception:
-            return None  # unreadable archive: ignore and regenerate
-        required = set(self._compute_array_names())
-        if set(arrays) < required:
-            return None
-        if any(len(arrays[name]) != self.n for name in required):
-            return None
-        return arrays
+    def _archive_arrays(self) -> Dict[str, np.ndarray]:
+        """The on-disk archive's arrays, loaded at most once."""
+        if not self._archive_probed:
+            self._archive_probed = True
+            self._archive = {}
+            path = self._disk_path()
+            if path is not None and path.is_file():
+                try:
+                    with np.load(str(path)) as archive:
+                        self._archive = {
+                            name: archive[name] for name in archive.files
+                        }
+                    _count("archive_loads")
+                except Exception:
+                    self._archive = {}  # unreadable: regenerate
+        return self._archive or {}
 
-    def _compute_array_names(self) -> Tuple[str, ...]:
-        return ("tags", "sets", "keys")
-
-    def _save_disk(
-        self, offset_bits: int, index_bits: int,
-        arrays: Dict[str, np.ndarray],
-    ) -> None:
-        path = self._disk_path(offset_bits, index_bits)
+    def _save_disk(self) -> None:
+        """Rewrite the stream's archive with every known array."""
+        path = self._disk_path()
         if path is None:
             return
+        arrays = dict(self._archive_arrays())
+        arrays.update(self._arrays)
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(
@@ -199,55 +232,97 @@ class _ColumnsBase:
             finally:
                 if os.path.exists(tmp):
                     os.unlink(tmp)
+            self._archive = arrays
+            _count("archive_saves")
         except OSError:
             pass  # caching is best-effort only
 
-    def _arrays(
-        self, offset_bits: int, index_bits: int
-    ) -> Dict[str, np.ndarray]:
-        key = (offset_bits, index_bits)
-        arrays = self._arrays_by_geometry.get(key)
-        if arrays is None:
-            arrays = self._load_disk(offset_bits, index_bits)
-            if arrays is None:
-                arrays = self._compute_arrays(offset_bits, index_bits)
-                self._save_disk(offset_bits, index_bits, arrays)
-            self._arrays_by_geometry[key] = arrays
-        return arrays
+    def _array(
+        self, name: str, stat: str, compute: Callable[[], np.ndarray]
+    ) -> np.ndarray:
+        """One derived array: memory, then archive, then compute."""
+        got = self._arrays.get(name)
+        if got is not None:
+            return got
+        archived = self._archive_arrays().get(name)
+        if archived is not None and len(archived) == self.n:
+            _count("archive_array_hits")
+            self._arrays[name] = archived
+            return archived
+        got = compute()
+        _count("array_computes")
+        _count(stat)
+        self._arrays[name] = got
+        self._save_disk()
+        return got
 
-    def _list(self, name: str, offset_bits: int, index_bits: int) -> list:
-        key = (name, offset_bits, index_bits)
-        got = self._lists.get(key)
+    def _list(self, name: str, array: Callable[[], np.ndarray]) -> list:
+        got = self._lists.get(name)
         if got is None:
-            got = self._arrays(offset_bits, index_bits)[name].tolist()
-            self._lists[key] = got
+            got = array().tolist()
+            self._lists[name] = got
         return got
 
     # -- public columns --------------------------------------------------
+
+    def tags_array(self, offset_bits: int, index_bits: int) -> np.ndarray:
+        low = offset_bits + index_bits
+        return self._array(
+            f"tags{low}", "tags_computes",
+            lambda: self._compute_tags(low),
+        )
+
+    def sets_array(self, offset_bits: int, index_bits: int) -> np.ndarray:
+        return self._array(
+            f"sets{offset_bits}x{index_bits}", "sets_computes",
+            lambda: self._compute_sets(offset_bits, index_bits),
+        )
+
+    def keys_array(self, offset_bits: int, index_bits: int) -> np.ndarray:
+        low = offset_bits + index_bits
+        return self._array(
+            f"keys{low}", "keys_computes",
+            lambda: self._compute_keys(low),
+        )
 
     def cache_streams(
         self, offset_bits: int, index_bits: int
     ) -> Tuple[List[int], List[int]]:
         """The pre-split (tags, sets) lists for one cache geometry."""
+        low = offset_bits + index_bits
         return (
-            self._list("tags", offset_bits, index_bits),
-            self._list("sets", offset_bits, index_bits),
+            self._list(
+                f"tags{low}",
+                lambda: self.tags_array(offset_bits, index_bits),
+            ),
+            self._list(
+                f"sets{offset_bits}x{index_bits}",
+                lambda: self.sets_array(offset_bits, index_bits),
+            ),
         )
 
     def cache_arrays(
         self, offset_bits: int, index_bits: int
     ) -> Dict[str, np.ndarray]:
-        """The per-geometry numpy columns (tags/sets/keys[/lines]).
+        """The per-geometry numpy columns (tags/sets/keys).
 
         The array forms of :meth:`cache_streams` for vectorized
         replay derivations; treat the arrays as read-only — they are
         shared across every controller replaying the stream.
         """
-        return self._arrays(offset_bits, index_bits)
+        return {
+            "tags": self.tags_array(offset_bits, index_bits),
+            "sets": self.sets_array(offset_bits, index_bits),
+            "keys": self.keys_array(offset_bits, index_bits),
+        }
 
     def mab_keys(self, offset_bits: int, index_bits: int) -> List[int]:
         """Packed narrow-adder MAB keys (-1 == bypass) per access."""
-        return self._list("keys", offset_bits, index_bits)
+        low = offset_bits + index_bits
+        return self._list(
+            f"keys{low}",
+            lambda: self.keys_array(offset_bits, index_bits),
+        )
 
 
 class DataColumns(_ColumnsBase):
@@ -310,14 +385,23 @@ class FetchColumns(_ColumnsBase):
         self._kinds: Optional[List[int]] = None
         self._intra: Dict[int, np.ndarray] = {}
 
-    def _extra_arrays(
+    def lines_array(self, offset_bits: int, index_bits: int) -> np.ndarray:
+        """Line numbers (``addr >> offset_bits``) per access.
+
+        Depends only on ``offset_bits`` (lines are line_bytes wide);
+        ``index_bits`` is accepted for signature symmetry.
+        """
+        return self._array(
+            f"lines{offset_bits}", "lines_computes",
+            lambda: self.addr64 >> offset_bits,
+        )
+
+    def cache_arrays(
         self, offset_bits: int, index_bits: int
     ) -> Dict[str, np.ndarray]:
-        # line_shift == offset_bits (lines are line_bytes wide).
-        return {"lines": self.addr64 >> offset_bits}
-
-    def _compute_array_names(self) -> Tuple[str, ...]:
-        return ("tags", "sets", "keys", "lines")
+        arrays = super().cache_arrays(offset_bits, index_bits)
+        arrays["lines"] = self.lines_array(offset_bits, index_bits)
+        return arrays
 
     def kinds(self) -> List[int]:
         if self._kinds is None:
@@ -326,7 +410,10 @@ class FetchColumns(_ColumnsBase):
 
     def lines(self, offset_bits: int, index_bits: int) -> List[int]:
         """Line numbers (``addr >> offset_bits``) per access."""
-        return self._list("lines", offset_bits, index_bits)
+        return self._list(
+            f"lines{offset_bits}",
+            lambda: self.lines_array(offset_bits, index_bits),
+        )
 
     def intra_mask(self, offset_bits: int, index_bits: int) -> np.ndarray:
         """Boolean mask of intra-line sequential fetches.
@@ -338,7 +425,7 @@ class FetchColumns(_ColumnsBase):
         """
         got = self._intra.get(offset_bits)
         if got is None:
-            lines = self._arrays(offset_bits, index_bits)["lines"]
+            lines = self.lines_array(offset_bits, index_bits)
             prev = np.concatenate((np.int64([-1]), lines[:-1]))
             got = (
                 (self.kind == np.uint8(int(FetchKind.SEQ)))

@@ -119,6 +119,18 @@ def replay_counters(
                 cols, shared_pass
             )
 
+    if shared:
+        telemetry.counter(
+            "repro_replay_batchable_members_total",
+            "Group members whose counters were derived from a shared "
+            "batch sweep.",
+        ).inc(sum(len(members) for members in shared.values()))
+    if singles:
+        telemetry.counter(
+            "repro_replay_stateful_members_total",
+            "Group members that replayed their own stateful loop "
+            "(columnar or scalar).",
+        ).inc(len(singles))
     for index in singles:
         controller = controllers[index]
         process_columns = getattr(controller, "process_columns", None)
@@ -172,13 +184,17 @@ def plan_groups(specs: Sequence[object]) -> List[List[object]]:
     return groups
 
 
-@lru_cache(maxsize=8)
+@lru_cache(maxsize=32)
 def _columns_cached(side: str, workload: str):
     """Columns for one spec-level workload (in-process cache).
 
     Benchmark workloads get the on-disk column archive keyed by the
     trace cache's content digest; synthetic workloads are cheap to
-    split and stay in process only.
+    split and stay in process only.  The cache key is (side,
+    workload) — never the cache geometry — so a parametric sweep over
+    MAB or cache shapes shares one columns object, and the columns
+    object itself memoizes each derived array under the narrowest
+    geometry key it depends on.
     """
     from repro.api.spec import parse_synthetic_params
     from repro.workloads import generate_synthetic, load_workload

@@ -260,7 +260,8 @@ def _replay_icache_factories(config):
     }
 
 
-def _first_replay_divergence(factories, stream, slicer, total):
+def _first_replay_divergence(factories, stream, slicer, total,
+                             method="process"):
     """First access index where grouped and per-arch replay diverge.
 
     Every probe rebuilds both legs from scratch over the prefix — the
@@ -275,7 +276,8 @@ def _first_replay_divergence(factories, stream, slicer, total):
             [factory() for factory in factories.values()], prefix
         )
         for (name, factory), got in zip(factories.items(), grouped):
-            mismatches = _diff_counters(got, factory().process(prefix))
+            expected = getattr(factory(), method)(prefix)
+            mismatches = _diff_counters(got, expected)
             if mismatches:
                 return name, mismatches
         return None
@@ -297,15 +299,21 @@ def _first_replay_divergence(factories, stream, slicer, total):
     return None
 
 
-def run_replay_lockstep(factories, stream, slicer, total, context):
-    """One grouped pass vs seven fresh scalar replays, field by field."""
+def run_replay_lockstep(factories, stream, slicer, total, context,
+                        method="process"):
+    """One grouped pass vs fresh per-arch replays, field by field.
+
+    ``method`` selects the per-arch leg: ``process`` (the scalar or
+    vectorized fast path) or ``process_reference`` (the executable
+    specification — the strongest check for derived counters).
+    """
     from repro.replay.engine import replay_counters
 
     grouped = replay_counters(
         [factory() for factory in factories.values()], stream
     )
     mismatched = {
-        name: _diff_counters(got, factory().process(stream))
+        name: _diff_counters(got, getattr(factory(), method)(stream))
         for (name, factory), got in zip(factories.items(), grouped)
     }
     mismatched = {
@@ -313,17 +321,19 @@ def run_replay_lockstep(factories, stream, slicer, total, context):
     }
     if not mismatched:
         return
-    where = _first_replay_divergence(factories, stream, slicer, total)
+    where = _first_replay_divergence(
+        factories, stream, slicer, total, method
+    )
     index = "unknown" if where is None else where[0]
     detail = "; ".join(
         f"{name}: " + ", ".join(
-            f"{f}: grouped={a} scalar={b}" for f, a, b in diff
+            f"{f}: grouped={a} {method}={b}" for f, a, b in diff
         )
         for name, diff in mismatched.items()
     )
     pytest.fail(
-        f"{context}: grouped/scalar replay divergence, first at access "
-        f"index {index}: {detail}"
+        f"{context}: grouped/{method} replay divergence, first at "
+        f"access index {index}: {detail}"
     )
 
 
@@ -346,6 +356,54 @@ def test_fuzz_icache_replay_matches_scalar(seed, config):
     run_replay_lockstep(
         _replay_icache_factories(config), fs, slice_fetch,
         len(fs), f"icache replay seed={seed} ways={config.ways}",
+    )
+
+
+# ----------------------------------------------------------------------
+# newly derived stateful designs vs the executable specification
+# ----------------------------------------------------------------------
+
+#: The designs whose grouped-replay counters are *derived* (set buffer
+#: and MA-links from the shared sweep, the filter cache from the
+#: columnar run walk) rather than replayed scalar — each one is fuzzed
+#: directly against ``process_reference``, the strongest oracle.
+STATEFUL_DERIVED_DCACHE = {
+    "set-buffer": SetBufferDCache,
+    "set-buffer-3": lambda config: SetBufferDCache(config, entries=3),
+    "filter-cache": FilterCacheDCache,
+}
+
+STATEFUL_DERIVED_ICACHE = {
+    "ma-links": MaLinksICache,
+    "filter-cache": FilterCacheICache,
+}
+
+
+@pytest.mark.parametrize("config", [TINY_2WAY, TINY_4WAY],
+                         ids=["2way", "4way"])
+@pytest.mark.parametrize("seed", [101, 202])
+@pytest.mark.parametrize("arch", sorted(STATEFUL_DERIVED_DCACHE))
+def test_fuzz_dcache_replay_matches_reference(arch, seed, config):
+    trace = fuzz_data_trace(seed)
+    factory = STATEFUL_DERIVED_DCACHE[arch]
+    run_replay_lockstep(
+        {arch: lambda: factory(config)}, trace, slice_data, len(trace),
+        f"{arch} vs reference seed={seed} ways={config.ways}",
+        method="process_reference",
+    )
+
+
+@pytest.mark.parametrize("config", [TINY_2WAY, TINY_4WAY],
+                         ids=["2way", "4way"])
+@pytest.mark.parametrize("seed", [303, 404])
+@pytest.mark.parametrize("arch", sorted(STATEFUL_DERIVED_ICACHE))
+def test_fuzz_icache_replay_matches_reference(arch, seed, config):
+    fs = fuzz_fetch_stream(seed)
+    factory = STATEFUL_DERIVED_ICACHE[arch]
+    run_replay_lockstep(
+        {arch: lambda: factory(config)}, fs, slice_fetch, len(fs),
+        f"{arch} vs reference seed={seed} ways={config.ways}",
+        method="process_reference",
     )
 
 

@@ -140,6 +140,36 @@ def test_worker_crash_mid_grouped_task_completes_byte_identical(
     assert sum(1 for count in attempts if count >= 2) >= 2
 
 
+def test_worker_crash_mid_seven_arch_group_completes_byte_identical(
+    isolated_state,
+):
+    """The full seven-architecture replay group — batchable and
+    stateful designs mixed — on one shared workload.  The stateful
+    members (set-buffer, filter-cache, way-memo+line-buffer) derive
+    their counters from the shared column pre-split, so a crash
+    mid-group must not leave any of them with partial state: the
+    retry re-splits the columns and every spec still lands byte-
+    identical to the fault-free serial run."""
+    shared = "synthetic:num_accesses=512,seed=910"
+    specs = [
+        RunSpec(cache="dcache", arch=arch, workload=shared)
+        for arch in ("original", "two-phase", "way-prediction",
+                     "set-buffer", "filter-cache", "way-memo-2x8",
+                     "way-memo+line-buffer")
+    ]
+    baseline = _clean_baseline(specs)
+    with faults.activate(
+        "worker_crash:1", state_dir=isolated_state / "state"
+    ) as plan:
+        with live_server() as (server, url):
+            remote = ServiceClient(url).evaluate_many(specs)
+            stats = server.queue.stats()
+        assert plan.fired("worker_crash") == 1
+    assert [r.to_json() for r in remote] == baseline
+    assert stats["tasks"]["done"] == len(specs)
+    assert stats["tasks"]["failed"] == 0
+
+
 def test_hung_worker_is_killed_and_retried(isolated_state):
     specs = _specs(count=1, seed_base=710)
     baseline = _clean_baseline(specs)

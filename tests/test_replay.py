@@ -167,10 +167,18 @@ def test_grouped_path_counts_and_persists_per_spec(fresh_store):
 # columnar disk archives
 # ----------------------------------------------------------------------
 
-def _archive(tmp_path, geometry="g5x7"):
-    archives = list(tmp_path.glob(f"*-cols-v*-dcache-{geometry}.npz"))
+def _archive(tmp_path):
+    # One archive per (stream, side) — never per geometry.
+    archives = list(tmp_path.glob("*-cols-v*-dcache.npz"))
     assert len(archives) == 1, archives
     return archives[0]
+
+
+def _forbid_computes(cols):
+    """Poison the compute hooks: a cache/archive miss would blow up."""
+    cols._compute_tags = None
+    cols._compute_sets = None
+    cols._compute_keys = None
 
 
 def test_columns_disk_archive_roundtrips_without_recompute(tmp_path):
@@ -182,7 +190,7 @@ def test_columns_disk_archive_roundtrips_without_recompute(tmp_path):
     _archive(tmp_path)
 
     second = DataColumns(trace, disk_stem=stem)
-    second._compute_arrays = None   # a load miss would blow up here
+    _forbid_computes(second)
     assert second.cache_streams(5, 7) == (tags, sets)
     assert second.mab_keys(5, 7) == keys
 
@@ -197,7 +205,7 @@ def test_columns_corrupt_archive_is_regenerated(tmp_path):
     second = DataColumns(trace, disk_stem=stem)
     assert second.cache_streams(5, 7) == expected
     third = DataColumns(trace, disk_stem=stem)  # rewritten and loadable
-    third._compute_arrays = None
+    _forbid_computes(third)
     assert third.cache_streams(5, 7) == expected
 
 
@@ -214,3 +222,77 @@ def test_columns_archive_for_a_different_stream_is_rejected(tmp_path):
     assert len(tags) == len(sets) == 256
     bare = columns_for_stream(full)
     assert (tags, sets) == bare.cache_streams(5, 7)
+
+
+# ----------------------------------------------------------------------
+# cross-geometry column sharing
+# ----------------------------------------------------------------------
+
+def test_columns_archive_shared_across_geometries(tmp_path):
+    """One archive on disk serves every geometry: arrays that depend
+    only on the tag boundary (tags, MAB keys) are reused verbatim by a
+    second geometry with the same ``offset + index`` split, and the
+    per-geometry sets column is added to the *same* file."""
+    trace = synthetic_data_trace(num_accesses=256, seed=3)
+    stem = tmp_path / "wl-deadbeef"
+    first = DataColumns(trace, disk_stem=stem)
+    tags57, sets57 = first.cache_streams(5, 7)
+    keys57 = first.mab_keys(5, 7)
+    _archive(tmp_path)
+
+    # (4, 8) shares the 12-bit tag boundary with (5, 7).
+    second = DataColumns(trace, disk_stem=stem)
+    second._compute_tags = None
+    second._compute_keys = None  # only sets may be computed
+    tags48, sets48 = second.cache_streams(4, 8)
+    assert tags48 == tags57
+    assert second.mab_keys(4, 8) == keys57
+    assert sets48 != sets57
+    _archive(tmp_path)
+
+    # Third pass: everything — both geometries — loads from the file.
+    third = DataColumns(trace, disk_stem=stem)
+    _forbid_computes(third)
+    assert third.cache_streams(5, 7) == (tags57, sets57)
+    assert third.cache_streams(4, 8) == (tags48, sets48)
+    assert third.mab_keys(5, 7) == keys57
+
+
+def test_columns_memoize_by_dependency_not_geometry():
+    """In memory too, tags/keys are keyed by the tag boundary: two
+    geometries with the same boundary share the same list objects."""
+    trace = synthetic_data_trace(num_accesses=128, seed=9)
+    cols = DataColumns(trace)
+    tags57, _ = cols.cache_streams(5, 7)
+    tags48, _ = cols.cache_streams(4, 8)
+    assert tags48 is tags57
+    assert cols.mab_keys(4, 8) is cols.mab_keys(5, 7)
+
+
+def test_way_memo_sweep_group_splits_columns_once():
+    """A multi-geometry way-memo sweep group computes its columnar
+    pre-split once per workload, not once per MAB geometry."""
+    from repro.replay.columns import column_stats, reset_column_stats
+
+    stream = synthetic_data_trace(num_accesses=512, seed=21)
+    from repro.api.registry import get_architecture
+
+    geometries = [(2, 8), (4, 8), (2, 16), (4, 16), (8, 32)]
+    built = [
+        get_architecture("dcache", "way-memo").build(
+            {"tag_entries": nt, "index_entries": ns}
+        )
+        for nt, ns in geometries
+    ]
+    reset_column_stats()
+    grouped = replay_counters(built, stream)
+    stats = column_stats()
+    assert stats["tags_computes"] == 1
+    assert stats["sets_computes"] == 1
+    assert stats["keys_computes"] == 1
+
+    for (nt, ns), counters in zip(geometries, grouped):
+        expected = get_architecture("dcache", "way-memo").build(
+            {"tag_entries": nt, "index_entries": ns}
+        ).process(stream)
+        assert counters.as_dict() == expected.as_dict(), (nt, ns)
